@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	// No args behaves like -list.
+	if err := run(nil); err != nil {
+		t.Fatalf("no args: %v", err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-run", "nope"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunInvalidScale(t *testing.T) {
+	if err := run([]string{"-run", "fig9", "-scale", "0"}); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if err := run([]string{"-run", "fig9", "-scale", "-1"}); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunSingleFigureTinyScale(t *testing.T) {
+	for _, id := range []string{"fig9", "fig10", "fig4"} {
+		if err := run([]string{"-run", id, "-scale", "0.02"}); err != nil {
+			t.Fatalf("-run %s: %v", id, err)
+		}
+	}
+}
+
+func TestRunAllTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run([]string{"-run", "all", "-scale", "0.02", "-seed", "7"}); err != nil {
+		t.Fatalf("-run all: %v", err)
+	}
+}
+
+func TestRunWritesOutputFile(t *testing.T) {
+	dir := t.TempDir()
+	out := dir + "/fig9.txt"
+	if err := run([]string{"-run", "fig9", "-scale", "0.02", "-o", out}); err != nil {
+		t.Fatalf("-o: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read output: %v", err)
+	}
+	if !strings.Contains(string(data), "duration range") {
+		t.Fatalf("output file missing table:\n%s", data)
+	}
+}
+
+func TestRunBadOutputPath(t *testing.T) {
+	if err := run([]string{"-run", "fig9", "-o", "/no/such/dir/x.txt"}); err == nil {
+		t.Fatal("unwritable output accepted")
+	}
+}
+
+func TestRunSummaryJSON(t *testing.T) {
+	dir := t.TempDir()
+	out := dir + "/summary.json"
+	if err := run([]string{"-summary", "io", "-scale", "0.05", "-o", out}); err != nil {
+		t.Fatalf("-summary: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	var summaries []map[string]any
+	if err := json.Unmarshal(data, &summaries); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if len(summaries) != 4 {
+		t.Fatalf("got %d summaries, want 4", len(summaries))
+	}
+	if summaries[0]["policy"] != "vanilla" || summaries[3]["policy"] != "faasbatch" {
+		t.Fatalf("policy order wrong: %v", summaries)
+	}
+}
+
+func TestRunSummaryUnknownWorkload(t *testing.T) {
+	if err := run([]string{"-summary", "gpu"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

@@ -1,0 +1,195 @@
+// Command faasgate runs the live FaaSBatch gateway: a miniature serverless
+// platform serving real Go functions over HTTP with window batching,
+// inline-parallel expansion and resource multiplexing.
+//
+// Usage:
+//
+//	faasgate                       # FaaSBatch mode on :8080
+//	faasgate -mode vanilla         # per-invocation containers
+//	faasgate -interval 100ms       # dispatch window
+//	faasgate -no-multiplex         # disable the Resource Multiplexer
+//
+// Built-in demo functions:
+//
+//	fib       {"n": 30}        CPU-intensive Fibonacci
+//	s3upload  {"bucket": "b"}  creates a (fake) S3 client via the
+//	                           Resource Multiplexer, then "uploads"
+//	echo      any payload      returns the payload
+//
+// Try:
+//
+//	curl -s localhost:8080/invoke -d '{"fn":"fib","payload":{"n":30}}'
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"faasbatch/internal/platform"
+	"faasbatch/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "faasgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("faasgate", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	mode := fs.String("mode", "faasbatch", "scheduling mode: faasbatch or vanilla")
+	interval := fs.Duration("interval", 200*time.Millisecond, "dispatch interval (faasbatch mode)")
+	coldStart := fs.Duration("coldstart", 100*time.Millisecond, "simulated container boot time")
+	keepAlive := fs.Duration("keepalive", 2*time.Minute, "idle container keep-alive")
+	noMux := fs.Bool("no-multiplex", false, "disable the Resource Multiplexer")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := platform.DefaultConfig()
+	cfg.DispatchInterval = *interval
+	cfg.ColdStart = *coldStart
+	cfg.KeepAlive = *keepAlive
+	cfg.Multiplex = !*noMux
+	switch *mode {
+	case "faasbatch":
+		cfg.Mode = platform.ModeBatch
+	case "vanilla":
+		cfg.Mode = platform.ModeVanilla
+	default:
+		return fmt.Errorf("unknown mode %q (faasbatch or vanilla)", *mode)
+	}
+
+	p, err := platform.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := p.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "faasgate: close:", cerr)
+		}
+	}()
+	if err := registerDemoFunctions(p); err != nil {
+		return err
+	}
+
+	fmt.Printf("faasgate: %s mode, interval %v, multiplex %v, listening on %s\n",
+		cfg.Mode, cfg.DispatchInterval, cfg.Multiplex, *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           platform.NewHTTPHandler(p),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return serveUntilSignal(srv)
+}
+
+// serveUntilSignal runs the server until it fails or the process receives
+// SIGINT/SIGTERM, then drains in-flight requests.
+func serveUntilSignal(srv *http.Server) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			return fmt.Errorf("serve: %w", err)
+		}
+		return nil
+	case sig := <-sigc:
+		fmt.Printf("faasgate: %v, draining ...\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return nil
+	}
+}
+
+// registerDemoFunctions installs the gateway's built-in functions.
+func registerDemoFunctions(p *platform.Platform) error {
+	if err := p.Register("fib", fibHandler); err != nil {
+		return err
+	}
+	if err := p.Register("s3upload", s3UploadHandler); err != nil {
+		return err
+	}
+	return p.Register("echo", func(_ context.Context, inv *platform.Invocation) (any, error) {
+		return json.RawMessage(inv.Payload), nil
+	})
+}
+
+// fibHandler burns real CPU, like the paper's benchmark function.
+func fibHandler(_ context.Context, inv *platform.Invocation) (any, error) {
+	var req struct {
+		N int `json:"n"`
+	}
+	if len(inv.Payload) > 0 {
+		if err := json.Unmarshal(inv.Payload, &req); err != nil {
+			return nil, fmt.Errorf("decode payload: %w", err)
+		}
+	}
+	if req.N <= 0 {
+		req.N = 30
+	}
+	if req.N > 40 {
+		return nil, fmt.Errorf("n %d too large (max 40)", req.N)
+	}
+	return map[string]int{"n": req.N, "fib": workload.Fib(req.N)}, nil
+}
+
+// fakeS3Client stands in for a boto3 client: expensive to build, cheap to
+// use.
+type fakeS3Client struct {
+	bucket string
+}
+
+// put simulates a blob upload.
+func (c *fakeS3Client) put(key string) string {
+	return fmt.Sprintf("s3://%s/%s", c.bucket, key)
+}
+
+// s3UploadHandler creates a client through the Resource Multiplexer
+// (Listing 1) and performs an upload.
+func s3UploadHandler(_ context.Context, inv *platform.Invocation) (any, error) {
+	var req struct {
+		Bucket string `json:"bucket"`
+		Key    string `json:"key"`
+	}
+	if len(inv.Payload) > 0 {
+		if err := json.Unmarshal(inv.Payload, &req); err != nil {
+			return nil, fmt.Errorf("decode payload: %w", err)
+		}
+	}
+	if req.Bucket == "" {
+		req.Bucket = "demo-bucket"
+	}
+	if req.Key == "" {
+		req.Key = "object"
+	}
+	client, cached, err := inv.Resources.Get("s3.client", req.Bucket, func() (any, int64, error) {
+		// Construction cost, as in Fig. 4 (scaled down for the demo).
+		time.Sleep(66 * time.Millisecond)
+		return &fakeS3Client{bucket: req.Bucket}, 15 << 20, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s3, ok := client.(*fakeS3Client)
+	if !ok {
+		return nil, fmt.Errorf("unexpected client type %T", client)
+	}
+	return map[string]any{"url": s3.put(req.Key), "clientCached": cached}, nil
+}

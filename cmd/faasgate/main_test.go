@@ -1,0 +1,133 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"faasbatch/internal/platform"
+)
+
+func newGatePlatform(t *testing.T) *platform.Platform {
+	t.Helper()
+	cfg := platform.DefaultConfig()
+	cfg.DispatchInterval = 20_000_000 // 20ms
+	cfg.ColdStart = 0
+	p, err := platform.New(cfg)
+	if err != nil {
+		t.Fatalf("platform.New: %v", err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	if err := registerDemoFunctions(p); err != nil {
+		t.Fatalf("registerDemoFunctions: %v", err)
+	}
+	return p
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if err := run([]string{"-mode", "nope"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestFibHandler(t *testing.T) {
+	p := newGatePlatform(t)
+	res, err := p.Invoke(context.Background(), "fib", json.RawMessage(`{"n":10}`))
+	if err != nil {
+		t.Fatalf("Invoke fib: %v", err)
+	}
+	m, ok := res.Value.(map[string]int)
+	if !ok || m["fib"] != 55 {
+		t.Fatalf("fib result = %#v, want fib:55", res.Value)
+	}
+	// Defaults and bounds.
+	if _, err := p.Invoke(context.Background(), "fib", nil); err != nil {
+		t.Fatalf("fib default: %v", err)
+	}
+	if _, err := p.Invoke(context.Background(), "fib", json.RawMessage(`{"n":99}`)); err == nil {
+		t.Fatal("oversized n accepted")
+	}
+	if _, err := p.Invoke(context.Background(), "fib", json.RawMessage(`{bad`)); err == nil {
+		t.Fatal("bad payload accepted")
+	}
+}
+
+func TestS3UploadHandlerUsesMultiplexer(t *testing.T) {
+	p := newGatePlatform(t)
+	first, err := p.Invoke(context.Background(), "s3upload", json.RawMessage(`{"bucket":"b","key":"k"}`))
+	if err != nil {
+		t.Fatalf("Invoke s3upload: %v", err)
+	}
+	m, ok := first.Value.(map[string]any)
+	if !ok || m["url"] != "s3://b/k" {
+		t.Fatalf("s3upload result = %#v", first.Value)
+	}
+	if m["clientCached"] != false {
+		t.Fatal("first call should build the client")
+	}
+	second, err := p.Invoke(context.Background(), "s3upload", json.RawMessage(`{"bucket":"b","key":"k2"}`))
+	if err != nil {
+		t.Fatalf("second Invoke: %v", err)
+	}
+	m2, ok := second.Value.(map[string]any)
+	if !ok || m2["clientCached"] != true {
+		t.Fatalf("second call should hit the multiplexer: %#v", second.Value)
+	}
+	// Defaults.
+	if _, err := p.Invoke(context.Background(), "s3upload", nil); err != nil {
+		t.Fatalf("s3upload defaults: %v", err)
+	}
+	if _, err := p.Invoke(context.Background(), "s3upload", json.RawMessage(`{bad`)); err == nil {
+		t.Fatal("bad payload accepted")
+	}
+}
+
+func TestEchoHandler(t *testing.T) {
+	p := newGatePlatform(t)
+	res, err := p.Invoke(context.Background(), "echo", json.RawMessage(`{"x":1}`))
+	if err != nil {
+		t.Fatalf("Invoke echo: %v", err)
+	}
+	raw, ok := res.Value.(json.RawMessage)
+	if !ok || !strings.Contains(string(raw), `"x":1`) {
+		t.Fatalf("echo result = %#v", res.Value)
+	}
+}
+
+func TestServeUntilSignalShutdown(t *testing.T) {
+	srv := &http.Server{Addr: "127.0.0.1:0", Handler: http.NewServeMux()}
+	done := make(chan error, 1)
+	go func() { done <- serveUntilSignal(srv) }()
+	// Give the listener a moment, then deliver SIGTERM to ourselves.
+	time.Sleep(50 * time.Millisecond)
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatalf("FindProcess: %v", err)
+	}
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("Signal: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveUntilSignal: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("graceful shutdown never completed")
+	}
+}
+
+func TestServeUntilSignalListenError(t *testing.T) {
+	srv := &http.Server{Addr: "256.256.256.256:99999"}
+	if err := serveUntilSignal(srv); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -1,0 +1,170 @@
+// Command faasload replays a workload trace against a running faasgate
+// over HTTP — the paper's client VM. It schedules each invocation at its
+// trace offset (optionally time-compressed), collects the gateway's
+// latency decompositions, and prints a percentile summary.
+//
+// Usage:
+//
+//	go run ./cmd/tracegen -kind cpu -n 200 -o cpu.csv
+//	go run ./cmd/faasgate &
+//	go run ./cmd/faasload -trace cpu.csv -url http://localhost:8080 -speedup 10
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"faasbatch/internal/httpapi"
+	"faasbatch/internal/metrics"
+	"faasbatch/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "faasload:", err)
+		os.Exit(1)
+	}
+}
+
+// loadResult is one completed request.
+type loadResult struct {
+	latency httpapi.Latency
+	err     error
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("faasload", flag.ContinueOnError)
+	url := fs.String("url", "http://localhost:8080", "gateway base URL")
+	tracePath := fs.String("trace", "", "trace CSV (from cmd/tracegen)")
+	speedup := fs.Float64("speedup", 1.0, "time compression factor (10 = replay 10x faster)")
+	limit := fs.Int("n", 0, "cap the number of invocations (0 = whole trace)")
+	maxFib := fs.Int("max-fib", 30, "cap fib N so real CPU work stays tractable")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	if *speedup <= 0 {
+		return fmt.Errorf("speedup must be positive, got %v", *speedup)
+	}
+
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		return fmt.Errorf("open trace: %w", err)
+	}
+	tr, err := trace.ReadCSV(f, *tracePath)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if *limit > 0 {
+		tr = tr.Head(*limit)
+	}
+	if tr.Len() == 0 {
+		return fmt.Errorf("trace %s is empty", *tracePath)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	results := make([]loadResult, tr.Len())
+	var wg sync.WaitGroup
+	start := time.Now()
+	fmt.Fprintf(out, "replaying %d invocations against %s (speedup %.1fx) ...\n", tr.Len(), *url, *speedup)
+	for i, inv := range tr.Invocations {
+		i, inv := i, inv
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			at := time.Duration(float64(inv.Offset) / *speedup)
+			if sleep := at - time.Since(start); sleep > 0 {
+				time.Sleep(sleep)
+			}
+			results[i] = invokeOnce(client, *url, inv, *maxFib)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return summarise(out, results, elapsed)
+}
+
+// invokeOnce fires one gateway request for a trace invocation, mapping
+// fib entries to the gateway's fib function and everything else to
+// s3upload.
+func invokeOnce(client *http.Client, baseURL string, inv trace.Invocation, maxFib int) loadResult {
+	var req httpapi.InvokeRequest
+	if inv.FibN > 0 {
+		n := inv.FibN
+		if n > maxFib {
+			n = maxFib
+		}
+		req.Fn = "fib"
+		req.Payload = json.RawMessage(fmt.Sprintf(`{"n":%d}`, n))
+	} else {
+		req.Fn = "s3upload"
+		req.Payload = json.RawMessage(fmt.Sprintf(`{"bucket":%q,"key":"obj"}`, inv.Fn))
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return loadResult{err: fmt.Errorf("marshal: %w", err)}
+	}
+	resp, err := client.Post(baseURL+"/invoke", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return loadResult{err: err}
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return loadResult{err: fmt.Errorf("status %d", resp.StatusCode)}
+	}
+	var out httpapi.InvokeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return loadResult{err: fmt.Errorf("decode: %w", err)}
+	}
+	return loadResult{latency: out.Latency}
+}
+
+// summarise prints the latency percentile table and error count.
+func summarise(out *os.File, results []loadResult, elapsed time.Duration) error {
+	var totals, scheds, colds, execs []time.Duration
+	errors := 0
+	for _, r := range results {
+		if r.err != nil {
+			errors++
+			continue
+		}
+		ms := func(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
+		totals = append(totals, ms(r.latency.TotalMillis))
+		scheds = append(scheds, ms(r.latency.SchedMillis))
+		colds = append(colds, ms(r.latency.ColdMillis))
+		execs = append(execs, ms(r.latency.ExecMillis))
+	}
+	fmt.Fprintf(out, "completed %d ok, %d errors in %v\n\n", len(totals), errors, elapsed.Round(time.Millisecond))
+	if len(totals) == 0 {
+		return fmt.Errorf("no successful invocations (%d errors)", errors)
+	}
+	tbl := metrics.NewTable("gateway latency decomposition",
+		"component", "p50", "p90", "p99", "max")
+	for _, row := range []struct {
+		name string
+		vals []time.Duration
+	}{
+		{"scheduling", scheds},
+		{"cold-start", colds},
+		{"execution", execs},
+		{"total", totals},
+	} {
+		cdf := metrics.NewCDF(row.vals)
+		tbl.AddRow(row.name,
+			cdf.P(0.5).Round(time.Millisecond), cdf.P(0.9).Round(time.Millisecond),
+			cdf.P(0.99).Round(time.Millisecond), cdf.Max().Round(time.Millisecond))
+	}
+	return tbl.Render(out)
+}

@@ -1,0 +1,180 @@
+// Command tracegen generates and inspects the synthetic Azure-derived
+// workload traces used by the evaluation.
+//
+// Usage:
+//
+//	tracegen -kind cpu -o cpu.csv          # Fig. 10 burst, CPU-intensive
+//	tracegen -kind io -n 400 -o io.csv     # I/O workload (first 400)
+//	tracegen -kind daily -o day.csv        # Fig. 2 hot-function day
+//	tracegen -inspect cpu.csv              # summarise an existing trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"faasbatch/internal/trace"
+	"faasbatch/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	kind := fs.String("kind", "cpu", "trace kind: cpu, io, steady or daily")
+	n := fs.Int("n", 800, "number of invocations (cpu/io/steady)")
+	span := fs.Duration("span", time.Minute, "trace span (cpu/io/steady)")
+	seed := fs.Int64("seed", 13, "deterministic seed")
+	out := fs.String("o", "", "output CSV path (default stdout)")
+	inspect := fs.String("inspect", "", "summarise an existing trace CSV instead of generating")
+	azure := fs.String("from-azure", "", "convert a window of an Azure Functions per-minute CSV into a replay trace")
+	azureStart := fs.Int("azure-minute", 22*60+10, "window start minute of the day (paper: 22:10)")
+	azureMinutes := fs.Int("azure-minutes", 1, "window length in minutes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *inspect != "" {
+		return inspectTrace(*inspect)
+	}
+	if *azure != "" {
+		return convertAzure(*azure, *out, *kind, *seed, *azureStart, *azureMinutes)
+	}
+
+	var (
+		tr  trace.Trace
+		err error
+	)
+	switch *kind {
+	case "cpu", "io":
+		wk := workload.CPUIntensive
+		if *kind == "io" {
+			wk = workload.IO
+		}
+		cfg := trace.DefaultBurstConfig(wk)
+		cfg.Seed = *seed
+		cfg.N = *n
+		cfg.Span = *span
+		tr, err = trace.SynthesizeBurst(cfg)
+	case "steady":
+		cfg := trace.DefaultBurstConfig(workload.CPUIntensive)
+		cfg.Seed = *seed
+		cfg.N = *n
+		cfg.Span = *span
+		tr, err = trace.SynthesizeSteady(cfg)
+	case "daily":
+		cfg := trace.DefaultDailyConfig()
+		cfg.Seed = *seed
+		tr, err = trace.SynthesizeDaily(cfg)
+	default:
+		return fmt.Errorf("unknown kind %q (cpu, io or daily)", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *out, err)
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "tracegen: close:", cerr)
+			}
+		}()
+		w = f
+	}
+	if err := trace.WriteCSV(w, tr); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d invocations (%s, span %v) to %s\n", tr.Len(), tr.Name, tr.Span, *out)
+	}
+	return nil
+}
+
+// convertAzure extracts a replay window from an Azure Functions
+// per-minute CSV and writes it in the replayable trace format.
+func convertAzure(path, out, kind string, seed int64, startMinute, minutes int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open %s: %w", path, err)
+	}
+	rows, err := trace.ReadAzureInvocationsCSV(f)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	opts := trace.DefaultAzureReplayOptions()
+	opts.StartMinute = startMinute
+	opts.Minutes = minutes
+	opts.Seed = seed
+	if kind == "io" {
+		opts.Kind = workload.IO
+	}
+	tr, err := trace.FromAzureRows(rows, opts)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		of, err := os.Create(out)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", out, err)
+		}
+		defer func() {
+			if cerr := of.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "tracegen: close:", cerr)
+			}
+		}()
+		w = of
+	}
+	if err := trace.WriteCSV(w, tr); err != nil {
+		return err
+	}
+	if out != "" {
+		fmt.Printf("converted %d invocations from %s (minute %d, %d min) to %s\n",
+			tr.Len(), path, startMinute, minutes, out)
+	}
+	return nil
+}
+
+// inspectTrace prints a summary of a trace CSV.
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "tracegen: close:", cerr)
+		}
+	}()
+	tr, err := trace.ReadCSV(f, path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %s\n", path)
+	fmt.Printf("invocations: %d over %v (%.1f/s mean)\n", tr.Len(), tr.Span, float64(tr.Len())/tr.Span.Seconds())
+	fmt.Printf("functions: %v\n", tr.Functions())
+	counts := tr.PerSecondCounts()
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	fmt.Printf("peak arrivals in one second: %d\n", peak)
+	return nil
+}

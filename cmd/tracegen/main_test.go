@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"faasbatch/internal/trace"
+)
+
+func TestGenerateAndInspectRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.csv")
+	if err := run([]string{"-kind", "io", "-n", "40", "-o", out}); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("output missing: %v", err)
+	}
+	if err := run([]string{"-inspect", out}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+}
+
+func TestGenerateCPUToStdout(t *testing.T) {
+	if err := run([]string{"-kind", "cpu", "-n", "5"}); err != nil {
+		t.Fatalf("cpu to stdout: %v", err)
+	}
+}
+
+func TestGenerateDaily(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "daily.csv")
+	if err := run([]string{"-kind", "daily", "-o", out}); err != nil {
+		t.Fatalf("daily: %v", err)
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	if err := run([]string{"-kind", "nope"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestInspectMissingFile(t *testing.T) {
+	if err := run([]string{"-inspect", "/does/not/exist.csv"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestBadOutputPath(t *testing.T) {
+	if err := run([]string{"-kind", "io", "-n", "5", "-o", "/no/such/dir/x.csv"}); err == nil {
+		t.Fatal("unwritable output accepted")
+	}
+}
+
+func TestGenerateSteady(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "steady.csv")
+	if err := run([]string{"-kind", "steady", "-n", "30", "-o", out}); err != nil {
+		t.Fatalf("steady: %v", err)
+	}
+	if err := run([]string{"-inspect", out}); err != nil {
+		t.Fatalf("inspect steady: %v", err)
+	}
+}
+
+func TestConvertAzureWindow(t *testing.T) {
+	dir := t.TempDir()
+	// Build a small Azure-format file.
+	azurePath := filepath.Join(dir, "azure.csv")
+	row := trace.AzureFunctionRow{
+		Owner: "o", App: "a", Function: "fnX", Trigger: "http",
+		PerMinute: make([]int, 1440),
+	}
+	row.PerMinute[1330] = 25
+	f, err := os.Create(azurePath)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := trace.WriteAzureInvocationsCSV(f, []trace.AzureFunctionRow{row}); err != nil {
+		t.Fatalf("write azure: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	out := filepath.Join(dir, "replay.csv")
+	if err := run([]string{"-from-azure", azurePath, "-o", out, "-kind", "io"}); err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	rf, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("open replay: %v", err)
+	}
+	defer func() { _ = rf.Close() }()
+	tr, err := trace.ReadCSV(rf, "replay")
+	if err != nil {
+		t.Fatalf("read replay: %v", err)
+	}
+	if tr.Len() != 25 {
+		t.Fatalf("replay len = %d, want 25", tr.Len())
+	}
+}
+
+func TestConvertAzureMissingFile(t *testing.T) {
+	if err := run([]string{"-from-azure", "/nope.csv"}); err == nil {
+		t.Fatal("missing azure file accepted")
+	}
+}

@@ -1,0 +1,73 @@
+// Azure replay: run the paper's one-minute Azure burst through all four
+// schedulers in the discrete-event simulator and compare them — the
+// Fig. 11/12 experiment as a library call.
+//
+//	go run ./examples/azurereplay            # CPU-intensive workload
+//	go run ./examples/azurereplay -kind io   # I/O workload (first 400)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"faasbatch/internal/experiment"
+	"faasbatch/internal/metrics"
+	"faasbatch/internal/trace"
+	"faasbatch/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "azurereplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("azurereplay", flag.ContinueOnError)
+	kindFlag := fs.String("kind", "cpu", "workload kind: cpu or io")
+	seed := fs.Int64("seed", 13, "deterministic seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	kind := workload.CPUIntensive
+	if *kindFlag == "io" {
+		kind = workload.IO
+	}
+	tr, err := trace.SynthesizeBurst(func() trace.BurstConfig {
+		cfg := trace.DefaultBurstConfig(kind)
+		cfg.Seed = *seed
+		return cfg
+	}())
+	if err != nil {
+		return err
+	}
+	if kind == workload.IO {
+		tr = tr.Head(400) // the paper evaluates I/O on the first 400
+	}
+	fmt.Printf("replaying %d %s invocations over %v through four schedulers ...\n\n",
+		tr.Len(), *kindFlag, tr.Span.Round(time.Second))
+
+	tbl := metrics.NewTable("", "policy", "containers", "sched p50", "sched p99",
+		"exec+queue p50", "exec+queue p99", "total mean", "avg mem (MB)", "cpu util")
+	var slo map[string]time.Duration
+	for _, p := range experiment.AllPolicies {
+		res, err := experiment.Run(experiment.Config{Policy: p, Trace: tr, Seed: *seed, SLO: slo})
+		if err != nil {
+			return fmt.Errorf("run %v: %w", p, err)
+		}
+		sched := res.CDF(metrics.Scheduling)
+		eq := res.CDF(metrics.ExecPlusQueue)
+		tot := res.CDF(metrics.EndToEnd)
+		tbl.AddRow(res.Policy, res.TotalContainers,
+			sched.P(0.5).Round(time.Millisecond), sched.P(0.99).Round(time.Millisecond),
+			eq.P(0.5).Round(time.Millisecond), eq.P(0.99).Round(time.Millisecond),
+			tot.Mean().Round(time.Millisecond),
+			fmt.Sprintf("%.0f", res.AvgMemBytes/(1<<20)),
+			fmt.Sprintf("%.1f%%", res.CPUUtil*100))
+	}
+	return tbl.Render(os.Stdout)
+}

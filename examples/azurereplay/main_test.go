@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunCPU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run([]string{"-kind", "cpu"}); err != nil {
+		t.Fatalf("run cpu: %v", err)
+	}
+}
+
+func TestRunIO(t *testing.T) {
+	if err := run([]string{"-kind", "io"}); err != nil {
+		t.Fatalf("run io: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

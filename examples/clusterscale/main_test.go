@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: wall-clock example")
+	}
+	if err := run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestMeasureMultiplexReducesBuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: wall-clock example")
+	}
+	buildsOff, _, _, err := measure(false)
+	if err != nil {
+		t.Fatalf("measure(false): %v", err)
+	}
+	buildsOn, _, wave2, err := measure(true)
+	if err != nil {
+		t.Fatalf("measure(true): %v", err)
+	}
+	if buildsOn >= buildsOff {
+		t.Fatalf("multiplexer builds %d not fewer than %d", buildsOn, buildsOff)
+	}
+	if wave2 > 60_000_000 { // 60ms: second wave must skip the 66ms build
+		t.Fatalf("wave2 = %dns, want cache-hit latency", wave2)
+	}
+}

@@ -1,0 +1,191 @@
+// Package faasbatch is a Go implementation of FaaSBatch (Wu et al.,
+// ICDCS 2023): a serverless scheduling framework that batches concurrent
+// function invocations per dispatch window, expands each batch in
+// parallel inside a single container, and multiplexes redundant resources
+// (storage clients) created during execution.
+//
+// The package exposes two complementary surfaces through type aliases to
+// the implementation packages:
+//
+//   - The live platform (Platform, NewPlatform): a wall-clock runtime
+//     that executes registered Go handlers with FaaSBatch scheduling and
+//     serves them over HTTP (NewHTTPHandler). See examples/quickstart.
+//
+//   - The evaluation harness (RunExperiment, Figures): a deterministic
+//     discrete-event reproduction of the paper's testbed — worker node,
+//     container lifecycle, CPU contention, Azure-derived workloads —
+//     that regenerates every table and figure of the paper in seconds.
+//     See cmd/faasbench and examples/azurereplay.
+//
+// DESIGN.md maps the paper's systems to packages; EXPERIMENTS.md records
+// paper-reported versus measured results.
+package faasbatch
+
+import (
+	"io"
+	"net/http"
+
+	"faasbatch/internal/cluster"
+	"faasbatch/internal/experiment"
+	"faasbatch/internal/platform"
+	"faasbatch/internal/trace"
+	"faasbatch/internal/workload"
+)
+
+// Live platform API.
+type (
+	// Platform is the live FaaSBatch runtime.
+	Platform = platform.Platform
+	// PlatformConfig parameterises the live runtime.
+	PlatformConfig = platform.Config
+	// Mode selects batching (FaaSBatch) or per-invocation (Vanilla)
+	// scheduling.
+	Mode = platform.Mode
+	// Handler is a registered serverless function.
+	Handler = platform.Handler
+	// Invocation is a handler's view of one request.
+	Invocation = platform.Invocation
+	// Resources is the handler-facing Resource Multiplexer facade.
+	Resources = platform.Resources
+	// Result is one completed invocation with its latency decomposition.
+	Result = platform.Result
+)
+
+// Live platform modes.
+const (
+	// ModeBatch is FaaSBatch scheduling.
+	ModeBatch = platform.ModeBatch
+	// ModeVanilla is one container per invocation.
+	ModeVanilla = platform.ModeVanilla
+)
+
+// NewPlatform starts a live platform. Close it when done.
+func NewPlatform(cfg PlatformConfig) (*Platform, error) { return platform.New(cfg) }
+
+// DefaultPlatformConfig returns live-runtime defaults (FaaSBatch mode,
+// 200 ms window, multiplexing on).
+func DefaultPlatformConfig() PlatformConfig { return platform.DefaultConfig() }
+
+// NewHTTPHandler exposes a platform over HTTP (POST /invoke, GET /stats,
+// GET /healthz).
+func NewHTTPHandler(p *Platform) http.Handler { return platform.NewHTTPHandler(p) }
+
+// Evaluation harness API.
+type (
+	// ExperimentConfig describes one evaluation run.
+	ExperimentConfig = experiment.Config
+	// ExperimentResult aggregates one run's measurements.
+	ExperimentResult = experiment.Result
+	// PolicyKind selects the scheduler under test.
+	PolicyKind = experiment.PolicyKind
+	// Figure is one reproducible table/figure of the paper.
+	Figure = experiment.Figure
+	// FigureOptions tunes a figure reproduction run.
+	FigureOptions = experiment.Options
+	// Trace is a time-ordered invocation workload.
+	Trace = trace.Trace
+	// BurstConfig parameterises trace synthesis.
+	BurstConfig = trace.BurstConfig
+	// WorkloadKind distinguishes CPU-intensive and I/O functions.
+	WorkloadKind = workload.Kind
+)
+
+// Evaluated policies.
+const (
+	// PolicyVanilla launches one container per invocation.
+	PolicyVanilla = experiment.PolicyVanilla
+	// PolicySFS adds the SFS user-space CPU scheduler.
+	PolicySFS = experiment.PolicySFS
+	// PolicyKraken batches by SLO slack.
+	PolicyKraken = experiment.PolicyKraken
+	// PolicyFaaSBatch is the paper's contribution.
+	PolicyFaaSBatch = experiment.PolicyFaaSBatch
+)
+
+// Workload kinds.
+const (
+	// CPUIntensive is the fib(N) family.
+	CPUIntensive = workload.CPUIntensive
+	// IO is the storage-client family.
+	IO = workload.IO
+)
+
+// RunExperiment executes one evaluation run in virtual time.
+func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) { return experiment.Run(cfg) }
+
+// Figures lists every reproducible table/figure of the paper.
+func Figures() []Figure { return experiment.Figures() }
+
+// FigureByID looks a reproduction up by id (e.g. "fig11").
+func FigureByID(id string) (Figure, bool) { return experiment.FigureByID(id) }
+
+// SynthesizeBurst generates the paper's bursty one-minute Azure replay.
+func SynthesizeBurst(cfg BurstConfig) (Trace, error) { return trace.SynthesizeBurst(cfg) }
+
+// DefaultBurstConfig returns the paper's replay parameters for a
+// workload kind.
+func DefaultBurstConfig(kind WorkloadKind) BurstConfig { return trace.DefaultBurstConfig(kind) }
+
+// Cluster scale-out API (beyond the paper's single worker VM).
+type (
+	// ClusterConfig parameterises a multi-node FaaSBatch fleet.
+	ClusterConfig = cluster.Config
+	// ClusterReplayConfig describes a cluster replay run.
+	ClusterReplayConfig = cluster.ReplayConfig
+	// ClusterResult aggregates one cluster replay.
+	ClusterResult = cluster.Result
+	// Balancing selects the cluster dispatcher's routing strategy.
+	Balancing = cluster.Balancing
+)
+
+// Cluster routing strategies.
+const (
+	// FnAffinity pins each function to one node, preserving batching
+	// locality.
+	FnAffinity = cluster.FnAffinity
+	// LeastLoaded routes each invocation to the lightest node.
+	LeastLoaded = cluster.LeastLoaded
+	// RoundRobin cycles nodes per invocation.
+	RoundRobin = cluster.RoundRobin
+)
+
+// ReplayCluster runs a trace through a multi-node FaaSBatch fleet.
+func ReplayCluster(cfg ClusterReplayConfig) (*ClusterResult, error) { return cluster.Replay(cfg) }
+
+// Function-chain workloads (sequential workflows).
+type (
+	// ChainConfig describes a chained-function replay.
+	ChainConfig = experiment.ChainConfig
+	// ChainResult aggregates a chain replay.
+	ChainResult = experiment.ChainResult
+	// ChainRecord is one completed chain.
+	ChainRecord = experiment.ChainRecord
+)
+
+// RunChain executes a chained-function workload: stage k+1 of each chain
+// is submitted when stage k completes.
+func RunChain(cfg ChainConfig) (*ChainResult, error) { return experiment.RunChain(cfg) }
+
+// Azure Functions dataset support.
+type (
+	// AzureFunctionRow is one row of the public Azure Functions 2019
+	// per-minute invocation schema.
+	AzureFunctionRow = trace.AzureFunctionRow
+	// AzureReplayOptions selects a replay window from Azure rows.
+	AzureReplayOptions = trace.AzureReplayOptions
+)
+
+// ReadAzureInvocationsCSV parses the Azure Functions per-minute schema.
+func ReadAzureInvocationsCSV(r io.Reader) ([]AzureFunctionRow, error) {
+	return trace.ReadAzureInvocationsCSV(r)
+}
+
+// FromAzureRows converts a window of Azure per-minute counts into a
+// replayable trace.
+func FromAzureRows(rows []AzureFunctionRow, opts AzureReplayOptions) (Trace, error) {
+	return trace.FromAzureRows(rows, opts)
+}
+
+// DefaultAzureReplayOptions mirrors the paper's replay slice (one minute
+// starting at 22:10).
+func DefaultAzureReplayOptions() AzureReplayOptions { return trace.DefaultAzureReplayOptions() }

@@ -1,0 +1,3 @@
+module faasbatch
+
+go 1.22

@@ -1,0 +1,328 @@
+// Package cluster extends FaaSBatch beyond the paper's single worker VM:
+// a fleet of simulated worker nodes, each running its own FaaSBatch
+// scheduler (Invoke Mapper + Inline-Parallel Producer + Resource
+// Multiplexer), behind a dispatcher that routes invocations to nodes.
+//
+// The paper scopes its evaluation to one machine ("rather than the
+// efficiency of clustered servers", §IV); this package is the natural
+// scale-out: because FaaSBatch folds a function's concurrent invocations
+// into one container, routing *by function* (affinity) preserves batching
+// locality across the fleet, while per-invocation balancing (least-loaded
+// or round-robin) fragments windows across nodes and pays for it with
+// extra containers — a trade-off the example and benches quantify.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"faasbatch/internal/core"
+	"faasbatch/internal/fnruntime"
+	"faasbatch/internal/metrics"
+	"faasbatch/internal/node"
+	"faasbatch/internal/policy"
+	"faasbatch/internal/sim"
+	"faasbatch/internal/trace"
+	"faasbatch/internal/workload"
+)
+
+// Balancing selects the dispatcher's routing strategy.
+type Balancing int
+
+// Routing strategies.
+const (
+	// FnAffinity pins each function to one node (chosen least-loaded at
+	// first sight), preserving FaaSBatch's batching locality.
+	FnAffinity Balancing = iota + 1
+	// LeastLoaded routes each invocation to the node with the fewest
+	// in-flight invocations.
+	LeastLoaded
+	// RoundRobin cycles nodes per invocation.
+	RoundRobin
+)
+
+// String implements fmt.Stringer.
+func (b Balancing) String() string {
+	switch b {
+	case FnAffinity:
+		return "fn-affinity"
+	case LeastLoaded:
+		return "least-loaded"
+	case RoundRobin:
+		return "round-robin"
+	default:
+		return fmt.Sprintf("balancing(%d)", int(b))
+	}
+}
+
+// Config parameterises a cluster.
+type Config struct {
+	// Nodes is the worker-node count.
+	Nodes int
+	// Node configures each worker (zero value: node.DefaultConfig).
+	Node node.Config
+	// Core configures each node's FaaSBatch scheduler (zero value:
+	// core.DefaultConfig).
+	Core core.Config
+	// Balancing selects the dispatcher strategy (default FnAffinity).
+	Balancing Balancing
+}
+
+// Cluster is a fleet of FaaSBatch worker nodes behind a dispatcher.
+type Cluster struct {
+	eng       *sim.Engine
+	cfg       Config
+	nodes     []*node.Node
+	runners   []*fnruntime.Runner
+	scheds    []*core.FaaSBatch
+	inflight  []int
+	assigned  []int // functions pinned per node (FnAffinity)
+	affinity  map[string]int
+	rrCounter int
+}
+
+// New builds a cluster on the given engine.
+func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("cluster: engine must not be nil")
+	}
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: node count must be positive, got %d", cfg.Nodes)
+	}
+	if cfg.Node.Cores == 0 {
+		cfg.Node = node.DefaultConfig()
+	}
+	if cfg.Core.Interval == 0 {
+		cfg.Core = core.DefaultConfig()
+	}
+	if cfg.Balancing == 0 {
+		cfg.Balancing = FnAffinity
+	}
+	if cfg.Balancing < FnAffinity || cfg.Balancing > RoundRobin {
+		return nil, fmt.Errorf("cluster: unknown balancing %d", int(cfg.Balancing))
+	}
+	c := &Cluster{
+		eng:      eng,
+		cfg:      cfg,
+		affinity: make(map[string]int),
+		inflight: make([]int, cfg.Nodes),
+		assigned: make([]int, cfg.Nodes),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		nd, err := node.New(eng, cfg.Node)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		runner := fnruntime.NewRunner(eng)
+		sched, err := core.New(policy.Env{Eng: eng, Node: nd, Runner: runner}, cfg.Core)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: scheduler %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, nd)
+		c.runners = append(c.runners, runner)
+		c.scheds = append(c.scheds, sched)
+	}
+	return c, nil
+}
+
+// Nodes exposes the worker nodes (for metrics probes).
+func (c *Cluster) Nodes() []*node.Node { return c.nodes }
+
+// Schedulers exposes the per-node FaaSBatch schedulers.
+func (c *Cluster) Schedulers() []*core.FaaSBatch { return c.scheds }
+
+// Submit routes one invocation to a node's FaaSBatch scheduler.
+func (c *Cluster) Submit(inv *fnruntime.Invocation, complete func(*fnruntime.Invocation)) {
+	idx := c.pick(inv.Spec.Name)
+	c.inflight[idx]++
+	c.scheds[idx].Submit(inv, func(done *fnruntime.Invocation) {
+		c.inflight[idx]--
+		complete(done)
+	})
+}
+
+// pick selects the target node for a function.
+func (c *Cluster) pick(fn string) int {
+	switch c.cfg.Balancing {
+	case LeastLoaded:
+		return c.leastLoaded()
+	case RoundRobin:
+		idx := c.rrCounter % len(c.nodes)
+		c.rrCounter++
+		return idx
+	default: // FnAffinity
+		if idx, ok := c.affinity[fn]; ok {
+			return idx
+		}
+		// First sight: pin to the node with the lightest combination of
+		// in-flight work and already-pinned functions, so a cold window
+		// of many new functions still spreads across the fleet.
+		best := 0
+		for i := 1; i < len(c.nodes); i++ {
+			if c.inflight[i]+c.assigned[i] < c.inflight[best]+c.assigned[best] {
+				best = i
+			}
+		}
+		c.affinity[fn] = best
+		c.assigned[best]++
+		return best
+	}
+}
+
+// leastLoaded returns the node with the fewest in-flight invocations
+// (lowest index wins ties, keeping runs deterministic).
+func (c *Cluster) leastLoaded() int {
+	best := 0
+	for i := 1; i < len(c.inflight); i++ {
+		if c.inflight[i] < c.inflight[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Close shuts every node's scheduler down.
+func (c *Cluster) Close() error {
+	for i, s := range c.scheds {
+		if err := s.Close(); err != nil {
+			return fmt.Errorf("cluster: close scheduler %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// TotalContainers sums provisioned containers across nodes.
+func (c *Cluster) TotalContainers() int {
+	n := 0
+	for _, nd := range c.nodes {
+		n += nd.TotalCreated()
+	}
+	return n
+}
+
+// Result aggregates one cluster replay.
+type Result struct {
+	// Balancing echoes the routing strategy.
+	Balancing Balancing
+	// Nodes echoes the node count.
+	Nodes int
+	// Records holds every invocation's latency decomposition.
+	Records []metrics.Record
+	// TotalContainers sums containers provisioned across the fleet.
+	TotalContainers int
+	// ContainersPerNode breaks provisioning down by node.
+	ContainersPerNode []int
+	// MemPerNode is each node's peak memory.
+	MemPerNode []int64
+	// Makespan is the completion time of the last invocation.
+	Makespan time.Duration
+}
+
+// CDF extracts a latency-component CDF from the records.
+func (r *Result) CDF(comp metrics.Component) metrics.CDF {
+	return metrics.NewCDF(metrics.Extract(r.Records, comp))
+}
+
+// Imbalance reports max/mean of per-node container counts (1.0 =
+// perfectly balanced; 0 when the fleet provisioned nothing).
+func (r *Result) Imbalance() float64 {
+	if len(r.ContainersPerNode) == 0 {
+		return 0
+	}
+	maxC, sum := 0, 0
+	for _, n := range r.ContainersPerNode {
+		sum += n
+		if n > maxC {
+			maxC = n
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(r.ContainersPerNode))
+	return float64(maxC) / mean
+}
+
+// ReplayConfig describes a cluster replay run.
+type ReplayConfig struct {
+	// Cluster configures the fleet.
+	Cluster Config
+	// Trace is the workload.
+	Trace trace.Trace
+	// Seed drives the engine.
+	Seed int64
+}
+
+// Replay runs a trace through a cluster to completion.
+func Replay(cfg ReplayConfig) (*Result, error) {
+	if cfg.Trace.Len() == 0 {
+		return nil, fmt.Errorf("cluster: trace is empty")
+	}
+	eng := sim.New(cfg.Seed)
+	cl, err := New(eng, cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := specsFor(cfg.Trace)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Balancing: cl.cfg.Balancing, Nodes: cfg.Cluster.Nodes}
+	total := cfg.Trace.Len()
+	for i, inv := range cfg.Trace.Invocations {
+		i := i
+		spec := specs[i]
+		eng.Schedule(inv.Offset, func() {
+			fi := fnruntime.NewInvocation(int64(i), spec, eng.Now())
+			cl.Submit(fi, func(done *fnruntime.Invocation) {
+				res.Records = append(res.Records, done.Rec)
+			})
+		})
+	}
+	for len(res.Records) < total {
+		if !eng.Step() {
+			return nil, fmt.Errorf("cluster: engine drained with %d/%d complete", len(res.Records), total)
+		}
+	}
+	res.Makespan = eng.Now().Duration()
+	if err := cl.Close(); err != nil {
+		return nil, err
+	}
+	for _, nd := range cl.nodes {
+		res.ContainersPerNode = append(res.ContainersPerNode, nd.TotalCreated())
+		res.MemPerNode = append(res.MemPerNode, nd.MemPeak())
+	}
+	res.TotalContainers = cl.TotalContainers()
+	return res, nil
+}
+
+// specsFor maps trace invocations to workload specs (mirrors the
+// single-node experiment harness).
+func specsFor(tr trace.Trace) ([]workload.Spec, error) {
+	specs := make([]workload.Spec, tr.Len())
+	fib := map[int]workload.Spec{}
+	io := map[string]workload.Spec{}
+	for i, inv := range tr.Invocations {
+		if inv.FibN > 0 {
+			s, ok := fib[inv.FibN]
+			if !ok {
+				var err error
+				s, err = workload.FibSpec(inv.FibN)
+				if err != nil {
+					return nil, fmt.Errorf("cluster: invocation %d: %w", i, err)
+				}
+				fib[inv.FibN] = s
+			}
+			s.Name = inv.Fn
+			specs[i] = s
+			continue
+		}
+		s, ok := io[inv.Fn]
+		if !ok {
+			s = workload.IOSpec(inv.Fn)
+			io[inv.Fn] = s
+		}
+		specs[i] = s
+	}
+	return specs, nil
+}

@@ -1,0 +1,400 @@
+// Package core implements FaaSBatch, the paper's contribution (§III): a
+// serverless scheduler that folds concurrent invocations into as few
+// containers as possible and spreads them out again inside.
+//
+// The scheduler combines three modules:
+//
+//   - Invoke Mapper — listens to the request queue for a fixed dispatch
+//     interval (default 0.2 s) and classifies the invocations that arrived
+//     within the window into per-function groups: all requests for one
+//     function in one window form a single batch.
+//   - Inline-Parallel Producer — maps each group to exactly one container
+//     (warm when a keep-alive container exists), applies the customer's
+//     CPU limit to the container's cpuset, delivers the whole batch with
+//     one HTTP request, and expands it: every invocation of the group
+//     executes concurrently as a thread inside that single container. The
+//     batch request returns only after all invocations complete (§III-C).
+//   - Resource Multiplexer — each FaaSBatch container carries the
+//     multiplex.Cache, so redundant resource creations (storage clients)
+//     are served from cache instead of being rebuilt (§III-D).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"faasbatch/internal/fnruntime"
+	"faasbatch/internal/node"
+	"faasbatch/internal/policy"
+	"faasbatch/internal/sim"
+)
+
+// Config parameterises the FaaSBatch scheduler.
+type Config struct {
+	// Interval is the Invoke Mapper's dispatch interval: requests
+	// received within one interval are treated as concurrent (§III-B).
+	Interval time.Duration
+	// CPULimit is the cpuset cap applied to FaaSBatch containers
+	// (<= 0 means unlimited), honouring customer-specified CPU counts.
+	CPULimit float64
+	// Multiplex enables the Resource Multiplexer inside containers.
+	// Disabling it isolates the Invoke Mapper + Inline-Parallel Producer
+	// contribution (the ablation in bench_test.go).
+	Multiplex bool
+	// HTTPLatency is the cost of the batch-activating HTTP request from
+	// the producer to the container (§III-C step 3).
+	HTTPLatency time.Duration
+	// MaxPendingCreates bounds in-flight container creations per
+	// function. When the bound is hit, further groups attach to the
+	// pending creation and expand on the container once it boots —
+	// the platform's per-function scale-out limit.
+	MaxPendingCreates int
+	// Prewarm enables predictive pre-warming (extension, off by
+	// default): functions that were active within PrewarmHorizon keep a
+	// container provisioned ahead of their next group, trimming the
+	// cold-start tail that keep-alive eviction would otherwise re-expose
+	// on recurring bursts.
+	Prewarm bool
+	// PrewarmHorizon is how long after its last arrival a function is
+	// still considered active for pre-warming.
+	PrewarmHorizon time.Duration
+}
+
+// DefaultConfig returns the paper's defaults.
+func DefaultConfig() Config {
+	return Config{
+		Interval:          200 * time.Millisecond,
+		Multiplex:         true,
+		HTTPLatency:       time.Millisecond,
+		MaxPendingCreates: 32,
+		PrewarmHorizon:    30 * time.Second,
+	}
+}
+
+// Stats reports scheduler-level batching effectiveness.
+type Stats struct {
+	// Submitted counts invocations received.
+	Submitted int64
+	// Groups counts dispatched function groups (== batch HTTP requests
+	// == container checkouts).
+	Groups int64
+	// MaxGroupSize is the largest batch expanded into one container.
+	MaxGroupSize int
+	// Prewarms counts predictive container creations (Prewarm only).
+	Prewarms int64
+	// KeepWarmTouches counts keep-alive refreshes of warm containers
+	// for predicted-active functions (Prewarm only).
+	KeepWarmTouches int64
+}
+
+// AvgGroupSize reports the mean invocations per dispatched group.
+func (s Stats) AvgGroupSize() float64 {
+	if s.Groups == 0 {
+		return 0
+	}
+	return float64(s.Submitted) / float64(s.Groups)
+}
+
+// FaaSBatch is the scheduler.
+type FaaSBatch struct {
+	env     policy.Env
+	cfg     Config
+	pending map[string][]*pendingItem
+	// owned tracks busy containers currently expanding groups, so later
+	// windows can join them instead of cold-starting (§III-C: a cold
+	// start occurs only when no keep-alive container exists).
+	owned map[string][]*node.Container
+	// pendingCreates counts in-flight container creations per function;
+	// attached holds groups waiting on those creations.
+	pendingCreates map[string]int
+	attached       map[string][]attachedGroup
+	// lastActive records each function's most recent arrival time
+	// (Prewarm only).
+	lastActive map[string]sim.Time
+	ticker     *sim.Ticker
+	stats      Stats
+	closed     bool
+}
+
+// attachedGroup is a window group waiting for an in-flight creation.
+type attachedGroup struct {
+	group      []*pendingItem
+	dispatchAt sim.Time
+}
+
+var _ policy.Scheduler = (*FaaSBatch)(nil)
+
+// pendingItem is one invocation waiting for its window to close.
+type pendingItem struct {
+	inv      *fnruntime.Invocation
+	complete func(*fnruntime.Invocation)
+}
+
+// New creates a FaaSBatch scheduler and starts its dispatch ticker.
+func New(env policy.Env, cfg Config) (*FaaSBatch, error) {
+	if env.Eng == nil || env.Node == nil || env.Runner == nil {
+		return nil, fmt.Errorf("core: env requires engine, node and runner")
+	}
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("core: dispatch interval must be positive, got %v", cfg.Interval)
+	}
+	if cfg.HTTPLatency < 0 {
+		return nil, fmt.Errorf("core: http latency must be non-negative, got %v", cfg.HTTPLatency)
+	}
+	if cfg.MaxPendingCreates < 1 {
+		return nil, fmt.Errorf("core: max pending creates must be at least 1, got %d", cfg.MaxPendingCreates)
+	}
+	if cfg.Prewarm && cfg.PrewarmHorizon <= 0 {
+		return nil, fmt.Errorf("core: prewarm horizon must be positive, got %v", cfg.PrewarmHorizon)
+	}
+	f := &FaaSBatch{
+		env:            env,
+		cfg:            cfg,
+		pending:        make(map[string][]*pendingItem),
+		owned:          make(map[string][]*node.Container),
+		pendingCreates: make(map[string]int),
+		attached:       make(map[string][]attachedGroup),
+		lastActive:     make(map[string]sim.Time),
+	}
+	t, err := sim.NewTicker(env.Eng, cfg.Interval, func(sim.Time) { f.dispatchWindow() })
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	f.ticker = t
+	return f, nil
+}
+
+// Name implements policy.Scheduler.
+func (f *FaaSBatch) Name() string { return "faasbatch" }
+
+// Stats reports batching statistics.
+func (f *FaaSBatch) Stats() Stats { return f.stats }
+
+// Submit implements policy.Scheduler: the Invoke Mapper appends the
+// invocation to its function's group for the current window.
+func (f *FaaSBatch) Submit(inv *fnruntime.Invocation, complete func(*fnruntime.Invocation)) {
+	f.stats.Submitted++
+	fn := inv.Spec.Name
+	if f.cfg.Prewarm {
+		f.lastActive[fn] = f.env.Eng.Now()
+	}
+	f.pending[fn] = append(f.pending[fn], &pendingItem{inv: inv, complete: complete})
+}
+
+// Close stops the dispatch ticker after flushing pending groups.
+func (f *FaaSBatch) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	f.dispatchWindow()
+	f.ticker.Stop()
+	return nil
+}
+
+// dispatchWindow closes the current window: every function group gathered
+// by the Invoke Mapper is handed to the Inline-Parallel Producer.
+func (f *FaaSBatch) dispatchWindow() {
+	if f.cfg.Prewarm {
+		f.prewarm()
+	}
+	if len(f.pending) == 0 {
+		return
+	}
+	// Sorted function order keeps runs deterministic.
+	fns := make([]string, 0, len(f.pending))
+	for fn := range f.pending {
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	for _, fn := range fns {
+		group := f.pending[fn]
+		delete(f.pending, fn)
+		f.dispatchGroup(fn, group)
+	}
+}
+
+// dispatchGroup is the Inline-Parallel Producer (§III-C): obtain one
+// container for the whole group — an idle keep-alive container, a busy
+// container already expanding earlier groups, or a fresh one — send the
+// batch over HTTP, expand the invocations in parallel inside, and release
+// the group's reservation when every invocation completed.
+func (f *FaaSBatch) dispatchGroup(fn string, group []*pendingItem) {
+	f.stats.Groups++
+	if len(group) > f.stats.MaxGroupSize {
+		f.stats.MaxGroupSize = len(group)
+	}
+	dispatchAt := f.env.Eng.Now()
+	// An idle keep-alive container wins (warm start, via the node's warm
+	// pool); otherwise a busy FaaSBatch container of the same function
+	// accepts the group as additional threads; only when neither exists
+	// does the group pay a cold start.
+	if f.env.Node.WarmCount(fn) == 0 {
+		if c := f.busyContainer(fn); c != nil {
+			c.CheckoutThread() // the joined group's batch reservation
+			f.expand(c, group, dispatchAt, node.AcquireResult{Container: c})
+			return
+		}
+		if f.pendingCreates[fn] >= f.cfg.MaxPendingCreates {
+			// The per-function scale-out bound is hit: wait for one of
+			// the in-flight creations and expand on it once it boots.
+			f.attached[fn] = append(f.attached[fn], attachedGroup{group: group, dispatchAt: dispatchAt})
+			return
+		}
+		f.pendingCreates[fn]++
+	}
+	opts := node.AcquireOptions{CPULimit: f.cfg.CPULimit, Multiplex: f.cfg.Multiplex}
+	f.env.Node.Acquire(fn, opts, func(r node.AcquireResult) {
+		if r.Cold && f.pendingCreates[fn] > 0 {
+			f.pendingCreates[fn]--
+		}
+		f.owned[fn] = append(f.owned[fn], r.Container)
+		f.expand(r.Container, group, dispatchAt, r)
+		// Groups that attached while this container booted expand on it
+		// as additional thread batches; they waited out the remaining
+		// boot, which is their cold-start share.
+		waiting := f.attached[fn]
+		delete(f.attached, fn)
+		for _, ag := range waiting {
+			r.Container.CheckoutThread() // the attached group's reservation
+			f.expand(r.Container, ag.group, ag.dispatchAt, node.AcquireResult{
+				Container: r.Container,
+				Cold:      true,
+				BootTime:  f.env.Eng.Now().Sub(ag.dispatchAt),
+			})
+		}
+	})
+}
+
+// prewarm creates a container ahead of every recently active function
+// that currently has none (warm, busy or booting). The pre-warmed
+// container parks into the node's keep-alive pool, so the next group for
+// that function starts warm even if its previous container was evicted
+// between bursts.
+func (f *FaaSBatch) prewarm() {
+	now := f.env.Eng.Now()
+	fns := make([]string, 0, len(f.lastActive))
+	for fn := range f.lastActive {
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	for _, fn := range fns {
+		if now.Sub(f.lastActive[fn]) > f.cfg.PrewarmHorizon {
+			delete(f.lastActive, fn) // idle past the horizon: forget it
+			continue
+		}
+		if f.env.Node.WarmCount(fn) > 0 {
+			// Keep-warm touch: a warm acquire+release resets the
+			// container's keep-alive clock, so predicted-active
+			// functions never lose their capacity to eviction.
+			f.env.Node.Acquire(fn, node.AcquireOptions{}, func(r node.AcquireResult) {
+				r.Container.ReturnThread()
+			})
+			f.stats.KeepWarmTouches++
+			continue
+		}
+		if f.busyContainer(fn) != nil || f.pendingCreates[fn] > 0 {
+			continue // capacity already exists or is coming up
+		}
+		f.pendingCreates[fn]++
+		f.stats.Prewarms++
+		opts := node.AcquireOptions{CPULimit: f.cfg.CPULimit, Multiplex: f.cfg.Multiplex}
+		f.env.Node.Acquire(fn, opts, func(r node.AcquireResult) {
+			if f.pendingCreates[fn] > 0 {
+				f.pendingCreates[fn]--
+			}
+			// Serve any groups that attached while this container booted;
+			// otherwise park it warm for the next window.
+			waiting := f.attached[fn]
+			delete(f.attached, fn)
+			if len(waiting) == 0 {
+				r.Container.ReturnThread()
+				return
+			}
+			f.owned[fn] = append(f.owned[fn], r.Container)
+			for i, ag := range waiting {
+				if i > 0 {
+					r.Container.CheckoutThread()
+				}
+				f.expand(r.Container, ag.group, ag.dispatchAt, node.AcquireResult{
+					Container: r.Container,
+					Cold:      true,
+					BootTime:  f.env.Eng.Now().Sub(ag.dispatchAt),
+				})
+			}
+		})
+	}
+}
+
+// busyContainer returns a ready busy container for fn, pruning handles
+// that parked or were evicted since.
+func (f *FaaSBatch) busyContainer(fn string) *node.Container {
+	list := f.owned[fn]
+	kept := list[:0]
+	var found *node.Container
+	for _, c := range list {
+		if c.State() != node.Busy {
+			continue // parked into the warm pool or evicted
+		}
+		kept = append(kept, c)
+		if found == nil {
+			found = c
+		}
+	}
+	for i := len(kept); i < len(list); i++ {
+		list[i] = nil
+	}
+	f.owned[fn] = kept
+	return found
+}
+
+// expand runs one group inside its container: record the latency
+// decomposition, pay the batch HTTP hop, execute all invocations as
+// concurrent threads, and return the group's reservation when the last
+// one finishes.
+func (f *FaaSBatch) expand(c *node.Container, group []*pendingItem, dispatchAt sim.Time, r node.AcquireResult) {
+	for _, item := range group {
+		// Scheduling latency: window wait + engine-queue wait + the
+		// batch HTTP hop; cold start is separated per §IV.
+		item.inv.Rec.Sched = dispatchAt.Sub(item.inv.Arrive) + r.QueueWait + f.cfg.HTTPLatency
+		item.inv.Rec.Cold = r.BootTime
+	}
+	run := func() {
+		outstanding := len(group)
+		released := false
+		release := func() {
+			if released {
+				return
+			}
+			released = true
+			// The batch HTTP request returns; once every group drained,
+			// the container parks in the warm pool for the next window.
+			c.ReturnThread()
+		}
+		for _, item := range group {
+			item := item
+			err := f.env.Runner.Execute(item.inv, c, func(done *fnruntime.Invocation) {
+				item.complete(done)
+				outstanding--
+				if outstanding == 0 {
+					release()
+				}
+			})
+			if err != nil {
+				// Unreachable while the reservation pins the container;
+				// resubmit defensively rather than drop.
+				outstanding--
+				f.Submit(item.inv, item.complete)
+			}
+		}
+		if outstanding == 0 {
+			release()
+		}
+	}
+	if f.cfg.HTTPLatency > 0 {
+		f.env.Eng.Schedule(f.cfg.HTTPLatency, run)
+		return
+	}
+	run()
+}

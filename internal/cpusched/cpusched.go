@@ -1,0 +1,295 @@
+// Package cpusched models CPU contention on a multi-core worker node for
+// discrete-event simulation.
+//
+// A Pool owns a fixed number of cores and a set of Groups (one per container
+// plus one for system work such as container creation). Each runnable Task
+// is single-threaded: it can consume at most one core. The pluggable
+// Discipline decides how cores are divided among runnable tasks:
+//
+//   - FairShare approximates Linux CFS with max-min fair processor sharing,
+//     honouring per-group core caps (docker cpuset limits).
+//   - MLFQ approximates the SFS user-space scheduler: tasks that have
+//     consumed little CPU (short functions) pre-empt tasks that have
+//     consumed more, in discrete priority levels.
+//
+// The pool advances task progress lazily between events: whenever the task
+// set or the allocation changes, it integrates elapsed virtual time into
+// each task's consumed budget and schedules the next completion or
+// priority-crossing event.
+package cpusched
+
+import (
+	"fmt"
+	"time"
+
+	"faasbatch/internal/sim"
+)
+
+// completionEpsilon absorbs floating-point residue when deciding that a
+// task's remaining work has hit zero.
+const completionEpsilon = 50 // nanoseconds
+
+// Task is a single-threaded unit of CPU work submitted to a Pool.
+type Task struct {
+	group     *Group
+	remaining float64 // nanoseconds of CPU work left
+	consumed  float64 // nanoseconds of CPU time used so far
+	rate      float64 // cores currently allocated (0..1)
+	onDone    func()
+	done      bool
+}
+
+// Consumed reports the CPU time the task has used so far.
+func (t *Task) Consumed() time.Duration { return time.Duration(t.consumed) }
+
+// Remaining reports the CPU work the task still needs.
+func (t *Task) Remaining() time.Duration { return time.Duration(t.remaining) }
+
+// Rate reports the cores currently allocated to the task.
+func (t *Task) Rate() float64 { return t.rate }
+
+// Done reports whether the task has completed.
+func (t *Task) Done() bool { return t.done }
+
+// Group is a container-level scheduling entity. Tasks in a group share the
+// group's core cap (the docker cpuset limit).
+type Group struct {
+	pool  *Pool
+	cap   float64 // max aggregate cores; <= 0 means unlimited
+	tasks []*Task
+	label string
+}
+
+// Cap reports the group's aggregate core cap (<= 0 means unlimited).
+func (g *Group) Cap() float64 { return g.cap }
+
+// SetCap changes the group's core cap and reallocates the pool.
+func (g *Group) SetCap(cores float64) {
+	g.cap = cores
+	g.pool.poke()
+}
+
+// Label reports the diagnostic label the group was created with.
+func (g *Group) Label() string { return g.label }
+
+// Len reports the number of runnable tasks in the group.
+func (g *Group) Len() int { return len(g.tasks) }
+
+// Submit adds a CPU task of the given work to the group. onDone runs (in
+// virtual time, inside the pool's event) when the work completes; it may
+// submit further tasks. Work <= 0 completes immediately.
+func (g *Group) Submit(work time.Duration, onDone func()) *Task {
+	t := &Task{group: g, remaining: float64(work), onDone: onDone}
+	if work <= 0 {
+		t.remaining = 0
+	}
+	g.pool.advance()
+	g.tasks = append(g.tasks, t)
+	g.pool.poke()
+	return t
+}
+
+// Close removes the group from the pool. Closing a group with runnable
+// tasks returns an error.
+func (g *Group) Close() error {
+	if len(g.tasks) > 0 {
+		return fmt.Errorf("cpusched: close group %q with %d runnable tasks", g.label, len(g.tasks))
+	}
+	p := g.pool
+	for i, other := range p.groups {
+		if other == g {
+			p.groups = append(p.groups[:i], p.groups[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Discipline divides cores among the runnable tasks of a pool.
+type Discipline interface {
+	// Name identifies the discipline in experiment output.
+	Name() string
+	// Allocate writes each task's rate. The sum of rates must not exceed
+	// cores, and no single task's rate may exceed 1. It returns a horizon:
+	// a duration after which the allocation must be recomputed even if no
+	// task arrives or completes (0 means no horizon).
+	Allocate(cores float64, groups []*Group) time.Duration
+}
+
+// Pool models the CPU cores of one worker node.
+type Pool struct {
+	eng      *sim.Engine
+	cores    float64
+	disc     Discipline
+	groups   []*Group
+	last     sim.Time
+	pending  *sim.Event
+	busyNsCs float64 // core-nanoseconds consumed (CPU busy integral)
+	inPoke   bool
+	repoke   bool
+}
+
+// NewPool creates a pool with the given core count and discipline.
+// It returns an error if cores is not positive or disc is nil.
+func NewPool(eng *sim.Engine, cores float64, disc Discipline) (*Pool, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("cpusched: cores must be positive, got %v", cores)
+	}
+	if disc == nil {
+		return nil, fmt.Errorf("cpusched: discipline must not be nil")
+	}
+	return &Pool{eng: eng, cores: cores, disc: disc, last: eng.Now()}, nil
+}
+
+// Cores reports the pool's core count.
+func (p *Pool) Cores() float64 { return p.cores }
+
+// Discipline reports the pool's scheduling discipline.
+func (p *Pool) Discipline() Discipline { return p.disc }
+
+// NewGroup adds a scheduling group (a container) with the given core cap
+// (<= 0 means unlimited). The label is for diagnostics only.
+func (p *Pool) NewGroup(label string, cap float64) *Group {
+	g := &Group{pool: p, cap: cap, label: label}
+	p.groups = append(p.groups, g)
+	return g
+}
+
+// Running reports the number of runnable tasks across all groups.
+func (p *Pool) Running() int {
+	n := 0
+	for _, g := range p.groups {
+		n += len(g.tasks)
+	}
+	return n
+}
+
+// BusyCoreSeconds reports the integral of allocated core time since the
+// pool was created, in core-seconds. Sampling this at intervals yields CPU
+// utilisation.
+func (p *Pool) BusyCoreSeconds() float64 {
+	p.advance()
+	return p.busyNsCs / float64(time.Second)
+}
+
+// Reallocate forces the discipline to re-divide cores immediately. Call it
+// after mutating discipline parameters (e.g. adaptive MLFQ thresholds).
+func (p *Pool) Reallocate() { p.poke() }
+
+// advance integrates progress for the virtual time elapsed since the last
+// update at the current allocation.
+func (p *Pool) advance() {
+	now := p.eng.Now()
+	dt := float64(now.Sub(p.last))
+	p.last = now
+	if dt <= 0 {
+		return
+	}
+	for _, g := range p.groups {
+		for _, t := range g.tasks {
+			if t.rate <= 0 {
+				continue
+			}
+			used := t.rate * dt
+			if used > t.remaining {
+				used = t.remaining
+			}
+			t.remaining -= used
+			t.consumed += used
+			p.busyNsCs += used
+		}
+	}
+}
+
+// poke re-runs the discipline and schedules the next pool event. It is
+// re-entrancy safe: callbacks fired during completion processing that
+// mutate the task set coalesce into one trailing reallocation.
+func (p *Pool) poke() {
+	if p.inPoke {
+		p.repoke = true
+		return
+	}
+	p.inPoke = true
+	defer func() { p.inPoke = false }()
+	for {
+		p.repoke = false
+		p.advance()
+		p.completeFinished()
+		if p.repoke {
+			// A completion callback mutated the task set; fold its
+			// reallocation into this pass.
+			continue
+		}
+		horizon := p.disc.Allocate(p.cores, p.groups)
+		next := p.nextEventDelay(horizon)
+		if p.pending != nil {
+			p.pending.Cancel()
+			p.pending = nil
+		}
+		if next >= 0 {
+			p.pending = p.eng.Schedule(next, p.poke)
+		}
+		return
+	}
+}
+
+// completeFinished pops tasks whose remaining work reached zero and fires
+// their callbacks. Callbacks may submit new tasks; those submissions set
+// p.repoke via the inPoke guard.
+func (p *Pool) completeFinished() {
+	for _, g := range p.groups {
+		kept := g.tasks[:0]
+		var finished []*Task
+		for _, t := range g.tasks {
+			if t.remaining <= completionEpsilon {
+				t.remaining = 0
+				t.done = true
+				t.rate = 0
+				finished = append(finished, t)
+			} else {
+				kept = append(kept, t)
+			}
+		}
+		// Zero the trailing slots so finished tasks are not retained.
+		for i := len(kept); i < len(g.tasks); i++ {
+			g.tasks[i] = nil
+		}
+		g.tasks = kept
+		for _, t := range finished {
+			if t.onDone != nil {
+				t.onDone()
+			}
+		}
+	}
+}
+
+// nextEventDelay computes when the pool must wake up next: the earliest
+// task completion under current rates, bounded by the discipline horizon.
+// It returns a negative delay when no wake-up is needed.
+func (p *Pool) nextEventDelay(horizon time.Duration) time.Duration {
+	best := -1.0
+	for _, g := range p.groups {
+		for _, t := range g.tasks {
+			if t.rate <= 0 {
+				continue
+			}
+			eta := t.remaining / t.rate
+			if best < 0 || eta < best {
+				best = eta
+			}
+		}
+	}
+	if horizon > 0 && (best < 0 || float64(horizon) < best) {
+		best = float64(horizon)
+	}
+	if best < 0 {
+		return -1
+	}
+	d := time.Duration(best)
+	// Round up so the woken event observes the completion, not an instant
+	// just before it.
+	if float64(d) < best {
+		d++
+	}
+	return d
+}

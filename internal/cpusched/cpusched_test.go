@@ -1,0 +1,541 @@
+package cpusched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"faasbatch/internal/sim"
+)
+
+// tol is the timing tolerance allowed for floating-point rate arithmetic.
+const tol = 10 * time.Microsecond
+
+func within(t *testing.T, got, want sim.Time) {
+	t.Helper()
+	diff := got.Sub(want)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > tol {
+		t.Fatalf("time = %v, want %v (±%v)", got, want, tol)
+	}
+}
+
+func newFairPool(t *testing.T, eng *sim.Engine, cores float64) *Pool {
+	t.Helper()
+	p, err := NewPool(eng, cores, FairShare{})
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	return p
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	eng := sim.New(1)
+	if _, err := NewPool(eng, 0, FairShare{}); err == nil {
+		t.Error("NewPool(cores=0) succeeded, want error")
+	}
+	if _, err := NewPool(eng, -1, FairShare{}); err == nil {
+		t.Error("NewPool(cores=-1) succeeded, want error")
+	}
+	if _, err := NewPool(eng, 1, nil); err == nil {
+		t.Error("NewPool(disc=nil) succeeded, want error")
+	}
+}
+
+func TestSingleTaskRunsAtFullSpeed(t *testing.T) {
+	eng := sim.New(1)
+	p := newFairPool(t, eng, 4)
+	g := p.NewGroup("c1", 0)
+	var done sim.Time
+	g.Submit(100*time.Millisecond, func() { done = eng.Now() })
+	eng.Run()
+	within(t, done, sim.Time(100*time.Millisecond))
+}
+
+func TestTwoTasksShareOneCore(t *testing.T) {
+	eng := sim.New(1)
+	p := newFairPool(t, eng, 1)
+	g := p.NewGroup("c1", 0)
+	var d1, d2 sim.Time
+	g.Submit(100*time.Millisecond, func() { d1 = eng.Now() })
+	g.Submit(100*time.Millisecond, func() { d2 = eng.Now() })
+	eng.Run()
+	within(t, d1, sim.Time(200*time.Millisecond))
+	within(t, d2, sim.Time(200*time.Millisecond))
+}
+
+func TestUnequalTasksProcessorSharing(t *testing.T) {
+	// One 100ms and one 300ms task on one core: the short one finishes at
+	// 200ms (half speed), then the long one runs alone and finishes at
+	// 100+300 = 400ms total.
+	eng := sim.New(1)
+	p := newFairPool(t, eng, 1)
+	g := p.NewGroup("c1", 0)
+	var short, long sim.Time
+	g.Submit(100*time.Millisecond, func() { short = eng.Now() })
+	g.Submit(300*time.Millisecond, func() { long = eng.Now() })
+	eng.Run()
+	within(t, short, sim.Time(200*time.Millisecond))
+	within(t, long, sim.Time(400*time.Millisecond))
+}
+
+func TestGroupCapLimitsThroughput(t *testing.T) {
+	// Four 100ms tasks in a group capped at 1 core on a 4-core pool: the
+	// cap forces serial-equivalent progress, so all finish at 400ms.
+	eng := sim.New(1)
+	p := newFairPool(t, eng, 4)
+	g := p.NewGroup("capped", 1)
+	var done sim.Time
+	for i := 0; i < 4; i++ {
+		g.Submit(100*time.Millisecond, func() { done = eng.Now() })
+	}
+	eng.Run()
+	within(t, done, sim.Time(400*time.Millisecond))
+}
+
+func TestTwoGroupsSplitCoresFairly(t *testing.T) {
+	// Two groups, two cores, two tasks each: every group gets one core,
+	// so each group's pair of 100ms tasks completes at 200ms.
+	eng := sim.New(1)
+	p := newFairPool(t, eng, 2)
+	var done [2]sim.Time
+	for gi := 0; gi < 2; gi++ {
+		gi := gi
+		g := p.NewGroup("c", 0)
+		g.Submit(100*time.Millisecond, func() {})
+		g.Submit(100*time.Millisecond, func() { done[gi] = eng.Now() })
+	}
+	eng.Run()
+	within(t, done[0], sim.Time(200*time.Millisecond))
+	within(t, done[1], sim.Time(200*time.Millisecond))
+}
+
+func TestMaxMinLeftoverRedistribution(t *testing.T) {
+	// Group A has 1 task (demand 1 core), group B has 3 tasks. On a 4-core
+	// pool A takes 1 core and B's three tasks each get a full core, so all
+	// 100ms tasks complete at 100ms.
+	eng := sim.New(1)
+	p := newFairPool(t, eng, 4)
+	a := p.NewGroup("a", 0)
+	b := p.NewGroup("b", 0)
+	var last sim.Time
+	a.Submit(100*time.Millisecond, func() { last = eng.Now() })
+	for i := 0; i < 3; i++ {
+		b.Submit(100*time.Millisecond, func() { last = eng.Now() })
+	}
+	eng.Run()
+	within(t, last, sim.Time(100*time.Millisecond))
+}
+
+func TestLateArrivalSlowsRunningTask(t *testing.T) {
+	// A 100ms task starts alone on one core. At t=50ms a second 100ms task
+	// arrives. First finishes at 50 + 50*2 = 150ms; second at
+	// 150 + 50 = 200ms (alone after the first finishes: it ran 50ms..150ms
+	// at half speed = 50ms done, 50ms left at full speed).
+	eng := sim.New(1)
+	p := newFairPool(t, eng, 1)
+	g := p.NewGroup("c1", 0)
+	var d1, d2 sim.Time
+	g.Submit(100*time.Millisecond, func() { d1 = eng.Now() })
+	eng.Schedule(50*time.Millisecond, func() {
+		g.Submit(100*time.Millisecond, func() { d2 = eng.Now() })
+	})
+	eng.Run()
+	within(t, d1, sim.Time(150*time.Millisecond))
+	within(t, d2, sim.Time(200*time.Millisecond))
+}
+
+func TestSubmitFromCompletionCallback(t *testing.T) {
+	eng := sim.New(1)
+	p := newFairPool(t, eng, 1)
+	g := p.NewGroup("c1", 0)
+	var second sim.Time
+	g.Submit(100*time.Millisecond, func() {
+		g.Submit(100*time.Millisecond, func() { second = eng.Now() })
+	})
+	eng.Run()
+	within(t, second, sim.Time(200*time.Millisecond))
+}
+
+func TestZeroWorkCompletesImmediately(t *testing.T) {
+	eng := sim.New(1)
+	p := newFairPool(t, eng, 1)
+	g := p.NewGroup("c1", 0)
+	fired := false
+	g.Submit(0, func() { fired = true })
+	if !fired {
+		t.Fatal("zero-work task did not complete synchronously")
+	}
+	if eng.Now() != 0 {
+		t.Fatalf("clock advanced to %v for zero work", eng.Now())
+	}
+}
+
+func TestBusyCoreSecondsEqualsSubmittedWork(t *testing.T) {
+	eng := sim.New(1)
+	p := newFairPool(t, eng, 2)
+	g := p.NewGroup("c1", 0)
+	total := 0.0
+	for _, w := range []time.Duration{100 * time.Millisecond, 250 * time.Millisecond, 400 * time.Millisecond} {
+		g.Submit(w, func() {})
+		total += w.Seconds()
+	}
+	eng.Run()
+	if got := p.BusyCoreSeconds(); math.Abs(got-total) > 1e-6 {
+		t.Fatalf("BusyCoreSeconds = %v, want %v", got, total)
+	}
+}
+
+func TestRunningCount(t *testing.T) {
+	eng := sim.New(1)
+	p := newFairPool(t, eng, 1)
+	g := p.NewGroup("c1", 0)
+	g.Submit(100*time.Millisecond, func() {})
+	g.Submit(100*time.Millisecond, func() {})
+	if p.Running() != 2 {
+		t.Fatalf("Running = %d, want 2", p.Running())
+	}
+	eng.Run()
+	if p.Running() != 0 {
+		t.Fatalf("Running after drain = %d, want 0", p.Running())
+	}
+}
+
+func TestGroupCloseRejectsBusyGroup(t *testing.T) {
+	eng := sim.New(1)
+	p := newFairPool(t, eng, 1)
+	g := p.NewGroup("c1", 0)
+	g.Submit(time.Second, func() {})
+	if err := g.Close(); err == nil {
+		t.Fatal("Close of busy group succeeded, want error")
+	}
+	eng.Run()
+	if err := g.Close(); err != nil {
+		t.Fatalf("Close of drained group: %v", err)
+	}
+	if len(p.groups) != 0 {
+		t.Fatalf("pool still tracks %d groups after close", len(p.groups))
+	}
+}
+
+func TestSetCapMidFlight(t *testing.T) {
+	// Two 100ms tasks on a 2-core pool, group initially uncapped (finish
+	// together at 100ms). At t=50ms the cap drops to 1 core: remaining
+	// 50ms each of work now progresses at 0.5 cores per task, taking
+	// another 100ms, so completion is at 150ms.
+	eng := sim.New(1)
+	p := newFairPool(t, eng, 2)
+	g := p.NewGroup("c1", 0)
+	var done sim.Time
+	g.Submit(100*time.Millisecond, func() { done = eng.Now() })
+	g.Submit(100*time.Millisecond, func() { done = eng.Now() })
+	eng.Schedule(50*time.Millisecond, func() { g.SetCap(1) })
+	eng.Run()
+	within(t, done, sim.Time(150*time.Millisecond))
+}
+
+func TestTaskAccessors(t *testing.T) {
+	eng := sim.New(1)
+	p := newFairPool(t, eng, 1)
+	g := p.NewGroup("c1", 0)
+	task := g.Submit(100*time.Millisecond, func() {})
+	if task.Done() {
+		t.Fatal("task done before running")
+	}
+	if task.Rate() != 1 {
+		t.Fatalf("Rate = %v, want 1", task.Rate())
+	}
+	eng.RunUntil(sim.Time(40 * time.Millisecond))
+	p.BusyCoreSeconds() // force advance
+	if got := task.Consumed(); got < 39*time.Millisecond || got > 41*time.Millisecond {
+		t.Fatalf("Consumed = %v, want ~40ms", got)
+	}
+	if got := task.Remaining(); got < 59*time.Millisecond || got > 61*time.Millisecond {
+		t.Fatalf("Remaining = %v, want ~60ms", got)
+	}
+	eng.Run()
+	if !task.Done() {
+		t.Fatal("task not done after run")
+	}
+}
+
+func TestGroupAccessors(t *testing.T) {
+	eng := sim.New(1)
+	p := newFairPool(t, eng, 1)
+	g := p.NewGroup("web", 2.5)
+	if g.Label() != "web" {
+		t.Errorf("Label = %q, want web", g.Label())
+	}
+	if g.Cap() != 2.5 {
+		t.Errorf("Cap = %v, want 2.5", g.Cap())
+	}
+	if g.Len() != 0 {
+		t.Errorf("Len = %d, want 0", g.Len())
+	}
+	if p.Cores() != 1 {
+		t.Errorf("Cores = %v, want 1", p.Cores())
+	}
+	if p.Discipline().Name() != "fair-share" {
+		t.Errorf("Discipline = %q, want fair-share", p.Discipline().Name())
+	}
+}
+
+func TestMLFQShortTaskPreemptsLong(t *testing.T) {
+	// A 1s task runs alone on one core. At t=100ms (consumed 100ms, so
+	// level 1) a 30ms task arrives at level 0 and takes the whole core:
+	// it finishes at 130ms; the long task finishes at 1.03s.
+	eng := sim.New(1)
+	m := NewMLFQ()
+	p, err := NewPool(eng, 1, m)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	g := p.NewGroup("c1", 0)
+	var short, long sim.Time
+	g.Submit(time.Second, func() { long = eng.Now() })
+	eng.Schedule(100*time.Millisecond, func() {
+		g.Submit(30*time.Millisecond, func() { short = eng.Now() })
+	})
+	eng.Run()
+	within(t, short, sim.Time(130*time.Millisecond))
+	within(t, long, sim.Time(1030*time.Millisecond))
+}
+
+func TestMLFQLevelDemotion(t *testing.T) {
+	// Two 100ms tasks on one core with a 50ms level-0 boundary. They share
+	// level 0 until each consumed 50ms (t=100ms), then both demote to
+	// level 1 and share it until completion at t=200ms. The demotion
+	// itself must not distort total completion time.
+	eng := sim.New(1)
+	m := NewMLFQ()
+	p, err := NewPool(eng, 1, m)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	g := p.NewGroup("c1", 0)
+	var d1, d2 sim.Time
+	g.Submit(100*time.Millisecond, func() { d1 = eng.Now() })
+	g.Submit(100*time.Millisecond, func() { d2 = eng.Now() })
+	eng.Run()
+	within(t, d1, sim.Time(200*time.Millisecond))
+	within(t, d2, sim.Time(200*time.Millisecond))
+}
+
+func TestMLFQBackgroundStarvedWhileForegroundBusy(t *testing.T) {
+	// A long 500ms task and a continuous stream of 40ms tasks arriving
+	// every 40ms on one core: the stream occupies level 0 and the long
+	// task only progresses between arrivals. After the stream stops, the
+	// long task finishes. Its completion must come after all short ones.
+	eng := sim.New(1)
+	m := NewMLFQ()
+	p, err := NewPool(eng, 1, m)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	g := p.NewGroup("c1", 0)
+	var longDone, lastShort sim.Time
+	g.Submit(500*time.Millisecond, func() { longDone = eng.Now() })
+	for i := 0; i < 10; i++ {
+		at := time.Duration(i*40) * time.Millisecond
+		eng.Schedule(at, func() {
+			g.Submit(40*time.Millisecond, func() { lastShort = eng.Now() })
+		})
+	}
+	eng.Run()
+	if longDone <= lastShort {
+		t.Fatalf("long task finished at %v, before last short at %v", longDone, lastShort)
+	}
+	// Work conservation: total busy time = 500ms + 10*40ms = 900ms.
+	if got := p.BusyCoreSeconds(); math.Abs(got-0.9) > 1e-6 {
+		t.Fatalf("BusyCoreSeconds = %v, want 0.9", got)
+	}
+}
+
+func TestMLFQNameAndLevels(t *testing.T) {
+	m := NewMLFQ()
+	if m.Name() != "mlfq" {
+		t.Errorf("Name = %q, want mlfq", m.Name())
+	}
+	cases := []struct {
+		consumed time.Duration
+		level    int
+	}{
+		{0, 0},
+		{49 * time.Millisecond, 0},
+		{50 * time.Millisecond, 1},
+		{249 * time.Millisecond, 1},
+		{250 * time.Millisecond, 2},
+		{time.Hour, 2},
+	}
+	for _, c := range cases {
+		if got := m.level(float64(c.consumed)); got != c.level {
+			t.Errorf("level(%v) = %d, want %d", c.consumed, got, c.level)
+		}
+	}
+}
+
+// Property: work conservation — when every task completes, the busy
+// integral equals the total submitted work, for both disciplines.
+func TestPropertyWorkConservation(t *testing.T) {
+	for _, disc := range []Discipline{FairShare{}, NewMLFQ()} {
+		disc := disc
+		f := func(raw []uint16, coresRaw uint8, groupsRaw uint8) bool {
+			cores := float64(coresRaw%8) + 1
+			ngroups := int(groupsRaw%4) + 1
+			eng := sim.New(11)
+			p, err := NewPool(eng, cores, disc)
+			if err != nil {
+				return false
+			}
+			groups := make([]*Group, ngroups)
+			for i := range groups {
+				groups[i] = p.NewGroup("g", 0)
+			}
+			total := 0.0
+			for i, r := range raw {
+				w := time.Duration(r%2000) * time.Millisecond
+				groups[i%ngroups].Submit(w, func() {})
+				total += w.Seconds()
+			}
+			eng.Run()
+			return math.Abs(p.BusyCoreSeconds()-total) < 1e-3 && p.Running() == 0
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatalf("%s: %v", disc.Name(), err)
+		}
+	}
+}
+
+// Property: the total allocated rate never exceeds the pool's core count
+// and no task rate exceeds one core.
+func TestPropertyRateBounds(t *testing.T) {
+	f := func(raw []uint16, coresRaw uint8, capRaw uint8) bool {
+		cores := float64(coresRaw%16) + 1
+		eng := sim.New(5)
+		p, err := NewPool(eng, cores, FairShare{})
+		if err != nil {
+			return false
+		}
+		cap := float64(capRaw % 4) // 0 = unlimited
+		g := p.NewGroup("g", cap)
+		var tasks []*Task
+		for _, r := range raw {
+			w := time.Duration(r%500+1) * time.Millisecond
+			tasks = append(tasks, g.Submit(w, func() {}))
+		}
+		sum := 0.0
+		for _, task := range tasks {
+			if task.Rate() > 1+1e-9 {
+				return false
+			}
+			sum += task.Rate()
+		}
+		if sum > cores+1e-9 {
+			return false
+		}
+		if cap > 0 && sum > cap+1e-9 {
+			return false
+		}
+		eng.Run()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: completion order under FairShare respects work order for
+// same-group simultaneous tasks (less work never finishes later).
+func TestPropertySRPTOrderingWithinBatch(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		eng := sim.New(9)
+		p, err := NewPool(eng, 2, FairShare{})
+		if err != nil {
+			return false
+		}
+		g := p.NewGroup("g", 0)
+		type rec struct {
+			work time.Duration
+			done sim.Time
+		}
+		recs := make([]*rec, len(raw))
+		for i, r := range raw {
+			rc := &rec{work: time.Duration(r%1000+1) * time.Millisecond}
+			recs[i] = rc
+			g.Submit(rc.work, func() { rc.done = eng.Now() })
+		}
+		eng.Run()
+		for i := range recs {
+			for j := range recs {
+				if recs[i].work < recs[j].work && recs[i].done > recs[j].done {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMLFQSetBaseQuantum(t *testing.T) {
+	m := NewMLFQ()
+	if got := m.BaseQuantum(); got != 50*time.Millisecond {
+		t.Fatalf("BaseQuantum = %v, want 50ms default", got)
+	}
+	if err := m.SetBaseQuantum(100 * time.Millisecond); err != nil {
+		t.Fatalf("SetBaseQuantum: %v", err)
+	}
+	// Ratios preserved: 50/250 -> 100/500.
+	if m.Thresholds[0] != 100*time.Millisecond || m.Thresholds[1] != 500*time.Millisecond {
+		t.Fatalf("thresholds = %v", m.Thresholds)
+	}
+	if err := m.SetBaseQuantum(0); err == nil {
+		t.Error("zero quantum accepted")
+	}
+	empty := &MLFQ{}
+	if err := empty.SetBaseQuantum(time.Millisecond); err == nil {
+		t.Error("empty thresholds accepted")
+	}
+	if empty.BaseQuantum() != 0 {
+		t.Error("empty BaseQuantum should be 0")
+	}
+}
+
+func TestPoolReallocateAfterQuantumChange(t *testing.T) {
+	// A long task demoted to background regains level 0 when the quantum
+	// grows above its consumed CPU, pre-empting nothing but re-running at
+	// level 0 priority alongside new arrivals.
+	eng := sim.New(1)
+	m := NewMLFQ()
+	p, err := NewPool(eng, 1, m)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	g := p.NewGroup("c", 0)
+	var longDone, shortDone sim.Time
+	g.Submit(300*time.Millisecond, func() { longDone = eng.Now() })
+	// At t=100ms the long task consumed 100ms (level 1). Grow the base
+	// quantum to 1s: it re-levels to 0 and now shares fairly with a
+	// fresh 100ms task instead of being starved by it.
+	eng.Schedule(100*time.Millisecond, func() {
+		if err := m.SetBaseQuantum(time.Second); err != nil {
+			t.Errorf("SetBaseQuantum: %v", err)
+		}
+		p.Reallocate()
+		g.Submit(100*time.Millisecond, func() { shortDone = eng.Now() })
+	})
+	eng.Run()
+	// Fair sharing from t=100ms: the short task (100ms at half speed)
+	// finishes at 300ms; the long task progresses 100ms of its remaining
+	// 200ms by then and runs its last 100ms alone, finishing at 400ms.
+	within(t, shortDone, sim.Time(300*time.Millisecond))
+	within(t, longDone, sim.Time(400*time.Millisecond))
+}

@@ -1,0 +1,51 @@
+package cpusched_test
+
+import (
+	"fmt"
+	"time"
+
+	"faasbatch/internal/cpusched"
+	"faasbatch/internal/sim"
+)
+
+// Two containers contend for one core under max-min fair sharing: each
+// group's 100 ms task runs at half speed and finishes at 200 ms.
+func ExampleFairShare() {
+	eng := sim.New(1)
+	pool, err := cpusched.NewPool(eng, 1, cpusched.FairShare{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, name := range []string{"containerA", "containerB"} {
+		name := name
+		g := pool.NewGroup(name, 0)
+		g.Submit(100*time.Millisecond, func() {
+			fmt.Printf("%s done at %v\n", name, eng.Now())
+		})
+	}
+	eng.Run()
+	// Output:
+	// containerA done at 200ms
+	// containerB done at 200ms
+}
+
+// Under MLFQ (the SFS stand-in), a short function pre-empts a long one
+// that already consumed its level-0 quantum.
+func ExampleMLFQ() {
+	eng := sim.New(1)
+	pool, err := cpusched.NewPool(eng, 1, cpusched.NewMLFQ())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	g := pool.NewGroup("node", 0)
+	g.Submit(time.Second, func() { fmt.Println("long done at", eng.Now()) })
+	eng.Schedule(100*time.Millisecond, func() {
+		g.Submit(30*time.Millisecond, func() { fmt.Println("short done at", eng.Now()) })
+	})
+	eng.Run()
+	// Output:
+	// short done at 130ms
+	// long done at 1.03s
+}

@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunChainValidation(t *testing.T) {
+	tr := smallCPUTrace(t, 5)
+	if _, err := RunChain(ChainConfig{Policy: PolicyVanilla, Trace: tr, Stages: 0}); err == nil {
+		t.Error("zero stages accepted")
+	}
+	if _, err := RunChain(ChainConfig{Policy: PolicyVanilla, Stages: 1}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestRunChainSingleStageMatchesStageCount(t *testing.T) {
+	tr := smallCPUTrace(t, 30)
+	res, err := RunChain(ChainConfig{Policy: PolicyFaaSBatch, Trace: tr, Stages: 1, Seed: 1})
+	if err != nil {
+		t.Fatalf("RunChain: %v", err)
+	}
+	if len(res.Chains) != tr.Len() {
+		t.Fatalf("chains = %d, want %d", len(res.Chains), tr.Len())
+	}
+	for _, ch := range res.Chains {
+		if len(ch.Stages) != 1 {
+			t.Fatalf("chain %d has %d stages", ch.Head, len(ch.Stages))
+		}
+		if ch.Total <= 0 {
+			t.Fatalf("chain %d total = %v", ch.Head, ch.Total)
+		}
+	}
+}
+
+func TestRunChainStagesAreSequential(t *testing.T) {
+	tr := smallCPUTrace(t, 20)
+	res, err := RunChain(ChainConfig{Policy: PolicyVanilla, Trace: tr, Stages: 3, Seed: 1})
+	if err != nil {
+		t.Fatalf("RunChain: %v", err)
+	}
+	for _, ch := range res.Chains {
+		if len(ch.Stages) != 3 {
+			t.Fatalf("chain %d has %d stages, want 3", ch.Head, len(ch.Stages))
+		}
+		// Stage arrivals are ordered and the chain total covers at least
+		// the sum of stage latencies.
+		var sum time.Duration
+		for i, st := range ch.Stages {
+			sum += st.Total()
+			if i > 0 && st.Arrive < ch.Stages[i-1].Arrive {
+				t.Fatalf("chain %d stage %d arrived before its predecessor", ch.Head, i)
+			}
+		}
+		diff := ch.Total - sum
+		if diff < -time.Millisecond || diff > time.Millisecond {
+			t.Fatalf("chain %d total %v != stage sum %v", ch.Head, ch.Total, sum)
+		}
+	}
+}
+
+func TestRunChainStageIdentitiesDistinct(t *testing.T) {
+	tr := smallCPUTrace(t, 10)
+	res, err := RunChain(ChainConfig{Policy: PolicyFaaSBatch, Trace: tr, Stages: 2, Seed: 1})
+	if err != nil {
+		t.Fatalf("RunChain: %v", err)
+	}
+	for _, ch := range res.Chains {
+		if ch.Stages[0].Fn == ch.Stages[1].Fn {
+			t.Fatalf("stage functions identical: %q", ch.Stages[0].Fn)
+		}
+		if !strings.HasSuffix(ch.Stages[0].Fn, "#s1") || !strings.HasSuffix(ch.Stages[1].Fn, "#s2") {
+			t.Fatalf("stage naming wrong: %q / %q", ch.Stages[0].Fn, ch.Stages[1].Fn)
+		}
+	}
+}
+
+func TestRunChainFaaSBatchBeatsVanillaOnBurstyChains(t *testing.T) {
+	tr := smallCPUTrace(t, 60)
+	fb, err := RunChain(ChainConfig{Policy: PolicyFaaSBatch, Trace: tr, Stages: 3, Seed: 1})
+	if err != nil {
+		t.Fatalf("faasbatch: %v", err)
+	}
+	va, err := RunChain(ChainConfig{Policy: PolicyVanilla, Trace: tr, Stages: 3, Seed: 1})
+	if err != nil {
+		t.Fatalf("vanilla: %v", err)
+	}
+	if fb.TotalContainers >= va.TotalContainers {
+		t.Errorf("faasbatch containers %d not fewer than vanilla %d", fb.TotalContainers, va.TotalContainers)
+	}
+	if fb.TotalCDF().P(0.5) >= va.TotalCDF().P(0.5) {
+		t.Errorf("faasbatch chain p50 %v not better than vanilla %v",
+			fb.TotalCDF().P(0.5), va.TotalCDF().P(0.5))
+	}
+}
+
+func TestRunChainKrakenDerivesStageSLOs(t *testing.T) {
+	tr := smallCPUTrace(t, 20)
+	res, err := RunChain(ChainConfig{Policy: PolicyKraken, Trace: tr, Stages: 2, Seed: 1})
+	if err != nil {
+		t.Fatalf("kraken chains: %v", err)
+	}
+	if len(res.Chains) != tr.Len() {
+		t.Fatalf("chains = %d, want %d", len(res.Chains), tr.Len())
+	}
+}
+
+func TestExtensionChainsOutput(t *testing.T) {
+	out := runFig(t, "ext-chains")
+	for _, want := range []string{"1-stage", "3-stage", "5-stage", "chain p99", "faasbatch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ext-chains missing %q:\n%s", want, out)
+		}
+	}
+}

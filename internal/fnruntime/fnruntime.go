@@ -1,0 +1,180 @@
+// Package fnruntime executes function invocations inside containers in the
+// discrete-event simulation.
+//
+// An invocation's body follows the paper's I/O function shape (Listing 1):
+//
+//  1. Client creation — construct the cloud-storage client. Constructions
+//     serialise on the container's runtime lock (GIL group) and cost
+//     superlinearly more under concurrency (Fig. 4). Without a Resource
+//     Multiplexer every invocation builds its own instance and its memory
+//     is released when the invocation returns; with a multiplexer the
+//     first build is cached for the container's lifetime and subsequent
+//     creations hit the cache or coalesce onto the in-flight build.
+//  2. I/O wait — blocked on storage, no CPU.
+//  3. Compute — CPU work in the container's cpuset group (for the fib
+//     family this is the whole body).
+//
+// The runner fills the invocation's execution latency and reports
+// aggregate client/cache statistics for the Fig. 12/14 reproductions.
+package fnruntime
+
+import (
+	"fmt"
+
+	"faasbatch/internal/metrics"
+	"faasbatch/internal/multiplex"
+	"faasbatch/internal/node"
+	"faasbatch/internal/sim"
+	"faasbatch/internal/workload"
+)
+
+// Invocation is one function request flowing through the simulation.
+type Invocation struct {
+	// ID is unique within a run.
+	ID int64
+	// Spec is the function being invoked.
+	Spec workload.Spec
+	// Arrive is when the platform received the request.
+	Arrive sim.Time
+	// Rec accumulates the latency decomposition. The scheduler fills
+	// Sched/Cold/Queue; the runner fills Exec.
+	Rec metrics.Record
+}
+
+// NewInvocation builds an invocation with its record initialised.
+func NewInvocation(id int64, spec workload.Spec, arrive sim.Time) *Invocation {
+	return &Invocation{
+		ID:     id,
+		Spec:   spec,
+		Arrive: arrive,
+		Rec:    metrics.Record{ID: id, Fn: spec.Name, Arrive: arrive},
+	}
+}
+
+// Stats aggregates runner-level execution counters.
+type Stats struct {
+	// Executed counts completed invocations.
+	Executed int64
+	// ClientsBuilt counts actual client constructions performed.
+	ClientsBuilt int64
+	// ClientBytesAllocated is cumulative client memory charged.
+	ClientBytesAllocated int64
+	// CacheHits counts creations served from a ready multiplexer entry.
+	CacheHits int64
+	// CacheCoalesced counts creations that waited on an in-flight build.
+	CacheCoalesced int64
+}
+
+// Runner executes invocations inside containers.
+type Runner struct {
+	eng   *sim.Engine
+	stats Stats
+}
+
+// NewRunner creates a runner on the given engine.
+func NewRunner(eng *sim.Engine) *Runner {
+	return &Runner{eng: eng}
+}
+
+// Stats reports the aggregate execution counters.
+func (r *Runner) Stats() Stats { return r.stats }
+
+// Execute runs inv inside container c. The invocation occupies a thread
+// for its whole body; onDone fires when the body returns, after Rec.Exec
+// is set. The caller remains responsible for the container's acquisition
+// reservation (ReturnThread on the handle it got from Acquire).
+func (r *Runner) Execute(inv *Invocation, c *node.Container, onDone func(*Invocation)) error {
+	if inv == nil || c == nil {
+		return fmt.Errorf("fnruntime: execute requires an invocation and a container")
+	}
+	if c.State() == node.Evicted {
+		return fmt.Errorf("fnruntime: container %s is evicted", c.ID())
+	}
+	c.CheckoutThread()
+	start := r.eng.Now()
+	finish := func(transientClientBytes int64) {
+		inv.Rec.Exec = r.eng.Now().Sub(start)
+		if transientClientBytes > 0 {
+			// A non-multiplexed client is garbage once the invocation
+			// returns.
+			c.FreeClientMem(transientClientBytes)
+		}
+		r.stats.Executed++
+		c.ReturnThread()
+		onDone(inv)
+	}
+
+	if inv.Spec.Client == nil {
+		r.runBody(inv, c, 0, finish)
+		return nil
+	}
+	r.acquireClient(inv, c, func(transientBytes int64) {
+		r.runBody(inv, c, transientBytes, finish)
+	})
+	return nil
+}
+
+// runBody performs the I/O wait and compute phases, then finishes.
+func (r *Runner) runBody(inv *Invocation, c *node.Container, transientBytes int64, finish func(int64)) {
+	compute := func() {
+		if inv.Spec.Work <= 0 {
+			finish(transientBytes)
+			return
+		}
+		c.Group().Submit(inv.Spec.Work, func() { finish(transientBytes) })
+	}
+	if inv.Spec.IOWait > 0 {
+		r.eng.Schedule(inv.Spec.IOWait, compute)
+		return
+	}
+	compute()
+}
+
+// acquireClient obtains the storage client: through the container's
+// Resource Multiplexer when present, otherwise by building a private
+// instance. then receives the transient bytes to free at body end (zero
+// when the instance is cached or shared).
+func (r *Runner) acquireClient(inv *Invocation, c *node.Container, then func(transientBytes int64)) {
+	spec := inv.Spec.Client
+	cache := c.Cache()
+	if cache == nil {
+		r.buildClient(c, spec, func(bytes int64) { then(bytes) })
+		return
+	}
+	key := multiplex.NewKey(spec.Callee, spec.ArgsKey)
+	res, _ := cache.Begin(key)
+	switch res {
+	case multiplex.BeginHit:
+		r.stats.CacheHits++
+		then(0)
+	case multiplex.BeginPending:
+		r.stats.CacheCoalesced++
+		cache.Wait(key, func(any) { then(0) })
+	default: // BeginMiss: we are the builder
+		r.buildClient(c, spec, func(bytes int64) {
+			// The built instance lives for the container's lifetime;
+			// publish it so waiters and future creations share it.
+			cache.Complete(key, struct{}{}, bytes)
+			then(0)
+		})
+	}
+}
+
+// buildClient constructs one client instance: CPU work on the container's
+// one-core GIL group, scaled superlinearly by the in-container creation
+// concurrency sampled at start (Fig. 4). The instance memory is charged
+// when construction starts — every concurrently creating thread holds its
+// partially built instance, which is what makes container memory grow
+// with creation concurrency (Fig. 5). built receives the instance bytes.
+func (r *Runner) buildClient(c *node.Container, spec *workload.ClientSpec, built func(bytes int64)) {
+	k := c.BeginClientCreation()
+	work := spec.CreationWork(k)
+	bytes := spec.InstanceMem(c.ClientLive() + 1)
+	c.AllocClientMem(bytes)
+	c.GILGroup().Submit(work, func() {
+		c.EndClientCreation()
+		r.stats.ClientsBuilt++
+		r.stats.ClientBytesAllocated += bytes
+		built(bytes)
+	})
+}

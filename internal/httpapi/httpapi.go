@@ -1,0 +1,61 @@
+// Package httpapi defines the wire types of the live FaaSBatch gateway
+// (internal/platform, cmd/faasgate).
+package httpapi
+
+import "encoding/json"
+
+// InvokeRequest asks the gateway to invoke a function.
+type InvokeRequest struct {
+	// Fn is the registered function name.
+	Fn string `json:"fn"`
+	// Payload is passed to the handler verbatim.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Latency is the wall-clock latency decomposition of one invocation,
+// mirroring the paper's metric split (§IV).
+type Latency struct {
+	// SchedMillis is the scheduling latency (window wait + dispatch).
+	SchedMillis float64 `json:"schedMillis"`
+	// ColdMillis is the container boot time (0 on warm starts).
+	ColdMillis float64 `json:"coldMillis"`
+	// ExecMillis is the handler execution time.
+	ExecMillis float64 `json:"execMillis"`
+	// TotalMillis is the end-to-end latency.
+	TotalMillis float64 `json:"totalMillis"`
+}
+
+// InvokeResponse reports one completed invocation.
+type InvokeResponse struct {
+	// Fn echoes the function name.
+	Fn string `json:"fn"`
+	// Result is the handler's JSON-encoded return value.
+	Result json.RawMessage `json:"result"`
+	// ContainerID identifies the serving container.
+	ContainerID string `json:"containerId"`
+	// Cold reports whether the invocation paid a cold start.
+	Cold bool `json:"cold"`
+	// Latency is the invocation's latency decomposition.
+	Latency Latency `json:"latency"`
+}
+
+// StatsResponse is the gateway's counters snapshot.
+type StatsResponse struct {
+	// Invocations counts completed invocations.
+	Invocations int64 `json:"invocations"`
+	// Groups counts dispatched batches.
+	Groups int64 `json:"groups"`
+	// ContainersCreated counts cold starts.
+	ContainersCreated int64 `json:"containersCreated"`
+	// WarmStarts counts container reuses.
+	WarmStarts int64 `json:"warmStarts"`
+	// LiveContainers counts currently alive containers.
+	LiveContainers int `json:"liveContainers"`
+	// CacheHits counts resource creations served by the multiplexer
+	// (ready hits plus coalesced waits).
+	CacheHits uint64 `json:"cacheHits"`
+	// CacheMisses counts actual resource builds.
+	CacheMisses uint64 `json:"cacheMisses"`
+	// CacheBytesSaved is duplicate memory avoided by the multiplexer.
+	CacheBytesSaved int64 `json:"cacheBytesSaved"`
+}

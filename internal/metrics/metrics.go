@@ -1,0 +1,269 @@
+// Package metrics provides the measurement vocabulary of the evaluation:
+// per-invocation latency decomposition, empirical CDFs, duration histograms,
+// periodic resource sampling, and plain-text table rendering for the
+// figure/table reproductions.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"faasbatch/internal/sim"
+)
+
+// Record is the latency decomposition of one function invocation, following
+// the paper's definition (§IV): scheduling latency (receipt until dispatch
+// to a container, excluding cold start), cold-start latency (booting the
+// selected container), queuing latency (waiting inside the container), and
+// execution latency (CPU/IO time of the function body).
+type Record struct {
+	// ID uniquely identifies the invocation within a run.
+	ID int64
+	// Fn is the function name.
+	Fn string
+	// Arrive is the virtual time the platform received the invocation.
+	Arrive sim.Time
+	// Sched is the scheduling latency (cold start excluded).
+	Sched time.Duration
+	// Cold is the cold-start latency (zero on a warm start).
+	Cold time.Duration
+	// Queue is the in-container queuing latency.
+	Queue time.Duration
+	// Exec is the execution latency.
+	Exec time.Duration
+}
+
+// Total reports the end-to-end invocation latency.
+func (r Record) Total() time.Duration { return r.Sched + r.Cold + r.Queue + r.Exec }
+
+// Component selects one latency component of a Record.
+type Component int
+
+// Latency components, in pipeline order.
+const (
+	Scheduling Component = iota + 1
+	ColdStart
+	Queuing
+	Execution
+	ExecPlusQueue
+	EndToEnd
+)
+
+// String implements fmt.Stringer.
+func (c Component) String() string {
+	switch c {
+	case Scheduling:
+		return "scheduling"
+	case ColdStart:
+		return "cold-start"
+	case Queuing:
+		return "queuing"
+	case Execution:
+		return "execution"
+	case ExecPlusQueue:
+		return "exec+queue"
+	case EndToEnd:
+		return "end-to-end"
+	default:
+		return fmt.Sprintf("component(%d)", int(c))
+	}
+}
+
+// Of extracts the component's value from a record.
+func (c Component) Of(r Record) time.Duration {
+	switch c {
+	case Scheduling:
+		return r.Sched
+	case ColdStart:
+		return r.Cold
+	case Queuing:
+		return r.Queue
+	case Execution:
+		return r.Exec
+	case ExecPlusQueue:
+		return r.Exec + r.Queue
+	case EndToEnd:
+		return r.Total()
+	default:
+		return 0
+	}
+}
+
+// Extract pulls one latency component out of a record slice.
+func Extract(recs []Record, c Component) []time.Duration {
+	out := make([]time.Duration, len(recs))
+	for i, r := range recs {
+		out[i] = c.Of(r)
+	}
+	return out
+}
+
+// CDF is an empirical cumulative distribution over durations.
+type CDF struct {
+	sorted []time.Duration
+}
+
+// NewCDF builds a CDF from the given values (the input is not mutated).
+func NewCDF(values []time.Duration) CDF {
+	s := make([]time.Duration, len(values))
+	copy(s, values)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return CDF{sorted: s}
+}
+
+// Len reports the number of underlying values.
+func (c CDF) Len() int { return len(c.sorted) }
+
+// P reports the q-quantile (0 <= q <= 1) using nearest-rank interpolation.
+// It returns 0 for an empty CDF.
+func (c CDF) P(q float64) time.Duration {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.sorted) {
+		idx = len(c.sorted) - 1
+	}
+	return c.sorted[idx]
+}
+
+// At reports the fraction of values <= v.
+func (c CDF) At(v time.Duration) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	n := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > v })
+	return float64(n) / float64(len(c.sorted))
+}
+
+// Min reports the smallest value (0 if empty).
+func (c CDF) Min() time.Duration {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[0]
+}
+
+// Max reports the largest value (0 if empty).
+func (c CDF) Max() time.Duration {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Mean reports the arithmetic mean (0 if empty).
+func (c CDF) Mean() time.Duration {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range c.sorted {
+		sum += float64(v)
+	}
+	return time.Duration(sum / float64(len(c.sorted)))
+}
+
+// Point is one (value, cumulative fraction) pair of a rendered CDF curve.
+type Point struct {
+	Value    time.Duration
+	Fraction float64
+}
+
+// Points samples the CDF at n evenly spaced cumulative fractions,
+// producing a plottable curve like the paper's figures.
+func (c CDF) Points(n int) []Point {
+	if n <= 0 || len(c.sorted) == 0 {
+		return nil
+	}
+	pts := make([]Point, 0, n)
+	for i := 1; i <= n; i++ {
+		q := float64(i) / float64(n)
+		pts = append(pts, Point{Value: c.P(q), Fraction: q})
+	}
+	return pts
+}
+
+// Histogram counts durations into half-open buckets
+// [bounds[0], bounds[1]), ..., [bounds[n-1], +inf). Values below bounds[0]
+// are counted in the first bucket.
+type Histogram struct {
+	bounds []time.Duration
+	counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with the given ascending lower bounds.
+// It returns an error if bounds is empty or not strictly increasing.
+func NewHistogram(bounds []time.Duration) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("metrics: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("metrics: histogram bounds must be strictly increasing at index %d", i)
+		}
+	}
+	b := make([]time.Duration, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]int, len(bounds))}, nil
+}
+
+// Add counts one value.
+func (h *Histogram) Add(v time.Duration) {
+	idx := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] > v })
+	if idx == 0 {
+		idx = 1 // values below the first bound fold into the first bucket
+	}
+	h.counts[idx-1]++
+	h.total++
+}
+
+// Total reports the number of values counted.
+func (h *Histogram) Total() int { return h.total }
+
+// Fractions reports the per-bucket fraction of the total (all zeros when
+// the histogram is empty).
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// Counts returns a copy of the per-bucket counts.
+func (h *Histogram) Counts() []int {
+	out := make([]int, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// BucketLabel formats bucket i as "[lo, hi)" (the last as "[lo, inf)").
+func (h *Histogram) BucketLabel(i int) string {
+	if i < 0 || i >= len(h.bounds) {
+		return ""
+	}
+	lo := h.bounds[i]
+	if i == len(h.bounds)-1 {
+		return fmt.Sprintf("[%v, inf)", lo)
+	}
+	return fmt.Sprintf("[%v, %v)", lo, h.bounds[i+1])
+}
+
+// NumBuckets reports the number of buckets.
+func (h *Histogram) NumBuckets() int { return len(h.bounds) }

@@ -1,0 +1,339 @@
+// Package multiplex implements the paper's Resource Multiplexer (§III-D):
+// a per-container resource-args-result cache that intercepts resource
+// creation calls (e.g. building an S3 client), keys them by the callee and
+// a hash of the creation arguments, and serves repeated creations from the
+// cache instead of constructing duplicate instances.
+//
+// The cache exposes two faces over one store:
+//
+//   - An event-driven face (Begin / Wait / Complete / Fail) used by the
+//     discrete-event simulator, where "building" takes virtual time and
+//     concurrent requesters for the same key coalesce onto the first
+//     build.
+//   - A blocking face (GetOrBuild) used by the live platform, where the
+//     build runs real code and concurrent goroutines coalesce
+//     singleflight-style.
+package multiplex
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// Key identifies a resource creation: the intercepted callee plus the
+// hashed creation arguments. The paper hashes arguments to bound memory
+// and speed up matching; collisions are ignored as negligibly likely at
+// container scope (§III-D).
+type Key struct {
+	// Callee is the creation call, e.g. "boto3.client".
+	Callee string
+	// ArgsHash is the hash of the creation arguments.
+	ArgsHash uint64
+}
+
+// HashArgs hashes creation arguments with FNV-1a.
+func HashArgs(args string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(args)) // fnv.Write never fails
+	return h.Sum64()
+}
+
+// NewKey builds a Key from a callee and raw argument string.
+func NewKey(callee, args string) Key {
+	return Key{Callee: callee, ArgsHash: HashArgs(args)}
+}
+
+// BeginResult reports the cache state encountered by Begin.
+type BeginResult int
+
+// Begin outcomes.
+const (
+	// BeginHit means a ready instance was returned.
+	BeginHit BeginResult = iota + 1
+	// BeginMiss means the caller is now the builder and must call
+	// Complete or Fail.
+	BeginMiss
+	// BeginPending means another caller is building; register interest
+	// with Wait.
+	BeginPending
+)
+
+// String implements fmt.Stringer.
+func (r BeginResult) String() string {
+	switch r {
+	case BeginHit:
+		return "hit"
+	case BeginMiss:
+		return "miss"
+	case BeginPending:
+		return "pending"
+	default:
+		return fmt.Sprintf("begin(%d)", int(r))
+	}
+}
+
+// Stats summarises cache effectiveness.
+type Stats struct {
+	// Hits counts creations served from a ready instance.
+	Hits uint64
+	// Coalesced counts creations that waited on an in-flight build.
+	Coalesced uint64
+	// Misses counts actual builds started.
+	Misses uint64
+	// LiveInstances is the number of ready instances held.
+	LiveInstances int
+	// BytesLive is the memory held by ready instances.
+	BytesLive int64
+	// BytesSaved is the duplicate memory avoided: the instance size for
+	// each hit or coalesced creation.
+	BytesSaved int64
+	// Evictions counts instances dropped by the LRU bound.
+	Evictions uint64
+}
+
+type entryState int
+
+const (
+	statePending entryState = iota + 1
+	stateReady
+)
+
+type entry struct {
+	state    entryState
+	instance any
+	bytes    int64
+	waiters  []func(any)   // event-driven waiters
+	done     chan struct{} // blocking waiters
+	lastUsed uint64        // LRU clock value of the last hit
+}
+
+// Option configures a Cache.
+type Option func(*Cache)
+
+// WithMaxEntries bounds the number of ready instances held; when a build
+// completes over the bound, the least-recently-used ready instance is
+// evicted. Zero or negative means unbounded (the paper's container-scoped
+// cache, whose lifetime bounds it naturally).
+func WithMaxEntries(n int) Option {
+	return func(c *Cache) { c.maxEntries = n }
+}
+
+// WithOnEvict registers a callback invoked (outside the cache lock is NOT
+// guaranteed; keep it cheap) whenever an instance is evicted, receiving
+// its key, instance and byte size — e.g. to return memory to a ledger.
+func WithOnEvict(fn func(Key, any, int64)) Option {
+	return func(c *Cache) { c.onEvict = fn }
+}
+
+// Cache is one container's Resource Multiplexer.
+//
+// The zero value is not usable; create caches with New.
+type Cache struct {
+	mu         sync.Mutex
+	entries    map[Key]*entry
+	stats      Stats
+	clock      uint64
+	maxEntries int
+	onEvict    func(Key, any, int64)
+}
+
+// New creates an empty cache.
+func New(opts ...Option) *Cache {
+	c := &Cache{entries: make(map[Key]*entry)}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Begin looks up key. On BeginHit the ready instance is returned. On
+// BeginMiss the caller becomes the builder and must finish with Complete
+// or Fail. On BeginPending the caller should register a Wait callback.
+func (c *Cache) Begin(key Key) (BeginResult, any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.entries[key] = &entry{state: statePending, done: make(chan struct{})}
+		c.stats.Misses++
+		return BeginMiss, nil
+	}
+	switch e.state {
+	case stateReady:
+		c.stats.Hits++
+		c.stats.BytesSaved += e.bytes
+		c.clock++
+		e.lastUsed = c.clock
+		return BeginHit, e.instance
+	default:
+		c.stats.Coalesced++
+		return BeginPending, nil
+	}
+}
+
+// Wait registers fn to run when the pending build for key finishes. fn
+// receives the built instance, or nil if the build failed (the caller
+// should then retry Begin). If the key is already ready or absent, fn runs
+// immediately with the current instance (nil when absent).
+func (c *Cache) Wait(key Key, fn func(any)) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		fn(nil)
+		return
+	}
+	if e.state == stateReady {
+		inst := e.instance
+		c.mu.Unlock()
+		fn(inst)
+		return
+	}
+	e.waiters = append(e.waiters, fn)
+	c.mu.Unlock()
+}
+
+// Complete publishes the built instance for key and notifies waiters.
+// Waiters count toward BytesSaved: each avoided building a duplicate.
+func (c *Cache) Complete(key Key, instance any, bytes int64) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok || e.state == stateReady {
+		c.mu.Unlock()
+		return
+	}
+	e.state = stateReady
+	e.instance = instance
+	e.bytes = bytes
+	c.clock++
+	e.lastUsed = c.clock
+	waiters := e.waiters
+	e.waiters = nil
+	c.stats.LiveInstances++
+	c.stats.BytesLive += bytes
+	c.stats.BytesSaved += bytes * int64(len(waiters))
+	close(e.done)
+	evictedKey, evicted := c.evictOverflowLocked(key)
+	c.mu.Unlock()
+	if evicted != nil && c.onEvict != nil {
+		c.onEvict(evictedKey, evicted.instance, evicted.bytes)
+	}
+	for _, w := range waiters {
+		w(instance)
+	}
+}
+
+// evictOverflowLocked drops the least-recently-used ready entry (other
+// than keep) when the ready count exceeds the bound. It returns the
+// evicted entry, if any. Callers hold c.mu.
+func (c *Cache) evictOverflowLocked(keep Key) (Key, *entry) {
+	if c.maxEntries <= 0 || c.stats.LiveInstances <= c.maxEntries {
+		return Key{}, nil
+	}
+	var victimKey Key
+	var victim *entry
+	for k, e := range c.entries {
+		if e.state != stateReady || k == keep {
+			continue
+		}
+		if victim == nil || e.lastUsed < victim.lastUsed {
+			victimKey = k
+			victim = e
+		}
+	}
+	if victim == nil {
+		return Key{}, nil
+	}
+	delete(c.entries, victimKey)
+	c.stats.LiveInstances--
+	c.stats.BytesLive -= victim.bytes
+	c.stats.Evictions++
+	return victimKey, victim
+}
+
+// Fail abandons a pending build: the entry is removed and waiters are
+// notified with nil so they can retry.
+func (c *Cache) Fail(key Key) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok || e.state == stateReady {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.entries, key)
+	waiters := e.waiters
+	close(e.done)
+	c.mu.Unlock()
+	for _, w := range waiters {
+		w(nil)
+	}
+}
+
+// GetOrBuild is the blocking face used by the live platform: it returns
+// the cached instance for key, or runs build exactly once per miss while
+// concurrent callers wait. The boolean reports whether the value was
+// served from cache (hit or coalesced wait).
+func (c *Cache) GetOrBuild(key Key, build func() (any, int64, error)) (any, bool, error) {
+	for {
+		res, inst := c.Begin(key)
+		switch res {
+		case BeginHit:
+			return inst, true, nil
+		case BeginMiss:
+			v, bytes, err := build()
+			if err != nil {
+				c.Fail(key)
+				return nil, false, fmt.Errorf("multiplex: build %s: %w", key.Callee, err)
+			}
+			c.Complete(key, v, bytes)
+			return v, false, nil
+		case BeginPending:
+			c.mu.Lock()
+			e, ok := c.entries[key]
+			if !ok {
+				c.mu.Unlock()
+				continue // build failed and was removed; retry
+			}
+			done := e.done
+			c.mu.Unlock()
+			<-done
+			c.mu.Lock()
+			e, ok = c.entries[key]
+			ready := ok && e.state == stateReady
+			var v any
+			if ready {
+				v = e.instance
+			}
+			c.mu.Unlock()
+			if ready {
+				return v, true, nil
+			}
+			// The build failed; retry (this caller may become the builder).
+		}
+	}
+}
+
+// Stats returns a snapshot of the cache statistics.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close drops every entry and reports the bytes that were live (so the
+// container teardown can return them to the node's memory ledger).
+func (c *Cache) Close() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	freed := c.stats.BytesLive
+	for k, e := range c.entries {
+		if e.state == statePending {
+			close(e.done)
+		}
+		delete(c.entries, k)
+	}
+	c.stats.BytesLive = 0
+	c.stats.LiveInstances = 0
+	return freed
+}

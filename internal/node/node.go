@@ -1,0 +1,280 @@
+// Package node models the worker VM of the evaluation (§IV): a multi-core
+// machine running a container engine. It provides:
+//
+//   - a container lifecycle (starting → idle → busy → evicted) with a
+//     keep-alive warm pool, so schedulers get warm starts exactly when a
+//     keep-alive container for the function exists;
+//   - a "docker daemon" creation pipeline with bounded concurrency whose
+//     per-container creation work burns node CPU — under invocation bursts
+//     this queue is what inflates Vanilla's and SFS's scheduling latency;
+//   - a memory ledger tracking container base memory and client-instance
+//     memory, sampled once per virtual second by the experiment harness.
+//
+// The paper runs real Docker; every behavioural knob the evaluation
+// depends on (cold-start latency, creation CPU cost, daemon parallelism,
+// per-container memory, keep-alive) is an explicit Config field here,
+// calibrated in internal/experiment.
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"faasbatch/internal/cpusched"
+	"faasbatch/internal/multiplex"
+	"faasbatch/internal/sim"
+)
+
+// Config parameterises a worker node.
+type Config struct {
+	// Cores is the number of CPU cores (the paper's worker VM has 32).
+	Cores float64
+	// MemBytes is the node memory capacity (64 GB in the paper). The
+	// ledger tracks usage against it; with EnforceMemLimit set, container
+	// creation additionally waits for headroom.
+	MemBytes int64
+	// EnforceMemLimit gates container creation on memory headroom: a
+	// creation whose base footprint would exceed MemBytes waits in the
+	// engine queue until evictions free space (admission control). Off by
+	// default — the paper's 64 GB worker VM hits CPU collapse first.
+	EnforceMemLimit bool
+	// Discipline is the CPU scheduling model (FairShare unless the SFS
+	// policy installs MLFQ).
+	Discipline cpusched.Discipline
+	// ColdStartLatency is the non-CPU part of booting a container
+	// (image setup, runtime init).
+	ColdStartLatency time.Duration
+	// CreateCPUWork is the CPU work the container engine burns to create
+	// one container. It executes on the node's cores and therefore
+	// contends with function execution.
+	CreateCPUWork time.Duration
+	// ContainerInitCPUWork is the CPU work the container itself burns
+	// while booting (interpreter start, web-server init, SDK imports).
+	// It runs in the container's own CPU group, so a wave of cold starts
+	// saturates the node and stretches everyone's latency — the paper's
+	// "busy CPUs running in worker nodes amplify instruction execution
+	// times" effect (§V-A1).
+	ContainerInitCPUWork time.Duration
+	// CreateConcurrency bounds how many container creations the engine
+	// processes in parallel.
+	CreateConcurrency int
+	// KeepAlive is how long an idle container is retained before
+	// eviction.
+	KeepAlive time.Duration
+	// ContainerMem is the base memory footprint of one container.
+	ContainerMem int64
+	// BaseMemBytes is the constant platform memory (OS, container
+	// engine, gateway) included in reported memory usage, mirroring the
+	// paper's whole-system memory measurements.
+	BaseMemBytes int64
+	// ContainerIdleCPU is the background CPU (cores) one live container
+	// consumes for its runtime/server processes, independent of function
+	// work. It models the paper's observation that running containers
+	// themselves contribute to CPU utilisation (§V-B3).
+	ContainerIdleCPU float64
+	// BootFailureRate is the probability (0..1) that a container boot
+	// fails after its init phase (image pull errors, OOM-killed runtimes).
+	// Failed boots tear the container down and re-enqueue the creation;
+	// the acquisition eventually succeeds and the extra wait lands in the
+	// caller's cold-start latency. Zero by default.
+	BootFailureRate float64
+}
+
+// DefaultConfig returns the paper's worker-VM calibration.
+func DefaultConfig() Config {
+	return Config{
+		Cores:                32,
+		MemBytes:             64 << 30,
+		Discipline:           cpusched.FairShare{},
+		ColdStartLatency:     400 * time.Millisecond,
+		CreateCPUWork:        350 * time.Millisecond,
+		ContainerInitCPUWork: time.Second,
+		CreateConcurrency:    2,
+		KeepAlive:            10 * time.Minute,
+		ContainerMem:         24 << 20,
+		BaseMemBytes:         256 << 20,
+		ContainerIdleCPU:     0.02,
+	}
+}
+
+// validate normalises and checks a config.
+func (c *Config) validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("node: cores must be positive, got %v", c.Cores)
+	}
+	if c.CreateConcurrency <= 0 {
+		return fmt.Errorf("node: create concurrency must be positive, got %d", c.CreateConcurrency)
+	}
+	if c.ColdStartLatency < 0 || c.CreateCPUWork < 0 || c.ContainerInitCPUWork < 0 {
+		return fmt.Errorf("node: cold-start latency, create work and init work must be non-negative")
+	}
+	if c.BaseMemBytes < 0 {
+		return fmt.Errorf("node: base memory must be non-negative, got %d", c.BaseMemBytes)
+	}
+	if c.KeepAlive <= 0 {
+		return fmt.Errorf("node: keep-alive must be positive, got %v", c.KeepAlive)
+	}
+	if c.ContainerIdleCPU < 0 {
+		return fmt.Errorf("node: container idle CPU must be non-negative, got %v", c.ContainerIdleCPU)
+	}
+	if c.BootFailureRate < 0 || c.BootFailureRate >= 1 {
+		return fmt.Errorf("node: boot failure rate must be in [0, 1), got %v", c.BootFailureRate)
+	}
+	if c.Discipline == nil {
+		c.Discipline = cpusched.FairShare{}
+	}
+	return nil
+}
+
+// State is a container lifecycle state.
+type State int
+
+// Container states.
+const (
+	// Starting means the container is being created/booted.
+	Starting State = iota + 1
+	// Idle means the container is warm and available.
+	Idle
+	// Busy means at least one invocation is running inside.
+	Busy
+	// Evicted means the container was torn down.
+	Evicted
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Starting:
+		return "starting"
+	case Idle:
+		return "idle"
+	case Busy:
+		return "busy"
+	case Evicted:
+		return "evicted"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Container is one provisioned container on the node.
+type Container struct {
+	node     *Node
+	id       string
+	fn       string
+	state    State
+	group    *cpusched.Group // function execution CPU group (cpuset)
+	gilGroup *cpusched.Group // runtime-lock group: client creations serialise here
+	cache    *multiplex.Cache
+	active   int // running invocations
+	creating int // in-flight client creations (contention degree k)
+	// clientBytes tracks live non-multiplexed client memory charged to
+	// the node ledger.
+	clientBytes   int64
+	clientLive    int // live client instances (for marginal-memory pricing)
+	idleSince     sim.Time
+	idleEpoch     int // guards stale keep-alive eviction timers
+	served        int // total invocations executed (diagnostics)
+	cacheDisabled bool
+}
+
+// ID reports the container's unique identifier.
+func (c *Container) ID() string { return c.id }
+
+// Fn reports the function the container serves.
+func (c *Container) Fn() string { return c.fn }
+
+// State reports the lifecycle state.
+func (c *Container) State() State { return c.state }
+
+// Group is the container's CPU scheduling group (its cpuset).
+func (c *Container) Group() *cpusched.Group { return c.group }
+
+// GILGroup is the one-core group where client creations serialise,
+// modelling the language runtime lock of the paper's prototype.
+func (c *Container) GILGroup() *cpusched.Group { return c.gilGroup }
+
+// Cache is the container's Resource Multiplexer, or nil when the
+// container was acquired without multiplexing (the baselines).
+func (c *Container) Cache() *multiplex.Cache { return c.cache }
+
+// Active reports how many invocations are running inside the container.
+func (c *Container) Active() int { return c.active }
+
+// Served reports how many invocations the container has completed.
+func (c *Container) Served() int { return c.served }
+
+// SetCPULimit applies a cpuset limit (cores; <= 0 means unlimited).
+func (c *Container) SetCPULimit(cores float64) { c.group.SetCap(cores) }
+
+// CheckoutThread marks one invocation as running inside the container.
+func (c *Container) CheckoutThread() {
+	c.active++
+	c.state = Busy
+}
+
+// ReturnThread marks one invocation as finished. When the container
+// drains it returns to the warm pool and its keep-alive clock starts.
+func (c *Container) ReturnThread() {
+	if c.active == 0 {
+		return
+	}
+	c.active--
+	c.served++
+	if c.active == 0 {
+		c.node.parkIdle(c)
+	}
+}
+
+// BeginClientCreation registers an in-flight client construction and
+// reports the resulting concurrency degree k (>= 1).
+func (c *Container) BeginClientCreation() int {
+	c.creating++
+	return c.creating
+}
+
+// EndClientCreation unregisters an in-flight client construction.
+func (c *Container) EndClientCreation() {
+	if c.creating > 0 {
+		c.creating--
+	}
+}
+
+// CreationConcurrency reports the in-flight client constructions.
+func (c *Container) CreationConcurrency() int { return c.creating }
+
+// AllocClientMem charges client-instance memory to the node ledger and
+// reports the live instance ordinal (1-based) for marginal pricing.
+func (c *Container) AllocClientMem(bytes int64) int {
+	c.clientLive++
+	c.clientBytes += bytes
+	c.node.allocMem(bytes)
+	c.node.clientBytesAllocated += bytes
+	return c.clientLive
+}
+
+// ClientLive reports the number of live client instances in the container.
+func (c *Container) ClientLive() int { return c.clientLive }
+
+// Terminate tears the container down immediately (scale-in), bypassing
+// the warm pool. Kraken uses it to retire batch containers, reproducing
+// the paper's observed fresh-container-per-batch behaviour. Terminating
+// a container that still has running CPU tasks is not supported; callers
+// terminate only after their batch drained.
+func (c *Container) Terminate() {
+	c.active = 0
+	c.node.teardown(c)
+}
+
+// FreeClientMem releases client-instance memory (a non-multiplexed client
+// is garbage-collected when its invocation returns).
+func (c *Container) FreeClientMem(bytes int64) {
+	if bytes > c.clientBytes {
+		bytes = c.clientBytes
+	}
+	c.clientBytes -= bytes
+	if c.clientLive > 0 {
+		c.clientLive--
+	}
+	c.node.freeMem(bytes)
+}

@@ -1,0 +1,609 @@
+package node
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"faasbatch/internal/cpusched"
+	"faasbatch/internal/sim"
+)
+
+// testConfig returns a small deterministic node config for tests.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Cores = 4
+	cfg.ColdStartLatency = 400 * time.Millisecond
+	cfg.CreateCPUWork = 100 * time.Millisecond
+	cfg.ContainerInitCPUWork = 0
+	cfg.CreateConcurrency = 2
+	cfg.KeepAlive = 10 * time.Second
+	cfg.ContainerMem = 40 << 20
+	cfg.BaseMemBytes = 0
+	return cfg
+}
+
+func newTestNode(t *testing.T, eng *sim.Engine, cfg Config) *Node {
+	t.Helper()
+	n, err := New(eng, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return n
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.New(1)
+	bad := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.CreateConcurrency = 0 },
+		func(c *Config) { c.ColdStartLatency = -1 },
+		func(c *Config) { c.CreateCPUWork = -1 },
+		func(c *Config) { c.KeepAlive = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := testConfig()
+		mutate(&cfg)
+		if _, err := New(eng, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	// Nil discipline defaults to FairShare.
+	cfg := testConfig()
+	cfg.Discipline = nil
+	n := newTestNode(t, eng, cfg)
+	if n.Config().Discipline.Name() != "fair-share" {
+		t.Errorf("default discipline = %q", n.Config().Discipline.Name())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{Starting: "starting", Idle: "idle", Busy: "busy", Evicted: "evicted"}
+	for s, w := range want {
+		if got := s.String(); got != w {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, w)
+		}
+	}
+	if State(9).String() != "state(9)" {
+		t.Error("unknown state string wrong")
+	}
+}
+
+func TestColdAcquire(t *testing.T) {
+	eng := sim.New(1)
+	n := newTestNode(t, eng, testConfig())
+	var res AcquireResult
+	gotIt := false
+	n.Acquire("fib30", AcquireOptions{}, func(r AcquireResult) {
+		res = r
+		gotIt = true
+	})
+	eng.Run()
+	if !gotIt {
+		t.Fatal("Acquire callback never fired")
+	}
+	if !res.Cold {
+		t.Fatal("first acquire should be cold")
+	}
+	// Boot = 100ms CPU work (alone on 4 cores -> full speed) + 400ms
+	// latency = 500ms.
+	if res.BootTime < 499*time.Millisecond || res.BootTime > 501*time.Millisecond {
+		t.Fatalf("BootTime = %v, want ~500ms", res.BootTime)
+	}
+	if res.QueueWait != 0 {
+		t.Fatalf("QueueWait = %v, want 0 (free engine slot)", res.QueueWait)
+	}
+	c := res.Container
+	if c.State() != Busy || c.Active() != 1 {
+		t.Fatalf("container state = %v active = %d, want busy/1", c.State(), c.Active())
+	}
+	if c.Fn() != "fib30" {
+		t.Fatalf("Fn = %q", c.Fn())
+	}
+	if n.TotalCreated() != 1 || n.LiveContainers() != 1 || n.ColdStarts() != 1 {
+		t.Fatalf("counters: created=%d live=%d cold=%d", n.TotalCreated(), n.LiveContainers(), n.ColdStarts())
+	}
+	if n.MemUsed() != 40<<20 {
+		t.Fatalf("MemUsed = %d, want container base", n.MemUsed())
+	}
+}
+
+func TestWarmAcquireReusesContainer(t *testing.T) {
+	eng := sim.New(1)
+	n := newTestNode(t, eng, testConfig())
+	var first *Container
+	n.Acquire("f", AcquireOptions{}, func(r AcquireResult) {
+		first = r.Container
+		r.Container.ReturnThread()
+	})
+	eng.RunUntil(sim.Time(2 * time.Second)) // boot done, keep-alive not expired
+	if n.WarmCount("f") != 1 {
+		t.Fatalf("WarmCount = %d, want 1", n.WarmCount("f"))
+	}
+	var second AcquireResult
+	n.Acquire("f", AcquireOptions{}, func(r AcquireResult) { second = r })
+	if second.Container == nil {
+		t.Fatal("warm acquire should complete synchronously")
+	}
+	if second.Cold || second.BootTime != 0 || second.QueueWait != 0 {
+		t.Fatalf("warm acquire = %+v, want warm/zero latencies", second)
+	}
+	if second.Container != first {
+		t.Fatal("warm acquire returned a different container")
+	}
+	if n.TotalCreated() != 1 || n.WarmStarts() != 1 {
+		t.Fatalf("created=%d warm=%d", n.TotalCreated(), n.WarmStarts())
+	}
+}
+
+func TestWarmPoolIsPerFunction(t *testing.T) {
+	eng := sim.New(1)
+	n := newTestNode(t, eng, testConfig())
+	n.Acquire("fA", AcquireOptions{}, func(r AcquireResult) { r.Container.ReturnThread() })
+	eng.Run()
+	var res AcquireResult
+	n.Acquire("fB", AcquireOptions{}, func(r AcquireResult) { res = r })
+	eng.Run()
+	if !res.Cold {
+		t.Fatal("different function must not reuse another function's container")
+	}
+	if n.TotalCreated() != 2 {
+		t.Fatalf("TotalCreated = %d, want 2", n.TotalCreated())
+	}
+}
+
+func TestCreationPipelineQueues(t *testing.T) {
+	// CreateConcurrency=2: five concurrent acquires must serialise in
+	// waves on the engine's CPU-work stage. The CPU work (100ms each, two
+	// at a time on 4 cores, full speed) gates the pipeline; the 400ms boot
+	// latency overlaps.
+	eng := sim.New(1)
+	n := newTestNode(t, eng, testConfig())
+	var waits []time.Duration
+	for i := 0; i < 5; i++ {
+		n.Acquire("f", AcquireOptions{}, func(r AcquireResult) {
+			waits = append(waits, r.QueueWait)
+		})
+	}
+	if n.PendingCreations() != 5 {
+		t.Fatalf("PendingCreations = %d, want 5", n.PendingCreations())
+	}
+	eng.Run()
+	if len(waits) != 5 {
+		t.Fatalf("completed %d acquires, want 5", len(waits))
+	}
+	if n.PendingCreations() != 0 {
+		t.Fatalf("PendingCreations after run = %d", n.PendingCreations())
+	}
+	// First two: no wait. Next two: ~100ms. Last: ~200ms.
+	approx := func(got, want time.Duration) bool {
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 5*time.Millisecond
+	}
+	if !approx(waits[0], 0) || !approx(waits[1], 0) {
+		t.Errorf("first wave waits = %v %v, want ~0", waits[0], waits[1])
+	}
+	if !approx(waits[2], 100*time.Millisecond) || !approx(waits[3], 100*time.Millisecond) {
+		t.Errorf("second wave waits = %v %v, want ~100ms", waits[2], waits[3])
+	}
+	if !approx(waits[4], 200*time.Millisecond) {
+		t.Errorf("third wave wait = %v, want ~200ms", waits[4])
+	}
+}
+
+func TestCreationBurnsNodeCPU(t *testing.T) {
+	eng := sim.New(1)
+	n := newTestNode(t, eng, testConfig())
+	n.Acquire("f", AcquireOptions{}, func(AcquireResult) {})
+	eng.Run()
+	// The engine's creation work must appear in the CPU busy integral.
+	if got := n.Pool().BusyCoreSeconds(); got < 0.099 || got > 0.101 {
+		t.Fatalf("BusyCoreSeconds = %v, want ~0.1 (creation work)", got)
+	}
+}
+
+func TestKeepAliveEviction(t *testing.T) {
+	eng := sim.New(1)
+	n := newTestNode(t, eng, testConfig())
+	var c *Container
+	n.Acquire("f", AcquireOptions{}, func(r AcquireResult) {
+		c = r.Container
+		r.Container.ReturnThread()
+	})
+	eng.Run()
+	if c.State() != Evicted {
+		t.Fatalf("state after keep-alive = %v, want evicted", c.State())
+	}
+	if n.LiveContainers() != 0 || n.WarmCount("f") != 0 {
+		t.Fatalf("live=%d warm=%d after eviction", n.LiveContainers(), n.WarmCount("f"))
+	}
+	if n.MemUsed() != 0 {
+		t.Fatalf("MemUsed = %d after eviction, want 0", n.MemUsed())
+	}
+	if n.Evictions() != 1 {
+		t.Fatalf("Evictions = %d, want 1", n.Evictions())
+	}
+}
+
+func TestReacquireCancelsEviction(t *testing.T) {
+	cfg := testConfig()
+	eng := sim.New(1)
+	n := newTestNode(t, eng, cfg)
+	var c *Container
+	n.Acquire("f", AcquireOptions{}, func(r AcquireResult) {
+		c = r.Container
+		r.Container.ReturnThread()
+	})
+	// Boot finishes at 500ms; keep-alive timer armed for 10.5s. Reacquire
+	// at 5s and hold past the original timer.
+	eng.Schedule(5*time.Second, func() {
+		n.Acquire("f", AcquireOptions{}, func(r AcquireResult) {})
+	})
+	eng.RunUntil(sim.Time(12 * time.Second))
+	if c.State() != Busy {
+		t.Fatalf("state = %v, want busy (eviction must be cancelled)", c.State())
+	}
+	if n.Evictions() != 0 {
+		t.Fatalf("Evictions = %d, want 0", n.Evictions())
+	}
+}
+
+func TestMultiplexOptionEquipsCache(t *testing.T) {
+	eng := sim.New(1)
+	n := newTestNode(t, eng, testConfig())
+	var withCache, without *Container
+	n.Acquire("a", AcquireOptions{Multiplex: true}, func(r AcquireResult) { withCache = r.Container })
+	n.Acquire("b", AcquireOptions{}, func(r AcquireResult) { without = r.Container })
+	eng.Run()
+	if withCache.Cache() == nil {
+		t.Error("multiplexed container has no cache")
+	}
+	if without.Cache() != nil {
+		t.Error("baseline container unexpectedly has a cache")
+	}
+}
+
+func TestCPULimitApplied(t *testing.T) {
+	eng := sim.New(1)
+	n := newTestNode(t, eng, testConfig())
+	var c *Container
+	n.Acquire("f", AcquireOptions{CPULimit: 2}, func(r AcquireResult) { c = r.Container })
+	eng.Run()
+	if got := c.Group().Cap(); got != 2 {
+		t.Fatalf("group cap = %v, want 2", got)
+	}
+	c.SetCPULimit(1)
+	if got := c.Group().Cap(); got != 1 {
+		t.Fatalf("group cap after SetCPULimit = %v, want 1", got)
+	}
+	if got := c.GILGroup().Cap(); got != 1 {
+		t.Fatalf("gil group cap = %v, want 1", got)
+	}
+}
+
+func TestClientMemAccounting(t *testing.T) {
+	eng := sim.New(1)
+	n := newTestNode(t, eng, testConfig())
+	var c *Container
+	n.Acquire("f", AcquireOptions{}, func(r AcquireResult) { c = r.Container })
+	eng.Run()
+	base := n.MemUsed()
+	if ord := c.AllocClientMem(9 << 20); ord != 1 {
+		t.Fatalf("first client ordinal = %d, want 1", ord)
+	}
+	if ord := c.AllocClientMem(6 << 20); ord != 2 {
+		t.Fatalf("second client ordinal = %d, want 2", ord)
+	}
+	if got := n.MemUsed() - base; got != 15<<20 {
+		t.Fatalf("client mem delta = %d, want 15 MiB", got)
+	}
+	if c.ClientLive() != 2 {
+		t.Fatalf("ClientLive = %d, want 2", c.ClientLive())
+	}
+	if n.ClientBytesAllocated() != 15<<20 {
+		t.Fatalf("ClientBytesAllocated = %d", n.ClientBytesAllocated())
+	}
+	c.FreeClientMem(6 << 20)
+	if got := n.MemUsed() - base; got != 9<<20 {
+		t.Fatalf("after free delta = %d, want 9 MiB", got)
+	}
+	// Teardown releases the rest.
+	c.ReturnThread()
+	eng.Run()
+	if n.MemUsed() != 0 {
+		t.Fatalf("MemUsed after teardown = %d, want 0", n.MemUsed())
+	}
+}
+
+func TestFreeClientMemClampsToLive(t *testing.T) {
+	eng := sim.New(1)
+	n := newTestNode(t, eng, testConfig())
+	var c *Container
+	n.Acquire("f", AcquireOptions{}, func(r AcquireResult) { c = r.Container })
+	eng.Run()
+	c.AllocClientMem(1 << 20)
+	c.FreeClientMem(100 << 20) // over-free must clamp
+	if n.MemUsed() != n.cfg.ContainerMem {
+		t.Fatalf("MemUsed = %d, want container base only", n.MemUsed())
+	}
+}
+
+func TestEvictIdle(t *testing.T) {
+	eng := sim.New(1)
+	n := newTestNode(t, eng, testConfig())
+	for i := 0; i < 3; i++ {
+		n.Acquire("f", AcquireOptions{}, func(r AcquireResult) { r.Container.ReturnThread() })
+	}
+	eng.RunUntil(sim.Time(2 * time.Second)) // boots done, keep-alive not yet
+	// Three creations for the same fn because none was warm at submit.
+	if got := n.EvictIdle(); got != 3 {
+		t.Fatalf("EvictIdle = %d, want 3", got)
+	}
+	if n.MemUsed() != 0 || n.LiveContainers() != 0 {
+		t.Fatalf("after EvictIdle: mem=%d live=%d", n.MemUsed(), n.LiveContainers())
+	}
+}
+
+func TestReturnThreadOnIdleContainerIsNoop(t *testing.T) {
+	eng := sim.New(1)
+	n := newTestNode(t, eng, testConfig())
+	var c *Container
+	n.Acquire("f", AcquireOptions{}, func(r AcquireResult) {
+		c = r.Container
+		r.Container.ReturnThread()
+	})
+	eng.RunUntil(sim.Time(time.Second))
+	c.ReturnThread() // extra return must not corrupt state
+	if c.Active() != 0 || c.State() != Idle {
+		t.Fatalf("state = %v active = %d", c.State(), c.Active())
+	}
+}
+
+func TestMemPeakTracksHighWater(t *testing.T) {
+	eng := sim.New(1)
+	n := newTestNode(t, eng, testConfig())
+	done := 0
+	for i := 0; i < 4; i++ {
+		n.Acquire("f", AcquireOptions{}, func(r AcquireResult) {
+			done++
+			r.Container.ReturnThread()
+		})
+	}
+	eng.Run()
+	if done != 4 {
+		t.Fatalf("completed %d, want 4", done)
+	}
+	if n.MemPeak() != 4*(40<<20) {
+		t.Fatalf("MemPeak = %d, want 4 containers", n.MemPeak())
+	}
+	if n.MemUsed() != 0 {
+		t.Fatalf("MemUsed = %d after evictions", n.MemUsed())
+	}
+}
+
+func TestMLFQDisciplineAccepted(t *testing.T) {
+	eng := sim.New(1)
+	cfg := testConfig()
+	cfg.Discipline = cpusched.NewMLFQ()
+	n := newTestNode(t, eng, cfg)
+	fired := false
+	n.Acquire("f", AcquireOptions{}, func(AcquireResult) { fired = true })
+	eng.Run()
+	if !fired {
+		t.Fatal("acquire under MLFQ never completed")
+	}
+}
+
+// Property: for any sequence of acquire/release cycles, the ledger returns
+// to zero once everything is evicted, and every callback fires exactly
+// once.
+func TestPropertyLedgerBalance(t *testing.T) {
+	f := func(seed int64, opsRaw []uint8) bool {
+		eng := sim.New(seed)
+		cfg := testConfig()
+		cfg.KeepAlive = 5 * time.Second
+		n, err := New(eng, cfg)
+		if err != nil {
+			return false
+		}
+		fired := 0
+		for i, op := range opsRaw {
+			fn := string(rune('a' + op%3))
+			at := time.Duration(i*37) * time.Millisecond
+			eng.Schedule(at, func() {
+				n.Acquire(fn, AcquireOptions{Multiplex: op%2 == 0}, func(r AcquireResult) {
+					fired++
+					if op%4 == 0 {
+						r.Container.AllocClientMem(int64(op) << 16)
+					}
+					r.Container.ReturnThread()
+				})
+			})
+		}
+		eng.Run()
+		return fired == len(opsRaw) && n.MemUsed() == 0 && n.LiveContainers() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTerminateBypassesWarmPool(t *testing.T) {
+	eng := sim.New(1)
+	n := newTestNode(t, eng, testConfig())
+	var c *Container
+	n.Acquire("f", AcquireOptions{}, func(r AcquireResult) { c = r.Container })
+	eng.Run()
+	c.Terminate()
+	if c.State() != Evicted {
+		t.Fatalf("state = %v, want evicted", c.State())
+	}
+	if n.LiveContainers() != 0 || n.WarmCount("f") != 0 {
+		t.Fatalf("live=%d warm=%d after terminate", n.LiveContainers(), n.WarmCount("f"))
+	}
+	if n.MemUsed() != 0 {
+		t.Fatalf("MemUsed = %d after terminate", n.MemUsed())
+	}
+	// Idempotent.
+	c.Terminate()
+	if n.LiveContainers() != 0 {
+		t.Fatal("double terminate corrupted live count")
+	}
+}
+
+func TestTerminateFreesClientMemory(t *testing.T) {
+	eng := sim.New(1)
+	n := newTestNode(t, eng, testConfig())
+	var c *Container
+	n.Acquire("f", AcquireOptions{Multiplex: true}, func(r AcquireResult) { c = r.Container })
+	eng.Run()
+	c.AllocClientMem(9 << 20)
+	c.Terminate()
+	if n.MemUsed() != 0 {
+		t.Fatalf("MemUsed = %d after terminate with client memory", n.MemUsed())
+	}
+}
+
+func TestBusyCoreSecondsIncludesIdleCharge(t *testing.T) {
+	eng := sim.New(1)
+	cfg := testConfig()
+	cfg.ContainerIdleCPU = 0.5
+	n := newTestNode(t, eng, cfg)
+	n.Acquire("f", AcquireOptions{}, func(r AcquireResult) {})
+	eng.RunUntil(sim.Time(10 * time.Second))
+	// Boot finished at ~0.5s; the container lived since its creation at
+	// t=0 (live includes the boot), so by t=10s the idle charge is about
+	// 10s * 0.5 cores = 5 core-seconds plus the 0.1 core-seconds of
+	// creation work.
+	got := n.BusyCoreSeconds()
+	if got < 4.9 || got > 5.3 {
+		t.Fatalf("BusyCoreSeconds = %v, want ~5.1", got)
+	}
+}
+
+func TestBaseMemIncludedInUsage(t *testing.T) {
+	eng := sim.New(1)
+	cfg := testConfig()
+	cfg.BaseMemBytes = 100 << 20
+	n := newTestNode(t, eng, cfg)
+	if n.MemUsed() != 100<<20 {
+		t.Fatalf("MemUsed = %d, want platform base", n.MemUsed())
+	}
+	if n.MemPeak() != 100<<20 {
+		t.Fatalf("MemPeak = %d, want platform base", n.MemPeak())
+	}
+}
+
+func TestEnforceMemLimitGatesCreation(t *testing.T) {
+	eng := sim.New(1)
+	cfg := testConfig()
+	cfg.EnforceMemLimit = true
+	cfg.MemBytes = 100 << 20 // room for two 40 MB containers
+	cfg.KeepAlive = 2 * time.Second
+	n := newTestNode(t, eng, cfg)
+	acquired := 0
+	for i := 0; i < 3; i++ {
+		n.Acquire("f", AcquireOptions{}, func(r AcquireResult) {
+			acquired++
+			r.Container.ReturnThread()
+		})
+	}
+	// Boots take 500ms; by 1s only two containers fit in memory.
+	eng.RunUntil(sim.Time(time.Second))
+	if acquired != 2 {
+		t.Fatalf("acquired = %d before evictions, want 2 (admission control)", acquired)
+	}
+	if n.MemUsed() > cfg.MemBytes {
+		t.Fatalf("MemUsed %d exceeded the limit %d", n.MemUsed(), cfg.MemBytes)
+	}
+	// Keep-alive evictions free memory and unblock the third creation.
+	eng.Run()
+	if acquired != 3 {
+		t.Fatalf("acquired = %d after evictions, want 3", acquired)
+	}
+}
+
+func TestEnforceMemLimitOffAllowsOvershoot(t *testing.T) {
+	eng := sim.New(1)
+	cfg := testConfig()
+	cfg.MemBytes = 50 << 20
+	n := newTestNode(t, eng, cfg)
+	done := 0
+	for i := 0; i < 3; i++ {
+		n.Acquire("f", AcquireOptions{}, func(AcquireResult) { done++ })
+	}
+	eng.Run()
+	if done != 3 {
+		t.Fatalf("done = %d, want 3 (no enforcement by default)", done)
+	}
+	if n.MemUsed() <= cfg.MemBytes {
+		t.Fatalf("expected overshoot without enforcement: used %d", n.MemUsed())
+	}
+}
+
+func TestBootFailureRateValidation(t *testing.T) {
+	eng := sim.New(1)
+	cfg := testConfig()
+	cfg.BootFailureRate = -0.1
+	if _, err := New(eng, cfg); err == nil {
+		t.Error("negative failure rate accepted")
+	}
+	cfg.BootFailureRate = 1.0
+	if _, err := New(eng, cfg); err == nil {
+		t.Error("failure rate 1.0 accepted (would never boot)")
+	}
+}
+
+func TestBootFailuresRetryUntilSuccess(t *testing.T) {
+	eng := sim.New(7)
+	cfg := testConfig()
+	cfg.BootFailureRate = 0.5
+	n := newTestNode(t, eng, cfg)
+	const acquires = 20
+	done := 0
+	var maxBoot time.Duration
+	for i := 0; i < acquires; i++ {
+		n.Acquire("f", AcquireOptions{}, func(r AcquireResult) {
+			done++
+			if !r.Cold {
+				return
+			}
+			total := r.QueueWait + r.BootTime
+			if total > maxBoot {
+				maxBoot = total
+			}
+			r.Container.ReturnThread()
+		})
+	}
+	eng.RunUntil(sim.Time(5 * time.Minute))
+	if done != acquires {
+		t.Fatalf("completed %d/%d acquires despite retries", done, acquires)
+	}
+	if n.BootFailures() == 0 {
+		t.Fatal("no boot failures at rate 0.5")
+	}
+	// Failed boots tear down cleanly: the ledger balances after eviction.
+	eng.Run()
+	if n.MemUsed() != 0 {
+		t.Fatalf("MemUsed = %d after failures and evictions, want 0", n.MemUsed())
+	}
+	// Retried acquisitions report longer waits than a clean boot.
+	if maxBoot <= 500*time.Millisecond {
+		t.Fatalf("max boot wait %v, want > one clean boot (retries add delay)", maxBoot)
+	}
+}
+
+func TestZeroFailureRateNeverFails(t *testing.T) {
+	eng := sim.New(1)
+	n := newTestNode(t, eng, testConfig())
+	for i := 0; i < 10; i++ {
+		n.Acquire("f", AcquireOptions{}, func(r AcquireResult) { r.Container.ReturnThread() })
+	}
+	eng.Run()
+	if n.BootFailures() != 0 {
+		t.Fatalf("BootFailures = %d at rate 0", n.BootFailures())
+	}
+}

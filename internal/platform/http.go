@@ -1,0 +1,133 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"faasbatch/internal/httpapi"
+)
+
+// NewHTTPHandler exposes a platform over HTTP:
+//
+//	POST /invoke   — body httpapi.InvokeRequest, reply httpapi.InvokeResponse
+//	GET  /stats    — reply httpapi.StatsResponse
+//	GET  /healthz  — 200 ok
+func NewHTTPHandler(p *Platform) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/invoke", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
+			return
+		}
+		var req httpapi.InvokeRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			http.Error(w, fmt.Sprintf("decode request: %v", err), http.StatusBadRequest)
+			return
+		}
+		if req.Fn == "" {
+			http.Error(w, "missing fn", http.StatusBadRequest)
+			return
+		}
+		res, err := p.Invoke(r.Context(), req.Fn, req.Payload)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		value, err := json.Marshal(res.Value)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("encode result: %v", err), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, httpapi.InvokeResponse{
+			Fn:          req.Fn,
+			Result:      value,
+			ContainerID: res.ContainerID,
+			Cold:        res.Cold,
+			Latency: httpapi.Latency{
+				SchedMillis: float64(res.Sched.Microseconds()) / 1000,
+				ColdMillis:  float64(res.ColdStart.Microseconds()) / 1000,
+				ExecMillis:  float64(res.Exec.Microseconds()) / 1000,
+				TotalMillis: float64(res.Total().Microseconds()) / 1000,
+			},
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		st := p.Stats()
+		writeJSON(w, httpapi.StatsResponse{
+			Invocations:       st.Invocations,
+			Groups:            st.Groups,
+			ContainersCreated: st.ContainersCreated,
+			WarmStarts:        st.WarmStarts,
+			LiveContainers:    st.LiveContainers,
+			CacheHits:         st.Multiplexer.Hits + st.Multiplexer.Coalesced,
+			CacheMisses:       st.Multiplexer.Misses,
+			CacheBytesSaved:   st.Multiplexer.BytesSaved,
+		})
+	})
+	mux.HandleFunc("/functions", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, p.Functions())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		st := p.Stats()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(w, "# HELP faasbatch_invocations_total Completed invocations.\n")
+		fmt.Fprintf(w, "# TYPE faasbatch_invocations_total counter\n")
+		fmt.Fprintf(w, "faasbatch_invocations_total %d\n", st.Invocations)
+		fmt.Fprintf(w, "# HELP faasbatch_groups_total Dispatched window batches.\n")
+		fmt.Fprintf(w, "# TYPE faasbatch_groups_total counter\n")
+		fmt.Fprintf(w, "faasbatch_groups_total %d\n", st.Groups)
+		fmt.Fprintf(w, "# HELP faasbatch_containers_created_total Cold starts.\n")
+		fmt.Fprintf(w, "# TYPE faasbatch_containers_created_total counter\n")
+		fmt.Fprintf(w, "faasbatch_containers_created_total %d\n", st.ContainersCreated)
+		fmt.Fprintf(w, "# HELP faasbatch_warm_starts_total Warm container reuses.\n")
+		fmt.Fprintf(w, "# TYPE faasbatch_warm_starts_total counter\n")
+		fmt.Fprintf(w, "faasbatch_warm_starts_total %d\n", st.WarmStarts)
+		fmt.Fprintf(w, "# HELP faasbatch_live_containers Containers currently alive.\n")
+		fmt.Fprintf(w, "# TYPE faasbatch_live_containers gauge\n")
+		fmt.Fprintf(w, "faasbatch_live_containers %d\n", st.LiveContainers)
+		fmt.Fprintf(w, "# HELP faasbatch_multiplexer_hits_total Resource creations served from cache.\n")
+		fmt.Fprintf(w, "# TYPE faasbatch_multiplexer_hits_total counter\n")
+		fmt.Fprintf(w, "faasbatch_multiplexer_hits_total %d\n", st.Multiplexer.Hits+st.Multiplexer.Coalesced)
+		fmt.Fprintf(w, "# HELP faasbatch_multiplexer_misses_total Resource builds performed.\n")
+		fmt.Fprintf(w, "# TYPE faasbatch_multiplexer_misses_total counter\n")
+		fmt.Fprintf(w, "faasbatch_multiplexer_misses_total %d\n", st.Multiplexer.Misses)
+		fmt.Fprintf(w, "# HELP faasbatch_multiplexer_bytes_saved_total Duplicate client memory avoided.\n")
+		fmt.Fprintf(w, "# TYPE faasbatch_multiplexer_bytes_saved_total counter\n")
+		fmt.Fprintf(w, "faasbatch_multiplexer_bytes_saved_total %d\n", st.Multiplexer.BytesSaved)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// The header is already out; nothing more to do than log-level
+		// reporting, which the mini-platform does not carry.
+		_ = err
+	}
+}

@@ -1,0 +1,534 @@
+// Package platform is a live, wall-clock FaaSBatch runtime: a miniature
+// serverless platform that executes real Go functions with the paper's
+// scheduling architecture. Where internal/experiment reproduces the
+// evaluation in virtual time, this package is what a downstream user
+// embeds to run FaaSBatch for real:
+//
+//   - functions register as Go handlers;
+//   - the Invoke Mapper batches concurrent invocations per function over
+//     a dispatch interval and expands each group inside one container
+//     (a goroutine-backed worker with a simulated cold-start delay);
+//   - each container carries a Resource Multiplexer; handlers obtain
+//     shared clients through Resources.Get, so duplicate constructions
+//     coalesce exactly as in §III-D.
+//
+// A per-invocation mode (Vanilla) is included for comparison, and
+// NewHTTPHandler exposes the platform over HTTP (cmd/faasgate).
+package platform
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"faasbatch/internal/multiplex"
+)
+
+// Mode selects the scheduling policy of the live platform.
+type Mode int
+
+// Scheduling modes.
+const (
+	// ModeBatch is FaaSBatch: window batching + inline-parallel
+	// expansion + resource multiplexing.
+	ModeBatch Mode = iota + 1
+	// ModeVanilla launches/acquires one container per invocation.
+	ModeVanilla
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeBatch:
+		return "faasbatch"
+	case ModeVanilla:
+		return "vanilla"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Handler is a registered serverless function.
+type Handler func(ctx context.Context, inv *Invocation) (any, error)
+
+// Invocation is the handler's view of one request.
+type Invocation struct {
+	// Payload is the raw request payload.
+	Payload json.RawMessage
+	// Resources is the container's Resource Multiplexer facade.
+	Resources *Resources
+	// ContainerID identifies the hosting container.
+	ContainerID string
+}
+
+// Resources is the handler-facing face of the container's Resource
+// Multiplexer: Get intercepts resource creations, as the paper's
+// multiplexer intercepts client(args) calls.
+type Resources struct {
+	cache *multiplex.Cache
+}
+
+// Get returns the shared instance for (callee, argsKey), building it at
+// most once per container. The boolean reports whether the instance came
+// from the cache. When the platform runs without multiplexing, every call
+// builds a fresh instance and Get reports false.
+func (r *Resources) Get(callee, argsKey string, build func() (any, int64, error)) (any, bool, error) {
+	if r.cache == nil {
+		v, _, err := build()
+		if err != nil {
+			return nil, false, fmt.Errorf("platform: build %s: %w", callee, err)
+		}
+		return v, false, nil
+	}
+	return r.cache.GetOrBuild(multiplex.NewKey(callee, argsKey), build)
+}
+
+// Result is the outcome of one invocation, with the latency decomposition
+// of §IV measured in wall-clock time.
+type Result struct {
+	// Value is the handler's return value.
+	Value any
+	// ContainerID identifies the container that served the invocation.
+	ContainerID string
+	// Cold reports whether a container had to be started.
+	Cold bool
+	// Sched is the scheduling latency (window wait + dispatch).
+	Sched time.Duration
+	// ColdStart is the container boot time (zero on warm starts).
+	ColdStart time.Duration
+	// Exec is the handler execution time.
+	Exec time.Duration
+}
+
+// Total reports the end-to-end latency.
+func (r Result) Total() time.Duration { return r.Sched + r.ColdStart + r.Exec }
+
+// Config parameterises the live platform.
+type Config struct {
+	// Mode selects batching (FaaSBatch) or per-invocation (Vanilla).
+	Mode Mode
+	// DispatchInterval is the Invoke Mapper window (ModeBatch only).
+	DispatchInterval time.Duration
+	// ColdStart simulates container boot time.
+	ColdStart time.Duration
+	// KeepAlive retains idle containers before eviction.
+	KeepAlive time.Duration
+	// Multiplex equips containers with a Resource Multiplexer.
+	Multiplex bool
+	// MaxConcurrency caps how many invocations expand inside one
+	// container; a window group larger than the cap splits across
+	// containers (Knative-style containerConcurrency). Zero means
+	// unlimited — the paper stuffs the whole group into one container.
+	MaxConcurrency int
+}
+
+// DefaultConfig returns paper-like live defaults (cold starts scaled down
+// so examples run snappily).
+func DefaultConfig() Config {
+	return Config{
+		Mode:             ModeBatch,
+		DispatchInterval: 200 * time.Millisecond,
+		ColdStart:        100 * time.Millisecond,
+		KeepAlive:        2 * time.Minute,
+		Multiplex:        true,
+	}
+}
+
+// Stats is a snapshot of platform counters.
+type Stats struct {
+	// Invocations counts completed invocations.
+	Invocations int64
+	// Groups counts dispatched batches (ModeBatch).
+	Groups int64
+	// ContainersCreated counts cold starts.
+	ContainersCreated int64
+	// WarmStarts counts container reuses.
+	WarmStarts int64
+	// LiveContainers counts containers currently alive.
+	LiveContainers int
+	// Multiplexer aggregates the containers' cache statistics.
+	Multiplexer multiplex.Stats
+}
+
+// container is a live worker: a logical container backed by goroutines.
+type container struct {
+	id        string
+	fn        string
+	resources *Resources
+	active    int
+	lastIdle  time.Time
+}
+
+// function is one registered function's state.
+type function struct {
+	name    string
+	handler Handler
+	warm    []*container
+	pending []*pendingCall
+	all     []*container
+}
+
+// pendingCall is an invocation waiting for its window.
+type pendingCall struct {
+	ctx     context.Context
+	payload json.RawMessage
+	arrive  time.Time
+	done    chan outcome
+}
+
+// outcome carries a finished invocation back to its caller.
+type outcome struct {
+	res Result
+	err error
+}
+
+// Platform is the live FaaSBatch runtime.
+type Platform struct {
+	cfg Config
+
+	mu     sync.Mutex
+	fns    map[string]*function
+	seq    int64
+	stats  Stats
+	closed bool
+
+	stopTicker chan struct{}
+	wg         sync.WaitGroup
+}
+
+// New starts a platform. Close must be called to release its dispatcher.
+func New(cfg Config) (*Platform, error) {
+	if cfg.Mode != ModeBatch && cfg.Mode != ModeVanilla {
+		return nil, fmt.Errorf("platform: unknown mode %d", int(cfg.Mode))
+	}
+	if cfg.Mode == ModeBatch && cfg.DispatchInterval <= 0 {
+		return nil, fmt.Errorf("platform: dispatch interval must be positive, got %v", cfg.DispatchInterval)
+	}
+	if cfg.ColdStart < 0 {
+		return nil, fmt.Errorf("platform: cold start must be non-negative, got %v", cfg.ColdStart)
+	}
+	if cfg.KeepAlive <= 0 {
+		return nil, fmt.Errorf("platform: keep-alive must be positive, got %v", cfg.KeepAlive)
+	}
+	if cfg.MaxConcurrency < 0 {
+		return nil, fmt.Errorf("platform: max concurrency must be non-negative, got %d", cfg.MaxConcurrency)
+	}
+	p := &Platform{
+		cfg:        cfg,
+		fns:        make(map[string]*function),
+		stopTicker: make(chan struct{}),
+	}
+	if cfg.Mode == ModeBatch {
+		p.wg.Add(1)
+		go p.dispatchLoop()
+	}
+	return p, nil
+}
+
+// Register adds a function. Registering a duplicate or empty name fails.
+func (p *Platform) Register(name string, h Handler) error {
+	if name == "" || h == nil {
+		return fmt.Errorf("platform: register requires a name and a handler")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("platform: closed")
+	}
+	if _, ok := p.fns[name]; ok {
+		return fmt.Errorf("platform: function %q already registered", name)
+	}
+	p.fns[name] = &function{name: name, handler: h}
+	return nil
+}
+
+// Invoke runs one invocation and blocks until it completes. In ModeBatch
+// the call waits for its window, travels with its group, and expands
+// inside the group's container.
+func (p *Platform) Invoke(ctx context.Context, fn string, payload json.RawMessage) (Result, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return Result{}, fmt.Errorf("platform: closed")
+	}
+	f, ok := p.fns[fn]
+	if !ok {
+		p.mu.Unlock()
+		return Result{}, fmt.Errorf("platform: unknown function %q", fn)
+	}
+	call := &pendingCall{ctx: ctx, payload: payload, arrive: time.Now(), done: make(chan outcome, 1)}
+	if p.cfg.Mode == ModeVanilla {
+		p.mu.Unlock()
+		p.runGroup(f, []*pendingCall{call})
+	} else {
+		f.pending = append(f.pending, call)
+		p.mu.Unlock()
+	}
+	select {
+	case out := <-call.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		return Result{}, fmt.Errorf("platform: invoke %s: %w", fn, ctx.Err())
+	}
+}
+
+// dispatchLoop is the Invoke Mapper: every interval it drains each
+// function's pending calls as one group.
+func (p *Platform) dispatchLoop() {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.cfg.DispatchInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			p.dispatchWindow()
+		case <-p.stopTicker:
+			p.dispatchWindow() // flush
+			return
+		}
+	}
+}
+
+// dispatchWindow drains every function's window group.
+func (p *Platform) dispatchWindow() {
+	p.mu.Lock()
+	type job struct {
+		f     *function
+		group []*pendingCall
+	}
+	var jobs []job
+	for _, f := range p.fns {
+		if len(f.pending) == 0 {
+			continue
+		}
+		group := f.pending
+		f.pending = nil
+		jobs = append(jobs, job{f: f, group: group})
+	}
+	p.evictIdleLocked()
+	p.mu.Unlock()
+	for _, j := range jobs {
+		j := j
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.runGroup(j.f, j.group)
+		}()
+	}
+}
+
+// evictIdleLocked drops warm containers idle past the keep-alive.
+func (p *Platform) evictIdleLocked() {
+	cutoff := time.Now().Add(-p.cfg.KeepAlive)
+	for _, f := range p.fns {
+		kept := f.warm[:0]
+		for _, c := range f.warm {
+			if c.lastIdle.Before(cutoff) {
+				p.retireLocked(f, c)
+				continue
+			}
+			kept = append(kept, c)
+		}
+		for i := len(kept); i < len(f.warm); i++ {
+			f.warm[i] = nil
+		}
+		f.warm = kept
+	}
+}
+
+// retireLocked removes a container from the function's records.
+func (p *Platform) retireLocked(f *function, c *container) {
+	for i, other := range f.all {
+		if other == c {
+			f.all = append(f.all[:i], f.all[i+1:]...)
+			break
+		}
+	}
+	if c.resources != nil && c.resources.cache != nil {
+		st := c.resources.cache.Stats()
+		p.stats.Multiplexer.Hits += st.Hits
+		p.stats.Multiplexer.Coalesced += st.Coalesced
+		p.stats.Multiplexer.Misses += st.Misses
+		p.stats.Multiplexer.BytesSaved += st.BytesSaved
+		c.resources.cache.Close()
+	}
+	p.stats.LiveContainers--
+}
+
+// acquire obtains a container for f: warm if available, else cold.
+func (p *Platform) acquire(f *function) (*container, bool) {
+	p.mu.Lock()
+	if n := len(f.warm); n > 0 {
+		c := f.warm[n-1]
+		f.warm = f.warm[:n-1]
+		c.active++
+		p.stats.WarmStarts++
+		p.mu.Unlock()
+		return c, false
+	}
+	p.seq++
+	c := &container{id: fmt.Sprintf("live-%04d-%s", p.seq, f.name), fn: f.name}
+	res := &Resources{}
+	if p.cfg.Multiplex {
+		res.cache = multiplex.New()
+	}
+	c.resources = res
+	c.active++
+	f.all = append(f.all, c)
+	p.stats.ContainersCreated++
+	p.stats.LiveContainers++
+	p.mu.Unlock()
+	// Simulated boot outside the lock.
+	if p.cfg.ColdStart > 0 {
+		time.Sleep(p.cfg.ColdStart)
+	}
+	return c, true
+}
+
+// release parks the container back into the warm pool once it drains.
+func (p *Platform) release(f *function, c *container, n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c.active -= n
+	if c.active <= 0 {
+		c.active = 0
+		c.lastIdle = time.Now()
+		f.warm = append(f.warm, c)
+	}
+}
+
+// runGroup is the Inline-Parallel Producer: one container for the whole
+// group, every invocation a goroutine inside it. Groups beyond the
+// per-container concurrency cap split across containers.
+func (p *Platform) runGroup(f *function, group []*pendingCall) {
+	if max := p.cfg.MaxConcurrency; max > 0 && len(group) > max {
+		var wg sync.WaitGroup
+		for start := 0; start < len(group); start += max {
+			end := start + max
+			if end > len(group) {
+				end = len(group)
+			}
+			chunk := group[start:end]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p.runGroupOne(f, chunk)
+			}()
+		}
+		wg.Wait()
+		return
+	}
+	p.runGroupOne(f, group)
+}
+
+// runGroupOne expands one (cap-respecting) group inside one container.
+func (p *Platform) runGroupOne(f *function, group []*pendingCall) {
+	dispatch := time.Now()
+	c, cold := p.acquire(f)
+	ready := time.Now()
+	coldDur := time.Duration(0)
+	if cold {
+		coldDur = ready.Sub(dispatch)
+	}
+	p.mu.Lock()
+	p.stats.Groups++
+	c.active += len(group) - 1 // acquire already counted one
+	p.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, call := range group {
+		call := call
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			inv := &Invocation{Payload: call.payload, Resources: c.resources, ContainerID: c.id}
+			value, err := safeInvoke(f.handler, call.ctx, inv)
+			end := time.Now()
+			res := Result{
+				Value:       value,
+				ContainerID: c.id,
+				Cold:        cold,
+				Sched:       dispatch.Sub(call.arrive),
+				ColdStart:   coldDur,
+				Exec:        end.Sub(start),
+			}
+			if err != nil {
+				err = fmt.Errorf("platform: invoke %s: %w", f.name, err)
+			}
+			p.mu.Lock()
+			p.stats.Invocations++
+			p.mu.Unlock()
+			call.done <- outcome{res: res, err: err}
+		}()
+	}
+	wg.Wait()
+	p.release(f, c, len(group))
+}
+
+// safeInvoke runs a handler, converting a panic into an error so one
+// misbehaving function cannot take down the whole batch (a real container
+// would crash alone; our containers are goroutines).
+func safeInvoke(h Handler, ctx context.Context, inv *Invocation) (value any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			value = nil
+			err = fmt.Errorf("handler panicked: %v", r)
+		}
+	}()
+	return h(ctx, inv)
+}
+
+// Functions lists the registered function names, sorted.
+func (p *Platform) Functions() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.fns))
+	for name := range p.fns {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns a snapshot of the platform counters, folding in live
+// containers' multiplexer statistics.
+func (p *Platform) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stats
+	for _, f := range p.fns {
+		for _, c := range f.all {
+			if c.resources != nil && c.resources.cache != nil {
+				cs := c.resources.cache.Stats()
+				st.Multiplexer.Hits += cs.Hits
+				st.Multiplexer.Coalesced += cs.Coalesced
+				st.Multiplexer.Misses += cs.Misses
+				st.Multiplexer.BytesSaved += cs.BytesSaved
+				st.Multiplexer.BytesLive += cs.BytesLive
+				st.Multiplexer.LiveInstances += cs.LiveInstances
+			}
+		}
+	}
+	return st
+}
+
+// Close flushes pending windows and stops the dispatcher. Invocations
+// submitted after Close fail.
+func (p *Platform) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	if p.cfg.Mode == ModeBatch {
+		close(p.stopTicker)
+	}
+	p.wg.Wait()
+	return nil
+}

@@ -1,0 +1,51 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"faasbatch/internal/sim"
+)
+
+// A minute of virtual time executes instantly: events fire in timestamp
+// order and the clock jumps between them.
+func ExampleEngine() {
+	eng := sim.New(1)
+	eng.Schedule(time.Minute, func() {
+		fmt.Println("one minute:", eng.Now())
+	})
+	eng.Schedule(time.Second, func() {
+		fmt.Println("one second:", eng.Now())
+		eng.Schedule(500*time.Millisecond, func() {
+			fmt.Println("chained:", eng.Now())
+		})
+	})
+	eng.Run()
+	// Output:
+	// one second: 1s
+	// chained: 1.5s
+	// one minute: 1m0s
+}
+
+// Tickers drive periodic work such as the Invoke Mapper's dispatch
+// window.
+func ExampleNewTicker() {
+	eng := sim.New(1)
+	ticks := 0
+	t, err := sim.NewTicker(eng, 200*time.Millisecond, func(now sim.Time) {
+		ticks++
+		if ticks == 3 {
+			fmt.Println("third window at", now)
+		}
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	eng.RunUntil(sim.Time(time.Second))
+	t.Stop()
+	fmt.Println("windows closed:", ticks)
+	// Output:
+	// third window at 600ms
+	// windows closed: 5
+}

@@ -1,0 +1,229 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock from event to event. All model code
+// (CPU pools, containers, schedulers) runs inside event callbacks, so a whole
+// experiment executes in a single goroutine and is reproducible for a given
+// seed. Virtual time is completely decoupled from the wall clock: replaying
+// one minute of an Azure trace takes milliseconds of real time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp, measured as an offset from the simulation
+// epoch (the instant the engine was created).
+type Time time.Duration
+
+// Add returns the timestamp d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier timestamp o.
+func (t Time) Sub(o Time) time.Duration { return time.Duration(t - o) }
+
+// Seconds reports t as a floating-point number of seconds since the epoch.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Duration converts t to the duration elapsed since the simulation epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats t as a duration offset, e.g. "1.2s".
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// At reports the virtual time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Engine is a single-threaded discrete-event simulator.
+//
+// Engine is not safe for concurrent use; all interaction must happen from
+// the goroutine driving Run (which includes all event callbacks).
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+}
+
+// New returns an engine whose clock starts at zero, with a deterministic
+// random source derived from seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Fired reports how many events have been executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are currently scheduled (including
+// cancelled events that have not been drained yet).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay d of virtual time. A negative delay is
+// clamped to zero (the event fires "now", after currently running events).
+func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at virtual time t. A time in the past is clamped to
+// the current time.
+func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It reports whether an event was fired (false when the queue is empty).
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then advances the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor fires events for a span d of virtual time starting at the current
+// clock, then advances the clock to the end of the span.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
+
+// eventHeap orders events by (time, sequence), giving FIFO ordering among
+// events scheduled for the same instant.
+type eventHeap []*Event
+
+var _ heap.Interface = (*eventHeap)(nil)
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		// heap.Push is only reachable through Engine, which always pushes
+		// *Event; guard anyway to satisfy the interface without panicking
+		// on foreign use.
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Ticker invokes fn every period of virtual time until stopped.
+type Ticker struct {
+	eng     *Engine
+	period  time.Duration
+	fn      func(Time)
+	ev      *Event
+	stopped bool
+}
+
+// NewTicker schedules fn to run every period, starting one period from now.
+// It returns an error if period is not positive.
+func NewTicker(eng *Engine, period time.Duration, fn func(Time)) (*Ticker, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("sim: ticker period must be positive, got %v", period)
+	}
+	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.arm()
+	return t, nil
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn(t.eng.Now())
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. Stop is idempotent.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}

@@ -1,0 +1,365 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := New(1)
+	if e.Now() != 0 {
+		t.Fatalf("new engine clock = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("new engine pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleAdvancesClock(t *testing.T) {
+	e := New(1)
+	var at Time
+	e.Schedule(100*time.Millisecond, func() { at = e.Now() })
+	e.Run()
+	if got, want := at, Time(100*time.Millisecond); got != want {
+		t.Fatalf("event fired at %v, want %v", got, want)
+	}
+	if e.Now() != at {
+		t.Fatalf("clock = %v, want %v", e.Now(), at)
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New(1)
+	var order []int
+	e.Schedule(300*time.Millisecond, func() { order = append(order, 3) })
+	e.Schedule(100*time.Millisecond, func() { order = append(order, 1) })
+	e.Schedule(200*time.Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("same-instant events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := New(1)
+	fired := false
+	e.Schedule(time.Second, func() {
+		e.Schedule(-time.Hour, func() {
+			fired = true
+			if e.Now() != Time(time.Second) {
+				t.Errorf("clamped event fired at %v, want 1s", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+}
+
+func TestScheduleAtPastClampsToNow(t *testing.T) {
+	e := New(1)
+	e.Schedule(time.Second, func() {
+		e.ScheduleAt(0, func() {
+			if e.Now() != Time(time.Second) {
+				t.Errorf("past event fired at %v, want 1s", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Cancel is idempotent.
+	ev.Cancel()
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.Schedule(2*time.Second, func() { fired = true })
+	e.Schedule(time.Second, func() { ev.Cancel() })
+	e.Run()
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestRunUntilStopsAndAdvancesClock(t *testing.T) {
+	e := New(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(Time(2 * time.Second))
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if e.Now() != Time(2*time.Second) {
+		t.Fatalf("clock = %v, want 2s", e.Now())
+	}
+	// The 3s event is still pending.
+	e.Run()
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events after Run, want 3", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesClockPastLastEvent(t *testing.T) {
+	e := New(1)
+	e.RunUntil(Time(5 * time.Second))
+	if e.Now() != Time(5*time.Second) {
+		t.Fatalf("clock = %v, want 5s", e.Now())
+	}
+}
+
+func TestRunForIsRelative(t *testing.T) {
+	e := New(1)
+	e.RunFor(time.Second)
+	e.RunFor(time.Second)
+	if e.Now() != Time(2*time.Second) {
+		t.Fatalf("clock = %v, want 2s", e.Now())
+	}
+}
+
+func TestEventsScheduledDuringRunFire(t *testing.T) {
+	e := New(1)
+	depth := 0
+	var last Time
+	var chain func()
+	chain = func() {
+		depth++
+		last = e.Now()
+		if depth < 5 {
+			e.Schedule(time.Second, chain)
+		}
+	}
+	e.Schedule(time.Second, chain)
+	e.Run()
+	if depth != 5 {
+		t.Fatalf("chain depth = %d, want 5", depth)
+	}
+	if last != Time(5*time.Second) {
+		t.Fatalf("last fired at %v, want 5s", last)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New(1)
+	for i := 0; i < 7; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	ev := e.Schedule(time.Second, func() {})
+	ev.Cancel()
+	e.Run()
+	if e.Fired() != 7 {
+		t.Fatalf("fired = %d, want 7 (cancelled events don't count)", e.Fired())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []float64 {
+		e := New(42)
+		var vals []float64
+		for i := 0; i < 20; i++ {
+			e.Schedule(time.Duration(i)*time.Millisecond, func() {
+				vals = append(vals, e.Rand().Float64())
+			})
+		}
+		e.Run()
+		return vals
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := New(1)
+	var ticks []Time
+	tk, err := NewTicker(e, 100*time.Millisecond, func(now Time) { ticks = append(ticks, now) })
+	if err != nil {
+		t.Fatalf("NewTicker: %v", err)
+	}
+	e.RunUntil(Time(350 * time.Millisecond))
+	tk.Stop()
+	e.Run()
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3: %v", len(ticks), ticks)
+	}
+	for i, tick := range ticks {
+		want := Time(time.Duration(i+1) * 100 * time.Millisecond)
+		if tick != want {
+			t.Fatalf("tick %d at %v, want %v", i, tick, want)
+		}
+	}
+}
+
+func TestTickerStopIsIdempotentAndStopsFutureTicks(t *testing.T) {
+	e := New(1)
+	n := 0
+	tk, err := NewTicker(e, time.Second, func(Time) { n++ })
+	if err != nil {
+		t.Fatalf("NewTicker: %v", err)
+	}
+	tk.Stop()
+	tk.Stop()
+	e.RunUntil(Time(10 * time.Second))
+	if n != 0 {
+		t.Fatalf("stopped ticker ticked %d times", n)
+	}
+}
+
+func TestTickerRejectsNonPositivePeriod(t *testing.T) {
+	e := New(1)
+	if _, err := NewTicker(e, 0, func(Time) {}); err == nil {
+		t.Fatal("NewTicker(0) succeeded, want error")
+	}
+	if _, err := NewTicker(e, -time.Second, func(Time) {}); err == nil {
+		t.Fatal("NewTicker(-1s) succeeded, want error")
+	}
+}
+
+func TestTickerStopFromWithinCallback(t *testing.T) {
+	e := New(1)
+	n := 0
+	var tk *Ticker
+	tk, err := NewTicker(e, time.Second, func(Time) {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	if err != nil {
+		t.Fatalf("NewTicker: %v", err)
+	}
+	e.RunUntil(Time(10 * time.Second))
+	if n != 2 {
+		t.Fatalf("ticker ticked %d times, want 2", n)
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the engine fires exactly len(delays) events.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(raw []uint32) bool {
+		e := New(7)
+		var fireTimes []Time
+		for _, r := range raw {
+			d := time.Duration(r%1_000_000) * time.Microsecond
+			e.Schedule(d, func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.Run()
+		if len(fireTimes) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(fireTimes, func(i, j int) bool { return fireTimes[i] < fireTimes[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RunUntil never leaves the clock before the requested time and
+// never fires events scheduled after it.
+func TestPropertyRunUntilBoundary(t *testing.T) {
+	f := func(raw []uint16, cut uint16) bool {
+		e := New(3)
+		cutoff := Time(time.Duration(cut) * time.Millisecond)
+		late := 0
+		for _, r := range raw {
+			d := time.Duration(r) * time.Millisecond
+			e.Schedule(d, func() {
+				if e.Now() > cutoff {
+					late++
+				}
+			})
+		}
+		e.RunUntil(cutoff)
+		return late == 0 && e.Now() >= cutoff
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving cancellations with scheduling preserves ordering of
+// the surviving events.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		e := New(seed)
+		r := rand.New(rand.NewSource(seed))
+		var events []*Event
+		survivors := 0
+		fired := 0
+		for i := 0; i < int(n); i++ {
+			d := time.Duration(r.Intn(1000)) * time.Millisecond
+			ev := e.Schedule(d, func() { fired++ })
+			events = append(events, ev)
+		}
+		for _, ev := range events {
+			if r.Intn(2) == 0 {
+				ev.Cancel()
+			} else {
+				survivors++
+			}
+		}
+		e.Run()
+		return fired == survivors
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tm := Time(1500 * time.Millisecond)
+	if got := tm.Add(500 * time.Millisecond); got != Time(2*time.Second) {
+		t.Errorf("Add = %v, want 2s", got)
+	}
+	if got := tm.Sub(Time(time.Second)); got != 500*time.Millisecond {
+		t.Errorf("Sub = %v, want 500ms", got)
+	}
+	if got := tm.Seconds(); got != 1.5 {
+		t.Errorf("Seconds = %v, want 1.5", got)
+	}
+	if got := tm.Duration(); got != 1500*time.Millisecond {
+		t.Errorf("Duration = %v, want 1.5s", got)
+	}
+	if got := tm.String(); got != "1.5s" {
+		t.Errorf("String = %q, want 1.5s", got)
+	}
+}

@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+
+	"faasbatch/internal/workload"
+)
+
+// minutesPerDay is the column count of the Azure per-minute schema.
+const minutesPerDay = 1440
+
+// AzureFunctionRow is one row of the public Azure Functions 2019 trace
+// ("invocations_per_function_md.anon.dXX.csv"): a function identified by
+// hashed owner/app/function with its per-minute invocation counts over
+// one day.
+type AzureFunctionRow struct {
+	// Owner, App and Function are the dataset's anonymised hashes.
+	Owner, App, Function string
+	// Trigger is the invocation trigger type (http, queue, timer, ...).
+	Trigger string
+	// PerMinute holds the 1440 per-minute invocation counts.
+	PerMinute []int
+}
+
+// Total reports the row's invocations over the day.
+func (r AzureFunctionRow) Total() int {
+	n := 0
+	for _, c := range r.PerMinute {
+		n += c
+	}
+	return n
+}
+
+// ReadAzureInvocationsCSV parses the Azure Functions per-minute
+// invocation schema: a header row
+// "HashOwner,HashApp,HashFunction,Trigger,1,...,1440" followed by one row
+// per function.
+func ReadAzureInvocationsCSV(r io.Reader) ([]AzureFunctionRow, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read azure header: %w", err)
+	}
+	if len(header) != 4+minutesPerDay {
+		return nil, fmt.Errorf("trace: azure header has %d columns, want %d", len(header), 4+minutesPerDay)
+	}
+	if header[0] != "HashOwner" || header[1] != "HashApp" || header[2] != "HashFunction" {
+		return nil, fmt.Errorf("trace: unexpected azure header %v", header[:4])
+	}
+	var rows []AzureFunctionRow
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read azure row %d: %w", line, err)
+		}
+		row := AzureFunctionRow{
+			Owner:     rec[0],
+			App:       rec[1],
+			Function:  rec[2],
+			Trigger:   rec[3],
+			PerMinute: make([]int, minutesPerDay),
+		}
+		for m := 0; m < minutesPerDay; m++ {
+			v, err := strconv.Atoi(rec[4+m])
+			if err != nil {
+				return nil, fmt.Errorf("trace: azure row %d minute %d: %w", line, m+1, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("trace: azure row %d minute %d: negative count %d", line, m+1, v)
+			}
+			row.PerMinute[m] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteAzureInvocationsCSV writes rows in the Azure per-minute schema.
+func WriteAzureInvocationsCSV(w io.Writer, rows []AzureFunctionRow) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 4+minutesPerDay)
+	header[0], header[1], header[2], header[3] = "HashOwner", "HashApp", "HashFunction", "Trigger"
+	for m := 0; m < minutesPerDay; m++ {
+		header[4+m] = strconv.Itoa(m + 1)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: write azure header: %w", err)
+	}
+	rec := make([]string, 4+minutesPerDay)
+	for i, row := range rows {
+		if len(row.PerMinute) != minutesPerDay {
+			return fmt.Errorf("trace: azure row %d has %d minutes, want %d", i, len(row.PerMinute), minutesPerDay)
+		}
+		rec[0], rec[1], rec[2], rec[3] = row.Owner, row.App, row.Function, row.Trigger
+		for m, c := range row.PerMinute {
+			rec[4+m] = strconv.Itoa(c)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write azure row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flush azure csv: %w", err)
+	}
+	return nil
+}
+
+// AzureReplayOptions selects a replay window from Azure rows.
+type AzureReplayOptions struct {
+	// StartMinute is the window's first minute of the day (0-based; the
+	// paper replays 22:10 = minute 1330).
+	StartMinute int
+	// Minutes is the window length (the paper replays 1 minute).
+	Minutes int
+	// Seed drives intra-minute arrival placement and fib-N assignment.
+	Seed int64
+	// Kind maps invocations to a workload family. CPUIntensive assigns
+	// fib N values following the Fig. 9 distribution; IO produces
+	// storage-client invocations.
+	Kind workload.Kind
+	// MinTotal drops functions with fewer invocations over the day
+	// (0 keeps all).
+	MinTotal int
+}
+
+// DefaultAzureReplayOptions mirrors the paper's replay slice: one minute
+// starting at 22:10.
+func DefaultAzureReplayOptions() AzureReplayOptions {
+	return AzureReplayOptions{
+		StartMinute: 22*60 + 10,
+		Minutes:     1,
+		Seed:        13,
+		Kind:        workload.CPUIntensive,
+	}
+}
+
+// FromAzureRows converts a window of Azure per-minute counts into a
+// replayable trace: each counted invocation lands at a uniformly random
+// offset inside its minute, functions keep their dataset identity.
+func FromAzureRows(rows []AzureFunctionRow, opts AzureReplayOptions) (Trace, error) {
+	if opts.StartMinute < 0 || opts.StartMinute >= minutesPerDay {
+		return Trace{}, fmt.Errorf("trace: start minute %d out of range [0, %d)", opts.StartMinute, minutesPerDay)
+	}
+	if opts.Minutes <= 0 || opts.StartMinute+opts.Minutes > minutesPerDay {
+		return Trace{}, fmt.Errorf("trace: window [%d, %d) exceeds the day", opts.StartMinute, opts.StartMinute+opts.Minutes)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	gen := workload.NewGenerator(opts.Seed + 1)
+	tr := Trace{
+		Name: fmt.Sprintf("azure-replay-m%d+%d", opts.StartMinute, opts.Minutes),
+		Span: time.Duration(opts.Minutes) * time.Minute,
+	}
+	for _, row := range rows {
+		if len(row.PerMinute) != minutesPerDay {
+			return Trace{}, fmt.Errorf("trace: function %s has %d minutes, want %d", row.Function, len(row.PerMinute), minutesPerDay)
+		}
+		if opts.MinTotal > 0 && row.Total() < opts.MinTotal {
+			continue
+		}
+		for m := 0; m < opts.Minutes; m++ {
+			count := row.PerMinute[opts.StartMinute+m]
+			for i := 0; i < count; i++ {
+				off := time.Duration(m)*time.Minute + time.Duration(rng.Float64()*float64(time.Minute))
+				inv := Invocation{Offset: off, Fn: row.Function}
+				if opts.Kind == workload.CPUIntensive {
+					inv.FibN = gen.SampleFibN()
+				}
+				tr.Invocations = append(tr.Invocations, inv)
+			}
+		}
+	}
+	sort.Slice(tr.Invocations, func(i, j int) bool { return tr.Invocations[i].Offset < tr.Invocations[j].Offset })
+	return tr, nil
+}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"faasbatch/internal/workload"
+)
+
+// azureRows builds a small synthetic dataset in the Azure schema.
+func azureRows() []AzureFunctionRow {
+	mk := func(fn, trigger string, bursts map[int]int) AzureFunctionRow {
+		row := AzureFunctionRow{
+			Owner:     "owner1",
+			App:       "app1",
+			Function:  fn,
+			Trigger:   trigger,
+			PerMinute: make([]int, 1440),
+		}
+		for m, c := range bursts {
+			row.PerMinute[m] = c
+		}
+		return row
+	}
+	return []AzureFunctionRow{
+		mk("fnA", "http", map[int]int{1330: 300, 1331: 100, 600: 5}),
+		mk("fnB", "queue", map[int]int{1330: 500, 700: 2}),
+		mk("fnC", "timer", map[int]int{0: 1}), // cold function
+	}
+}
+
+func TestAzureCSVRoundTrip(t *testing.T) {
+	rows := azureRows()
+	var buf bytes.Buffer
+	if err := WriteAzureInvocationsCSV(&buf, rows); err != nil {
+		t.Fatalf("WriteAzureInvocationsCSV: %v", err)
+	}
+	back, err := ReadAzureInvocationsCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadAzureInvocationsCSV: %v", err)
+	}
+	if len(back) != len(rows) {
+		t.Fatalf("round trip rows = %d, want %d", len(back), len(rows))
+	}
+	for i := range rows {
+		if back[i].Function != rows[i].Function || back[i].Trigger != rows[i].Trigger {
+			t.Fatalf("row %d metadata mismatch: %+v", i, back[i])
+		}
+		if back[i].Total() != rows[i].Total() {
+			t.Fatalf("row %d total = %d, want %d", i, back[i].Total(), rows[i].Total())
+		}
+	}
+}
+
+func TestAzureRowTotal(t *testing.T) {
+	rows := azureRows()
+	if got := rows[0].Total(); got != 405 {
+		t.Fatalf("Total = %d, want 405", got)
+	}
+}
+
+func TestReadAzureInvocationsCSVErrors(t *testing.T) {
+	if _, err := ReadAzureInvocationsCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadAzureInvocationsCSV(strings.NewReader("a,b,c\n")); err == nil {
+		t.Error("short header accepted")
+	}
+	// Right width, wrong names.
+	cols := make([]string, 1444)
+	for i := range cols {
+		cols[i] = "x"
+	}
+	if _, err := ReadAzureInvocationsCSV(strings.NewReader(strings.Join(cols, ",") + "\n")); err == nil {
+		t.Error("wrong header names accepted")
+	}
+	// Non-numeric count (corrupt the data row, not the header, which
+	// also contains "300" as a column label).
+	var buf bytes.Buffer
+	if err := WriteAzureInvocationsCSV(&buf, azureRows()[:1]); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	parts := strings.SplitN(buf.String(), "\n", 2)
+	corrupted := parts[0] + "\n" + strings.Replace(parts[1], ",300,", ",NaN,", 1)
+	if _, err := ReadAzureInvocationsCSV(strings.NewReader(corrupted)); err == nil {
+		t.Error("non-numeric count accepted")
+	}
+}
+
+func TestWriteAzureInvocationsCSVValidatesWidth(t *testing.T) {
+	bad := []AzureFunctionRow{{Function: "f", PerMinute: []int{1, 2, 3}}}
+	if err := WriteAzureInvocationsCSV(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("short per-minute row accepted")
+	}
+}
+
+func TestFromAzureRowsPaperWindow(t *testing.T) {
+	opts := DefaultAzureReplayOptions()
+	tr, err := FromAzureRows(azureRows(), opts)
+	if err != nil {
+		t.Fatalf("FromAzureRows: %v", err)
+	}
+	// Minute 1330 holds 300 (fnA) + 500 (fnB) invocations.
+	if tr.Len() != 800 {
+		t.Fatalf("Len = %d, want 800 (the paper's replay count!)", tr.Len())
+	}
+	if tr.Span != time.Minute {
+		t.Fatalf("Span = %v, want 1m", tr.Span)
+	}
+	for i := 1; i < tr.Len(); i++ {
+		if tr.Invocations[i].Offset < tr.Invocations[i-1].Offset {
+			t.Fatal("invocations not sorted")
+		}
+	}
+	for _, inv := range tr.Invocations {
+		if inv.Offset < 0 || inv.Offset >= time.Minute {
+			t.Fatalf("offset %v outside window", inv.Offset)
+		}
+		if inv.FibN < workload.MinFibN || inv.FibN > workload.MaxFibN {
+			t.Fatalf("FibN %d out of range", inv.FibN)
+		}
+		if inv.Fn != "fnA" && inv.Fn != "fnB" {
+			t.Fatalf("unexpected fn %q in window", inv.Fn)
+		}
+	}
+}
+
+func TestFromAzureRowsIOKind(t *testing.T) {
+	opts := DefaultAzureReplayOptions()
+	opts.Kind = workload.IO
+	tr, err := FromAzureRows(azureRows(), opts)
+	if err != nil {
+		t.Fatalf("FromAzureRows: %v", err)
+	}
+	for _, inv := range tr.Invocations {
+		if inv.FibN != 0 {
+			t.Fatal("IO replay must not assign fib N")
+		}
+	}
+}
+
+func TestFromAzureRowsMinTotalFilter(t *testing.T) {
+	opts := AzureReplayOptions{StartMinute: 0, Minutes: 1440, Seed: 1, Kind: workload.IO, MinTotal: 100}
+	tr, err := FromAzureRows(azureRows(), opts)
+	if err != nil {
+		t.Fatalf("FromAzureRows: %v", err)
+	}
+	for _, inv := range tr.Invocations {
+		if inv.Fn == "fnC" {
+			t.Fatal("cold function survived the MinTotal filter")
+		}
+	}
+}
+
+func TestFromAzureRowsValidation(t *testing.T) {
+	rows := azureRows()
+	if _, err := FromAzureRows(rows, AzureReplayOptions{StartMinute: -1, Minutes: 1}); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := FromAzureRows(rows, AzureReplayOptions{StartMinute: 1439, Minutes: 2}); err == nil {
+		t.Error("window past end of day accepted")
+	}
+	bad := []AzureFunctionRow{{Function: "f", PerMinute: []int{1}}}
+	if _, err := FromAzureRows(bad, AzureReplayOptions{StartMinute: 0, Minutes: 1}); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestFromAzureRowsDeterministic(t *testing.T) {
+	opts := DefaultAzureReplayOptions()
+	a, err := FromAzureRows(azureRows(), opts)
+	if err != nil {
+		t.Fatalf("FromAzureRows: %v", err)
+	}
+	b, err := FromAzureRows(azureRows(), opts)
+	if err != nil {
+		t.Fatalf("FromAzureRows: %v", err)
+	}
+	for i := range a.Invocations {
+		if a.Invocations[i] != b.Invocations[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Blob inter-arrival-time mixture, calibrated to Fig. 3: nearly 80% of
+// repeatedly accessed blobs are re-accessed within 100 ms, ~10% between
+// 100 ms and 1 s, and the remainder over a long tail.
+const (
+	blobBurstWeight  = 0.80
+	blobMediumWeight = 0.10
+	// The tail takes the remaining mass.
+
+	blobBurstMean = 35 * time.Millisecond
+)
+
+// SampleBlobIaT draws one blob re-access inter-arrival time from the
+// Fig. 3 mixture using the provided random source.
+func SampleBlobIaT(rng *rand.Rand) time.Duration {
+	u := rng.Float64()
+	switch {
+	case u < blobBurstWeight:
+		// Bursty re-access: exponential with a sub-100ms mean.
+		d := time.Duration(rng.ExpFloat64() * float64(blobBurstMean))
+		if d >= 100*time.Millisecond {
+			d = 99 * time.Millisecond
+		}
+		return d
+	case u < blobBurstWeight+blobMediumWeight:
+		// Log-uniform over [100 ms, 1 s).
+		return logUniform(rng, 100*time.Millisecond, time.Second)
+	default:
+		// Long tail: log-uniform over [1 s, 1000 s).
+		return logUniform(rng, time.Second, 1000*time.Second)
+	}
+}
+
+// logUniform draws a duration log-uniformly from [lo, hi).
+func logUniform(rng *rand.Rand, lo, hi time.Duration) time.Duration {
+	ll, lh := math.Log(float64(lo)), math.Log(float64(hi))
+	return time.Duration(math.Exp(ll + rng.Float64()*(lh-ll)))
+}
+
+// BlobDay is one synthetic day of blob re-access inter-arrival times.
+type BlobDay struct {
+	// Day is 1-based (the Azure Blob trace spans 14 days).
+	Day int
+	// IaTs are the sampled inter-arrival times.
+	IaTs []time.Duration
+}
+
+// GenerateBlobDays synthesises the 14-day blob trace reduction: one IaT
+// sample set per day, deterministically derived from seed. perDay is the
+// number of re-access gaps per day.
+func GenerateBlobDays(seed int64, days, perDay int) ([]BlobDay, error) {
+	if days <= 0 || perDay <= 0 {
+		return nil, fmt.Errorf("trace: blob days and per-day count must be positive, got %d, %d", days, perDay)
+	}
+	out := make([]BlobDay, days)
+	for d := 0; d < days; d++ {
+		rng := rand.New(rand.NewSource(seed + int64(d)))
+		day := BlobDay{Day: d + 1, IaTs: make([]time.Duration, perDay)}
+		for i := range day.IaTs {
+			day.IaTs[i] = SampleBlobIaT(rng)
+		}
+		out[d] = day
+	}
+	return out, nil
+}
+
+// MergeBlobDays concatenates all days' IaTs (the consolidated blue curve
+// of Fig. 3).
+func MergeBlobDays(days []BlobDay) []time.Duration {
+	var all []time.Duration
+	for _, d := range days {
+		all = append(all, d.IaTs...)
+	}
+	return all
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// csvHeader is the column layout used by WriteCSV/ReadCSV.
+var csvHeader = []string{"offset_us", "fn", "fib_n"}
+
+// WriteCSV writes the trace in a three-column CSV format
+// (offset_us, fn, fib_n) suitable for inspection and replay.
+func WriteCSV(w io.Writer, t Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write csv header: %w", err)
+	}
+	for _, inv := range t.Invocations {
+		rec := []string{
+			strconv.FormatInt(inv.Offset.Microseconds(), 10),
+			inv.Fn,
+			strconv.Itoa(inv.FibN),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flush csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a trace written by WriteCSV. The trace name must be
+// supplied by the caller; Span is inferred from the last offset.
+func ReadCSV(r io.Reader, name string) (Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return Trace{}, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return Trace{}, fmt.Errorf("trace: csv is empty")
+	}
+	if len(rows[0]) != len(csvHeader) || rows[0][0] != csvHeader[0] {
+		return Trace{}, fmt.Errorf("trace: unexpected csv header %v", rows[0])
+	}
+	tr := Trace{Name: name}
+	for i, row := range rows[1:] {
+		us, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return Trace{}, fmt.Errorf("trace: row %d offset: %w", i+1, err)
+		}
+		fibN, err := strconv.Atoi(row[2])
+		if err != nil {
+			return Trace{}, fmt.Errorf("trace: row %d fib_n: %w", i+1, err)
+		}
+		inv := Invocation{
+			Offset: time.Duration(us) * time.Microsecond,
+			Fn:     row[1],
+			FibN:   fibN,
+		}
+		if inv.Offset > tr.Span {
+			tr.Span = inv.Offset
+		}
+		tr.Invocations = append(tr.Invocations, inv)
+	}
+	return tr, nil
+}

@@ -1,0 +1,400 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"faasbatch/internal/workload"
+)
+
+func TestSynthesizeBurstBasics(t *testing.T) {
+	cfg := DefaultBurstConfig(workload.CPUIntensive)
+	tr, err := SynthesizeBurst(cfg)
+	if err != nil {
+		t.Fatalf("SynthesizeBurst: %v", err)
+	}
+	if tr.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", tr.Len())
+	}
+	if tr.Span != time.Minute {
+		t.Fatalf("Span = %v, want 1m", tr.Span)
+	}
+	if !sort.SliceIsSorted(tr.Invocations, func(i, j int) bool {
+		return tr.Invocations[i].Offset < tr.Invocations[j].Offset
+	}) {
+		t.Fatal("invocations not sorted by offset")
+	}
+	for _, inv := range tr.Invocations {
+		if inv.Offset < 0 || inv.Offset >= tr.Span {
+			t.Fatalf("offset %v outside [0, %v)", inv.Offset, tr.Span)
+		}
+		if inv.FibN < workload.MinFibN || inv.FibN > workload.MaxFibN {
+			t.Fatalf("FibN %d out of range", inv.FibN)
+		}
+		if !strings.HasPrefix(inv.Fn, "fib") {
+			t.Fatalf("cpu invocation fn = %q", inv.Fn)
+		}
+	}
+}
+
+func TestSynthesizeBurstIOKind(t *testing.T) {
+	cfg := DefaultBurstConfig(workload.IO)
+	tr, err := SynthesizeBurst(cfg)
+	if err != nil {
+		t.Fatalf("SynthesizeBurst: %v", err)
+	}
+	for _, inv := range tr.Invocations {
+		if inv.Fn != "s3func" || inv.FibN != 0 {
+			t.Fatalf("io invocation = %+v", inv)
+		}
+	}
+}
+
+func TestSynthesizeBurstIsBursty(t *testing.T) {
+	tr, err := SynthesizeBurst(DefaultBurstConfig(workload.CPUIntensive))
+	if err != nil {
+		t.Fatalf("SynthesizeBurst: %v", err)
+	}
+	counts := tr.PerSecondCounts()
+	if len(counts) != 60 {
+		t.Fatalf("PerSecondCounts len = %d, want 60", len(counts))
+	}
+	total, peak := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > peak {
+			peak = c
+		}
+	}
+	if total != 800 {
+		t.Fatalf("per-second counts sum to %d, want 800", total)
+	}
+	mean := float64(total) / float64(len(counts))
+	// Bursty: the peak second must be well above the mean rate.
+	if float64(peak) < 2.5*mean {
+		t.Fatalf("peak %d not bursty relative to mean %.1f", peak, mean)
+	}
+}
+
+func TestSynthesizeBurstDeterminism(t *testing.T) {
+	cfg := DefaultBurstConfig(workload.CPUIntensive)
+	a, err := SynthesizeBurst(cfg)
+	if err != nil {
+		t.Fatalf("SynthesizeBurst: %v", err)
+	}
+	b, err := SynthesizeBurst(cfg)
+	if err != nil {
+		t.Fatalf("SynthesizeBurst: %v", err)
+	}
+	for i := range a.Invocations {
+		if a.Invocations[i] != b.Invocations[i] {
+			t.Fatalf("traces diverged at %d", i)
+		}
+	}
+}
+
+func TestSynthesizeBurstValidation(t *testing.T) {
+	cfg := DefaultBurstConfig(workload.CPUIntensive)
+	cfg.N = 0
+	if _, err := SynthesizeBurst(cfg); err == nil {
+		t.Error("N=0 accepted, want error")
+	}
+	cfg = DefaultBurstConfig(workload.CPUIntensive)
+	cfg.Span = 0
+	if _, err := SynthesizeBurst(cfg); err == nil {
+		t.Error("Span=0 accepted, want error")
+	}
+	cfg = DefaultBurstConfig(workload.CPUIntensive)
+	cfg.BurstFraction = 1.5
+	if _, err := SynthesizeBurst(cfg); err == nil {
+		t.Error("BurstFraction=1.5 accepted, want error")
+	}
+}
+
+func TestHead(t *testing.T) {
+	tr, err := SynthesizeBurst(DefaultBurstConfig(workload.IO))
+	if err != nil {
+		t.Fatalf("SynthesizeBurst: %v", err)
+	}
+	h := tr.Head(400)
+	if h.Len() != 400 {
+		t.Fatalf("Head(400).Len = %d", h.Len())
+	}
+	for i := range h.Invocations {
+		if h.Invocations[i] != tr.Invocations[i] {
+			t.Fatalf("Head changed invocation %d", i)
+		}
+	}
+	if h.Span != h.Invocations[399].Offset {
+		t.Fatalf("Head span = %v, want last offset %v", h.Span, h.Invocations[399].Offset)
+	}
+	// Head larger than the trace is the whole trace.
+	if got := tr.Head(10_000).Len(); got != 800 {
+		t.Fatalf("Head(10000).Len = %d, want 800", got)
+	}
+	// Head must be a copy.
+	h.Invocations[0].Fn = "mutated"
+	if tr.Invocations[0].Fn == "mutated" {
+		t.Fatal("Head shares backing array with original")
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	tr := Trace{Invocations: []Invocation{{Fn: "b"}, {Fn: "a"}, {Fn: "b"}}}
+	got := tr.Functions()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Functions = %v, want [a b]", got)
+	}
+}
+
+func TestSynthesizeDaily(t *testing.T) {
+	cfg := DefaultDailyConfig()
+	tr, err := SynthesizeDaily(cfg)
+	if err != nil {
+		t.Fatalf("SynthesizeDaily: %v", err)
+	}
+	fns := tr.Functions()
+	if len(fns) != 3 {
+		t.Fatalf("Functions = %v, want 3 hot functions", fns)
+	}
+	for _, fn := range fns {
+		counts := MinuteCounts(tr, fn)
+		if len(counts) != 1440 {
+			t.Fatalf("MinuteCounts len = %d, want 1440", len(counts))
+		}
+		total, peak, active := 0, 0, 0
+		for _, c := range counts {
+			total += c
+			if c > peak {
+				peak = c
+			}
+			if c > 0 {
+				active++
+			}
+		}
+		if total < 1000 {
+			t.Errorf("%s invoked %d times, want >= 1000 (hot function)", fn, total)
+		}
+		// Tight temporal locality: the activity is concentrated, not
+		// uniform across the day.
+		if active > 1200 {
+			t.Errorf("%s active in %d/1440 minutes; pattern not bursty", fn, active)
+		}
+		if float64(peak) < 3*float64(total)/1440 {
+			t.Errorf("%s peak %d not bursty vs mean %.2f/min", fn, peak, float64(total)/1440)
+		}
+	}
+}
+
+func TestSynthesizeDailyValidation(t *testing.T) {
+	if _, err := SynthesizeDaily(DailyConfig{Functions: 0}); err == nil {
+		t.Error("Functions=0 accepted, want error")
+	}
+	if _, err := SynthesizeDaily(DailyConfig{Functions: 1, MinPerFn: -1}); err == nil {
+		t.Error("MinPerFn=-1 accepted, want error")
+	}
+}
+
+func TestBlobIaTDistributionMatchesFig3(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 100_000
+	within100ms, within1s := 0, 0
+	for i := 0; i < n; i++ {
+		iat := SampleBlobIaT(rng)
+		if iat < 0 {
+			t.Fatal("negative IaT")
+		}
+		if iat < 100*time.Millisecond {
+			within100ms++
+		}
+		if iat < time.Second {
+			within1s++
+		}
+	}
+	f100 := float64(within100ms) / n
+	f1s := float64(within1s) / n
+	// Fig. 3: nearly 80% within 100 ms; ~90% within 1 s.
+	if f100 < 0.76 || f100 > 0.84 {
+		t.Errorf("fraction within 100ms = %.3f, want ~0.80", f100)
+	}
+	if f1s < 0.86 || f1s > 0.94 {
+		t.Errorf("fraction within 1s = %.3f, want ~0.90", f1s)
+	}
+}
+
+func TestGenerateBlobDays(t *testing.T) {
+	days, err := GenerateBlobDays(1, 14, 1000)
+	if err != nil {
+		t.Fatalf("GenerateBlobDays: %v", err)
+	}
+	if len(days) != 14 {
+		t.Fatalf("got %d days, want 14", len(days))
+	}
+	for i, d := range days {
+		if d.Day != i+1 {
+			t.Fatalf("day %d numbered %d", i, d.Day)
+		}
+		if len(d.IaTs) != 1000 {
+			t.Fatalf("day %d has %d IaTs, want 1000", d.Day, len(d.IaTs))
+		}
+	}
+	merged := MergeBlobDays(days)
+	if len(merged) != 14_000 {
+		t.Fatalf("merged %d IaTs, want 14000", len(merged))
+	}
+	// Days differ (different sub-seeds).
+	same := true
+	for i := range days[0].IaTs {
+		if days[0].IaTs[i] != days[1].IaTs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("day 1 and day 2 are identical")
+	}
+}
+
+func TestGenerateBlobDaysValidation(t *testing.T) {
+	if _, err := GenerateBlobDays(1, 0, 10); err == nil {
+		t.Error("days=0 accepted, want error")
+	}
+	if _, err := GenerateBlobDays(1, 1, 0); err == nil {
+		t.Error("perDay=0 accepted, want error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr, err := SynthesizeBurst(DefaultBurstConfig(workload.CPUIntensive))
+	if err != nil {
+		t.Fatalf("SynthesizeBurst: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf, tr.Name)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round trip len = %d, want %d", back.Len(), tr.Len())
+	}
+	for i := range tr.Invocations {
+		a, b := tr.Invocations[i], back.Invocations[i]
+		// Offsets are stored at microsecond precision.
+		if a.Offset.Truncate(time.Microsecond) != b.Offset || a.Fn != b.Fn || a.FibN != b.FibN {
+			t.Fatalf("row %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "x"); err == nil {
+		t.Error("empty csv accepted, want error")
+	}
+	if _, err := ReadCSV(strings.NewReader("bad,header,here\n"), "x"); err == nil {
+		t.Error("bad header accepted, want error")
+	}
+	if _, err := ReadCSV(strings.NewReader("offset_us,fn,fib_n\nnotanumber,f,0\n"), "x"); err == nil {
+		t.Error("bad offset accepted, want error")
+	}
+	if _, err := ReadCSV(strings.NewReader("offset_us,fn,fib_n\n10,f,notanumber\n"), "x"); err == nil {
+		t.Error("bad fib_n accepted, want error")
+	}
+}
+
+// Property: any valid burst config yields exactly N sorted in-span
+// invocations.
+func TestPropertyBurstWellFormed(t *testing.T) {
+	f := func(seed int64, nRaw uint16, fracRaw uint8) bool {
+		cfg := DefaultBurstConfig(workload.CPUIntensive)
+		cfg.Seed = seed
+		cfg.N = int(nRaw%2000) + 1
+		cfg.BurstFraction = float64(fracRaw%101) / 100
+		tr, err := SynthesizeBurst(cfg)
+		if err != nil {
+			return false
+		}
+		if tr.Len() != cfg.N {
+			return false
+		}
+		prev := time.Duration(-1)
+		for _, inv := range tr.Invocations {
+			if inv.Offset < prev || inv.Offset >= cfg.Span {
+				return false
+			}
+			prev = inv.Offset
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerSecondCountsEmptyTrace(t *testing.T) {
+	counts := Trace{}.PerSecondCounts()
+	if len(counts) != 1 || counts[0] != 0 {
+		t.Fatalf("empty trace counts = %v", counts)
+	}
+}
+
+func TestSynthesizeSteady(t *testing.T) {
+	cfg := DefaultBurstConfig(workload.CPUIntensive)
+	cfg.N = 600
+	tr, err := SynthesizeSteady(cfg)
+	if err != nil {
+		t.Fatalf("SynthesizeSteady: %v", err)
+	}
+	if tr.Len() != 600 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	counts := tr.PerSecondCounts()
+	peak, total := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > peak {
+			peak = c
+		}
+	}
+	mean := float64(total) / float64(len(counts))
+	// Poisson arrivals: the peak second stays close to the mean rate,
+	// unlike the bursty generator.
+	if float64(peak) > 3*mean {
+		t.Fatalf("steady trace peak %d vs mean %.1f looks bursty", peak, mean)
+	}
+	for i := 1; i < tr.Len(); i++ {
+		if tr.Invocations[i].Offset < tr.Invocations[i-1].Offset {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestSynthesizeSteadyIOAndValidation(t *testing.T) {
+	cfg := DefaultBurstConfig(workload.IO)
+	cfg.N = 10
+	tr, err := SynthesizeSteady(cfg)
+	if err != nil {
+		t.Fatalf("SynthesizeSteady: %v", err)
+	}
+	for _, inv := range tr.Invocations {
+		if inv.Fn != "s3func" || inv.FibN != 0 {
+			t.Fatalf("io invocation = %+v", inv)
+		}
+	}
+	cfg.N = 0
+	if _, err := SynthesizeSteady(cfg); err == nil {
+		t.Error("N=0 accepted")
+	}
+	cfg.N = 10
+	cfg.Span = 0
+	if _, err := SynthesizeSteady(cfg); err == nil {
+		t.Error("zero span accepted")
+	}
+}
