@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"faasbatch/internal/chaos"
 	"faasbatch/internal/platform"
 	"faasbatch/internal/workload"
 )
@@ -52,6 +53,12 @@ func run(args []string) error {
 	coldStart := fs.Duration("coldstart", 100*time.Millisecond, "simulated container boot time")
 	keepAlive := fs.Duration("keepalive", 2*time.Minute, "idle container keep-alive")
 	noMux := fs.Bool("no-multiplex", false, "disable the Resource Multiplexer")
+	invokeTimeout := fs.Duration("invoke-timeout", 0, "per-attempt handler deadline (0 = none)")
+	maxRetries := fs.Int("max-retries", 0, "extra attempts for failed invocations, re-batched into later windows")
+	retryBackoff := fs.Duration("retry-backoff", 0, "base retry delay, doubled per attempt (0 = next window)")
+	drainTimeout := fs.Duration("drain-timeout", 0, "bound on Close draining in-flight work (0 = wait forever)")
+	chaosRate := fs.Float64("chaos-rate", 0, "inject every fault kind at this rate in [0,1) (0 = off)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the fault schedule (same seed, same faults)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +68,20 @@ func run(args []string) error {
 	cfg.ColdStart = *coldStart
 	cfg.KeepAlive = *keepAlive
 	cfg.Multiplex = !*noMux
+	cfg.InvokeTimeout = *invokeTimeout
+	cfg.MaxRetries = *maxRetries
+	cfg.RetryBackoff = *retryBackoff
+	cfg.DrainTimeout = *drainTimeout
+	if *chaosRate < 0 {
+		return fmt.Errorf("-chaos-rate must be in [0, 1), got %v", *chaosRate)
+	}
+	if *chaosRate > 0 {
+		inj, err := chaos.New(chaos.Config{Seed: *chaosSeed, Rates: chaos.Uniform(*chaosRate)})
+		if err != nil {
+			return err
+		}
+		cfg.Chaos = inj
+	}
 	switch *mode {
 	case "faasbatch":
 		cfg.Mode = platform.ModeBatch

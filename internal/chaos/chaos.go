@@ -1,0 +1,248 @@
+// Package chaos provides deterministic, seeded fault injection for both
+// the live platform (internal/platform) and the discrete-event simulation
+// (internal/node, internal/fnruntime, internal/core).
+//
+// Each fault kind draws from its own random stream derived from the
+// injector seed, so the schedule of one kind depends only on how many
+// decisions of that kind were made — not on interleaving with other
+// kinds. In the single-threaded simulation this makes a run's fault
+// schedule a pure function of (seed, rates): same seed, same faults. In
+// the live platform the injector is safe for concurrent use; per-kind
+// streams remain seeded, though goroutine interleaving decides which
+// invocation observes which draw.
+//
+// A nil *Injector is valid and injects nothing, so fault injection is
+// strictly opt-in and free when disabled: no lock is taken and no random
+// number is drawn.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable fault kinds.
+type Kind int
+
+// Fault kinds.
+const (
+	// BootFailure fails a container boot after its init phase; the
+	// creation is retried and the extra wait lands in cold-start latency.
+	BootFailure Kind = iota
+	// ContainerCrash kills a container that is about to expand (or is
+	// expanding) a batch, taking every unfinished invocation in it down.
+	ContainerCrash
+	// HandlerError makes a handler invocation return an error.
+	HandlerError
+	// HandlerPanic makes a handler invocation panic.
+	HandlerPanic
+	// HandlerHang blocks a handler past any configured deadline.
+	HandlerHang
+	// SlowColdStart inflates one container boot by ColdStartFactor.
+	SlowColdStart
+	// StorageFailure fails a storage-client construction inside the
+	// Resource Multiplexer.
+	StorageFailure
+
+	numKinds // sentinel: keep last
+)
+
+// Kinds lists every fault kind in declaration order.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case BootFailure:
+		return "boot-failure"
+	case ContainerCrash:
+		return "container-crash"
+	case HandlerError:
+		return "handler-error"
+	case HandlerPanic:
+		return "handler-panic"
+	case HandlerHang:
+		return "handler-hang"
+	case SlowColdStart:
+		return "slow-cold-start"
+	case StorageFailure:
+		return "storage-failure"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Config parameterises an Injector.
+type Config struct {
+	// Seed derives every per-kind random stream.
+	Seed int64
+	// Rates maps each fault kind to its injection probability in [0, 1).
+	// Absent kinds inject nothing.
+	Rates map[Kind]float64
+	// ColdStartFactor multiplies the boot latency of a SlowColdStart
+	// victim. Zero defaults to 5.
+	ColdStartFactor float64
+	// HangDuration is how long an injected HandlerHang blocks. Hangs are
+	// bounded so chaos runs settle; the point is to overrun deadlines,
+	// not to leak goroutines forever. Zero defaults to 2 s.
+	HangDuration time.Duration
+}
+
+// Uniform returns a rate table with every fault kind at rate.
+func Uniform(rate float64) map[Kind]float64 {
+	out := make(map[Kind]float64, numKinds)
+	for _, k := range Kinds() {
+		out[k] = rate
+	}
+	return out
+}
+
+// Injector is a seeded fault source. The zero value is not usable; create
+// injectors with New. A nil *Injector injects nothing.
+type Injector struct {
+	mu              sync.Mutex
+	rates           [numKinds]float64
+	streams         [numKinds]*rand.Rand
+	draws           [numKinds]uint64
+	injected        [numKinds]uint64
+	coldStartFactor float64
+	hang            time.Duration
+}
+
+// New builds an injector from cfg. Rates outside [0, 1) are an error.
+func New(cfg Config) (*Injector, error) {
+	inj := &Injector{
+		coldStartFactor: cfg.ColdStartFactor,
+		hang:            cfg.HangDuration,
+	}
+	if inj.coldStartFactor <= 0 {
+		inj.coldStartFactor = 5
+	}
+	if inj.hang <= 0 {
+		inj.hang = 2 * time.Second
+	}
+	for k, rate := range cfg.Rates {
+		if k < 0 || k >= numKinds {
+			return nil, fmt.Errorf("chaos: unknown fault kind %d", int(k))
+		}
+		if rate < 0 || rate >= 1 {
+			return nil, fmt.Errorf("chaos: rate for %v must be in [0, 1), got %v", k, rate)
+		}
+		inj.rates[k] = rate
+	}
+	for i := range inj.streams {
+		// Distinct per-kind streams: mix the kind into the seed so kinds
+		// do not share a sequence.
+		inj.streams[i] = rand.New(rand.NewSource(cfg.Seed*int64(numKinds) + int64(i) + 1))
+	}
+	return inj, nil
+}
+
+// MustNew is New for static configurations known to be valid (tests,
+// examples); it panics on error.
+func MustNew(cfg Config) *Injector {
+	inj, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return inj
+}
+
+// Should reports whether a fault of kind k fires at this decision point.
+// It is safe on a nil injector (never fires) and for concurrent use.
+func (inj *Injector) Should(k Kind) bool {
+	if inj == nil || k < 0 || k >= numKinds {
+		return false
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.rates[k] <= 0 {
+		return false
+	}
+	inj.draws[k]++
+	if inj.streams[k].Float64() < inj.rates[k] {
+		inj.injected[k]++
+		return true
+	}
+	return false
+}
+
+// ColdStartFactor reports the boot-latency multiplier for SlowColdStart
+// victims (1 on a nil injector).
+func (inj *Injector) ColdStartFactor() float64 {
+	if inj == nil {
+		return 1
+	}
+	return inj.coldStartFactor
+}
+
+// HangDuration reports how long an injected hang blocks (0 on a nil
+// injector).
+func (inj *Injector) HangDuration() time.Duration {
+	if inj == nil {
+		return 0
+	}
+	return inj.hang
+}
+
+// Counts snapshots the number of injected faults per kind, omitting kinds
+// that never fired. It is safe on a nil injector (empty map).
+func (inj *Injector) Counts() map[Kind]uint64 {
+	out := map[Kind]uint64{}
+	if inj == nil {
+		return out
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for k, n := range inj.injected {
+		if n > 0 {
+			out[Kind(k)] = n
+		}
+	}
+	return out
+}
+
+// Total reports the total number of injected faults across kinds.
+func (inj *Injector) Total() uint64 {
+	if inj == nil {
+		return 0
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	var n uint64
+	for _, c := range inj.injected {
+		n += c
+	}
+	return n
+}
+
+// Summary renders the injected-fault counts as "kind=n" pairs in kind
+// order ("none" when nothing fired) — for logs and experiment tables.
+func (inj *Injector) Summary() string {
+	counts := inj.Counts()
+	if len(counts) == 0 {
+		return "none"
+	}
+	kinds := make([]Kind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	s := ""
+	for i, k := range kinds {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%v=%d", k, counts[k])
+	}
+	return s
+}

@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	for _, k := range Kinds() {
+		if inj.Should(k) {
+			t.Fatalf("nil injector fired %v", k)
+		}
+	}
+	if got := inj.ColdStartFactor(); got != 1 {
+		t.Fatalf("nil ColdStartFactor = %v, want 1", got)
+	}
+	if got := inj.HangDuration(); got != 0 {
+		t.Fatalf("nil HangDuration = %v, want 0", got)
+	}
+	if n := inj.Total(); n != 0 {
+		t.Fatalf("nil Total = %d, want 0", n)
+	}
+	if s := inj.Summary(); s != "none" {
+		t.Fatalf("nil Summary = %q, want none", s)
+	}
+}
+
+func TestRateValidation(t *testing.T) {
+	if _, err := New(Config{Rates: map[Kind]float64{BootFailure: 1.0}}); err == nil {
+		t.Fatal("rate 1.0 accepted")
+	}
+	if _, err := New(Config{Rates: map[Kind]float64{BootFailure: -0.1}}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := New(Config{Rates: map[Kind]float64{Kind(99): 0.1}}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	mk := func() *Injector {
+		return MustNew(Config{Seed: 42, Rates: Uniform(0.3)})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 1000; i++ {
+		for _, k := range Kinds() {
+			if a.Should(k) != b.Should(k) {
+				t.Fatalf("schedules diverged at draw %d kind %v", i, k)
+			}
+		}
+	}
+	if a.Total() == 0 {
+		t.Fatal("no faults fired at 30% over 1000 draws")
+	}
+}
+
+func TestPerKindStreamsAreIndependent(t *testing.T) {
+	// The schedule of one kind must not depend on draws of other kinds:
+	// interleaving BootFailure draws must leave ContainerCrash's sequence
+	// untouched.
+	solo := MustNew(Config{Seed: 7, Rates: Uniform(0.2)})
+	interleaved := MustNew(Config{Seed: 7, Rates: Uniform(0.2)})
+	var want, got []bool
+	for i := 0; i < 500; i++ {
+		want = append(want, solo.Should(ContainerCrash))
+	}
+	for i := 0; i < 500; i++ {
+		interleaved.Should(BootFailure)
+		interleaved.Should(HandlerPanic)
+		got = append(got, interleaved.Should(ContainerCrash))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("ContainerCrash schedule perturbed by other kinds at draw %d", i)
+		}
+	}
+}
+
+func TestRateConverges(t *testing.T) {
+	inj := MustNew(Config{Seed: 1, Rates: map[Kind]float64{HandlerError: 0.1}})
+	const n = 20000
+	fired := 0
+	for i := 0; i < n; i++ {
+		if inj.Should(HandlerError) {
+			fired++
+		}
+	}
+	rate := float64(fired) / n
+	if rate < 0.08 || rate > 0.12 {
+		t.Fatalf("empirical rate %.4f far from 0.1", rate)
+	}
+	if inj.Should(HandlerPanic) {
+		t.Fatal("kind with no configured rate fired")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	inj := MustNew(Config{Seed: 3, Rates: Uniform(0.5)})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, k := range Kinds() {
+					inj.Should(k)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if inj.Total() == 0 {
+		t.Fatal("no faults recorded under concurrency")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	inj := MustNew(Config{Seed: 1})
+	if inj.ColdStartFactor() != 5 {
+		t.Fatalf("default ColdStartFactor = %v, want 5", inj.ColdStartFactor())
+	}
+	if inj.HangDuration() != 2*time.Second {
+		t.Fatalf("default HangDuration = %v, want 2s", inj.HangDuration())
+	}
+}

@@ -59,6 +59,13 @@ type Config struct {
 	// PrewarmHorizon is how long after its last arrival a function is
 	// still considered active for pre-warming.
 	PrewarmHorizon time.Duration
+	// MaxRetries bounds how many extra scheduling attempts an invocation
+	// whose container crashed receives. Retried invocations re-batch into
+	// the next dispatch window (the window interval is the backoff), so a
+	// crashed group's members ride a replacement container together. An
+	// invocation that exhausts the budget completes with Rec.Failed set —
+	// at-most-(1+MaxRetries) execution attempts, never silent loss.
+	MaxRetries int
 }
 
 // DefaultConfig returns the paper's defaults.
@@ -69,6 +76,7 @@ func DefaultConfig() Config {
 		HTTPLatency:       time.Millisecond,
 		MaxPendingCreates: 32,
 		PrewarmHorizon:    30 * time.Second,
+		MaxRetries:        3,
 	}
 }
 
@@ -81,6 +89,14 @@ type Stats struct {
 	Groups int64
 	// MaxGroupSize is the largest batch expanded into one container.
 	MaxGroupSize int
+	// Retries counts invocation re-batches after container faults.
+	Retries int64
+	// Failed counts invocations that exhausted their retry budget and
+	// completed as failures.
+	Failed int64
+	// GroupRedispatches counts whole groups re-batched because their
+	// container crashed before expansion.
+	GroupRedispatches int64
 	// Prewarms counts predictive container creations (Prewarm only).
 	Prewarms int64
 	// KeepWarmTouches counts keep-alive refreshes of warm containers
@@ -147,6 +163,9 @@ func New(env policy.Env, cfg Config) (*FaaSBatch, error) {
 	}
 	if cfg.Prewarm && cfg.PrewarmHorizon <= 0 {
 		return nil, fmt.Errorf("core: prewarm horizon must be positive, got %v", cfg.PrewarmHorizon)
+	}
+	if cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("core: max retries must be non-negative, got %d", cfg.MaxRetries)
 	}
 	f := &FaaSBatch{
 		env:            env,
@@ -361,6 +380,17 @@ func (f *FaaSBatch) expand(c *node.Container, group []*pendingItem, dispatchAt s
 		item.inv.Rec.Cold = r.BootTime
 	}
 	run := func() {
+		if c.State() == node.Evicted {
+			// The container crashed between dispatch and the batch HTTP
+			// request landing (a fault from a concurrent group killed it).
+			// Re-batch the whole group into the next window; it expands on
+			// a replacement container there.
+			f.stats.GroupRedispatches++
+			for _, item := range group {
+				f.retryItem(item)
+			}
+			return
+		}
 		outstanding := len(group)
 		released := false
 		release := func() {
@@ -382,10 +412,12 @@ func (f *FaaSBatch) expand(c *node.Container, group []*pendingItem, dispatchAt s
 				}
 			})
 			if err != nil {
-				// Unreachable while the reservation pins the container;
-				// resubmit defensively rather than drop.
+				// The container crashed under us (fault injection) or was
+				// torn down between acquisition and execution: send the
+				// invocation through the bounded retry path rather than
+				// drop it.
 				outstanding--
-				f.Submit(item.inv, item.complete)
+				f.retryItem(item)
 			}
 		}
 		if outstanding == 0 {
@@ -397,4 +429,27 @@ func (f *FaaSBatch) expand(c *node.Container, group []*pendingItem, dispatchAt s
 		return
 	}
 	run()
+}
+
+// retryItem re-batches one invocation after a container fault: it rides
+// the next dispatch window (the window interval acts as the retry
+// backoff) on a fresh or replacement container. An invocation that
+// already consumed its retry budget completes immediately with
+// Rec.Failed set — invocations are never silently lost.
+func (f *FaaSBatch) retryItem(item *pendingItem) {
+	inv := item.inv
+	if inv.Attempts >= f.cfg.MaxRetries {
+		inv.Rec.Failed = true
+		f.stats.Failed++
+		item.complete(inv)
+		return
+	}
+	inv.Attempts++
+	inv.Rec.Retries = inv.Attempts
+	f.stats.Retries++
+	// Append directly to the window rather than re-Submit: Submitted
+	// counts unique invocations, not attempts (Stats.Submitted ==
+	// completed + failed must hold at quiescence).
+	fn := inv.Spec.Name
+	f.pending[fn] = append(f.pending[fn], item)
 }

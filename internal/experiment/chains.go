@@ -114,7 +114,7 @@ func RunChain(cfg ChainConfig) (*ChainResult, error) {
 	}
 
 	eng := sim.New(base.Seed)
-	nd, _, sched, _, err := buildScheduler(eng, base)
+	nd, _, sched, _, err := buildScheduler(eng, base, nil)
 	if err != nil {
 		return nil, err
 	}

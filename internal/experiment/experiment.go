@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"faasbatch/internal/chaos"
 	"faasbatch/internal/core"
 	"faasbatch/internal/cpusched"
 	"faasbatch/internal/fnruntime"
@@ -85,6 +86,11 @@ type Config struct {
 	// SamplePeriod is the resource sampling period (default 1 s, as in
 	// the paper).
 	SamplePeriod time.Duration
+	// Chaos enables seeded fault injection for the run (nil means no
+	// faults — the default, leaving every existing figure bit-identical).
+	// The injector seed defaults to Seed when Chaos.Seed is zero, so one
+	// experiment seed fixes both arrivals and the fault schedule.
+	Chaos *chaos.Config
 }
 
 // Result aggregates one run's measurements.
@@ -120,6 +126,17 @@ type Result struct {
 	Batch *core.Stats
 	// Makespan is the completion time of the last invocation.
 	Makespan time.Duration
+	// Failures counts invocations that exhausted their retry budget
+	// (zero without fault injection).
+	Failures int
+	// Retries counts extra scheduling attempts across all invocations.
+	Retries int
+	// Crashes, BootFailures and SlowBoots report injected-fault effects
+	// observed at the node.
+	Crashes, BootFailures, SlowBoots int
+	// FaultSummary renders the injected-fault counts ("none" when chaos
+	// was disabled or nothing fired).
+	FaultSummary string
 }
 
 // CDF extracts a latency-component CDF from the records.
@@ -161,7 +178,19 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	eng := sim.New(cfg.Seed)
-	nd, runner, sched, batch, err := buildScheduler(eng, cfg)
+	var inj *chaos.Injector
+	if cfg.Chaos != nil {
+		ccfg := *cfg.Chaos
+		if ccfg.Seed == 0 {
+			ccfg.Seed = cfg.Seed
+		}
+		var cerr error
+		inj, cerr = chaos.New(ccfg)
+		if cerr != nil {
+			return nil, fmt.Errorf("experiment: %w", cerr)
+		}
+	}
+	nd, runner, sched, batch, err := buildScheduler(eng, cfg, inj)
 	if err != nil {
 		return nil, err
 	}
@@ -223,21 +252,34 @@ func Run(cfg Config) (*Result, error) {
 		st := batch.Stats()
 		res.Batch = &st
 	}
+	for _, r := range res.Records {
+		res.Retries += r.Retries
+		if r.Failed {
+			res.Failures++
+		}
+	}
+	res.Crashes = nd.Crashes()
+	res.BootFailures = nd.BootFailures()
+	res.SlowBoots = nd.SlowBoots()
+	res.FaultSummary = inj.Summary()
 	return res, nil
 }
 
 // buildScheduler wires a node, runner and the configured policy's
-// scheduler on the given engine.
-func buildScheduler(eng *sim.Engine, cfg Config) (*node.Node, *fnruntime.Runner, policy.Scheduler, *core.FaaSBatch, error) {
+// scheduler on the given engine, threading the optional fault injector
+// through the node (boot faults) and runner (execution faults).
+func buildScheduler(eng *sim.Engine, cfg Config, inj *chaos.Injector) (*node.Node, *fnruntime.Runner, policy.Scheduler, *core.FaaSBatch, error) {
 	ncfg := cfg.Node
 	if cfg.Policy == PolicySFS {
 		ncfg.Discipline = cpusched.NewMLFQ()
 	}
+	ncfg.Chaos = inj
 	nd, err := node.New(eng, ncfg)
 	if err != nil {
 		return nil, nil, nil, nil, fmt.Errorf("experiment: %w", err)
 	}
 	runner := fnruntime.NewRunner(eng)
+	runner.SetChaos(inj)
 	env := policy.Env{Eng: eng, Node: nd, Runner: runner}
 
 	var (

@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"faasbatch/internal/chaos"
+	"faasbatch/internal/workload"
+)
+
+// TestFaultSweepFullScaleCompletes is the regression test for a lost
+// invocation under crash injection at full evaluation scale: a container
+// crash tearing down mid-client-build dropped the multiplexer's coalesced
+// waiters, stranding their invocations and spinning the drive loop
+// forever. Every swept rate must account for the whole trace.
+func TestFaultSweepFullScaleCompletes(t *testing.T) {
+	tr, err := evalTrace(workload.IO, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rate := range []float64{0, 0.02, 0.05, 0.10} {
+		t.Run(fmt.Sprintf("rate=%v", rate), func(t *testing.T) {
+			cfg := Config{Policy: PolicyFaaSBatch, Trace: tr, Seed: 13}
+			if rate > 0 {
+				cfg.Chaos = &chaos.Config{Rates: map[chaos.Kind]float64{
+					chaos.BootFailure:    rate,
+					chaos.ContainerCrash: rate,
+					chaos.SlowColdStart:  rate,
+				}}
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Records) != tr.Len() {
+				t.Fatalf("%d/%d invocations accounted for", len(res.Records), tr.Len())
+			}
+			if rate == 0 && (res.Retries != 0 || res.Failures != 0) {
+				t.Errorf("fault-free run saw retries=%d failures=%d", res.Retries, res.Failures)
+			}
+		})
+	}
+}

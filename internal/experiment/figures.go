@@ -63,6 +63,7 @@ func Figures() []Figure {
 		{ID: "ablation-keepalive", Title: "Ablation — container keep-alive sweep (memory vs cold starts)", Run: RunAblationKeepAlive},
 		{ID: "ablation-burstiness", Title: "Ablation — bursty vs steady arrivals of the same volume", Run: RunAblationBurstiness},
 		{ID: "sensitivity", Title: "Sensitivity — calibration perturbations vs headline orderings", Run: RunSensitivity},
+		{ID: "ext-faults", Title: "Extension — degradation under injected container faults", Run: RunFaultSweep},
 		{ID: "ext-cluster", Title: "Extension — FaaSBatch cluster scale-out and routing strategies", Run: RunExtensionCluster},
 		{ID: "ext-prewarm", Title: "Extension — predictive pre-warming for FaaSBatch", Run: RunExtensionPrewarm},
 		{ID: "ext-chains", Title: "Extension — sequential function chains across policies", Run: RunExtensionChains},

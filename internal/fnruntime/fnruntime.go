@@ -21,6 +21,7 @@ package fnruntime
 import (
 	"fmt"
 
+	"faasbatch/internal/chaos"
 	"faasbatch/internal/metrics"
 	"faasbatch/internal/multiplex"
 	"faasbatch/internal/node"
@@ -36,6 +37,9 @@ type Invocation struct {
 	Spec workload.Spec
 	// Arrive is when the platform received the request.
 	Arrive sim.Time
+	// Attempts counts scheduling attempts consumed so far; schedulers
+	// increment it when they retry after a container fault.
+	Attempts int
 	// Rec accumulates the latency decomposition. The scheduler fills
 	// Sched/Cold/Queue; the runner fills Exec.
 	Rec metrics.Record
@@ -55,6 +59,9 @@ func NewInvocation(id int64, spec workload.Spec, arrive sim.Time) *Invocation {
 type Stats struct {
 	// Executed counts completed invocations.
 	Executed int64
+	// CrashRejects counts Execute calls refused because the container
+	// crashed or was evicted (the scheduler must retry the invocation).
+	CrashRejects int64
 	// ClientsBuilt counts actual client constructions performed.
 	ClientsBuilt int64
 	// ClientBytesAllocated is cumulative client memory charged.
@@ -68,6 +75,7 @@ type Stats struct {
 // Runner executes invocations inside containers.
 type Runner struct {
 	eng   *sim.Engine
+	inj   *chaos.Injector
 	stats Stats
 }
 
@@ -75,6 +83,12 @@ type Runner struct {
 func NewRunner(eng *sim.Engine) *Runner {
 	return &Runner{eng: eng}
 }
+
+// SetChaos installs a fault injector on the execution boundary: before an
+// invocation enters its container, a ContainerCrash draw may kill the
+// container, forcing every scheduler through its retry path. The boundary
+// is policy-neutral — Vanilla and FaaSBatch face the same fault stream.
+func (r *Runner) SetChaos(inj *chaos.Injector) { r.inj = inj }
 
 // Stats reports the aggregate execution counters.
 func (r *Runner) Stats() Stats { return r.stats }
@@ -88,10 +102,21 @@ func (r *Runner) Execute(inv *Invocation, c *node.Container, onDone func(*Invoca
 		return fmt.Errorf("fnruntime: execute requires an invocation and a container")
 	}
 	if c.State() == node.Evicted {
+		r.stats.CrashRejects++
 		return fmt.Errorf("fnruntime: container %s is evicted", c.ID())
+	}
+	if r.inj.Should(chaos.ContainerCrash) {
+		// The container dies as the invocation enters it: this and every
+		// later invocation routed to it observe the Evicted state, so a
+		// whole in-flight batch fails together (§III-C's single-container
+		// mapping concentrates the blast radius).
+		c.Crash()
+		r.stats.CrashRejects++
+		return fmt.Errorf("fnruntime: container %s crashed", c.ID())
 	}
 	c.CheckoutThread()
 	start := r.eng.Now()
+	inv.Rec.Container = c.ID()
 	finish := func(transientClientBytes int64) {
 		inv.Rec.Exec = r.eng.Now().Sub(start)
 		if transientClientBytes > 0 {

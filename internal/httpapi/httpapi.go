@@ -2,7 +2,10 @@
 // (internal/platform, cmd/faasgate).
 package httpapi
 
-import "encoding/json"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // InvokeRequest asks the gateway to invoke a function.
 type InvokeRequest struct {
@@ -10,6 +13,19 @@ type InvokeRequest struct {
 	Fn string `json:"fn"`
 	// Payload is passed to the handler verbatim.
 	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// DecodeInvokeRequest parses and validates an /invoke request body.
+// Malformed input yields an error, never a panic.
+func DecodeInvokeRequest(body []byte) (InvokeRequest, error) {
+	var req InvokeRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return InvokeRequest{}, fmt.Errorf("httpapi: decode invoke request: %w", err)
+	}
+	if req.Fn == "" {
+		return InvokeRequest{}, fmt.Errorf("httpapi: invoke request missing fn")
+	}
+	return req, nil
 }
 
 // Latency is the wall-clock latency decomposition of one invocation,
@@ -41,8 +57,22 @@ type InvokeResponse struct {
 
 // StatsResponse is the gateway's counters snapshot.
 type StatsResponse struct {
-	// Invocations counts completed invocations.
+	// Submitted counts invocations accepted by the gateway.
+	Submitted int64 `json:"submitted"`
+	// Invocations counts completed invocations (including failures).
 	Invocations int64 `json:"invocations"`
+	// Failures counts invocations that exhausted their retry budget.
+	Failures int64 `json:"failures"`
+	// Retries counts extra execution attempts granted after faults.
+	Retries int64 `json:"retries"`
+	// Timeouts counts handler attempts killed by the invoke deadline.
+	Timeouts int64 `json:"timeouts"`
+	// Panics counts recovered handler panics.
+	Panics int64 `json:"panics"`
+	// Crashes counts containers lost mid-batch.
+	Crashes int64 `json:"crashes"`
+	// BootFailures counts failed container boots.
+	BootFailures int64 `json:"bootFailures"`
 	// Groups counts dispatched batches.
 	Groups int64 `json:"groups"`
 	// ContainersCreated counts cold starts.

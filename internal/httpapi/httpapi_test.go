@@ -1,0 +1,74 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestDecodeInvokeRequestValid(t *testing.T) {
+	req, err := DecodeInvokeRequest([]byte(`{"fn":"fib","payload":{"n":30}}`))
+	if err != nil {
+		t.Fatalf("DecodeInvokeRequest: %v", err)
+	}
+	if req.Fn != "fib" {
+		t.Errorf("Fn = %q", req.Fn)
+	}
+	if string(req.Payload) != `{"n":30}` {
+		t.Errorf("Payload = %s", req.Payload)
+	}
+}
+
+func TestDecodeInvokeRequestNoPayload(t *testing.T) {
+	req, err := DecodeInvokeRequest([]byte(`{"fn":"echo"}`))
+	if err != nil {
+		t.Fatalf("DecodeInvokeRequest: %v", err)
+	}
+	if req.Fn != "echo" || len(req.Payload) != 0 {
+		t.Errorf("req = %+v", req)
+	}
+}
+
+func TestDecodeInvokeRequestRejectsMalformed(t *testing.T) {
+	for _, body := range []string{
+		``,
+		`{`,
+		`null`,
+		`42`,
+		`"fn"`,
+		`[]`,
+		`{"payload":{}}`,
+		`{"fn":""}`,
+		`{"fn":3}`,
+	} {
+		if _, err := DecodeInvokeRequest([]byte(body)); err == nil {
+			t.Errorf("body %q accepted", body)
+		}
+	}
+}
+
+// FuzzDecodeInvokeRequest asserts the /invoke decoder is total: any body
+// either decodes to a request with a non-empty function name or returns
+// an error — never a panic — and an accepted request re-marshals.
+func FuzzDecodeInvokeRequest(f *testing.F) {
+	f.Add([]byte(`{"fn":"fib","payload":{"n":30}}`))
+	f.Add([]byte(`{"fn":"echo"}`))
+	f.Add([]byte(`{"fn":"s3upload","payload":{"bucket":"b","key":"k"}}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"fn":""}`))
+	f.Add([]byte(`{"payload":[1,2,3]}`))
+	f.Add([]byte(`{"fn":"x","payload":"\ud800"}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := DecodeInvokeRequest(body)
+		if err != nil {
+			return
+		}
+		if req.Fn == "" {
+			t.Fatal("accepted request with empty fn")
+		}
+		if _, err := json.Marshal(req); err != nil {
+			t.Fatalf("accepted request does not re-marshal: %v", err)
+		}
+	})
+}

@@ -33,6 +33,19 @@ type Record struct {
 	Queue time.Duration
 	// Exec is the execution latency.
 	Exec time.Duration
+	// Container identifies the container that executed the invocation
+	// (empty when the invocation never reached a container body, e.g. a
+	// failure after its retry budget drained). Containers serve a single
+	// function for their whole life, so records sharing a Container must
+	// share Fn — the group-purity invariant the property tests check.
+	Container string
+	// Retries counts extra scheduling attempts the invocation needed
+	// (container crashes, boot failures); zero on the happy path.
+	Retries int
+	// Failed reports that the invocation exhausted its retry budget and
+	// completed as a failure. Failed records still carry the latency
+	// accumulated until the final attempt was given up.
+	Failed bool
 }
 
 // Total reports the end-to-end invocation latency.

@@ -325,15 +325,24 @@ func (c *Cache) Stats() Stats {
 // container teardown can return them to the node's memory ledger).
 func (c *Cache) Close() int64 {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	freed := c.stats.BytesLive
+	// Pending builds are abandoned like Fail: blocking callers wake on
+	// done, and event-driven waiters are notified with nil. Dropping the
+	// waiters silently would strand coalesced invocations forever when a
+	// container is torn down (crashed) mid-build.
+	var waiters []func(any)
 	for k, e := range c.entries {
 		if e.state == statePending {
+			waiters = append(waiters, e.waiters...)
 			close(e.done)
 		}
 		delete(c.entries, k)
 	}
 	c.stats.BytesLive = 0
 	c.stats.LiveInstances = 0
+	c.mu.Unlock()
+	for _, w := range waiters {
+		w(nil)
+	}
 	return freed
 }

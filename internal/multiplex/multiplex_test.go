@@ -412,3 +412,21 @@ func TestPropertyBoundedCacheInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCloseNotifiesPendingWaitersWithNil(t *testing.T) {
+	c := New()
+	key := NewKey("client", "args")
+	c.Begin(key)
+	var got []any
+	c.Wait(key, func(v any) { got = append(got, v) })
+	c.Close()
+	if len(got) != 1 || got[0] != nil {
+		t.Fatalf("waiters got %v, want [nil]", got)
+	}
+	// A Complete arriving after Close (the abandoned builder finishing)
+	// must not resurrect the entry or double-notify.
+	c.Complete(key, struct{}{}, 1)
+	if len(got) != 1 {
+		t.Fatalf("waiters notified %d times, want once", len(got))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"faasbatch/internal/chaos"
 	"faasbatch/internal/cpusched"
 	"faasbatch/internal/multiplex"
 	"faasbatch/internal/sim"
@@ -67,6 +68,8 @@ type Node struct {
 	warmStarts           int
 	evictions            int
 	bootFailures         int
+	crashes              int
+	slowBoots            int
 	clientBytesAllocated int64
 
 	// liveIntegral accumulates container-seconds of live containers, used
@@ -127,6 +130,12 @@ func (n *Node) Evictions() int { return n.evictions }
 
 // BootFailures reports container boots that failed and were retried.
 func (n *Node) BootFailures() int { return n.bootFailures }
+
+// Crashes reports containers killed by fault injection.
+func (n *Node) Crashes() int { return n.crashes }
+
+// SlowBoots reports boots whose latency was inflated by fault injection.
+func (n *Node) SlowBoots() int { return n.slowBoots }
 
 // ClientBytesAllocated reports cumulative client-instance memory charged
 // (the Fig. 14d numerator).
@@ -229,7 +238,11 @@ func (n *Node) startCreation(req *createReq) {
 	n.allocMem(n.cfg.ContainerMem)
 
 	ready := func() {
-		if n.cfg.BootFailureRate > 0 && n.eng.Rand().Float64() < n.cfg.BootFailureRate {
+		failed := n.cfg.BootFailureRate > 0 && n.eng.Rand().Float64() < n.cfg.BootFailureRate
+		if !failed && n.cfg.Chaos.Should(chaos.BootFailure) {
+			failed = true
+		}
+		if failed {
 			// The boot failed after its init phase: tear the carcass
 			// down and retry the creation. The caller's wait so far is
 			// preserved in the request's enqueue time, so the eventual
@@ -260,7 +273,12 @@ func (n *Node) startCreation(req *createReq) {
 		// creations.
 		n.createInflight--
 		n.pumpCreations()
-		n.eng.Schedule(n.cfg.ColdStartLatency, func() {
+		bootLatency := n.cfg.ColdStartLatency
+		if n.cfg.Chaos.Should(chaos.SlowColdStart) {
+			bootLatency = time.Duration(float64(bootLatency) * n.cfg.Chaos.ColdStartFactor())
+			n.slowBoots++
+		}
+		n.eng.Schedule(bootLatency, func() {
 			c.group = n.pool.NewGroup(c.id, req.opts.CPULimit)
 			c.gilGroup = n.pool.NewGroup(c.id+"/gil", 1)
 			// Runtime init (interpreter, server, SDK imports) burns CPU
@@ -322,12 +340,14 @@ func (n *Node) teardown(c *Container) {
 	n.freeMem(freed)
 	n.advanceLiveIntegral()
 	n.live--
-	// Groups exist only after boot completed.
-	if c.group != nil {
-		_ = c.group.Close()
-	}
-	if c.gilGroup != nil {
-		_ = c.gilGroup.Close()
+	// Groups exist only after boot completed. A container with accepted
+	// invocations still inside (crash mid-batch) keeps its groups until
+	// that work drains — ReturnThread closes them on the last return;
+	// closing now would detach the pool from CPU work those invocations
+	// submit later (IO-phase invocations submit their compute on return),
+	// silently losing them.
+	if c.active == 0 {
+		c.closeGroups()
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"faasbatch/internal/chaos"
 	"faasbatch/internal/cpusched"
 	"faasbatch/internal/multiplex"
 	"faasbatch/internal/sim"
@@ -78,6 +79,11 @@ type Config struct {
 	// the acquisition eventually succeeds and the extra wait lands in the
 	// caller's cold-start latency. Zero by default.
 	BootFailureRate float64
+	// Chaos optionally injects seeded faults into the node: BootFailure
+	// fails boots (on top of BootFailureRate), SlowColdStart inflates a
+	// boot's latency by the injector's cold-start factor. Nil disables
+	// injection entirely.
+	Chaos *chaos.Injector
 }
 
 // DefaultConfig returns the paper's worker-VM calibration.
@@ -214,15 +220,33 @@ func (c *Container) CheckoutThread() {
 }
 
 // ReturnThread marks one invocation as finished. When the container
-// drains it returns to the warm pool and its keep-alive clock starts.
+// drains it returns to the warm pool and its keep-alive clock starts; a
+// crashed container instead releases its CPU groups once the in-flight
+// work it accepted before the crash has finished.
 func (c *Container) ReturnThread() {
 	if c.active == 0 {
 		return
 	}
 	c.active--
 	c.served++
-	if c.active == 0 {
-		c.node.parkIdle(c)
+	if c.active > 0 {
+		return
+	}
+	if c.state == Evicted {
+		c.closeGroups()
+		return
+	}
+	c.node.parkIdle(c)
+}
+
+// closeGroups detaches the container's CPU groups from the pool. Safe to
+// call with nil groups (boot never completed) or repeatedly.
+func (c *Container) closeGroups() {
+	if c.group != nil {
+		_ = c.group.Close()
+	}
+	if c.gilGroup != nil {
+		_ = c.gilGroup.Close()
 	}
 }
 
@@ -264,6 +288,22 @@ func (c *Container) ClientLive() int { return c.clientLive }
 func (c *Container) Terminate() {
 	c.active = 0
 	c.node.teardown(c)
+}
+
+// Crash kills the container abruptly (fault injection): it is torn down
+// regardless of lifecycle state and counted as a crash. Invocations that
+// had not started executing observe the Evicted state and must be
+// retried by their scheduler; invocations already inside run their body
+// to completion (our containers are simulated — there is no kernel to
+// reap their threads), and the container's CPU groups detach only once
+// that accepted work drains. Crashing an already-evicted container is a
+// no-op.
+func (c *Container) Crash() {
+	if c.state == Evicted {
+		return
+	}
+	c.node.teardown(c)
+	c.node.crashes++
 }
 
 // FreeClientMem releases client-instance memory (a non-multiplexed client

@@ -26,13 +26,9 @@ func NewHTTPHandler(p *Platform) http.Handler {
 			http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
 			return
 		}
-		var req httpapi.InvokeRequest
-		if err := json.Unmarshal(body, &req); err != nil {
-			http.Error(w, fmt.Sprintf("decode request: %v", err), http.StatusBadRequest)
-			return
-		}
-		if req.Fn == "" {
-			http.Error(w, "missing fn", http.StatusBadRequest)
+		req, err := httpapi.DecodeInvokeRequest(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		res, err := p.Invoke(r.Context(), req.Fn, req.Payload)
@@ -65,7 +61,14 @@ func NewHTTPHandler(p *Platform) http.Handler {
 		}
 		st := p.Stats()
 		writeJSON(w, httpapi.StatsResponse{
+			Submitted:         st.Submitted,
 			Invocations:       st.Invocations,
+			Failures:          st.Failures,
+			Retries:           st.Retries,
+			Timeouts:          st.Timeouts,
+			Panics:            st.Panics,
+			Crashes:           st.Crashes,
+			BootFailures:      st.BootFailures,
 			Groups:            st.Groups,
 			ContainersCreated: st.ContainersCreated,
 			WarmStarts:        st.WarmStarts,
@@ -113,6 +116,24 @@ func NewHTTPHandler(p *Platform) http.Handler {
 		fmt.Fprintf(w, "# HELP faasbatch_multiplexer_bytes_saved_total Duplicate client memory avoided.\n")
 		fmt.Fprintf(w, "# TYPE faasbatch_multiplexer_bytes_saved_total counter\n")
 		fmt.Fprintf(w, "faasbatch_multiplexer_bytes_saved_total %d\n", st.Multiplexer.BytesSaved)
+		fmt.Fprintf(w, "# HELP faasbatch_failures_total Invocations that exhausted their retry budget.\n")
+		fmt.Fprintf(w, "# TYPE faasbatch_failures_total counter\n")
+		fmt.Fprintf(w, "faasbatch_failures_total %d\n", st.Failures)
+		fmt.Fprintf(w, "# HELP faasbatch_retries_total Extra execution attempts granted after faults.\n")
+		fmt.Fprintf(w, "# TYPE faasbatch_retries_total counter\n")
+		fmt.Fprintf(w, "faasbatch_retries_total %d\n", st.Retries)
+		fmt.Fprintf(w, "# HELP faasbatch_timeouts_total Handler attempts killed by the invoke deadline.\n")
+		fmt.Fprintf(w, "# TYPE faasbatch_timeouts_total counter\n")
+		fmt.Fprintf(w, "faasbatch_timeouts_total %d\n", st.Timeouts)
+		fmt.Fprintf(w, "# HELP faasbatch_panics_total Recovered handler panics.\n")
+		fmt.Fprintf(w, "# TYPE faasbatch_panics_total counter\n")
+		fmt.Fprintf(w, "faasbatch_panics_total %d\n", st.Panics)
+		fmt.Fprintf(w, "# HELP faasbatch_crashes_total Containers lost mid-batch.\n")
+		fmt.Fprintf(w, "# TYPE faasbatch_crashes_total counter\n")
+		fmt.Fprintf(w, "faasbatch_crashes_total %d\n", st.Crashes)
+		fmt.Fprintf(w, "# HELP faasbatch_boot_failures_total Failed container boots.\n")
+		fmt.Fprintf(w, "# TYPE faasbatch_boot_failures_total counter\n")
+		fmt.Fprintf(w, "faasbatch_boot_failures_total %d\n", st.BootFailures)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)

@@ -19,11 +19,13 @@ package platform
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"faasbatch/internal/chaos"
 	"faasbatch/internal/multiplex"
 )
 
@@ -69,6 +71,7 @@ type Invocation struct {
 // multiplexer intercepts client(args) calls.
 type Resources struct {
 	cache *multiplex.Cache
+	inj   *chaos.Injector
 }
 
 // Get returns the shared instance for (callee, argsKey), building it at
@@ -76,6 +79,19 @@ type Resources struct {
 // from the cache. When the platform runs without multiplexing, every call
 // builds a fresh instance and Get reports false.
 func (r *Resources) Get(callee, argsKey string, build func() (any, int64, error)) (any, bool, error) {
+	if r.inj != nil {
+		// Fault injection wraps the constructor, so an injected failure
+		// fires only when a build actually runs — cache hits are immune,
+		// and a failed build exercises the multiplexer's Fail path
+		// (coalesced waiters wake and retry).
+		orig := build
+		build = func() (any, int64, error) {
+			if r.inj.Should(chaos.StorageFailure) {
+				return nil, 0, fmt.Errorf("injected storage-client construction failure")
+			}
+			return orig()
+		}
+	}
 	if r.cache == nil {
 		v, _, err := build()
 		if err != nil {
@@ -101,6 +117,10 @@ type Result struct {
 	ColdStart time.Duration
 	// Exec is the handler execution time.
 	Exec time.Duration
+	// Attempts is how many execution attempts the invocation consumed
+	// (1 on the happy path; retries after faults add one each, capped at
+	// 1+Config.MaxRetries).
+	Attempts int
 }
 
 // Total reports the end-to-end latency.
@@ -123,6 +143,28 @@ type Config struct {
 	// containers (Knative-style containerConcurrency). Zero means
 	// unlimited — the paper stuffs the whole group into one container.
 	MaxConcurrency int
+	// InvokeTimeout bounds one handler execution attempt. A handler
+	// exceeding it fails with a deadline error while the rest of its
+	// batch completes normally — without it, one hung handler wedges its
+	// whole group and Close (the paper's single-container group mapping
+	// concentrates that risk). Zero means no deadline.
+	InvokeTimeout time.Duration
+	// MaxRetries is how many extra attempts a failed invocation receives
+	// before its error is surfaced. Retried invocations re-batch into a
+	// later dispatch window (at most 1+MaxRetries attempts; the final
+	// outcome reports Result.Attempts). Zero disables retries.
+	MaxRetries int
+	// RetryBackoff is the base delay before a retry re-enters the
+	// window, doubled on every further attempt (exponential backoff).
+	// Zero re-batches immediately into the next window.
+	RetryBackoff time.Duration
+	// DrainTimeout bounds Close: in-flight windows and retries must
+	// drain within it, else Close reports an error. Zero waits forever.
+	DrainTimeout time.Duration
+	// Chaos optionally injects seeded faults (boot failures, container
+	// crashes, handler error/panic/hang, slow cold starts, storage
+	// construction failures). Nil — the default — injects nothing.
+	Chaos *chaos.Injector
 }
 
 // DefaultConfig returns paper-like live defaults (cold starts scaled down
@@ -139,8 +181,26 @@ func DefaultConfig() Config {
 
 // Stats is a snapshot of platform counters.
 type Stats struct {
-	// Invocations counts completed invocations.
+	// Submitted counts invocations accepted by Invoke. At quiescence
+	// Submitted == Invocations: every accepted invocation completes
+	// exactly once (possibly as a failure), never silently disappears.
+	Submitted int64
+	// Invocations counts completed invocations (successes and final
+	// failures alike).
 	Invocations int64
+	// Failures counts invocations whose final outcome was an error after
+	// the retry budget was exhausted.
+	Failures int64
+	// Retries counts extra execution attempts granted after failures.
+	Retries int64
+	// Timeouts counts handler attempts killed by InvokeTimeout.
+	Timeouts int64
+	// Panics counts handler attempts that panicked (recovered).
+	Panics int64
+	// Crashes counts containers lost to injected mid-batch crashes.
+	Crashes int64
+	// BootFailures counts container boots that failed and were retried.
+	BootFailures int64
 	// Groups counts dispatched batches (ModeBatch).
 	Groups int64
 	// ContainersCreated counts cold starts.
@@ -177,6 +237,9 @@ type pendingCall struct {
 	payload json.RawMessage
 	arrive  time.Time
 	done    chan outcome
+	// attempts counts execution attempts already consumed; a call retries
+	// while attempts <= Config.MaxRetries.
+	attempts int
 }
 
 // outcome carries a finished invocation back to its caller.
@@ -215,6 +278,18 @@ func New(cfg Config) (*Platform, error) {
 	}
 	if cfg.MaxConcurrency < 0 {
 		return nil, fmt.Errorf("platform: max concurrency must be non-negative, got %d", cfg.MaxConcurrency)
+	}
+	if cfg.InvokeTimeout < 0 {
+		return nil, fmt.Errorf("platform: invoke timeout must be non-negative, got %v", cfg.InvokeTimeout)
+	}
+	if cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("platform: max retries must be non-negative, got %d", cfg.MaxRetries)
+	}
+	if cfg.RetryBackoff < 0 {
+		return nil, fmt.Errorf("platform: retry backoff must be non-negative, got %v", cfg.RetryBackoff)
+	}
+	if cfg.DrainTimeout < 0 {
+		return nil, fmt.Errorf("platform: drain timeout must be non-negative, got %v", cfg.DrainTimeout)
 	}
 	p := &Platform{
 		cfg:        cfg,
@@ -260,6 +335,7 @@ func (p *Platform) Invoke(ctx context.Context, fn string, payload json.RawMessag
 		return Result{}, fmt.Errorf("platform: unknown function %q", fn)
 	}
 	call := &pendingCall{ctx: ctx, payload: payload, arrive: time.Now(), done: make(chan outcome, 1)}
+	p.stats.Submitted++
 	if p.cfg.Mode == ModeVanilla {
 		p.mu.Unlock()
 		p.runGroup(f, []*pendingCall{call})
@@ -371,7 +447,7 @@ func (p *Platform) acquire(f *function) (*container, bool) {
 	}
 	p.seq++
 	c := &container{id: fmt.Sprintf("live-%04d-%s", p.seq, f.name), fn: f.name}
-	res := &Resources{}
+	res := &Resources{inj: p.cfg.Chaos}
 	if p.cfg.Multiplex {
 		res.cache = multiplex.New()
 	}
@@ -381,9 +457,23 @@ func (p *Platform) acquire(f *function) (*container, bool) {
 	p.stats.ContainersCreated++
 	p.stats.LiveContainers++
 	p.mu.Unlock()
-	// Simulated boot outside the lock.
-	if p.cfg.ColdStart > 0 {
-		time.Sleep(p.cfg.ColdStart)
+	// Simulated boot outside the lock. Injected boot failures cost one
+	// boot latency each and restart the boot; an injected slow cold start
+	// inflates the final boot.
+	boot := p.cfg.ColdStart
+	for p.cfg.Chaos.Should(chaos.BootFailure) {
+		p.mu.Lock()
+		p.stats.BootFailures++
+		p.mu.Unlock()
+		if boot > 0 {
+			time.Sleep(boot)
+		}
+	}
+	if p.cfg.Chaos.Should(chaos.SlowColdStart) {
+		boot = time.Duration(float64(boot) * p.cfg.Chaos.ColdStartFactor())
+	}
+	if boot > 0 {
+		time.Sleep(boot)
 	}
 	return c, true
 }
@@ -438,6 +528,24 @@ func (p *Platform) runGroupOne(f *function, group []*pendingCall) {
 	c.active += len(group) - 1 // acquire already counted one
 	p.mu.Unlock()
 
+	// Injected mid-batch container crash: the whole group fails at once —
+	// the blast radius of the paper's one-container-per-group mapping.
+	// The container is retired (not parked warm), so the next window
+	// boots a replacement; each member retries or surfaces the crash.
+	if p.cfg.Chaos.Should(chaos.ContainerCrash) {
+		crashErr := fmt.Errorf("platform: container %s crashed", c.id)
+		p.mu.Lock()
+		p.stats.Crashes++
+		c.active = 0
+		p.retireLocked(f, c)
+		p.mu.Unlock()
+		for _, call := range group {
+			res := Result{ContainerID: c.id, Cold: cold, Sched: dispatch.Sub(call.arrive), ColdStart: coldDur}
+			p.finish(f, call, res, crashErr)
+		}
+		return
+	}
+
 	var wg sync.WaitGroup
 	for _, call := range group {
 		call := call
@@ -446,7 +554,7 @@ func (p *Platform) runGroupOne(f *function, group []*pendingCall) {
 			defer wg.Done()
 			start := time.Now()
 			inv := &Invocation{Payload: call.payload, Resources: c.resources, ContainerID: c.id}
-			value, err := safeInvoke(f.handler, call.ctx, inv)
+			value, err := p.runHandler(f, call.ctx, inv)
 			end := time.Now()
 			res := Result{
 				Value:       value,
@@ -459,15 +567,150 @@ func (p *Platform) runGroupOne(f *function, group []*pendingCall) {
 			if err != nil {
 				err = fmt.Errorf("platform: invoke %s: %w", f.name, err)
 			}
-			p.mu.Lock()
-			p.stats.Invocations++
-			p.mu.Unlock()
-			call.done <- outcome{res: res, err: err}
+			p.finish(f, call, res, err)
 		}()
 	}
 	wg.Wait()
 	p.release(f, c, len(group))
 }
+
+// runHandler executes one handler attempt, layering on (in order) any
+// injected handler faults and the InvokeTimeout deadline. With a deadline
+// configured, a handler that never returns costs its group only the
+// timeout — the rest of the batch completes and Close still drains —
+// instead of wedging the whole group, though its goroutine is abandoned
+// until the handler actually returns.
+func (p *Platform) runHandler(f *function, ctx context.Context, inv *Invocation) (any, error) {
+	h := f.handler
+	if inj := p.cfg.Chaos; inj != nil {
+		switch {
+		case inj.Should(chaos.HandlerError):
+			h = func(context.Context, *Invocation) (any, error) {
+				return nil, errors.New("injected handler error")
+			}
+		case inj.Should(chaos.HandlerPanic):
+			h = func(context.Context, *Invocation) (any, error) {
+				panic("injected handler panic")
+			}
+		case inj.Should(chaos.HandlerHang):
+			orig := h
+			hang := inj.HangDuration()
+			h = func(ctx context.Context, inv *Invocation) (any, error) {
+				// Bounded hang: long enough to trip InvokeTimeout, short
+				// enough that abandoned goroutines settle in tests.
+				select {
+				case <-time.After(hang):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				return orig(ctx, inv)
+			}
+		}
+	}
+	if p.cfg.InvokeTimeout <= 0 {
+		value, err := safeInvoke(h, ctx, inv)
+		p.notePanic(err)
+		return value, err
+	}
+	tctx, cancel := context.WithTimeout(ctx, p.cfg.InvokeTimeout)
+	defer cancel()
+	type attempt struct {
+		value any
+		err   error
+	}
+	ch := make(chan attempt, 1)
+	go func() {
+		v, err := safeInvoke(h, tctx, inv)
+		ch <- attempt{v, err}
+	}()
+	select {
+	case a := <-ch:
+		p.notePanic(a.err)
+		return a.value, a.err
+	case <-tctx.Done():
+		if ctx.Err() != nil {
+			// The caller's own context ended; not an invoke timeout.
+			return nil, ctx.Err()
+		}
+		p.mu.Lock()
+		p.stats.Timeouts++
+		p.mu.Unlock()
+		return nil, fmt.Errorf("handler exceeded invoke timeout %v: %w",
+			p.cfg.InvokeTimeout, context.DeadlineExceeded)
+	}
+}
+
+// notePanic counts a recovered handler panic.
+func (p *Platform) notePanic(err error) {
+	var pe panicError
+	if errors.As(err, &pe) {
+		p.mu.Lock()
+		p.stats.Panics++
+		p.mu.Unlock()
+	}
+}
+
+// finish settles one attempt: a failed attempt with retry budget left
+// re-enters a later dispatch window (with exponential backoff); anything
+// else completes the invocation exactly once.
+func (p *Platform) finish(f *function, call *pendingCall, res Result, err error) {
+	call.attempts++
+	if err != nil && call.attempts <= p.cfg.MaxRetries && call.ctx.Err() == nil {
+		p.mu.Lock()
+		if !p.closed {
+			p.stats.Retries++
+			// Add under mu while open: Close sets closed under mu before
+			// Wait, so this Add is ordered before that Wait.
+			p.wg.Add(1)
+			p.mu.Unlock()
+			go p.retryLater(f, call)
+			return
+		}
+		p.mu.Unlock()
+	}
+	res.Attempts = call.attempts
+	p.mu.Lock()
+	p.stats.Invocations++
+	if err != nil {
+		p.stats.Failures++
+	}
+	p.mu.Unlock()
+	call.done <- outcome{res: res, err: err}
+}
+
+// retryLater re-batches a failed call into a later dispatch window after
+// an exponential backoff. Close wakes sleepers early (stopTicker) and the
+// retry then runs directly, so draining never strands a retry. The caller
+// has already done p.wg.Add(1).
+func (p *Platform) retryLater(f *function, call *pendingCall) {
+	defer p.wg.Done()
+	if p.cfg.RetryBackoff > 0 {
+		backoff := p.cfg.RetryBackoff << uint(call.attempts-1)
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+		case <-p.stopTicker:
+			timer.Stop()
+		}
+	}
+	p.mu.Lock()
+	if p.cfg.Mode == ModeBatch && !p.closed {
+		f.pending = append(f.pending, call)
+		p.mu.Unlock()
+		return
+	}
+	// Vanilla mode, or the platform is draining: run the attempt now.
+	p.mu.Unlock()
+	p.runGroup(f, []*pendingCall{call})
+}
+
+// panicError is a recovered handler panic; its message keeps the
+// "handler panicked" shape handlers' callers rely on while letting the
+// platform classify panics apart from ordinary errors.
+type panicError struct{ v any }
+
+// Error implements error.
+func (e panicError) Error() string { return fmt.Sprintf("handler panicked: %v", e.v) }
 
 // safeInvoke runs a handler, converting a panic into an error so one
 // misbehaving function cannot take down the whole batch (a real container
@@ -476,7 +719,7 @@ func safeInvoke(h Handler, ctx context.Context, inv *Invocation) (value any, err
 	defer func() {
 		if r := recover(); r != nil {
 			value = nil
-			err = fmt.Errorf("handler panicked: %v", r)
+			err = panicError{v: r}
 		}
 	}()
 	return h(ctx, inv)
@@ -516,8 +759,10 @@ func (p *Platform) Stats() Stats {
 	return st
 }
 
-// Close flushes pending windows and stops the dispatcher. Invocations
-// submitted after Close fail.
+// Close flushes pending windows, waits for in-flight groups and retries
+// to drain, and stops the dispatcher. Invocations submitted after Close
+// fail. With DrainTimeout set, Close gives up once the deadline passes
+// and reports an error (work may still be in flight).
 func (p *Platform) Close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -526,9 +771,22 @@ func (p *Platform) Close() error {
 	}
 	p.closed = true
 	p.mu.Unlock()
-	if p.cfg.Mode == ModeBatch {
-		close(p.stopTicker)
+	// Wakes the dispatcher for its final flush and any backoff sleepers,
+	// in every mode.
+	close(p.stopTicker)
+	if p.cfg.DrainTimeout <= 0 {
+		p.wg.Wait()
+		return nil
 	}
-	p.wg.Wait()
-	return nil
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(p.cfg.DrainTimeout):
+		return fmt.Errorf("platform: close: drain exceeded %v", p.cfg.DrainTimeout)
+	}
 }

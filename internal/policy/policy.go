@@ -83,6 +83,11 @@ func (v *Vanilla) Submit(inv *fnruntime.Invocation, complete func(*fnruntime.Inv
 	submitOnePerContainer(v.env, inv, complete)
 }
 
+// maxRetriesOnePerContainer bounds retries after container faults on the
+// Vanilla/SFS path, mirroring core.DefaultConfig().MaxRetries so the
+// fault-rate sweep compares equal retry budgets across policies.
+const maxRetriesOnePerContainer = 3
+
 // submitOnePerContainer is the shared Vanilla/SFS dispatch path.
 func submitOnePerContainer(env Env, inv *fnruntime.Invocation, complete func(*fnruntime.Invocation)) {
 	issued := env.Eng.Now()
@@ -96,10 +101,18 @@ func submitOnePerContainer(env Env, inv *fnruntime.Invocation, complete func(*fn
 			complete(done)
 		})
 		if err != nil {
-			// The container was torn down between acquisition and
-			// execution; surface the failure as an infinite-latency
-			// record would distort CDFs, so re-submit instead.
+			// The container was torn down (or crashed, under fault
+			// injection) between acquisition and execution: retry on a
+			// fresh container within the bounded budget rather than drop
+			// the invocation.
 			r.Container.ReturnThread()
+			if inv.Attempts >= maxRetriesOnePerContainer {
+				inv.Rec.Failed = true
+				complete(inv)
+				return
+			}
+			inv.Attempts++
+			inv.Rec.Retries = inv.Attempts
 			submitOnePerContainer(env, inv, complete)
 		}
 	})

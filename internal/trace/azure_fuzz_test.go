@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// azureCSVSample builds a well-formed Azure per-minute CSV with the given
+// data rows appended under the canonical 1444-column header.
+func azureCSVSample(rows ...string) string {
+	var b strings.Builder
+	b.WriteString("HashOwner,HashApp,HashFunction,Trigger")
+	for m := 1; m <= minutesPerDay; m++ {
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(m))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		b.WriteString(r)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// azureDataRow builds one data row with count c in every minute column.
+func azureDataRow(owner, app, fn, trigger string, c int) string {
+	var b strings.Builder
+	b.WriteString(owner + "," + app + "," + fn + "," + trigger)
+	for m := 0; m < minutesPerDay; m++ {
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(c))
+	}
+	return b.String()
+}
+
+// FuzzReadAzureInvocationsCSV asserts the Azure trace reader is total:
+// arbitrary input either parses or returns an error — it never panics —
+// and successfully parsed rows survive a write/re-read round trip.
+func FuzzReadAzureInvocationsCSV(f *testing.F) {
+	f.Add([]byte(azureCSVSample()))
+	f.Add([]byte(azureCSVSample(azureDataRow("o1", "a1", "f1", "http", 2))))
+	f.Add([]byte(azureCSVSample(
+		azureDataRow("o1", "a1", "f1", "http", 0),
+		azureDataRow("o2", "a2", "f2", "queue", 7))))
+	f.Add([]byte(""))
+	f.Add([]byte("HashOwner,HashApp,HashFunction,Trigger,1,2\n"))
+	f.Add([]byte("a,b\nc\n"))
+	f.Add([]byte("\"unclosed quote"))
+	f.Add([]byte(azureCSVSample(azureDataRow("o", "a", "f", "timer", -1))))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows, err := ReadAzureInvocationsCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, r := range rows {
+			if len(r.PerMinute) != minutesPerDay {
+				t.Fatalf("row %d parsed with %d minutes", i, len(r.PerMinute))
+			}
+			for m, c := range r.PerMinute {
+				if c < 0 {
+					t.Fatalf("row %d minute %d parsed negative count %d", i, m, c)
+				}
+			}
+		}
+		// Round trip: what we write we must read back identically.
+		var buf bytes.Buffer
+		if err := WriteAzureInvocationsCSV(&buf, rows); err != nil {
+			t.Fatalf("write parsed rows: %v", err)
+		}
+		again, err := ReadAzureInvocationsCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read written rows: %v", err)
+		}
+		if len(again) != len(rows) {
+			t.Fatalf("round trip changed row count: %d -> %d", len(rows), len(again))
+		}
+		for i := range rows {
+			if rows[i].Owner != again[i].Owner || rows[i].App != again[i].App ||
+				rows[i].Function != again[i].Function || rows[i].Trigger != again[i].Trigger {
+				t.Fatalf("round trip changed row %d identity", i)
+			}
+			for m := range rows[i].PerMinute {
+				if rows[i].PerMinute[m] != again[i].PerMinute[m] {
+					t.Fatalf("round trip changed row %d minute %d", i, m)
+				}
+			}
+		}
+	})
+}
