@@ -39,11 +39,18 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 13, "deterministic seed")
 	outPath := fs.String("o", "", "also write the output to this file")
 	summary := fs.String("summary", "", "emit a JSON per-policy summary for a workload (cpu or io) instead of tables")
+	traceDir := fs.String("trace-dir", "", "write one Chrome trace-event JSON file per experiment run into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *scale <= 0 {
 		return fmt.Errorf("scale must be positive, got %v", *scale)
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return fmt.Errorf("create trace dir: %w", err)
+		}
+		experiment.SetTraceDir(*traceDir)
 	}
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {

@@ -8,6 +8,9 @@
 //	faasgate -mode vanilla         # per-invocation containers
 //	faasgate -interval 100ms       # dispatch window
 //	faasgate -no-multiplex         # disable the Resource Multiplexer
+//	faasgate -trace-out t.json     # record invocation traces (Perfetto)
+//	faasgate -pprof                # serve /debug/pprof/
+//	faasgate -log-level debug      # structured logs on stderr
 //
 // Built-in demo functions:
 //
@@ -28,12 +31,14 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"faasbatch/internal/chaos"
+	"faasbatch/internal/obs"
 	"faasbatch/internal/platform"
 	"faasbatch/internal/workload"
 )
@@ -59,11 +64,22 @@ func run(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 0, "bound on Close draining in-flight work (0 = wait forever)")
 	chaosRate := fs.Float64("chaos-rate", 0, "inject every fault kind at this rate in [0,1) (0 = off)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the fault schedule (same seed, same faults)")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file here on exit (enables tracing)")
+	traceSample := fs.Int("trace-sample", 1, "trace 1 in N invocations (with -trace-out)")
+	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+
 	cfg := platform.DefaultConfig()
+	cfg.Logger = logger
 	cfg.DispatchInterval = *interval
 	cfg.ColdStart = *coldStart
 	cfg.KeepAlive = *keepAlive
@@ -90,6 +106,17 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown mode %q (faasbatch or vanilla)", *mode)
 	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		if *traceSample < 1 {
+			return fmt.Errorf("-trace-sample must be >= 1, got %d", *traceSample)
+		}
+		tracer, err = obs.NewWallTracer(0, *traceSample)
+		if err != nil {
+			return err
+		}
+		cfg.Tracer = tracer
+	}
 
 	p, err := platform.New(cfg)
 	if err != nil {
@@ -99,6 +126,11 @@ func run(args []string) error {
 		if cerr := p.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, "faasgate: close:", cerr)
 		}
+		if tracer != nil {
+			if terr := writeTraceFile(*traceOut, tracer); terr != nil {
+				fmt.Fprintln(os.Stderr, "faasgate: trace:", terr)
+			}
+		}
 	}()
 	if err := registerDemoFunctions(p); err != nil {
 		return err
@@ -106,12 +138,47 @@ func run(args []string) error {
 
 	fmt.Printf("faasgate: %s mode, interval %v, multiplex %v, listening on %s\n",
 		cfg.Mode, cfg.DispatchInterval, cfg.Multiplex, *addr)
+	handler := platform.NewHTTPHandler(p)
+	if *pprofOn {
+		handler = withPprof(handler)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           platform.NewHTTPHandler(p),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	return serveUntilSignal(srv)
+}
+
+// withPprof mounts the net/http/pprof handlers in front of the gateway
+// mux. /debug/traces stays with the platform handler; only /debug/pprof/
+// is intercepted.
+func withPprof(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", next)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// writeTraceFile exports the tracer's ring buffer to path.
+func writeTraceFile(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("faasgate: wrote trace to %s (%d spans dropped)\n", path, tracer.Dropped())
+	return nil
 }
 
 // serveUntilSignal runs the server until it fails or the process receives

@@ -23,10 +23,12 @@ package faasbatch
 
 import (
 	"io"
+	"log/slog"
 	"net/http"
 
 	"faasbatch/internal/cluster"
 	"faasbatch/internal/experiment"
+	"faasbatch/internal/obs"
 	"faasbatch/internal/platform"
 	"faasbatch/internal/trace"
 	"faasbatch/internal/workload"
@@ -67,8 +69,39 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) { return platform.New(cf
 func DefaultPlatformConfig() PlatformConfig { return platform.DefaultConfig() }
 
 // NewHTTPHandler exposes a platform over HTTP (POST /invoke, GET /stats,
-// GET /healthz).
+// GET /metrics, GET /debug/traces, GET /healthz). See
+// docs/OBSERVABILITY.md.
 func NewHTTPHandler(p *Platform) http.Handler { return platform.NewHTTPHandler(p) }
+
+// Observability API (see docs/OBSERVABILITY.md).
+type (
+	// Tracer records per-invocation lifecycle spans and exports Chrome
+	// trace-event JSON. Set PlatformConfig.Tracer (or
+	// ExperimentConfig.Tracer) to enable tracing; a nil tracer is free.
+	Tracer = obs.Tracer
+	// TracerConfig parameterises a tracer (ring capacity, sampling,
+	// clock).
+	TracerConfig = obs.TracerConfig
+	// TraceSpan is one completed invocation lifecycle span.
+	TraceSpan = obs.Span
+)
+
+// NewWallTracer builds a wall-clock tracer for the live platform. Zero
+// capacity/sample select the defaults (65536 spans, sample every trace).
+func NewWallTracer(capacity, sample int) (*Tracer, error) {
+	return obs.NewWallTracer(capacity, sample)
+}
+
+// NewTracer builds a tracer from cfg; virtual-time users supply the
+// clock.
+func NewTracer(cfg TracerConfig) (*Tracer, error) { return obs.NewTracer(cfg) }
+
+// NewLogger builds the platform's structured logger. Level is one of
+// debug/info/warn/error, format text or json. Set the result as
+// PlatformConfig.Logger.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	return obs.NewLogger(w, level, format)
+}
 
 // Evaluation harness API.
 type (

@@ -18,6 +18,7 @@ import (
 	"faasbatch/internal/fnruntime"
 	"faasbatch/internal/metrics"
 	"faasbatch/internal/node"
+	"faasbatch/internal/obs"
 	"faasbatch/internal/policy"
 	"faasbatch/internal/sim"
 	"faasbatch/internal/trace"
@@ -91,6 +92,10 @@ type Config struct {
 	// The injector seed defaults to Seed when Chaos.Seed is zero, so one
 	// experiment seed fixes both arrivals and the fault schedule.
 	Chaos *chaos.Config
+	// Tracer, when non-nil, receives the run's invocation decomposition
+	// spans on the virtual timeline (see EmitSpans). The simulation itself
+	// is unaffected: spans are derived from completed records.
+	Tracer *obs.Tracer
 }
 
 // Result aggregates one run's measurements.
@@ -262,6 +267,9 @@ func Run(cfg Config) (*Result, error) {
 	res.BootFailures = nd.BootFailures()
 	res.SlowBoots = nd.SlowBoots()
 	res.FaultSummary = inj.Summary()
+	if err := emitRunTrace(cfg, res); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -383,6 +391,9 @@ func SLOFromVanilla(cfg Config) (map[string]time.Duration, error) {
 	pre := cfg
 	pre.Policy = PolicyVanilla
 	pre.SLO = nil
+	// The SLO pre-run is an implementation detail; keep it out of the
+	// caller's trace.
+	pre.Tracer = nil
 	res, err := Run(pre)
 	if err != nil {
 		return nil, err

@@ -35,9 +35,13 @@ type Latency struct {
 	SchedMillis float64 `json:"schedMillis"`
 	// ColdMillis is the container boot time (0 on warm starts).
 	ColdMillis float64 `json:"coldMillis"`
+	// QueueMillis is the in-container queuing latency (container ready
+	// until the handler starts).
+	QueueMillis float64 `json:"queueMillis"`
 	// ExecMillis is the handler execution time.
 	ExecMillis float64 `json:"execMillis"`
-	// TotalMillis is the end-to-end latency.
+	// TotalMillis is the end-to-end latency: the sum of the four
+	// components above, completing the paper's §IV decomposition.
 	TotalMillis float64 `json:"totalMillis"`
 }
 
@@ -51,6 +55,9 @@ type InvokeResponse struct {
 	ContainerID string `json:"containerId"`
 	// Cold reports whether the invocation paid a cold start.
 	Cold bool `json:"cold"`
+	// Attempts is how many execution attempts the invocation consumed:
+	// 1 on a first-try success, more when the platform retried it.
+	Attempts int `json:"attempts"`
 	// Latency is the invocation's latency decomposition.
 	Latency Latency `json:"latency"`
 }

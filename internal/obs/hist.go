@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// DefaultLatencyBuckets are the latency histogram upper bounds in
+// seconds, spanning sub-millisecond handler times to multi-second
+// cold-start tails.
+var DefaultLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// DefaultGroupSizeBuckets are the batch-group-size histogram upper
+// bounds (invocations per dispatched group).
+var DefaultGroupSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// Histogram is a fixed-bucket histogram in the Prometheus style: one
+// counter per upper bound plus an implicit +Inf bucket, a running sum and
+// a total count. It is not safe for concurrent use; Metrics serialises
+// access for the platform.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []uint64  // len(bounds)+1, the last is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("obs: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("obs: histogram bounds must be strictly increasing at index %d", i)
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(bounds)+1)}, nil
+}
+
+// Observe counts one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[idx]++
+	h.sum += v
+	h.count++
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Cumulative reports the cumulative bucket counts, one per bound plus the
+// trailing +Inf bucket (which equals Count).
+func (h *Histogram) Cumulative() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		out[i] = acc
+	}
+	return out
+}
+
+// Bounds returns a copy of the upper bounds (excluding +Inf).
+func (h *Histogram) Bounds() []float64 {
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// latencyKey labels one latency histogram series.
+type latencyKey struct {
+	Fn        string
+	Component string
+}
+
+// Metrics aggregates the platform's labeled histograms: per-function,
+// per-component latency and the batch group size. It is safe for
+// concurrent use.
+type Metrics struct {
+	mu         sync.Mutex
+	latBounds  []float64
+	lat        map[latencyKey]*Histogram
+	groupSize  *Histogram
+	histErrors int // defensive: construction failures (never with the defaults)
+}
+
+// NewMetrics builds a registry with the default buckets.
+func NewMetrics() *Metrics {
+	gs, err := NewHistogram(DefaultGroupSizeBuckets)
+	if err != nil {
+		// The default bounds are valid by construction.
+		panic(err)
+	}
+	return &Metrics{
+		latBounds: DefaultLatencyBuckets,
+		lat:       make(map[latencyKey]*Histogram),
+		groupSize: gs,
+	}
+}
+
+// ObserveLatency counts one latency observation for (fn, component).
+// Component names follow the obs span vocabulary (SpanScheduling, ...).
+func (m *Metrics) ObserveLatency(fn, component string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := latencyKey{Fn: fn, Component: component}
+	h, ok := m.lat[key]
+	if !ok {
+		var err error
+		h, err = NewHistogram(m.latBounds)
+		if err != nil {
+			m.histErrors++
+			return
+		}
+		m.lat[key] = h
+	}
+	h.Observe(d.Seconds())
+}
+
+// ObserveGroupSize counts one dispatched batch group's size.
+func (m *Metrics) ObserveGroupSize(n int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.groupSize.Observe(float64(n))
+}
+
+// formatBound renders a bucket bound the Prometheus way.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// writeHistogram renders one labeled histogram series. labels is either
+// empty or a comma-joined list of label="value" pairs.
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	sumLabels := ""
+	if labels != "" {
+		sumLabels = "{" + labels + "}"
+	}
+	cum := h.Cumulative()
+	for i, b := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n", name, labels, sep, formatBound(b), cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum[len(cum)-1])
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, sumLabels, strconv.FormatFloat(h.sum, 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, sumLabels, h.count)
+}
+
+// WritePrometheus renders every histogram in the Prometheus text
+// exposition format, deterministically ordered.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Fprintf(w, "# HELP faasbatch_latency_seconds Per-function, per-component invocation latency.\n")
+	fmt.Fprintf(w, "# TYPE faasbatch_latency_seconds histogram\n")
+	keys := make([]latencyKey, 0, len(m.lat))
+	for k := range m.lat {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Fn != keys[j].Fn {
+			return keys[i].Fn < keys[j].Fn
+		}
+		return keys[i].Component < keys[j].Component
+	})
+	for _, k := range keys {
+		labels := fmt.Sprintf("fn=%q,component=%q", k.Fn, k.Component)
+		writeHistogram(w, "faasbatch_latency_seconds", labels, m.lat[k])
+	}
+	fmt.Fprintf(w, "# HELP faasbatch_group_size Invocations per dispatched batch group.\n")
+	fmt.Fprintf(w, "# TYPE faasbatch_group_size histogram\n")
+	writeHistogram(w, "faasbatch_group_size", "", m.groupSize)
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerLevelsAndFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatalf("NewLogger: %v", err)
+	}
+	lg.Info("hidden")
+	lg.Warn("shown", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Fatalf("level filtering broken: %q", out)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "debug", "json")
+	if err != nil {
+		t.Fatalf("NewLogger json: %v", err)
+	}
+	lg.Debug("msg", "trace", 7)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log line invalid: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "msg" || rec["trace"] != float64(7) {
+		t.Fatalf("json record = %v", rec)
+	}
+
+	// Defaults.
+	if _, err := NewLogger(&buf, "", ""); err != nil {
+		t.Fatalf("default logger: %v", err)
+	}
+	// Rejections.
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func TestNopLoggerDisabled(t *testing.T) {
+	lg := Nop()
+	for _, lvl := range []slog.Level{slog.LevelDebug, slog.LevelInfo, slog.LevelWarn, slog.LevelError} {
+		if lg.Enabled(context.Background(), lvl) {
+			t.Fatalf("nop logger enabled at %v", lvl)
+		}
+	}
+	// Must not panic, and WithAttrs/WithGroup stay nops.
+	lg.With("k", "v").WithGroup("g").Error("discarded")
+}

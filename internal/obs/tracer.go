@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one completed trace span. Timestamps are offsets from the
+// tracer's epoch (process start on the live platform, the simulation
+// epoch in virtual-time runs).
+type Span struct {
+	// Trace identifies the invocation the span belongs to (non-zero).
+	Trace uint64
+	// Name is the span kind (SpanScheduling, SpanExecution, ...).
+	Name string
+	// Fn is the function name.
+	Fn string
+	// Container identifies the container involved, when known.
+	Container string
+	// Detail carries span-specific context (e.g. the resource key of a
+	// SpanResourceBuild).
+	Detail string
+	// Attempt is the 1-based execution attempt the span belongs to
+	// (zero when not attempt-scoped).
+	Attempt int
+	// Start and End bound the span on the tracer's clock.
+	Start time.Duration
+	End   time.Duration
+}
+
+// Dur reports the span's duration.
+func (s Span) Dur() time.Duration { return s.End - s.Start }
+
+// TracerConfig parameterises a Tracer.
+type TracerConfig struct {
+	// Capacity bounds the ring buffer, in spans. Older spans are
+	// overwritten (and counted as dropped) once the ring is full.
+	// Defaults to 65536.
+	Capacity int
+	// Sample records every Sample-th trace (1 = every trace, 10 = one in
+	// ten). Unsampled traces cost one atomic-free counter increment and
+	// record nothing. Defaults to 1.
+	Sample int
+	// Clock reports the current offset from the tracer's epoch. Required
+	// for virtual-time tracers; NewWallTracer supplies a wall clock.
+	Clock func() time.Duration
+	// epoch anchors Stamp for wall-clock tracers.
+	epoch time.Time
+}
+
+// Tracer records invocation lifecycle spans into a bounded ring buffer.
+// All methods are safe on a nil receiver: a nil tracer is the disabled
+// tracer, and its hot path allocates nothing.
+type Tracer struct {
+	clock  func() time.Duration
+	epoch  time.Time
+	sample uint64
+
+	mu      sync.Mutex
+	spans   []Span
+	next    int
+	full    bool
+	seq     uint64 // traces begun (sampling counter)
+	ids     uint64 // trace-ID allocator
+	dropped uint64 // spans overwritten in the ring
+}
+
+// NewTracer builds a tracer from cfg. The clock is required.
+func NewTracer(cfg TracerConfig) (*Tracer, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("obs: tracer requires a clock")
+	}
+	if cfg.Capacity < 0 || cfg.Sample < 0 {
+		return nil, fmt.Errorf("obs: tracer capacity and sample must be non-negative")
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 65536
+	}
+	if cfg.Sample == 0 {
+		cfg.Sample = 1
+	}
+	return &Tracer{
+		clock:  cfg.Clock,
+		epoch:  cfg.epoch,
+		sample: uint64(cfg.Sample),
+		spans:  make([]Span, cfg.Capacity),
+	}, nil
+}
+
+// NewWallTracer builds a wall-clock tracer whose epoch is the moment of
+// creation. Zero capacity/sample select the defaults.
+func NewWallTracer(capacity, sample int) (*Tracer, error) {
+	epoch := time.Now()
+	return NewTracer(TracerConfig{
+		Capacity: capacity,
+		Sample:   sample,
+		Clock:    func() time.Duration { return time.Since(epoch) },
+		epoch:    epoch,
+	})
+}
+
+// Begin starts a new trace, returning its ID. It returns zero — the
+// "don't record" sentinel every other method honours — when the tracer is
+// nil or the trace falls outside the sample.
+func (t *Tracer) Begin() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	if t.sample > 1 && t.seq%t.sample != 0 {
+		return 0
+	}
+	t.ids++
+	return t.ids
+}
+
+// Now reports the current offset on the tracer's clock (zero when nil).
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// Stamp converts a wall-clock instant to a tracer offset. On virtual-time
+// tracers (no wall epoch) it falls back to Now. Stamping the same
+// time.Time values used for latency measurement keeps exported spans
+// exactly consistent with the reported decomposition.
+func (t *Tracer) Stamp(tm time.Time) time.Duration {
+	if t == nil {
+		return 0
+	}
+	if t.epoch.IsZero() {
+		return t.clock()
+	}
+	return tm.Sub(t.epoch)
+}
+
+// Record stores one completed span. It is a no-op when the tracer is nil
+// or the span carries the zero (unsampled) trace ID.
+func (t *Tracer) Record(s Span) {
+	if t == nil || s.Trace == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		t.dropped++
+	}
+	t.spans[t.next] = s
+	t.next++
+	if t.next == len(t.spans) {
+		t.next = 0
+		t.full = true
+	}
+}
+
+// Snapshot returns a copy of the buffered spans sorted by start time.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	n := t.next
+	if t.full {
+		n = len(t.spans)
+	}
+	out := make([]Span, n)
+	if t.full {
+		copy(out, t.spans[t.next:])
+		copy(out[len(t.spans)-t.next:], t.spans[:t.next])
+	} else {
+		copy(out, t.spans[:n])
+	}
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Dropped reports how many spans were overwritten in the ring.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// chromeEvent is one Chrome trace-event ("X" phase: complete event).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the Chrome trace-event format,
+// which Perfetto and chrome://tracing both load.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the buffered spans as Chrome trace-event JSON:
+// complete ("X") events sorted by timestamp, with one thread lane per
+// trace ID so an invocation's spans line up as one Perfetto row. A nil
+// tracer exports an empty trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Snapshot()
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	for _, s := range spans {
+		args := map[string]string{"trace": fmt.Sprintf("%d", s.Trace)}
+		if s.Fn != "" {
+			args["fn"] = s.Fn
+		}
+		if s.Container != "" {
+			args["container"] = s.Container
+		}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		if s.Attempt > 0 {
+			args["attempt"] = fmt.Sprintf("%d", s.Attempt)
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.Name,
+			Cat:  "faasbatch",
+			Ph:   "X",
+			Ts:   float64(s.Start) / float64(time.Microsecond),
+			Dur:  float64(s.Dur()) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  s.Trace,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("obs: encode chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func newTestTracer(t *testing.T, capacity, sample int) *Tracer {
+	t.Helper()
+	var now time.Duration
+	tr, err := NewTracer(TracerConfig{
+		Capacity: capacity,
+		Sample:   sample,
+		Clock:    func() time.Duration { return now },
+	})
+	if err != nil {
+		t.Fatalf("NewTracer: %v", err)
+	}
+	return tr
+}
+
+func TestTracerConfigValidation(t *testing.T) {
+	if _, err := NewTracer(TracerConfig{}); err == nil {
+		t.Fatal("missing clock accepted")
+	}
+	if _, err := NewTracer(TracerConfig{Clock: func() time.Duration { return 0 }, Capacity: -1}); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	if _, err := NewWallTracer(0, 0); err != nil {
+		t.Fatalf("NewWallTracer defaults: %v", err)
+	}
+}
+
+func TestTracerRecordAndSnapshot(t *testing.T) {
+	tr := newTestTracer(t, 16, 1)
+	id1, id2 := tr.Begin(), tr.Begin()
+	if id1 == 0 || id2 == 0 || id1 == id2 {
+		t.Fatalf("ids = %d, %d", id1, id2)
+	}
+	tr.Record(Span{Trace: id2, Name: SpanExecution, Fn: "f", Start: 20 * time.Millisecond, End: 30 * time.Millisecond})
+	tr.Record(Span{Trace: id1, Name: SpanScheduling, Fn: "f", Start: 0, End: 10 * time.Millisecond})
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("snapshot len = %d, want 2", len(spans))
+	}
+	if spans[0].Name != SpanScheduling || spans[1].Name != SpanExecution {
+		t.Fatalf("snapshot not start-sorted: %+v", spans)
+	}
+	if spans[1].Dur() != 10*time.Millisecond {
+		t.Fatalf("Dur = %v", spans[1].Dur())
+	}
+}
+
+func TestTracerRingOverwrites(t *testing.T) {
+	tr := newTestTracer(t, 4, 1)
+	id := tr.Begin()
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Trace: id, Name: SpanExecution, Start: time.Duration(i), End: time.Duration(i + 1)})
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("ring kept %d spans, want 4", len(spans))
+	}
+	if spans[0].Start != 6 || spans[3].Start != 9 {
+		t.Fatalf("ring kept wrong window: %+v", spans)
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := newTestTracer(t, 16, 3)
+	recorded := 0
+	for i := 0; i < 9; i++ {
+		if id := tr.Begin(); id != 0 {
+			recorded++
+			tr.Record(Span{Trace: id, Name: SpanExecution})
+		}
+	}
+	if recorded != 3 {
+		t.Fatalf("sampled %d of 9 traces, want 3", recorded)
+	}
+	if got := len(tr.Snapshot()); got != 3 {
+		t.Fatalf("snapshot len = %d, want 3", got)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Begin() != 0 || tr.Now() != 0 || tr.Stamp(time.Now()) != 0 {
+		t.Fatal("nil tracer returned non-zero")
+	}
+	tr.Record(Span{Trace: 1})
+	if tr.Snapshot() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer recorded something")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+	var out struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("unmarshal empty trace: %v", err)
+	}
+	if len(out.TraceEvents) != 0 {
+		t.Fatalf("empty tracer exported %d events", len(out.TraceEvents))
+	}
+}
+
+// TestDisabledTracerZeroAlloc is the pay-for-what-you-use guard: the
+// disabled tracer's whole surface — nil tracer calls and the unsampled
+// (zero trace ID) record path — must not allocate.
+func TestDisabledTracerZeroAlloc(t *testing.T) {
+	var nilTr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		id := nilTr.Begin()
+		_ = nilTr.Now()
+		nilTr.Record(Span{Trace: id, Name: SpanExecution, Fn: "f", Container: "c", Start: 1, End: 2})
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocates %v per op, want 0", allocs)
+	}
+	live := newTestTracer(t, 8, 1)
+	allocs = testing.AllocsPerRun(1000, func() {
+		// Trace ID zero is the unsampled sentinel: Record must bail before
+		// touching the ring.
+		live.Record(Span{Trace: 0, Name: SpanExecution, Fn: "f", Start: 1, End: 2})
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled record allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	tr := newTestTracer(t, 16, 1)
+	id := tr.Begin()
+	tr.Record(Span{Trace: id, Name: SpanQueuing, Fn: "f", Container: "c1", Start: 10 * time.Millisecond, End: 12 * time.Millisecond})
+	tr.Record(Span{Trace: id, Name: SpanScheduling, Fn: "f", Attempt: 1, Start: 0, End: 10 * time.Millisecond})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  uint64            `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" || len(out.TraceEvents) != 2 {
+		t.Fatalf("export = %+v", out)
+	}
+	last := -1.0
+	for _, ev := range out.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("phase = %q, want X", ev.Ph)
+		}
+		if ev.Ts < last {
+			t.Errorf("events not sorted by ts: %v after %v", ev.Ts, last)
+		}
+		last = ev.Ts
+		if ev.Tid != id || ev.Pid != 1 {
+			t.Errorf("event ids = pid %d tid %d", ev.Pid, ev.Tid)
+		}
+	}
+	if out.TraceEvents[0].Name != SpanScheduling || out.TraceEvents[0].Dur != 10000 {
+		t.Errorf("first event = %+v", out.TraceEvents[0])
+	}
+	if out.TraceEvents[0].Args["attempt"] != "1" || out.TraceEvents[1].Args["container"] != "c1" {
+		t.Errorf("args not exported: %+v", out.TraceEvents)
+	}
+}
+
+// BenchmarkTracerDisabled measures the disabled-tracer hot path: the
+// exact calls the live platform makes per invocation when tracing is off.
+// Run with -benchmem; the assertion lives in TestDisabledTracerZeroAlloc.
+func BenchmarkTracerDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := tr.Begin()
+		tr.Record(Span{Trace: id, Name: SpanScheduling, Fn: "f", Start: 0, End: 1})
+		tr.Record(Span{Trace: id, Name: SpanExecution, Fn: "f", Container: "c", Attempt: 1, Start: 1, End: 2})
+	}
+}
+
+// BenchmarkTracerEnabled is the paid-path counterpart for comparison.
+func BenchmarkTracerEnabled(b *testing.B) {
+	tr, err := NewWallTracer(65536, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := tr.Begin()
+		tr.Record(Span{Trace: id, Name: SpanScheduling, Fn: "f", Start: 0, End: 1})
+		tr.Record(Span{Trace: id, Name: SpanExecution, Fn: "f", Container: "c", Attempt: 1, Start: 1, End: 2})
+	}
+}

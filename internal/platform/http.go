@@ -4,16 +4,84 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"reflect"
+	"runtime"
+	"strings"
 
 	"faasbatch/internal/httpapi"
 )
 
+// statExport maps one numeric field of Stats — addressed by its
+// dot-separated reflection path — onto a Prometheus metric. Keeping the
+// mapping as data lets the conformance test walk Stats by reflection and
+// prove that every counter reaches /metrics with HELP/TYPE lines.
+type statExport struct {
+	// path is the field path within Stats (e.g. "Multiplexer.Hits").
+	path string
+	// name is the Prometheus metric name.
+	name string
+	// typ is "counter" or "gauge".
+	typ string
+	// help is the HELP line text.
+	help string
+}
+
+// statExports enumerates every numeric Stats field. A Stats field without
+// an entry here fails TestMetricsConformance.
+var statExports = []statExport{
+	{"Submitted", "faasbatch_submitted_total", "counter", "Invocations accepted by Invoke."},
+	{"Invocations", "faasbatch_invocations_total", "counter", "Completed invocations."},
+	{"Failures", "faasbatch_failures_total", "counter", "Invocations that exhausted their retry budget."},
+	{"Retries", "faasbatch_retries_total", "counter", "Extra execution attempts granted after faults."},
+	{"Timeouts", "faasbatch_timeouts_total", "counter", "Handler attempts killed by the invoke deadline."},
+	{"Panics", "faasbatch_panics_total", "counter", "Recovered handler panics."},
+	{"Crashes", "faasbatch_crashes_total", "counter", "Containers lost mid-batch."},
+	{"BootFailures", "faasbatch_boot_failures_total", "counter", "Failed container boots."},
+	{"Groups", "faasbatch_groups_total", "counter", "Dispatched window batches."},
+	{"ContainersCreated", "faasbatch_containers_created_total", "counter", "Cold starts."},
+	{"WarmStarts", "faasbatch_warm_starts_total", "counter", "Warm container reuses."},
+	{"LiveContainers", "faasbatch_live_containers", "gauge", "Containers currently alive."},
+	{"Multiplexer.Hits", "faasbatch_multiplexer_hits_total", "counter", "Resource creations served from a ready cache entry."},
+	{"Multiplexer.Coalesced", "faasbatch_multiplexer_coalesced_total", "counter", "Resource creations that waited on an in-flight build."},
+	{"Multiplexer.Misses", "faasbatch_multiplexer_misses_total", "counter", "Resource builds performed."},
+	{"Multiplexer.LiveInstances", "faasbatch_multiplexer_live_instances", "gauge", "Ready cached instances held."},
+	{"Multiplexer.BytesLive", "faasbatch_multiplexer_bytes_live", "gauge", "Memory held by ready cached instances."},
+	{"Multiplexer.BytesSaved", "faasbatch_multiplexer_bytes_saved_total", "counter", "Duplicate client memory avoided."},
+	{"Multiplexer.Evictions", "faasbatch_multiplexer_evictions_total", "counter", "Cached instances dropped by the LRU bound."},
+}
+
+// statValue resolves a statExport path against a Stats snapshot.
+func statValue(st Stats, path string) (string, error) {
+	v := reflect.ValueOf(st)
+	for _, part := range strings.Split(path, ".") {
+		if v.Kind() != reflect.Struct {
+			return "", fmt.Errorf("platform: stats path %q crosses non-struct", path)
+		}
+		v = v.FieldByName(part)
+		if !v.IsValid() {
+			return "", fmt.Errorf("platform: stats path %q not found", path)
+		}
+	}
+	switch v.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return fmt.Sprintf("%d", v.Int()), nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return fmt.Sprintf("%d", v.Uint()), nil
+	default:
+		return "", fmt.Errorf("platform: stats path %q is not numeric", path)
+	}
+}
+
 // NewHTTPHandler exposes a platform over HTTP:
 //
-//	POST /invoke   — body httpapi.InvokeRequest, reply httpapi.InvokeResponse
-//	GET  /stats    — reply httpapi.StatsResponse
-//	GET  /healthz  — 200 ok
+//	POST /invoke        — body httpapi.InvokeRequest, reply httpapi.InvokeResponse
+//	GET  /stats         — reply httpapi.StatsResponse
+//	GET  /metrics       — Prometheus text: counters, gauges and histograms
+//	GET  /functions     — registered function names
+//	GET  /debug/traces  — Chrome trace-event JSON of the span ring buffer
+//	GET  /healthz       — 200 ok
 func NewHTTPHandler(p *Platform) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/invoke", func(w http.ResponseWriter, r *http.Request) {
@@ -41,14 +109,16 @@ func NewHTTPHandler(p *Platform) http.Handler {
 			http.Error(w, fmt.Sprintf("encode result: %v", err), http.StatusInternalServerError)
 			return
 		}
-		writeJSON(w, httpapi.InvokeResponse{
+		writeJSON(p.logger, w, r.URL.Path, httpapi.InvokeResponse{
 			Fn:          req.Fn,
 			Result:      value,
 			ContainerID: res.ContainerID,
 			Cold:        res.Cold,
+			Attempts:    res.Attempts,
 			Latency: httpapi.Latency{
 				SchedMillis: float64(res.Sched.Microseconds()) / 1000,
 				ColdMillis:  float64(res.ColdStart.Microseconds()) / 1000,
+				QueueMillis: float64(res.Queue.Microseconds()) / 1000,
 				ExecMillis:  float64(res.Exec.Microseconds()) / 1000,
 				TotalMillis: float64(res.Total().Microseconds()) / 1000,
 			},
@@ -60,7 +130,7 @@ func NewHTTPHandler(p *Platform) http.Handler {
 			return
 		}
 		st := p.Stats()
-		writeJSON(w, httpapi.StatsResponse{
+		writeJSON(p.logger, w, r.URL.Path, httpapi.StatsResponse{
 			Submitted:         st.Submitted,
 			Invocations:       st.Invocations,
 			Failures:          st.Failures,
@@ -83,7 +153,7 @@ func NewHTTPHandler(p *Platform) http.Handler {
 			http.Error(w, "GET required", http.StatusMethodNotAllowed)
 			return
 		}
-		writeJSON(w, p.Functions())
+		writeJSON(p.logger, w, r.URL.Path, p.Functions())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -92,48 +162,32 @@ func NewHTTPHandler(p *Platform) http.Handler {
 		}
 		st := p.Stats()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		fmt.Fprintf(w, "# HELP faasbatch_invocations_total Completed invocations.\n")
-		fmt.Fprintf(w, "# TYPE faasbatch_invocations_total counter\n")
-		fmt.Fprintf(w, "faasbatch_invocations_total %d\n", st.Invocations)
-		fmt.Fprintf(w, "# HELP faasbatch_groups_total Dispatched window batches.\n")
-		fmt.Fprintf(w, "# TYPE faasbatch_groups_total counter\n")
-		fmt.Fprintf(w, "faasbatch_groups_total %d\n", st.Groups)
-		fmt.Fprintf(w, "# HELP faasbatch_containers_created_total Cold starts.\n")
-		fmt.Fprintf(w, "# TYPE faasbatch_containers_created_total counter\n")
-		fmt.Fprintf(w, "faasbatch_containers_created_total %d\n", st.ContainersCreated)
-		fmt.Fprintf(w, "# HELP faasbatch_warm_starts_total Warm container reuses.\n")
-		fmt.Fprintf(w, "# TYPE faasbatch_warm_starts_total counter\n")
-		fmt.Fprintf(w, "faasbatch_warm_starts_total %d\n", st.WarmStarts)
-		fmt.Fprintf(w, "# HELP faasbatch_live_containers Containers currently alive.\n")
-		fmt.Fprintf(w, "# TYPE faasbatch_live_containers gauge\n")
-		fmt.Fprintf(w, "faasbatch_live_containers %d\n", st.LiveContainers)
-		fmt.Fprintf(w, "# HELP faasbatch_multiplexer_hits_total Resource creations served from cache.\n")
-		fmt.Fprintf(w, "# TYPE faasbatch_multiplexer_hits_total counter\n")
-		fmt.Fprintf(w, "faasbatch_multiplexer_hits_total %d\n", st.Multiplexer.Hits+st.Multiplexer.Coalesced)
-		fmt.Fprintf(w, "# HELP faasbatch_multiplexer_misses_total Resource builds performed.\n")
-		fmt.Fprintf(w, "# TYPE faasbatch_multiplexer_misses_total counter\n")
-		fmt.Fprintf(w, "faasbatch_multiplexer_misses_total %d\n", st.Multiplexer.Misses)
-		fmt.Fprintf(w, "# HELP faasbatch_multiplexer_bytes_saved_total Duplicate client memory avoided.\n")
-		fmt.Fprintf(w, "# TYPE faasbatch_multiplexer_bytes_saved_total counter\n")
-		fmt.Fprintf(w, "faasbatch_multiplexer_bytes_saved_total %d\n", st.Multiplexer.BytesSaved)
-		fmt.Fprintf(w, "# HELP faasbatch_failures_total Invocations that exhausted their retry budget.\n")
-		fmt.Fprintf(w, "# TYPE faasbatch_failures_total counter\n")
-		fmt.Fprintf(w, "faasbatch_failures_total %d\n", st.Failures)
-		fmt.Fprintf(w, "# HELP faasbatch_retries_total Extra execution attempts granted after faults.\n")
-		fmt.Fprintf(w, "# TYPE faasbatch_retries_total counter\n")
-		fmt.Fprintf(w, "faasbatch_retries_total %d\n", st.Retries)
-		fmt.Fprintf(w, "# HELP faasbatch_timeouts_total Handler attempts killed by the invoke deadline.\n")
-		fmt.Fprintf(w, "# TYPE faasbatch_timeouts_total counter\n")
-		fmt.Fprintf(w, "faasbatch_timeouts_total %d\n", st.Timeouts)
-		fmt.Fprintf(w, "# HELP faasbatch_panics_total Recovered handler panics.\n")
-		fmt.Fprintf(w, "# TYPE faasbatch_panics_total counter\n")
-		fmt.Fprintf(w, "faasbatch_panics_total %d\n", st.Panics)
-		fmt.Fprintf(w, "# HELP faasbatch_crashes_total Containers lost mid-batch.\n")
-		fmt.Fprintf(w, "# TYPE faasbatch_crashes_total counter\n")
-		fmt.Fprintf(w, "faasbatch_crashes_total %d\n", st.Crashes)
-		fmt.Fprintf(w, "# HELP faasbatch_boot_failures_total Failed container boots.\n")
-		fmt.Fprintf(w, "# TYPE faasbatch_boot_failures_total counter\n")
-		fmt.Fprintf(w, "faasbatch_boot_failures_total %d\n", st.BootFailures)
+		for _, ex := range statExports {
+			val, err := statValue(st, ex.path)
+			if err != nil {
+				// Unreachable while statExports matches Stats; the
+				// conformance test enforces that.
+				p.logger.Error("stats export failed", "path", ex.path, "err", err)
+				continue
+			}
+			fmt.Fprintf(w, "# HELP %s %s\n", ex.name, ex.help)
+			fmt.Fprintf(w, "# TYPE %s %s\n", ex.name, ex.typ)
+			fmt.Fprintf(w, "%s %s\n", ex.name, val)
+		}
+		writeRuntimeGauges(w)
+		p.metrics.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		// A disabled tracer exports an empty trace, keeping the endpoint
+		// probe-friendly either way.
+		if err := p.tracer.WriteChromeTrace(w); err != nil {
+			p.logger.Warn("trace export failed", "path", r.URL.Path, "err", err)
+		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -142,13 +196,30 @@ func NewHTTPHandler(p *Platform) http.Handler {
 	return mux
 }
 
-// writeJSON writes v as a JSON response.
-func writeJSON(w http.ResponseWriter, v any) {
+// writeRuntimeGauges emits process-level runtime gauges.
+func writeRuntimeGauges(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP faasbatch_goroutines Goroutines currently running.\n")
+	fmt.Fprintf(w, "# TYPE faasbatch_goroutines gauge\n")
+	fmt.Fprintf(w, "faasbatch_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP faasbatch_heap_alloc_bytes Heap bytes currently allocated.\n")
+	fmt.Fprintf(w, "# TYPE faasbatch_heap_alloc_bytes gauge\n")
+	fmt.Fprintf(w, "faasbatch_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "# HELP faasbatch_heap_sys_bytes Heap bytes obtained from the OS.\n")
+	fmt.Fprintf(w, "# TYPE faasbatch_heap_sys_bytes gauge\n")
+	fmt.Fprintf(w, "faasbatch_heap_sys_bytes %d\n", ms.HeapSys)
+	fmt.Fprintf(w, "# HELP faasbatch_gc_cycles_total Completed GC cycles.\n")
+	fmt.Fprintf(w, "# TYPE faasbatch_gc_cycles_total counter\n")
+	fmt.Fprintf(w, "faasbatch_gc_cycles_total %d\n", ms.NumGC)
+}
+
+// writeJSON writes v as a JSON response. The response header is already
+// out by the time encoding fails, so the error can only be reported
+// through the structured log.
+func writeJSON(logger *slog.Logger, w http.ResponseWriter, path string, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(v); err != nil {
-		// The header is already out; nothing more to do than log-level
-		// reporting, which the mini-platform does not carry.
-		_ = err
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		logger.Warn("response encode failed", "path", path, "err", err)
 	}
 }

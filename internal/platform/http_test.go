@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -69,6 +70,18 @@ func TestHTTPInvoke(t *testing.T) {
 	}
 	if out.Latency.TotalMillis <= 0 {
 		t.Errorf("latency = %+v", out.Latency)
+	}
+	if out.Attempts != 1 {
+		t.Errorf("Attempts = %d, want 1", out.Attempts)
+	}
+	if out.Latency.QueueMillis < 0 {
+		t.Errorf("QueueMillis = %v, want >= 0", out.Latency.QueueMillis)
+	}
+	// Each component is truncated to whole microseconds independently, so
+	// the reported total may drift from the sum by a few microseconds.
+	sum := out.Latency.SchedMillis + out.Latency.ColdMillis + out.Latency.QueueMillis + out.Latency.ExecMillis
+	if diff := out.Latency.TotalMillis - sum; diff > 0.005 || diff < -0.005 {
+		t.Errorf("TotalMillis %v != component sum %v", out.Latency.TotalMillis, sum)
 	}
 }
 
@@ -213,9 +226,11 @@ func TestHTTPMetricsEndpoint(t *testing.T) {
 		t.Fatalf("GET /metrics: %v", err)
 	}
 	defer func() { _ = resp.Body.Close() }()
-	body := make([]byte, 4096)
-	n, _ := resp.Body.Read(body)
-	out := string(body[:n])
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	out := string(body)
 	for _, want := range []string{
 		"faasbatch_invocations_total 1",
 		"faasbatch_containers_created_total 1",

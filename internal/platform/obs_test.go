@@ -1,0 +1,325 @@
+package platform
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"faasbatch/internal/httpapi"
+	"faasbatch/internal/obs"
+)
+
+// numericStatPaths walks a Stats value by reflection and returns the
+// dot-separated path of every numeric field, nested structs included.
+func numericStatPaths(t reflect.Type, prefix string) []string {
+	var out []string
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		path := f.Name
+		if prefix != "" {
+			path = prefix + "." + f.Name
+		}
+		switch f.Type.Kind() {
+		case reflect.Struct:
+			out = append(out, numericStatPaths(f.Type, path)...)
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+			reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			out = append(out, path)
+		}
+	}
+	return out
+}
+
+// TestMetricsConformance proves that every numeric Stats field — found by
+// reflection, so new fields cannot silently skip /metrics — is exported
+// with HELP, TYPE and a sample line in the Prometheus text output.
+func TestMetricsConformance(t *testing.T) {
+	paths := numericStatPaths(reflect.TypeOf(Stats{}), "")
+	if len(paths) == 0 {
+		t.Fatal("no numeric Stats fields found")
+	}
+	exported := make(map[string]statExport, len(statExports))
+	for _, ex := range statExports {
+		if ex.typ != "counter" && ex.typ != "gauge" {
+			t.Errorf("statExports[%s]: bad type %q", ex.path, ex.typ)
+		}
+		if ex.help == "" {
+			t.Errorf("statExports[%s]: missing help", ex.path)
+		}
+		exported[ex.path] = ex
+	}
+	for _, path := range paths {
+		if _, ok := exported[path]; !ok {
+			t.Errorf("Stats field %s has no statExports entry", path)
+		}
+		delete(exported, path)
+	}
+	for path := range exported {
+		t.Errorf("statExports entry %s matches no Stats field", path)
+	}
+
+	_, srv := newHTTPServer(t)
+	if r, _ := postInvoke(t, srv.URL, httpapi.InvokeRequest{Fn: "double", Payload: json.RawMessage("5")}); r.StatusCode != http.StatusOK {
+		t.Fatalf("invoke status = %d", r.StatusCode)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	out := string(body)
+	for _, ex := range statExports {
+		for _, want := range []string{
+			fmt.Sprintf("# HELP %s %s\n", ex.name, ex.help),
+			fmt.Sprintf("# TYPE %s %s\n", ex.name, ex.typ),
+			"\n" + ex.name + " ",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("/metrics missing %q", want)
+			}
+		}
+	}
+	// Histograms: per-function latency components and the group size.
+	for _, want := range []string{
+		"# TYPE faasbatch_latency_seconds histogram",
+		`faasbatch_latency_seconds_bucket{fn="double",component="execution",le="+Inf"} 1`,
+		`faasbatch_latency_seconds_count{fn="double",component="end-to-end"} 1`,
+		"# TYPE faasbatch_group_size histogram",
+		"faasbatch_group_size_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Runtime gauges.
+	for _, want := range []string{"faasbatch_goroutines ", "faasbatch_heap_alloc_bytes "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// tracedPlatform builds a platform with an always-sampling wall tracer.
+func tracedPlatform(t *testing.T) (*Platform, *obs.Tracer) {
+	t.Helper()
+	tracer, err := obs.NewWallTracer(1024, 1)
+	if err != nil {
+		t.Fatalf("NewWallTracer: %v", err)
+	}
+	cfg := quickConfig(ModeBatch)
+	cfg.Tracer = tracer
+	return newPlatform(t, cfg), tracer
+}
+
+// TestTraceRoundTripLive checks that a live invocation's spans reconstruct
+// its reported four-component latency decomposition exactly: the spans are
+// stamped from the same clock readings the Result is computed from.
+func TestTraceRoundTripLive(t *testing.T) {
+	p, tracer := tracedPlatform(t)
+	if err := p.Register("sleepy", func(_ context.Context, _ *Invocation) (any, error) {
+		time.Sleep(5 * time.Millisecond)
+		return "ok", nil
+	}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	res, err := p.Invoke(context.Background(), "sleepy", nil)
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if res.TraceID == 0 {
+		t.Fatal("traced invocation has zero TraceID")
+	}
+
+	byName := map[string]obs.Span{}
+	for _, s := range tracer.Snapshot() {
+		if s.Trace == res.TraceID {
+			byName[s.Name] = s
+		}
+	}
+	want := map[string]time.Duration{
+		obs.SpanScheduling: res.Sched,
+		obs.SpanColdStart:  res.ColdStart,
+		obs.SpanQueuing:    res.Queue,
+		obs.SpanExecution:  res.Exec,
+	}
+	var sum time.Duration
+	for name, dur := range want {
+		s, ok := byName[name]
+		if !ok {
+			t.Fatalf("trace %d missing %s span (have %v)", res.TraceID, name, byName)
+		}
+		if s.Dur() != dur {
+			t.Errorf("%s span = %v, Result reports %v", name, s.Dur(), dur)
+		}
+		if s.Fn != "sleepy" || s.Container != res.ContainerID {
+			t.Errorf("%s span labels = fn %q container %q", name, s.Fn, s.Container)
+		}
+		sum += s.Dur()
+	}
+	if sum != res.Total() {
+		t.Errorf("span sum %v != Total %v", sum, res.Total())
+	}
+	// The spans tile the invocation: each starts where the previous ended.
+	order := []string{obs.SpanScheduling, obs.SpanColdStart, obs.SpanQueuing, obs.SpanExecution}
+	for i := 1; i < len(order); i++ {
+		prev, cur := byName[order[i-1]], byName[order[i]]
+		if cur.Start != prev.End {
+			t.Errorf("%s starts at %v, %s ends at %v", order[i], cur.Start, order[i-1], prev.End)
+		}
+	}
+}
+
+// TestDebugTracesEndpoint checks /debug/traces serves Chrome trace JSON,
+// and stays 200 with an empty trace when tracing is disabled.
+func TestDebugTracesEndpoint(t *testing.T) {
+	p, _ := tracedPlatform(t)
+	if err := p.Register("noop", func(_ context.Context, _ *Invocation) (any, error) { return nil, nil }); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, err := p.Invoke(context.Background(), "noop", nil); err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	srv := httptest.NewServer(NewHTTPHandler(p))
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatalf("GET /debug/traces: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		t.Fatalf("decode trace: %v", err)
+	}
+	if len(trace.TraceEvents) < 3 {
+		t.Fatalf("traceEvents = %d, want at least scheduling+queuing+execution", len(trace.TraceEvents))
+	}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %s has phase %q, want X", ev.Name, ev.Ph)
+		}
+	}
+
+	// Untraced platform: the endpoint still answers with an empty trace.
+	plain := newPlatform(t, quickConfig(ModeBatch))
+	psrv := httptest.NewServer(NewHTTPHandler(plain))
+	t.Cleanup(psrv.Close)
+	r2, err := http.Get(psrv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatalf("GET /debug/traces (untraced): %v", err)
+	}
+	defer func() { _ = r2.Body.Close() }()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("untraced status = %d", r2.StatusCode)
+	}
+	var empty struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(r2.Body).Decode(&empty); err != nil {
+		t.Fatalf("decode empty trace: %v", err)
+	}
+	if len(empty.TraceEvents) != 0 {
+		t.Fatalf("untraced platform exported %d events", len(empty.TraceEvents))
+	}
+}
+
+// TestRetrySpansShareTrace checks that a retried invocation's attempts all
+// land on one trace, including the retry-backoff span.
+func TestRetrySpansShareTrace(t *testing.T) {
+	tracer, err := obs.NewWallTracer(1024, 1)
+	if err != nil {
+		t.Fatalf("NewWallTracer: %v", err)
+	}
+	cfg := quickConfig(ModeBatch)
+	cfg.Tracer = tracer
+	cfg.MaxRetries = 1
+	p := newPlatform(t, cfg)
+	calls := 0
+	if err := p.Register("flaky", func(_ context.Context, _ *Invocation) (any, error) {
+		calls++
+		if calls == 1 {
+			return nil, fmt.Errorf("transient")
+		}
+		return "ok", nil
+	}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	res, err := p.Invoke(context.Background(), "flaky", nil)
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2", res.Attempts)
+	}
+	attempts := map[int]bool{}
+	for _, s := range tracer.Snapshot() {
+		if s.Trace != res.TraceID {
+			continue
+		}
+		if s.Name == obs.SpanExecution {
+			attempts[s.Attempt] = true
+		}
+	}
+	if !attempts[1] || !attempts[2] {
+		t.Fatalf("execution attempts on trace = %v, want both 1 and 2", attempts)
+	}
+}
+
+// BenchmarkInvoke measures the per-invocation cost with tracing disabled
+// (the default) and enabled, to keep the disabled path honest.
+func BenchmarkInvoke(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		tracer bool
+	}{{"tracing-off", false}, {"tracing-on", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Mode = ModeBatch
+			cfg.DispatchInterval = time.Millisecond
+			cfg.ColdStart = 0
+			if bc.tracer {
+				tr, err := obs.NewWallTracer(1<<16, 1)
+				if err != nil {
+					b.Fatalf("NewWallTracer: %v", err)
+				}
+				cfg.Tracer = tr
+			}
+			p, err := New(cfg)
+			if err != nil {
+				b.Fatalf("New: %v", err)
+			}
+			defer func() { _ = p.Close() }()
+			if err := p.Register("noop", func(_ context.Context, _ *Invocation) (any, error) { return nil, nil }); err != nil {
+				b.Fatalf("Register: %v", err)
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Invoke(ctx, "noop", nil); err != nil {
+					b.Fatalf("Invoke: %v", err)
+				}
+			}
+		})
+	}
+}

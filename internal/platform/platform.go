@@ -21,12 +21,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"faasbatch/internal/chaos"
 	"faasbatch/internal/multiplex"
+	"faasbatch/internal/obs"
 )
 
 // Mode selects the scheduling policy of the live platform.
@@ -68,10 +70,18 @@ type Invocation struct {
 
 // Resources is the handler-facing face of the container's Resource
 // Multiplexer: Get intercepts resource creations, as the paper's
-// multiplexer intercepts client(args) calls.
+// multiplexer intercepts client(args) calls. When the invocation is
+// traced, the platform hands the handler a per-invocation view carrying
+// the trace context, so client builds appear as spans on the right trace.
 type Resources struct {
 	cache *multiplex.Cache
 	inj   *chaos.Injector
+
+	// Trace context (zero on shared, untraced views).
+	tracer    *obs.Tracer
+	trace     uint64
+	fn        string
+	container string
 }
 
 // Get returns the shared instance for (callee, argsKey), building it at
@@ -90,6 +100,21 @@ func (r *Resources) Get(callee, argsKey string, build func() (any, int64, error)
 				return nil, 0, fmt.Errorf("injected storage-client construction failure")
 			}
 			return orig()
+		}
+	}
+	if r.trace != 0 {
+		// Span only the actual build — cache hits and coalesced waits cost
+		// nothing and record nothing.
+		orig := build
+		build = func() (any, int64, error) {
+			start := r.tracer.Now()
+			v, bytes, err := orig()
+			r.tracer.Record(obs.Span{
+				Trace: r.trace, Name: obs.SpanResourceBuild,
+				Fn: r.fn, Container: r.container, Detail: callee,
+				Start: start, End: r.tracer.Now(),
+			})
+			return v, bytes, err
 		}
 	}
 	if r.cache == nil {
@@ -115,16 +140,24 @@ type Result struct {
 	Sched time.Duration
 	// ColdStart is the container boot time (zero on warm starts).
 	ColdStart time.Duration
+	// Queue is the in-container queuing latency: the gap between the
+	// container being ready and the handler starting (§IV's queuing
+	// component).
+	Queue time.Duration
 	// Exec is the handler execution time.
 	Exec time.Duration
 	// Attempts is how many execution attempts the invocation consumed
 	// (1 on the happy path; retries after faults add one each, capped at
 	// 1+Config.MaxRetries).
 	Attempts int
+	// TraceID identifies the invocation's trace when the platform runs
+	// with a sampling tracer (zero when tracing is off or unsampled).
+	TraceID uint64
 }
 
-// Total reports the end-to-end latency.
-func (r Result) Total() time.Duration { return r.Sched + r.ColdStart + r.Exec }
+// Total reports the end-to-end latency: the sum of the four reported
+// components, matching the paper's §IV decomposition.
+func (r Result) Total() time.Duration { return r.Sched + r.ColdStart + r.Queue + r.Exec }
 
 // Config parameterises the live platform.
 type Config struct {
@@ -165,6 +198,14 @@ type Config struct {
 	// crashes, handler error/panic/hang, slow cold starts, storage
 	// construction failures). Nil — the default — injects nothing.
 	Chaos *chaos.Injector
+	// Tracer records per-invocation lifecycle spans (obs.NewWallTracer).
+	// Nil — the default — disables tracing; the disabled hot path adds no
+	// allocations.
+	Tracer *obs.Tracer
+	// Logger receives the platform's structured logs (dispatch decisions,
+	// container lifecycle, fault and retry events), correlated by trace
+	// ID. Nil discards everything.
+	Logger *slog.Logger
 }
 
 // DefaultConfig returns paper-like live defaults (cold starts scaled down
@@ -240,6 +281,9 @@ type pendingCall struct {
 	// attempts counts execution attempts already consumed; a call retries
 	// while attempts <= Config.MaxRetries.
 	attempts int
+	// trace is the invocation's trace ID (zero when untraced). Retries
+	// keep the ID, so every attempt's spans land on one trace.
+	trace uint64
 }
 
 // outcome carries a finished invocation back to its caller.
@@ -251,6 +295,12 @@ type outcome struct {
 // Platform is the live FaaSBatch runtime.
 type Platform struct {
 	cfg Config
+
+	// Observability: tracer (nil when disabled), labeled histograms and
+	// the structured logger (never nil; obs.Nop() by default).
+	tracer  *obs.Tracer
+	metrics *obs.Metrics
+	logger  *slog.Logger
 
 	mu     sync.Mutex
 	fns    map[string]*function
@@ -291,17 +341,41 @@ func New(cfg Config) (*Platform, error) {
 	if cfg.DrainTimeout < 0 {
 		return nil, fmt.Errorf("platform: drain timeout must be non-negative, got %v", cfg.DrainTimeout)
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.Nop()
+	}
 	p := &Platform{
 		cfg:        cfg,
+		tracer:     cfg.Tracer,
+		metrics:    obs.NewMetrics(),
+		logger:     logger,
 		fns:        make(map[string]*function),
 		stopTicker: make(chan struct{}),
 	}
+	p.logger.Info("platform started",
+		"mode", cfg.Mode.String(),
+		"interval", cfg.DispatchInterval,
+		"multiplex", cfg.Multiplex,
+		"tracing", cfg.Tracer != nil)
 	if cfg.Mode == ModeBatch {
 		p.wg.Add(1)
 		go p.dispatchLoop()
 	}
 	return p, nil
 }
+
+// logOn reports whether the logger would emit at level, letting hot paths
+// skip attribute construction entirely when logging is off.
+func (p *Platform) logOn(level slog.Level) bool {
+	return p.logger.Enabled(context.Background(), level)
+}
+
+// Metrics exposes the platform's histogram registry (never nil).
+func (p *Platform) Metrics() *obs.Metrics { return p.metrics }
+
+// Tracer exposes the platform's tracer (nil when tracing is disabled).
+func (p *Platform) Tracer() *obs.Tracer { return p.tracer }
 
 // Register adds a function. Registering a duplicate or empty name fails.
 func (p *Platform) Register(name string, h Handler) error {
@@ -334,7 +408,7 @@ func (p *Platform) Invoke(ctx context.Context, fn string, payload json.RawMessag
 		p.mu.Unlock()
 		return Result{}, fmt.Errorf("platform: unknown function %q", fn)
 	}
-	call := &pendingCall{ctx: ctx, payload: payload, arrive: time.Now(), done: make(chan outcome, 1)}
+	call := &pendingCall{ctx: ctx, payload: payload, arrive: time.Now(), done: make(chan outcome, 1), trace: p.tracer.Begin()}
 	p.stats.Submitted++
 	if p.cfg.Mode == ModeVanilla {
 		p.mu.Unlock()
@@ -388,6 +462,9 @@ func (p *Platform) dispatchWindow() {
 	p.mu.Unlock()
 	for _, j := range jobs {
 		j := j
+		if p.logOn(slog.LevelDebug) {
+			p.logger.Debug("dispatch window", "fn", j.f.name, "group", len(j.group))
+		}
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
@@ -403,6 +480,9 @@ func (p *Platform) evictIdleLocked() {
 		kept := f.warm[:0]
 		for _, c := range f.warm {
 			if c.lastIdle.Before(cutoff) {
+				if p.logOn(slog.LevelDebug) {
+					p.logger.Debug("container evicted", "container", c.id, "fn", f.name, "idle", time.Since(c.lastIdle))
+				}
 				p.retireLocked(f, c)
 				continue
 			}
@@ -465,15 +545,20 @@ func (p *Platform) acquire(f *function) (*container, bool) {
 		p.mu.Lock()
 		p.stats.BootFailures++
 		p.mu.Unlock()
+		p.logger.Warn("container boot failed, retrying", "container", c.id, "fn", f.name)
 		if boot > 0 {
 			time.Sleep(boot)
 		}
 	}
 	if p.cfg.Chaos.Should(chaos.SlowColdStart) {
 		boot = time.Duration(float64(boot) * p.cfg.Chaos.ColdStartFactor())
+		p.logger.Warn("slow cold start injected", "container", c.id, "fn", f.name, "boot", boot)
 	}
 	if boot > 0 {
 		time.Sleep(boot)
+	}
+	if p.logOn(slog.LevelDebug) {
+		p.logger.Debug("container created", "container", c.id, "fn", f.name, "boot", boot)
 	}
 	return c, true
 }
@@ -494,6 +579,7 @@ func (p *Platform) release(f *function, c *container, n int) {
 // group, every invocation a goroutine inside it. Groups beyond the
 // per-container concurrency cap split across containers.
 func (p *Platform) runGroup(f *function, group []*pendingCall) {
+	p.metrics.ObserveGroupSize(len(group))
 	if max := p.cfg.MaxConcurrency; max > 0 && len(group) > max {
 		var wg sync.WaitGroup
 		for start := 0; start < len(group); start += max {
@@ -514,7 +600,12 @@ func (p *Platform) runGroup(f *function, group []*pendingCall) {
 	p.runGroupOne(f, group)
 }
 
-// runGroupOne expands one (cap-respecting) group inside one container.
+// runGroupOne expands one (cap-respecting) group inside one container,
+// recording each member's lifecycle spans: scheduling (arrival to
+// dispatch), cold start, in-container queuing (container ready to handler
+// start) and one execution span per attempt. Span bounds are stamped from
+// the same wall-clock instants as the Result components, so an exported
+// trace reconstructs the §IV decomposition exactly.
 func (p *Platform) runGroupOne(f *function, group []*pendingCall) {
 	dispatch := time.Now()
 	c, cold := p.acquire(f)
@@ -522,6 +613,24 @@ func (p *Platform) runGroupOne(f *function, group []*pendingCall) {
 	coldDur := time.Duration(0)
 	if cold {
 		coldDur = ready.Sub(dispatch)
+	}
+	dispatchStamp := p.tracer.Stamp(dispatch)
+	readyStamp := p.tracer.Stamp(ready)
+	for _, call := range group {
+		if call.trace == 0 {
+			continue
+		}
+		attempt := call.attempts + 1
+		p.tracer.Record(obs.Span{
+			Trace: call.trace, Name: obs.SpanScheduling, Fn: f.name, Container: c.id,
+			Attempt: attempt, Start: p.tracer.Stamp(call.arrive), End: dispatchStamp,
+		})
+		if cold {
+			p.tracer.Record(obs.Span{
+				Trace: call.trace, Name: obs.SpanColdStart, Fn: f.name, Container: c.id,
+				Attempt: attempt, Start: dispatchStamp, End: readyStamp,
+			})
+		}
 	}
 	p.mu.Lock()
 	p.stats.Groups++
@@ -539,8 +648,9 @@ func (p *Platform) runGroupOne(f *function, group []*pendingCall) {
 		c.active = 0
 		p.retireLocked(f, c)
 		p.mu.Unlock()
+		p.logger.Warn("container crashed mid-batch", "container", c.id, "fn", f.name, "group", len(group))
 		for _, call := range group {
-			res := Result{ContainerID: c.id, Cold: cold, Sched: dispatch.Sub(call.arrive), ColdStart: coldDur}
+			res := Result{ContainerID: c.id, Cold: cold, Sched: dispatch.Sub(call.arrive), ColdStart: coldDur, TraceID: call.trace}
 			p.finish(f, call, res, crashErr)
 		}
 		return
@@ -553,21 +663,44 @@ func (p *Platform) runGroupOne(f *function, group []*pendingCall) {
 		go func() {
 			defer wg.Done()
 			start := time.Now()
-			inv := &Invocation{Payload: call.payload, Resources: c.resources, ContainerID: c.id}
+			res := c.resources
+			if call.trace != 0 {
+				// A per-invocation multiplexer view carries the trace, so
+				// client builds span on the invocation that paid for them.
+				res = &Resources{
+					cache: c.resources.cache, inj: c.resources.inj,
+					tracer: p.tracer, trace: call.trace, fn: f.name, container: c.id,
+				}
+			}
+			inv := &Invocation{Payload: call.payload, Resources: res, ContainerID: c.id}
 			value, err := p.runHandler(f, call.ctx, inv)
 			end := time.Now()
-			res := Result{
+			if call.trace != 0 {
+				attempt := call.attempts + 1
+				startStamp := p.tracer.Stamp(start)
+				p.tracer.Record(obs.Span{
+					Trace: call.trace, Name: obs.SpanQueuing, Fn: f.name, Container: c.id,
+					Attempt: attempt, Start: readyStamp, End: startStamp,
+				})
+				p.tracer.Record(obs.Span{
+					Trace: call.trace, Name: obs.SpanExecution, Fn: f.name, Container: c.id,
+					Attempt: attempt, Start: startStamp, End: p.tracer.Stamp(end),
+				})
+			}
+			out := Result{
 				Value:       value,
 				ContainerID: c.id,
 				Cold:        cold,
 				Sched:       dispatch.Sub(call.arrive),
 				ColdStart:   coldDur,
+				Queue:       start.Sub(ready),
 				Exec:        end.Sub(start),
+				TraceID:     call.trace,
 			}
 			if err != nil {
 				err = fmt.Errorf("platform: invoke %s: %w", f.name, err)
 			}
-			p.finish(f, call, res, err)
+			p.finish(f, call, out, err)
 		}()
 	}
 	wg.Wait()
@@ -663,6 +796,10 @@ func (p *Platform) finish(f *function, call *pendingCall, res Result, err error)
 			// Wait, so this Add is ordered before that Wait.
 			p.wg.Add(1)
 			p.mu.Unlock()
+			if p.logOn(slog.LevelInfo) {
+				p.logger.Info("retrying invocation",
+					"fn", f.name, "attempt", call.attempts, "trace", call.trace, "err", err)
+			}
 			go p.retryLater(f, call)
 			return
 		}
@@ -675,6 +812,15 @@ func (p *Platform) finish(f *function, call *pendingCall, res Result, err error)
 		p.stats.Failures++
 	}
 	p.mu.Unlock()
+	if err != nil {
+		p.logger.Warn("invocation failed",
+			"fn", f.name, "attempts", call.attempts, "trace", call.trace, "err", err)
+	}
+	p.metrics.ObserveLatency(f.name, obs.SpanScheduling, res.Sched)
+	p.metrics.ObserveLatency(f.name, obs.SpanColdStart, res.ColdStart)
+	p.metrics.ObserveLatency(f.name, obs.SpanQueuing, res.Queue)
+	p.metrics.ObserveLatency(f.name, obs.SpanExecution, res.Exec)
+	p.metrics.ObserveLatency(f.name, obs.ComponentEndToEnd, res.Total())
 	call.done <- outcome{res: res, err: err}
 }
 
@@ -686,11 +832,18 @@ func (p *Platform) retryLater(f *function, call *pendingCall) {
 	defer p.wg.Done()
 	if p.cfg.RetryBackoff > 0 {
 		backoff := p.cfg.RetryBackoff << uint(call.attempts-1)
+		backoffStart := p.tracer.Now()
 		timer := time.NewTimer(backoff)
 		select {
 		case <-timer.C:
 		case <-p.stopTicker:
 			timer.Stop()
+		}
+		if call.trace != 0 {
+			p.tracer.Record(obs.Span{
+				Trace: call.trace, Name: obs.SpanRetryBackoff, Fn: f.name,
+				Attempt: call.attempts, Start: backoffStart, End: p.tracer.Now(),
+			})
 		}
 	}
 	p.mu.Lock()

@@ -116,8 +116,11 @@ func TestBatchInvokeRoundTrip(t *testing.T) {
 	if res.Sched > 100*time.Millisecond {
 		t.Errorf("Sched = %v, want window-bounded", res.Sched)
 	}
-	if res.Total() != res.Sched+res.ColdStart+res.Exec {
-		t.Error("Total is not the sum of components")
+	if res.Queue < 0 {
+		t.Errorf("Queue = %v, want >= 0", res.Queue)
+	}
+	if res.Total() != res.Sched+res.ColdStart+res.Queue+res.Exec {
+		t.Error("Total is not the sum of the four components")
 	}
 }
 
