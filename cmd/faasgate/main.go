@@ -11,6 +11,8 @@
 //	faasgate -trace-out t.json     # record invocation traces (Perfetto)
 //	faasgate -pprof                # serve /debug/pprof/
 //	faasgate -log-level debug      # structured logs on stderr
+//	faasgate -worker-id w1         # fleet worker behind cmd/faasrouter:
+//	                               # /healthz advertises identity+capacity
 //
 // Built-in demo functions:
 //
@@ -62,6 +64,9 @@ func run(args []string) error {
 	maxRetries := fs.Int("max-retries", 0, "extra attempts for failed invocations, re-batched into later windows")
 	retryBackoff := fs.Duration("retry-backoff", 0, "base retry delay, doubled per attempt (0 = next window)")
 	drainTimeout := fs.Duration("drain-timeout", 0, "bound on Close draining in-flight work (0 = wait forever)")
+	workerID := fs.String("worker-id", "", "fleet identity advertised in /healthz and invoke responses (worker mode, behind faasrouter)")
+	capacity := fs.Int("capacity", 0, "concurrency capacity advertised in /healthz (0 = unbounded)")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "one deadline covering HTTP drain and platform drain on SIGINT/SIGTERM")
 	chaosRate := fs.Float64("chaos-rate", 0, "inject every fault kind at this rate in [0,1) (0 = off)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the fault schedule (same seed, same faults)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file here on exit (enables tracing)")
@@ -88,6 +93,8 @@ func run(args []string) error {
 	cfg.MaxRetries = *maxRetries
 	cfg.RetryBackoff = *retryBackoff
 	cfg.DrainTimeout = *drainTimeout
+	cfg.WorkerID = *workerID
+	cfg.Capacity = *capacity
 	if *chaosRate < 0 {
 		return fmt.Errorf("-chaos-rate must be in [0, 1), got %v", *chaosRate)
 	}
@@ -135,6 +142,8 @@ func run(args []string) error {
 	if err := registerDemoFunctions(p); err != nil {
 		return err
 	}
+	// Registration is complete: /healthz may truthfully report ready.
+	p.SetReady(true)
 
 	fmt.Printf("faasgate: %s mode, interval %v, multiplex %v, listening on %s\n",
 		cfg.Mode, cfg.DispatchInterval, cfg.Multiplex, *addr)
@@ -147,7 +156,7 @@ func run(args []string) error {
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return serveUntilSignal(srv)
+	return serveUntilSignal(srv, p, *shutdownTimeout)
 }
 
 // withPprof mounts the net/http/pprof handlers in front of the gateway
@@ -182,8 +191,12 @@ func writeTraceFile(path string, tracer *obs.Tracer) error {
 }
 
 // serveUntilSignal runs the server until it fails or the process receives
-// SIGINT/SIGTERM, then drains in-flight requests.
-func serveUntilSignal(srv *http.Server) error {
+// SIGINT/SIGTERM, then drains: readiness is flipped first (so the routing
+// tier's prober sees the worker going away), and one context deadline
+// covers both the HTTP drain and the platform drain — srv.Shutdown's
+// cancellation propagates into the platform's CloseContext instead of
+// racing two independent timeouts. p may be nil (plain servers in tests).
+func serveUntilSignal(srv *http.Server, p *platform.Platform, drain time.Duration) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	sigc := make(chan os.Signal, 1)
@@ -197,10 +210,18 @@ func serveUntilSignal(srv *http.Server) error {
 		return nil
 	case sig := <-sigc:
 		fmt.Printf("faasgate: %v, draining ...\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
+		if p != nil {
+			p.SetReady(false)
+		}
 		if err := srv.Shutdown(ctx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
+		}
+		if p != nil {
+			if err := p.CloseContext(ctx); err != nil {
+				return fmt.Errorf("shutdown: %w", err)
+			}
 		}
 		return nil
 	}

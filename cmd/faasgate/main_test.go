@@ -104,15 +104,16 @@ func TestEchoHandler(t *testing.T) {
 
 func TestServeUntilSignalShutdown(t *testing.T) {
 	srv := &http.Server{Addr: "127.0.0.1:0", Handler: http.NewServeMux()}
+	p := newGatePlatform(t)
 	done := make(chan error, 1)
-	go func() { done <- serveUntilSignal(srv) }()
+	go func() { done <- serveUntilSignal(srv, p, 10*time.Second) }()
 	// Give the listener a moment, then deliver SIGTERM to ourselves.
 	time.Sleep(50 * time.Millisecond)
-	p, err := os.FindProcess(os.Getpid())
+	proc, err := os.FindProcess(os.Getpid())
 	if err != nil {
 		t.Fatalf("FindProcess: %v", err)
 	}
-	if err := p.Signal(syscall.SIGTERM); err != nil {
+	if err := proc.Signal(syscall.SIGTERM); err != nil {
 		t.Fatalf("Signal: %v", err)
 	}
 	select {
@@ -127,7 +128,7 @@ func TestServeUntilSignalShutdown(t *testing.T) {
 
 func TestServeUntilSignalListenError(t *testing.T) {
 	srv := &http.Server{Addr: "256.256.256.256:99999"}
-	if err := serveUntilSignal(srv); err == nil {
+	if err := serveUntilSignal(srv, nil, time.Second); err == nil {
 		t.Fatal("bad address accepted")
 	}
 }

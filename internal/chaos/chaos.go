@@ -46,6 +46,10 @@ const (
 	// StorageFailure fails a storage-client construction inside the
 	// Resource Multiplexer.
 	StorageFailure
+	// WorkerFailure fails one routed forward attempt with a synthetic
+	// connection error, as if the target worker died mid-request
+	// (internal/router's forwarding proxy consults it before each hop).
+	WorkerFailure
 
 	numKinds // sentinel: keep last
 )
@@ -76,6 +80,8 @@ func (k Kind) String() string {
 		return "slow-cold-start"
 	case StorageFailure:
 		return "storage-failure"
+	case WorkerFailure:
+		return "worker-failure"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

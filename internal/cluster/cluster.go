@@ -21,6 +21,7 @@ import (
 	"faasbatch/internal/metrics"
 	"faasbatch/internal/node"
 	"faasbatch/internal/policy"
+	"faasbatch/internal/router"
 	"faasbatch/internal/sim"
 	"faasbatch/internal/trace"
 	"faasbatch/internal/workload"
@@ -39,6 +40,10 @@ const (
 	LeastLoaded
 	// RoundRobin cycles nodes per invocation.
 	RoundRobin
+	// ConsistentHash pins each function to the node owning it on a
+	// consistent-hash ring (the same ring the live routing tier runs, so
+	// simulated and live assignments agree function by function).
+	ConsistentHash
 )
 
 // String implements fmt.Stringer.
@@ -50,10 +55,17 @@ func (b Balancing) String() string {
 		return "least-loaded"
 	case RoundRobin:
 		return "round-robin"
+	case ConsistentHash:
+		return "consistent-hash"
 	default:
 		return fmt.Sprintf("balancing(%d)", int(b))
 	}
 }
+
+// NodeMember names node i on the consistent-hash ring. The live routing
+// tier must use the same worker IDs for the sim-vs-live assignment
+// comparison to hold.
+func NodeMember(i int) string { return fmt.Sprintf("node-%d", i) }
 
 // Config parameterises a cluster.
 type Config struct {
@@ -70,15 +82,93 @@ type Config struct {
 
 // Cluster is a fleet of FaaSBatch worker nodes behind a dispatcher.
 type Cluster struct {
-	eng       *sim.Engine
-	cfg       Config
-	nodes     []*node.Node
-	runners   []*fnruntime.Runner
-	scheds    []*core.FaaSBatch
+	eng     *sim.Engine
+	cfg     Config
+	nodes   []*node.Node
+	runners []*fnruntime.Runner
+	scheds  []*core.FaaSBatch
+	picker  *picker
+}
+
+// picker is the dispatcher's routing state, separated from the cluster so
+// an assignment sequence can be computed standalone (AssignmentSequence)
+// and compared against the live router.
+type picker struct {
+	balancing Balancing
 	inflight  []int
 	assigned  []int // functions pinned per node (FnAffinity)
 	affinity  map[string]int
 	rrCounter int
+	ring      *router.Ring   // ConsistentHash only
+	memberIdx map[string]int // ring member name -> node index
+}
+
+// newPicker builds routing state for n nodes.
+func newPicker(b Balancing, n int) *picker {
+	p := &picker{
+		balancing: b,
+		inflight:  make([]int, n),
+		assigned:  make([]int, n),
+		affinity:  make(map[string]int, 16),
+	}
+	if b == ConsistentHash {
+		p.ring = router.NewRing(router.DefaultVNodes)
+		p.memberIdx = make(map[string]int, n)
+		for i := 0; i < n; i++ {
+			m := NodeMember(i)
+			p.ring.Add(m)
+			p.memberIdx[m] = i
+		}
+	}
+	return p
+}
+
+// pick selects the target node for a function.
+func (p *picker) pick(fn string) int {
+	switch p.balancing {
+	case LeastLoaded:
+		return p.leastLoaded()
+	case RoundRobin:
+		idx := p.rrCounter % len(p.inflight)
+		p.rrCounter++
+		return idx
+	case ConsistentHash:
+		member, ok := p.ring.Pick(fn)
+		if !ok {
+			return 0
+		}
+		idx := p.memberIdx[member]
+		p.affinity[fn] = idx
+		return idx
+	default: // FnAffinity
+		if idx, ok := p.affinity[fn]; ok {
+			return idx
+		}
+		// First sight: pin to the node with the lightest combination of
+		// in-flight work and already-pinned functions, so a cold window
+		// of many new functions still spreads across the fleet.
+		best := 0
+		for i := 1; i < len(p.inflight); i++ {
+			if p.inflight[i]+p.assigned[i] < p.inflight[best]+p.assigned[best] {
+				best = i
+			}
+		}
+		p.affinity[fn] = best
+		p.assigned[best]++
+		return best
+	}
+}
+
+// leastLoaded returns the node with the fewest in-flight invocations
+// (lowest index wins ties, keeping runs deterministic).
+func (p *picker) leastLoaded() int {
+	best := 0
+	for i := 1; i < len(p.inflight); i++ {
+		if p.inflight[i] < p.inflight[best] {
+			best = i
+		}
+	}
+	return best
 }
 
 // New builds a cluster on the given engine.
@@ -98,15 +188,13 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 	if cfg.Balancing == 0 {
 		cfg.Balancing = FnAffinity
 	}
-	if cfg.Balancing < FnAffinity || cfg.Balancing > RoundRobin {
+	if cfg.Balancing < FnAffinity || cfg.Balancing > ConsistentHash {
 		return nil, fmt.Errorf("cluster: unknown balancing %d", int(cfg.Balancing))
 	}
 	c := &Cluster{
-		eng:      eng,
-		cfg:      cfg,
-		affinity: make(map[string]int),
-		inflight: make([]int, cfg.Nodes),
-		assigned: make([]int, cfg.Nodes),
+		eng:    eng,
+		cfg:    cfg,
+		picker: newPicker(cfg.Balancing, cfg.Nodes),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		nd, err := node.New(eng, cfg.Node)
@@ -133,52 +221,43 @@ func (c *Cluster) Schedulers() []*core.FaaSBatch { return c.scheds }
 
 // Submit routes one invocation to a node's FaaSBatch scheduler.
 func (c *Cluster) Submit(inv *fnruntime.Invocation, complete func(*fnruntime.Invocation)) {
-	idx := c.pick(inv.Spec.Name)
-	c.inflight[idx]++
+	idx := c.picker.pick(inv.Spec.Name)
+	c.picker.inflight[idx]++
 	c.scheds[idx].Submit(inv, func(done *fnruntime.Invocation) {
-		c.inflight[idx]--
+		c.picker.inflight[idx]--
 		complete(done)
 	})
 }
 
-// pick selects the target node for a function.
-func (c *Cluster) pick(fn string) int {
-	switch c.cfg.Balancing {
-	case LeastLoaded:
-		return c.leastLoaded()
-	case RoundRobin:
-		idx := c.rrCounter % len(c.nodes)
-		c.rrCounter++
-		return idx
-	default: // FnAffinity
-		if idx, ok := c.affinity[fn]; ok {
-			return idx
-		}
-		// First sight: pin to the node with the lightest combination of
-		// in-flight work and already-pinned functions, so a cold window
-		// of many new functions still spreads across the fleet.
-		best := 0
-		for i := 1; i < len(c.nodes); i++ {
-			if c.inflight[i]+c.assigned[i] < c.inflight[best]+c.assigned[best] {
-				best = i
-			}
-		}
-		c.affinity[fn] = best
-		c.assigned[best]++
-		return best
+// Assignments reports the function-to-node pinning the dispatcher has
+// accumulated: every function routed so far for the pinning policies
+// (FnAffinity, ConsistentHash); empty for per-invocation policies.
+func (c *Cluster) Assignments() map[string]int {
+	out := make(map[string]int, len(c.picker.affinity))
+	for fn, idx := range c.picker.affinity {
+		out[fn] = idx
 	}
+	return out
 }
 
-// leastLoaded returns the node with the fewest in-flight invocations
-// (lowest index wins ties, keeping runs deterministic).
-func (c *Cluster) leastLoaded() int {
-	best := 0
-	for i := 1; i < len(c.inflight); i++ {
-		if c.inflight[i] < c.inflight[best] {
-			best = i
-		}
+// AssignmentSequence computes, standalone, the node index policy b would
+// route each function name to on an idle fleet of n nodes — the
+// dispatcher's decision sequence without running any work. The live
+// routing tier's conformance test replays the same sequence against real
+// workers named NodeMember(i) and asserts they agree.
+func AssignmentSequence(b Balancing, n int, fns []string) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: node count must be positive, got %d", n)
 	}
-	return best
+	if b < FnAffinity || b > ConsistentHash {
+		return nil, fmt.Errorf("cluster: unknown balancing %d", int(b))
+	}
+	p := newPicker(b, n)
+	out := make([]int, len(fns))
+	for i, fn := range fns {
+		out[i] = p.pick(fn)
+	}
+	return out, nil
 }
 
 // Close shuts every node's scheduler down.
@@ -226,21 +305,7 @@ func (r *Result) CDF(comp metrics.Component) metrics.CDF {
 // Imbalance reports max/mean of per-node container counts (1.0 =
 // perfectly balanced; 0 when the fleet provisioned nothing).
 func (r *Result) Imbalance() float64 {
-	if len(r.ContainersPerNode) == 0 {
-		return 0
-	}
-	maxC, sum := 0, 0
-	for _, n := range r.ContainersPerNode {
-		sum += n
-		if n > maxC {
-			maxC = n
-		}
-	}
-	if sum == 0 {
-		return 0
-	}
-	mean := float64(sum) / float64(len(r.ContainersPerNode))
-	return float64(maxC) / mean
+	return metrics.Imbalance(r.ContainersPerNode)
 }
 
 // ReplayConfig describes a cluster replay run.

@@ -35,7 +35,7 @@ func testClusterConfig(nodes int, bal Balancing) Config {
 }
 
 func TestBalancingString(t *testing.T) {
-	want := map[Balancing]string{FnAffinity: "fn-affinity", LeastLoaded: "least-loaded", RoundRobin: "round-robin"}
+	want := map[Balancing]string{FnAffinity: "fn-affinity", LeastLoaded: "least-loaded", RoundRobin: "round-robin", ConsistentHash: "consistent-hash"}
 	for b, w := range want {
 		if got := b.String(); got != w {
 			t.Errorf("%d = %q, want %q", int(b), got, w)
@@ -99,14 +99,14 @@ func TestFnAffinityPinsFunctionsToNodes(t *testing.T) {
 	fns := []string{"a", "b", "c", "d"}
 	for round := 0; round < 3; round++ {
 		for _, fn := range fns {
-			if got := cl.pick(fn); got != cl.affinity[fn] {
-				t.Fatalf("pick(%s) = %d, want sticky %d", fn, got, cl.affinity[fn])
+			if got := cl.picker.pick(fn); got != cl.picker.affinity[fn] {
+				t.Fatalf("pick(%s) = %d, want sticky %d", fn, got, cl.picker.affinity[fn])
 			}
 		}
 	}
 	seen := map[int]bool{}
 	for _, fn := range fns {
-		seen[cl.affinity[fn]] = true
+		seen[cl.picker.affinity[fn]] = true
 	}
 	if len(seen) != 4 {
 		t.Fatalf("affinity used %d nodes for 4 functions, want 4", len(seen))
@@ -121,7 +121,7 @@ func TestRoundRobinCycles(t *testing.T) {
 	}
 	want := []int{0, 1, 2, 0, 1, 2}
 	for i, w := range want {
-		if got := cl.pick("f"); got != w {
+		if got := cl.picker.pick("f"); got != w {
 			t.Fatalf("pick %d = %d, want %d", i, got, w)
 		}
 	}
@@ -133,10 +133,10 @@ func TestLeastLoadedFollowsInflight(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	cl.inflight[0] = 5
-	cl.inflight[1] = 1
-	cl.inflight[2] = 3
-	if got := cl.pick("f"); got != 1 {
+	cl.picker.inflight[0] = 5
+	cl.picker.inflight[1] = 1
+	cl.picker.inflight[2] = 3
+	if got := cl.picker.pick("f"); got != 1 {
 		t.Fatalf("pick = %d, want least-loaded node 1", got)
 	}
 }
@@ -211,5 +211,153 @@ func TestSpecsForRejectsBadFib(t *testing.T) {
 	}
 	if specs[0].Kind != workload.IO {
 		t.Fatalf("spec kind = %v, want IO", specs[0].Kind)
+	}
+}
+
+// TestLeastLoadedTieBreaksLowestIndex pins the documented determinism
+// contract: with two (or more) equally loaded nodes, the dispatcher picks
+// the lowest index, so identical runs reproduce identical placements.
+func TestLeastLoadedTieBreaksLowestIndex(t *testing.T) {
+	eng := sim.New(1)
+	cl, err := New(eng, testClusterConfig(3, LeastLoaded))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// All idle: node 0 wins.
+	if got := cl.picker.pick("f"); got != 0 {
+		t.Fatalf("idle tie pick = %d, want 0", got)
+	}
+	// Nodes 1 and 2 tie below node 0: node 1 wins.
+	cl.picker.inflight[0] = 4
+	cl.picker.inflight[1] = 2
+	cl.picker.inflight[2] = 2
+	if got := cl.picker.pick("f"); got != 1 {
+		t.Fatalf("two-way tie pick = %d, want lowest index 1", got)
+	}
+}
+
+// TestFnAffinityFirstSightTieBreaksLowestIndex covers the pinning path:
+// an unseen function on an evenly loaded fleet pins to the lowest index,
+// and subsequent unseen functions spread by pin count.
+func TestFnAffinityFirstSightTieBreaksLowestIndex(t *testing.T) {
+	eng := sim.New(1)
+	cl, err := New(eng, testClusterConfig(2, FnAffinity))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := cl.picker.pick("first"); got != 0 {
+		t.Fatalf("first unseen fn pinned to %d, want 0", got)
+	}
+	// Node 0 now carries one pin; the next unseen function goes to 1.
+	if got := cl.picker.pick("second"); got != 1 {
+		t.Fatalf("second unseen fn pinned to %d, want 1", got)
+	}
+	// Another tie (one pin each): back to the lowest index.
+	if got := cl.picker.pick("third"); got != 0 {
+		t.Fatalf("third unseen fn pinned to %d, want 0", got)
+	}
+}
+
+func TestConsistentHashDeterministicAndSticky(t *testing.T) {
+	eng := sim.New(1)
+	cl, err := New(eng, testClusterConfig(3, ConsistentHash))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	fns := []string{"fib", "echo", "s3upload", "resize", "train"}
+	first := make(map[string]int, len(fns))
+	for _, fn := range fns {
+		first[fn] = cl.picker.pick(fn)
+	}
+	// Sticky across repeats, load or not.
+	cl.picker.inflight[first["fib"]] += 50
+	for round := 0; round < 3; round++ {
+		for _, fn := range fns {
+			if got := cl.picker.pick(fn); got != first[fn] {
+				t.Fatalf("round %d: pick(%s) = %d, want sticky %d", round, fn, got, first[fn])
+			}
+		}
+	}
+	// A second cluster agrees assignment-for-assignment.
+	cl2, err := New(sim.New(99), testClusterConfig(3, ConsistentHash))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, fn := range fns {
+		if got := cl2.picker.pick(fn); got != first[fn] {
+			t.Fatalf("second cluster pick(%s) = %d, want %d", fn, got, first[fn])
+		}
+	}
+	// Assignments reflects the pinning.
+	got := cl.Assignments()
+	for _, fn := range fns {
+		if got[fn] != first[fn] {
+			t.Fatalf("Assignments[%s] = %d, want %d", fn, got[fn], first[fn])
+		}
+	}
+}
+
+func TestAssignmentSequence(t *testing.T) {
+	fns := []string{"fib", "echo", "fib", "s3upload", "echo"}
+	seq, err := AssignmentSequence(ConsistentHash, 3, fns)
+	if err != nil {
+		t.Fatalf("AssignmentSequence: %v", err)
+	}
+	if len(seq) != len(fns) {
+		t.Fatalf("len = %d, want %d", len(seq), len(fns))
+	}
+	// Repeats of a function get the same node.
+	if seq[0] != seq[2] || seq[1] != seq[4] {
+		t.Fatalf("repeat assignments differ: %v", seq)
+	}
+	// The sequence matches a live picker fed the same names.
+	again, err := AssignmentSequence(ConsistentHash, 3, fns)
+	if err != nil {
+		t.Fatalf("AssignmentSequence: %v", err)
+	}
+	for i := range seq {
+		if seq[i] != again[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, seq, again)
+		}
+	}
+	// Round-robin sequences cycle.
+	rr, err := AssignmentSequence(RoundRobin, 2, fns)
+	if err != nil {
+		t.Fatalf("AssignmentSequence: %v", err)
+	}
+	want := []int{0, 1, 0, 1, 0}
+	for i := range want {
+		if rr[i] != want[i] {
+			t.Fatalf("round-robin seq = %v, want %v", rr, want)
+		}
+	}
+	// Validation.
+	if _, err := AssignmentSequence(ConsistentHash, 0, fns); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := AssignmentSequence(Balancing(9), 2, fns); err == nil {
+		t.Fatal("unknown balancing accepted")
+	}
+}
+
+// TestConsistentHashReplay runs a full replay under the ring policy and
+// checks it preserves locality like FnAffinity does (few containers for a
+// single hot function).
+func TestConsistentHashReplay(t *testing.T) {
+	tr := testTrace(t, 80, 1)
+	res, err := Replay(ReplayConfig{Cluster: testClusterConfig(4, ConsistentHash), Trace: tr, Seed: 1})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	rr, err := Replay(ReplayConfig{Cluster: testClusterConfig(4, RoundRobin), Trace: tr, Seed: 1})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if res.TotalContainers >= rr.TotalContainers {
+		t.Fatalf("consistent-hash containers %d not fewer than round-robin %d",
+			res.TotalContainers, rr.TotalContainers)
+	}
+	if len(res.Records) != tr.Len() {
+		t.Fatalf("records = %d, want %d", len(res.Records), tr.Len())
 	}
 }

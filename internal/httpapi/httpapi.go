@@ -1,5 +1,6 @@
 // Package httpapi defines the wire types of the live FaaSBatch gateway
-// (internal/platform, cmd/faasgate).
+// (internal/platform, cmd/faasgate) and of the routing tier that fronts a
+// fleet of gateways (internal/router, cmd/faasrouter).
 package httpapi
 
 import (
@@ -53,6 +54,10 @@ type InvokeResponse struct {
 	Result json.RawMessage `json:"result"`
 	// ContainerID identifies the serving container.
 	ContainerID string `json:"containerId"`
+	// Worker identifies the gateway that served the invocation, when it
+	// runs as a fleet worker (Config.WorkerID); empty on a standalone
+	// gateway.
+	Worker string `json:"worker,omitempty"`
 	// Cold reports whether the invocation paid a cold start.
 	Cold bool `json:"cold"`
 	// Attempts is how many execution attempts the invocation consumed:
@@ -95,4 +100,127 @@ type StatsResponse struct {
 	CacheMisses uint64 `json:"cacheMisses"`
 	// CacheBytesSaved is duplicate memory avoided by the multiplexer.
 	CacheBytesSaved int64 `json:"cacheBytesSaved"`
+}
+
+// RoutedInvokeRequest asks the routing tier to invoke a function on
+// whichever worker owns it on the consistent-hash ring. It is a superset
+// of InvokeRequest, so plain gateway clients can talk to a router
+// unchanged.
+type RoutedInvokeRequest struct {
+	// Fn is the function name (the ring key).
+	Fn string `json:"fn"`
+	// Payload is passed to the handler verbatim.
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// TimeoutMillis optionally bounds the whole routed invocation
+	// (admission wait + forwards + retries). Zero means no client bound.
+	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
+}
+
+// DecodeRoutedInvokeRequest parses and validates a router /invoke request
+// body. Malformed input yields an error, never a panic.
+func DecodeRoutedInvokeRequest(body []byte) (RoutedInvokeRequest, error) {
+	var req RoutedInvokeRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return RoutedInvokeRequest{}, fmt.Errorf("httpapi: decode routed invoke request: %w", err)
+	}
+	if req.Fn == "" {
+		return RoutedInvokeRequest{}, fmt.Errorf("httpapi: routed invoke request missing fn")
+	}
+	if req.TimeoutMillis < 0 {
+		return RoutedInvokeRequest{}, fmt.Errorf("httpapi: routed invoke timeout must be non-negative, got %d", req.TimeoutMillis)
+	}
+	return req, nil
+}
+
+// RoutedInvokeResponse reports one invocation completed through the
+// router: the worker's InvokeResponse plus routing provenance. Its Worker
+// field shadows the embedded one — the router always reports which worker
+// it forwarded to, even when the worker omits its own identity.
+type RoutedInvokeResponse struct {
+	InvokeResponse
+	// Worker identifies the worker that served the invocation.
+	Worker string `json:"worker"`
+	// ForwardAttempts is how many forward attempts the router spent
+	// (1 on the happy path; connection errors and failovers add one each).
+	ForwardAttempts int `json:"forwardAttempts"`
+}
+
+// Health states reported by /healthz.
+const (
+	// HealthOK means the worker is registered, ready and accepting work.
+	HealthOK = "ok"
+	// HealthUnready means the worker is up but has not completed function
+	// registration yet.
+	HealthUnready = "unready"
+	// HealthDraining means the worker is shutting down and draining
+	// in-flight work.
+	HealthDraining = "draining"
+)
+
+// HealthResponse is the /healthz body of a worker gateway: a truthful
+// readiness signal plus the worker-initiated capacity report the router's
+// prober consumes (Hiku-style pull signals instead of blind push).
+type HealthResponse struct {
+	// Status is one of the Health* states above. Only HealthOK travels
+	// with a 200; the other states ride a 503.
+	Status string `json:"status"`
+	// Worker is the gateway's fleet identity (empty when standalone).
+	Worker string `json:"worker,omitempty"`
+	// Capacity is the advertised concurrency capacity (0 = unbounded).
+	Capacity int `json:"capacity,omitempty"`
+	// Inflight counts invocations accepted but not yet completed.
+	Inflight int64 `json:"inflight"`
+}
+
+// WorkerStatus is one worker's row in the router's /workers table.
+type WorkerStatus struct {
+	// ID is the worker's fleet identity.
+	ID string `json:"id"`
+	// URL is the worker's base URL.
+	URL string `json:"url"`
+	// State is "up" or "down".
+	State string `json:"state"`
+	// Inflight counts forwards currently outstanding against the worker.
+	Inflight int64 `json:"inflight"`
+	// Capacity is the worker's last advertised concurrency capacity.
+	Capacity int `json:"capacity"`
+	// Forwarded counts invocations this worker served through the router.
+	Forwarded int64 `json:"forwarded"`
+	// Failures counts forward attempts and probes that failed against it.
+	Failures int64 `json:"failures"`
+}
+
+// RouterStatsResponse is the router's counters snapshot.
+type RouterStatsResponse struct {
+	// Routed counts invocations admitted past admission control.
+	Routed int64 `json:"routed"`
+	// Completed counts invocations that returned a worker response.
+	Completed int64 `json:"completed"`
+	// Forwarded counts forward attempts that reached a worker.
+	Forwarded int64 `json:"forwarded"`
+	// Retries counts extra forward attempts after transient failures.
+	Retries int64 `json:"retries"`
+	// Failovers counts attempts that moved to a different ring replica.
+	Failovers int64 `json:"failovers"`
+	// Shed counts invocations rejected by admission control (429).
+	Shed int64 `json:"shed"`
+	// NoWorkers counts invocations rejected with no healthy worker (503).
+	NoWorkers int64 `json:"noWorkers"`
+	// Errors counts invocations that exhausted their forward attempts.
+	Errors int64 `json:"errors"`
+	// Probes counts health probes sent.
+	Probes int64 `json:"probes"`
+	// ProbeFailures counts health probes that failed.
+	ProbeFailures int64 `json:"probeFailures"`
+	// MarkDowns counts worker up→down transitions.
+	MarkDowns int64 `json:"markDowns"`
+	// MarkUps counts worker down→up transitions (recoveries, not boot).
+	MarkUps int64 `json:"markUps"`
+	// WorkersUp counts workers currently marked up.
+	WorkersUp int `json:"workersUp"`
+	// ForwardImbalance is max/mean of per-worker forwarded counts
+	// (1 = perfectly balanced, 0 = nothing forwarded).
+	ForwardImbalance float64 `json:"forwardImbalance"`
+	// Workers is the per-worker breakdown.
+	Workers []WorkerStatus `json:"workers"`
 }

@@ -72,3 +72,68 @@ func FuzzDecodeInvokeRequest(f *testing.F) {
 		}
 	})
 }
+
+func TestDecodeRoutedInvokeRequestValid(t *testing.T) {
+	req, err := DecodeRoutedInvokeRequest([]byte(`{"fn":"fib","payload":{"n":30},"timeoutMillis":2500}`))
+	if err != nil {
+		t.Fatalf("DecodeRoutedInvokeRequest: %v", err)
+	}
+	if req.Fn != "fib" || req.TimeoutMillis != 2500 {
+		t.Fatalf("req = %+v", req)
+	}
+	if string(req.Payload) != `{"n":30}` {
+		t.Fatalf("payload = %s", req.Payload)
+	}
+	// Plain gateway bodies decode unchanged (superset contract).
+	req, err = DecodeRoutedInvokeRequest([]byte(`{"fn":"echo"}`))
+	if err != nil || req.TimeoutMillis != 0 {
+		t.Fatalf("plain body: req=%+v err=%v", req, err)
+	}
+}
+
+func TestDecodeRoutedInvokeRequestRejectsMalformed(t *testing.T) {
+	for _, body := range []string{
+		``,
+		`{`,
+		`null`,
+		`{"fn":""}`,
+		`{"payload":{}}`,
+		`{"fn":"x","timeoutMillis":-1}`,
+		`{"fn":3}`,
+	} {
+		if _, err := DecodeRoutedInvokeRequest([]byte(body)); err == nil {
+			t.Errorf("body %q accepted", body)
+		}
+	}
+}
+
+// FuzzDecodeRoutedInvokeRequest asserts the router /invoke decoder is
+// total: any body either decodes to a valid routed request (non-empty fn,
+// non-negative timeout) or returns an error — never a panic — and an
+// accepted request re-marshals.
+func FuzzDecodeRoutedInvokeRequest(f *testing.F) {
+	f.Add([]byte(`{"fn":"fib","payload":{"n":30}}`))
+	f.Add([]byte(`{"fn":"echo","timeoutMillis":100}`))
+	f.Add([]byte(`{"fn":"x","timeoutMillis":-5}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"fn":""}`))
+	f.Add([]byte(`{"timeoutMillis":9e99}`))
+	f.Add([]byte(`{"fn":"x","payload":"\ud800"}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := DecodeRoutedInvokeRequest(body)
+		if err != nil {
+			return
+		}
+		if req.Fn == "" {
+			t.Fatal("accepted request with empty fn")
+		}
+		if req.TimeoutMillis < 0 {
+			t.Fatalf("accepted negative timeout %d", req.TimeoutMillis)
+		}
+		if _, err := json.Marshal(req); err != nil {
+			t.Fatalf("accepted request does not re-marshal: %v", err)
+		}
+	})
+}

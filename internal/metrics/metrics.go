@@ -51,6 +51,28 @@ type Record struct {
 // Total reports the end-to-end invocation latency.
 func (r Record) Total() time.Duration { return r.Sched + r.Cold + r.Queue + r.Exec }
 
+// Imbalance reports max/mean over per-entity counts (1.0 = perfectly
+// balanced; 0 when counts are empty or sum to zero). The cluster applies
+// it to per-node container provisioning, the live router to per-worker
+// forwarded invocations — one skew definition across sim and live.
+func Imbalance(counts []int) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	maxC, sum := 0, 0
+	for _, n := range counts {
+		sum += n
+		if n > maxC {
+			maxC = n
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(counts))
+	return float64(maxC) / mean
+}
+
 // Component selects one latency component of a Record.
 type Component int
 

@@ -426,3 +426,21 @@ func TestCDFHandlesUnsortedDuplicates(t *testing.T) {
 		t.Fatalf("At(5) = %v, want 5/6", got)
 	}
 }
+
+func TestImbalance(t *testing.T) {
+	cases := []struct {
+		counts []int
+		want   float64
+	}{
+		{nil, 0},
+		{[]int{0, 0, 0}, 0},
+		{[]int{4, 4}, 1},
+		{[]int{6, 2}, 1.5},  // mean 4, max 6
+		{[]int{9, 0, 0}, 3}, // one node hogs everything
+	}
+	for _, c := range cases {
+		if got := Imbalance(c.counts); got != c.want {
+			t.Errorf("Imbalance(%v) = %v, want %v", c.counts, got, c.want)
+		}
+	}
+}

@@ -92,6 +92,7 @@ type Metrics struct {
 	mu         sync.Mutex
 	latBounds  []float64
 	lat        map[latencyKey]*Histogram
+	fwd        map[string]*Histogram // per-worker forward latency (router)
 	groupSize  *Histogram
 	histErrors int // defensive: construction failures (never with the defaults)
 }
@@ -106,6 +107,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		latBounds: DefaultLatencyBuckets,
 		lat:       make(map[latencyKey]*Histogram),
+		fwd:       make(map[string]*Histogram),
 		groupSize: gs,
 	}
 }
@@ -128,6 +130,28 @@ func (m *Metrics) ObserveLatency(fn, component string, d time.Duration) {
 			return
 		}
 		m.lat[key] = h
+	}
+	h.Observe(d.Seconds())
+}
+
+// ObserveForward counts one routed forward attempt's latency against the
+// serving worker (internal/router). Workers appear as histogram labels in
+// WritePrometheus, so per-worker tails stay visible behind the router.
+func (m *Metrics) ObserveForward(worker string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.fwd[worker]
+	if !ok {
+		var err error
+		h, err = NewHistogram(m.latBounds)
+		if err != nil {
+			m.histErrors++
+			return
+		}
+		m.fwd[worker] = h
 	}
 	h.Observe(d.Seconds())
 }
@@ -190,6 +214,18 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	for _, k := range keys {
 		labels := fmt.Sprintf("fn=%q,component=%q", k.Fn, k.Component)
 		writeHistogram(w, "faasbatch_latency_seconds", labels, m.lat[k])
+	}
+	if len(m.fwd) > 0 {
+		fmt.Fprintf(w, "# HELP faasbatch_forward_latency_seconds Per-worker routed forward latency.\n")
+		fmt.Fprintf(w, "# TYPE faasbatch_forward_latency_seconds histogram\n")
+		workers := make([]string, 0, len(m.fwd))
+		for wk := range m.fwd {
+			workers = append(workers, wk)
+		}
+		sort.Strings(workers)
+		for _, wk := range workers {
+			writeHistogram(w, "faasbatch_forward_latency_seconds", fmt.Sprintf("worker=%q", wk), m.fwd[wk])
+		}
 	}
 	fmt.Fprintf(w, "# HELP faasbatch_group_size Invocations per dispatched batch group.\n")
 	fmt.Fprintf(w, "# TYPE faasbatch_group_size histogram\n")

@@ -101,3 +101,36 @@ func TestObserveLatencySteadyStateNoAlloc(t *testing.T) {
 		t.Fatalf("steady-state observe allocates %v per op, want 0", allocs)
 	}
 }
+
+func TestMetricsForwardHistogram(t *testing.T) {
+	var nilM *Metrics
+	nilM.ObserveForward("w1", time.Second) // nil-safe
+
+	m := NewMetrics()
+	var empty bytes.Buffer
+	m.WritePrometheus(&empty)
+	if strings.Contains(empty.String(), "faasbatch_forward_latency_seconds") {
+		t.Fatal("forward family emitted with no observations")
+	}
+
+	m.ObserveForward("w2", 30*time.Millisecond)
+	m.ObserveForward("w2", 70*time.Millisecond)
+	m.ObserveForward("w1", 2*time.Millisecond)
+	var buf bytes.Buffer
+	m.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE faasbatch_forward_latency_seconds histogram",
+		`faasbatch_forward_latency_seconds_bucket{worker="w2",le="0.05"} 1`,
+		`faasbatch_forward_latency_seconds_count{worker="w2"} 2`,
+		`faasbatch_forward_latency_seconds_count{worker="w1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic ordering: w1 sorts before w2.
+	if strings.Index(out, `worker="w1"`) > strings.Index(out, `worker="w2"`) {
+		t.Error("forward series not sorted by worker")
+	}
+}

@@ -46,6 +46,25 @@ const (
 	SpanRetryBackoff = "retry-backoff"
 )
 
+// Span names of the routing tier (internal/router): the router fronts a
+// fleet of worker gateways and records its own lifecycle spans, disjoint
+// from the per-worker decomposition above.
+const (
+	// SpanRoute covers picking a worker (and its failover order) for one
+	// invocation on the consistent-hash ring.
+	SpanRoute = "route"
+	// SpanProbe covers one worker health probe.
+	SpanProbe = "probe"
+	// SpanForward covers one forward attempt to one worker (Detail names
+	// the worker).
+	SpanForward = "forward"
+	// SpanForwardRetry covers the backoff before a forward attempt is
+	// retried on the same or the next ring replica.
+	SpanForwardRetry = "forward-retry"
+	// SpanShed marks an invocation rejected by admission control.
+	SpanShed = "shed"
+)
+
 // ComponentEndToEnd labels the whole-invocation latency in the metrics
 // registry (it is a histogram label, never a span: the end-to-end value
 // is the sum of the four decomposition spans).

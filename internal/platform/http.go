@@ -81,7 +81,10 @@ func statValue(st Stats, path string) (string, error) {
 //	GET  /metrics       — Prometheus text: counters, gauges and histograms
 //	GET  /functions     — registered function names
 //	GET  /debug/traces  — Chrome trace-event JSON of the span ring buffer
-//	GET  /healthz       — 200 ok
+//	GET  /healthz       — httpapi.HealthResponse readiness + capacity
+//	                      report: 200 "ok" when ready, 503 "unready"
+//	                      before SetReady(true), 503 "draining" once
+//	                      Close begins
 func NewHTTPHandler(p *Platform) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/invoke", func(w http.ResponseWriter, r *http.Request) {
@@ -113,6 +116,7 @@ func NewHTTPHandler(p *Platform) http.Handler {
 			Fn:          req.Fn,
 			Result:      value,
 			ContainerID: res.ContainerID,
+			Worker:      p.WorkerID(),
 			Cold:        res.Cold,
 			Attempts:    res.Attempts,
 			Latency: httpapi.Latency{
@@ -190,8 +194,29 @@ func NewHTTPHandler(p *Platform) http.Handler {
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		_, _ = io.WriteString(w, "ok\n")
+		health := httpapi.HealthResponse{
+			Worker:   p.WorkerID(),
+			Capacity: p.Capacity(),
+			Inflight: p.Inflight(),
+		}
+		status := http.StatusOK
+		switch {
+		case p.Draining():
+			// Truthful readiness for the routing tier's prober: a
+			// draining worker must stop receiving new windows.
+			health.Status = httpapi.HealthDraining
+			status = http.StatusServiceUnavailable
+		case !p.Ready():
+			health.Status = httpapi.HealthUnready
+			status = http.StatusServiceUnavailable
+		default:
+			health.Status = httpapi.HealthOK
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		if err := json.NewEncoder(w).Encode(health); err != nil {
+			p.logger.Warn("response encode failed", "path", r.URL.Path, "err", err)
+		}
 	})
 	return mux
 }

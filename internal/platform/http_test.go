@@ -28,6 +28,7 @@ func newHTTPServer(t *testing.T) (*Platform, *httptest.Server) {
 	if err != nil {
 		t.Fatalf("Register: %v", err)
 	}
+	p.SetReady(true)
 	srv := httptest.NewServer(NewHTTPHandler(p))
 	t.Cleanup(srv.Close)
 	return p, srv

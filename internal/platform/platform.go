@@ -193,7 +193,18 @@ type Config struct {
 	RetryBackoff time.Duration
 	// DrainTimeout bounds Close: in-flight windows and retries must
 	// drain within it, else Close reports an error. Zero waits forever.
+	// CloseContext ignores it — the caller's context is the one deadline.
 	DrainTimeout time.Duration
+	// WorkerID is this platform's identity in a multi-worker fleet
+	// (internal/router): echoed in invoke responses and the /healthz
+	// capacity report, so the router can attribute work truthfully.
+	// Empty means standalone.
+	WorkerID string
+	// Capacity is the concurrency capacity advertised to the routing
+	// tier via /healthz (worker-initiated signals, Hiku-style). Zero
+	// means unbounded/unknown. It is advisory: the platform itself does
+	// not enforce it.
+	Capacity int
 	// Chaos optionally injects seeded faults (boot failures, container
 	// crashes, handler error/panic/hang, slow cold starts, storage
 	// construction failures). Nil — the default — injects nothing.
@@ -306,6 +317,7 @@ type Platform struct {
 	fns    map[string]*function
 	seq    int64
 	stats  Stats
+	ready  bool
 	closed bool
 
 	stopTicker chan struct{}
@@ -313,6 +325,8 @@ type Platform struct {
 }
 
 // New starts a platform. Close must be called to release its dispatcher.
+// The platform starts not ready: call SetReady(true) once registration
+// completes so /healthz reports ok (Invoke itself works regardless).
 func New(cfg Config) (*Platform, error) {
 	if cfg.Mode != ModeBatch && cfg.Mode != ModeVanilla {
 		return nil, fmt.Errorf("platform: unknown mode %d", int(cfg.Mode))
@@ -340,6 +354,9 @@ func New(cfg Config) (*Platform, error) {
 	}
 	if cfg.DrainTimeout < 0 {
 		return nil, fmt.Errorf("platform: drain timeout must be non-negative, got %v", cfg.DrainTimeout)
+	}
+	if cfg.Capacity < 0 {
+		return nil, fmt.Errorf("platform: capacity must be non-negative, got %d", cfg.Capacity)
 	}
 	logger := cfg.Logger
 	if logger == nil {
@@ -392,6 +409,45 @@ func (p *Platform) Register(name string, h Handler) error {
 	}
 	p.fns[name] = &function{name: name, handler: h}
 	return nil
+}
+
+// SetReady flips the platform's readiness signal. A platform starts not
+// ready: flip it true once function registration completes, so /healthz
+// (and the routing tier's prober behind it) sees a truthful signal
+// instead of a worker that would reject every invocation with "unknown
+// function". Draining overrides readiness regardless of this flag.
+func (p *Platform) SetReady(ready bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ready = ready
+}
+
+// Ready reports whether the platform is accepting work: marked ready and
+// not draining.
+func (p *Platform) Ready() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ready && !p.closed
+}
+
+// Draining reports whether Close has begun.
+func (p *Platform) Draining() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// WorkerID reports the platform's fleet identity ("" when standalone).
+func (p *Platform) WorkerID() string { return p.cfg.WorkerID }
+
+// Capacity reports the advertised concurrency capacity (0 = unbounded).
+func (p *Platform) Capacity() int { return p.cfg.Capacity }
+
+// Inflight counts invocations accepted but not yet completed.
+func (p *Platform) Inflight() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats.Submitted - p.stats.Invocations
 }
 
 // Invoke runs one invocation and blocks until it completes. In ModeBatch
@@ -917,6 +973,21 @@ func (p *Platform) Stats() Stats {
 // fail. With DrainTimeout set, Close gives up once the deadline passes
 // and reports an error (work may still be in flight).
 func (p *Platform) Close() error {
+	ctx := context.Background()
+	if p.cfg.DrainTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.cfg.DrainTimeout)
+		defer cancel()
+	}
+	return p.CloseContext(ctx)
+}
+
+// CloseContext is Close bounded by the caller's context instead of
+// DrainTimeout, so a server shutdown can share one deadline between
+// http.Server.Shutdown and the platform drain (cmd/faasgate) rather than
+// racing two independent timeouts. A done context gives up the wait and
+// reports an error; in-flight work may still be draining behind it.
+func (p *Platform) CloseContext(ctx context.Context) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -927,7 +998,7 @@ func (p *Platform) Close() error {
 	// Wakes the dispatcher for its final flush and any backoff sleepers,
 	// in every mode.
 	close(p.stopTicker)
-	if p.cfg.DrainTimeout <= 0 {
+	if ctx.Done() == nil {
 		p.wg.Wait()
 		return nil
 	}
@@ -939,7 +1010,7 @@ func (p *Platform) Close() error {
 	select {
 	case <-done:
 		return nil
-	case <-time.After(p.cfg.DrainTimeout):
-		return fmt.Errorf("platform: close: drain exceeded %v", p.cfg.DrainTimeout)
+	case <-ctx.Done():
+		return fmt.Errorf("platform: close: drain exceeded its deadline: %w", ctx.Err())
 	}
 }

@@ -1,0 +1,179 @@
+package router
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"faasbatch/internal/httpapi"
+)
+
+// NewHTTPHandler exposes a router over HTTP:
+//
+//	POST /invoke   — body httpapi.RoutedInvokeRequest, reply
+//	                 httpapi.RoutedInvokeResponse; 429 + Retry-After when
+//	                 admission sheds, 503 when no worker is healthy, and a
+//	                 worker's own HTTP error passes through verbatim
+//	GET  /stats    — reply httpapi.RouterStatsResponse
+//	GET  /workers  — reply []httpapi.WorkerStatus
+//	GET  /metrics  — Prometheus text: router counters, per-worker
+//	                 gauges/counters, forward-latency histograms
+//	GET  /healthz  — 200 while at least one worker is up, else 503
+func NewHTTPHandler(rt *Router) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/invoke", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
+			return
+		}
+		req, err := httpapi.DecodeRoutedInvokeRequest(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := rt.Invoke(r.Context(), req)
+		if err != nil {
+			writeInvokeError(w, err)
+			return
+		}
+		writeJSON(rt, w, res)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(rt, w, rt.statsResponse())
+	})
+	mux.HandleFunc("/workers", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(rt, w, rt.reg.Snapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		rt.writeMetrics(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		up := rt.reg.UpCount()
+		if up == 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintf(w, "{\"status\":%q,\"workersUp\":%d}\n", healthWord(up), up)
+	})
+	return mux
+}
+
+// healthWord maps the up-worker count to a health status word.
+func healthWord(up int) string {
+	if up == 0 {
+		return "no-workers"
+	}
+	return "ok"
+}
+
+// writeInvokeError maps an Invoke error onto the HTTP surface.
+func writeInvokeError(w http.ResponseWriter, err error) {
+	var overload *OverloadError
+	if errors.As(err, &overload) {
+		w.Header().Set("Retry-After", strconv.Itoa(int(overload.RetryAfter.Seconds())))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	}
+	if errors.Is(err, ErrNoWorkers) {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	var pass *PassThroughError
+	if errors.As(err, &pass) {
+		http.Error(w, pass.Body, pass.Status)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadGateway)
+}
+
+// statsResponse assembles the /stats reply.
+func (rt *Router) statsResponse() httpapi.RouterStatsResponse {
+	st := rt.Stats()
+	markDowns, markUps := rt.reg.Transitions()
+	return httpapi.RouterStatsResponse{
+		Routed:           st.Routed,
+		Completed:        st.Completed,
+		Forwarded:        st.Forwarded,
+		Retries:          st.Retries,
+		Failovers:        st.Failovers,
+		Shed:             st.Shed,
+		NoWorkers:        st.NoWorkers,
+		Errors:           st.Errors,
+		Probes:           st.Probes,
+		ProbeFailures:    st.ProbeFailures,
+		MarkDowns:        markDowns,
+		MarkUps:          markUps,
+		WorkersUp:        rt.reg.UpCount(),
+		ForwardImbalance: rt.ForwardImbalance(),
+		Workers:          rt.reg.Snapshot(),
+	}
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(rt *Router, w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		rt.logger.Warn("response encode failed", "err", err)
+	}
+}
+
+// writeMetrics renders the router's Prometheus exposition.
+func (rt *Router) writeMetrics(w io.Writer) {
+	st := rt.Stats()
+	markDowns, markUps := rt.reg.Transitions()
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("faasrouter_routed_total", "Invocations admitted past admission control.", st.Routed)
+	counter("faasrouter_completed_total", "Invocations that returned a worker response.", st.Completed)
+	counter("faasrouter_forwarded_total", "Forward attempts that reached a worker.", st.Forwarded)
+	counter("faasrouter_retries_total", "Extra forward attempts after transient failures.", st.Retries)
+	counter("faasrouter_failovers_total", "Forward attempts moved to a different ring replica.", st.Failovers)
+	counter("faasrouter_shed_total", "Invocations rejected by admission control.", st.Shed)
+	counter("faasrouter_no_workers_total", "Invocations rejected with no healthy worker.", st.NoWorkers)
+	counter("faasrouter_errors_total", "Invocations that exhausted their forward attempts.", st.Errors)
+	counter("faasrouter_probes_total", "Health probes sent.", st.Probes)
+	counter("faasrouter_probe_failures_total", "Health probes that failed.", st.ProbeFailures)
+	counter("faasrouter_mark_downs_total", "Worker up-to-down transitions.", markDowns)
+	counter("faasrouter_mark_ups_total", "Worker down-to-up transitions.", markUps)
+	fmt.Fprintf(w, "# HELP faasrouter_workers_up Workers currently marked up.\n# TYPE faasrouter_workers_up gauge\nfaasrouter_workers_up %d\n", rt.reg.UpCount())
+	fmt.Fprintf(w, "# HELP faasrouter_forward_imbalance Max/mean of per-worker forwarded counts.\n# TYPE faasrouter_forward_imbalance gauge\nfaasrouter_forward_imbalance %g\n", rt.ForwardImbalance())
+	workers := rt.reg.Snapshot()
+	fmt.Fprintf(w, "# HELP faasrouter_worker_forwarded_total Invocations served per worker.\n# TYPE faasrouter_worker_forwarded_total counter\n")
+	for _, wk := range workers {
+		fmt.Fprintf(w, "faasrouter_worker_forwarded_total{worker=%q} %d\n", wk.ID, wk.Forwarded)
+	}
+	fmt.Fprintf(w, "# HELP faasrouter_worker_up Worker liveness (1 = up).\n# TYPE faasrouter_worker_up gauge\n")
+	for _, wk := range workers {
+		up := 0
+		if wk.State == WorkerUp.String() {
+			up = 1
+		}
+		fmt.Fprintf(w, "faasrouter_worker_up{worker=%q} %d\n", wk.ID, up)
+	}
+	fmt.Fprintf(w, "# HELP faasrouter_worker_inflight Outstanding forwards per worker.\n# TYPE faasrouter_worker_inflight gauge\n")
+	for _, wk := range workers {
+		fmt.Fprintf(w, "faasrouter_worker_inflight{worker=%q} %d\n", wk.ID, wk.Inflight)
+	}
+	rt.metrics.WritePrometheus(w)
+}

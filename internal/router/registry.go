@@ -1,0 +1,269 @@
+package router
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"faasbatch/internal/httpapi"
+)
+
+// WorkerState is a registry member's health state.
+type WorkerState int
+
+// Worker states.
+const (
+	// WorkerUp means the worker owns ring segments and receives traffic.
+	WorkerUp WorkerState = iota + 1
+	// WorkerDown means the worker is marked down: removed from the ring,
+	// skipped by the forwarder, still probed for recovery.
+	WorkerDown
+)
+
+// String implements fmt.Stringer.
+func (s WorkerState) String() string {
+	switch s {
+	case WorkerUp:
+		return "up"
+	case WorkerDown:
+		return "down"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// WorkerSpec names one worker gateway.
+type WorkerSpec struct {
+	// ID is the worker's fleet identity (the ring member name).
+	ID string
+	// URL is the worker's base URL (scheme://host:port, no trailing /).
+	URL string
+}
+
+// worker is the registry's record of one fleet member.
+type worker struct {
+	spec       WorkerSpec
+	state      WorkerState
+	consecFail int
+	consecOK   int
+	capacity   int
+	inflight   int
+	forwarded  int64
+	failures   int64
+}
+
+// Registry tracks the fleet: worker states, in-flight load, and the
+// consistent-hash ring spanning the workers currently marked up. All
+// methods are safe for concurrent use.
+type Registry struct {
+	mu            sync.Mutex
+	workers       map[string]*worker
+	order         []string // registration order, for stable iteration
+	ring          *Ring
+	markDownAfter int
+	markUpAfter   int
+	markDowns     int64
+	markUps       int64
+}
+
+// NewRegistry builds a registry over specs. Workers start optimistically
+// up (the first failed probe round marks the dead ones down), so a fresh
+// router serves traffic before its first probe completes. A worker is
+// marked down after markDownAfter consecutive failures and back up after
+// markUpAfter consecutive successes (both default to 2 when <= 0).
+func NewRegistry(specs []WorkerSpec, vnodes, markDownAfter, markUpAfter int) (*Registry, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("router: registry needs at least one worker")
+	}
+	if markDownAfter <= 0 {
+		markDownAfter = 2
+	}
+	if markUpAfter <= 0 {
+		markUpAfter = 2
+	}
+	r := &Registry{
+		workers:       make(map[string]*worker, len(specs)),
+		ring:          NewRing(vnodes),
+		markDownAfter: markDownAfter,
+		markUpAfter:   markUpAfter,
+	}
+	for _, spec := range specs {
+		if spec.ID == "" || spec.URL == "" {
+			return nil, fmt.Errorf("router: worker spec needs an id and a url, got %+v", spec)
+		}
+		if _, dup := r.workers[spec.ID]; dup {
+			return nil, fmt.Errorf("router: duplicate worker id %q", spec.ID)
+		}
+		r.workers[spec.ID] = &worker{spec: spec, state: WorkerUp}
+		r.order = append(r.order, spec.ID)
+		r.ring.Add(spec.ID)
+	}
+	return r, nil
+}
+
+// Specs lists every worker's spec in registration order, regardless of
+// state (the prober probes down workers too, to mark them back up).
+func (r *Registry) Specs() []WorkerSpec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]WorkerSpec, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.workers[id].spec)
+	}
+	return out
+}
+
+// URL resolves a worker id to its base URL ("" when unknown).
+func (r *Registry) URL(id string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[id]
+	if !ok {
+		return ""
+	}
+	return w.spec.URL
+}
+
+// State reports a worker's current state (0 when unknown).
+func (r *Registry) State(id string) WorkerState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[id]
+	if !ok {
+		return 0
+	}
+	return w.state
+}
+
+// UpCount counts workers currently marked up.
+func (r *Registry) UpCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring.Len()
+}
+
+// Candidates orders the up workers for one function under bounded load:
+// the ring owner first (or the first under-bound replica), then failover
+// replicas in ring order, then overloaded workers by ascending load.
+// Down workers never appear.
+func (r *Registry) Candidates(fn string, loadBound float64) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring.PickBounded(fn, loadBound, func(id string) int {
+		return r.workers[id].inflight
+	})
+}
+
+// Owner reports the ring owner of fn ignoring load — the worker the
+// function's whole dispatch windows batch on when the fleet is healthy
+// and under its load bound.
+func (r *Registry) Owner(fn string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring.Pick(fn)
+}
+
+// NoteResult folds one observation — a health probe or a forward attempt
+// — into the worker's state machine, returning the transition it caused
+// (if any): consecutive failures mark a worker down and shrink the ring;
+// consecutive successes mark it back up and regrow the ring.
+func (r *Registry) NoteResult(id string, ok bool) (changed bool, now WorkerState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, exists := r.workers[id]
+	if !exists {
+		return false, 0
+	}
+	if ok {
+		w.consecFail = 0
+		w.consecOK++
+		if w.state == WorkerDown && w.consecOK >= r.markUpAfter {
+			w.state = WorkerUp
+			r.ring.Add(id)
+			r.markUps++
+			return true, WorkerUp
+		}
+		return false, w.state
+	}
+	w.consecOK = 0
+	w.consecFail++
+	w.failures++
+	if w.state == WorkerUp && w.consecFail >= r.markDownAfter {
+		w.state = WorkerDown
+		r.ring.Remove(id)
+		r.markDowns++
+		return true, WorkerDown
+	}
+	return false, w.state
+}
+
+// SetCapacity records a worker's advertised capacity from its health
+// report.
+func (r *Registry) SetCapacity(id string, capacity int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.workers[id]; ok && capacity >= 0 {
+		w.capacity = capacity
+	}
+}
+
+// AddInflight adjusts a worker's outstanding-forward count.
+func (r *Registry) AddInflight(id string, delta int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.workers[id]; ok {
+		w.inflight += delta
+		if w.inflight < 0 {
+			w.inflight = 0
+		}
+	}
+}
+
+// NoteForwarded counts one invocation served by the worker.
+func (r *Registry) NoteForwarded(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.workers[id]; ok {
+		w.forwarded++
+	}
+}
+
+// Transitions reports the cumulative mark-down/mark-up counts.
+func (r *Registry) Transitions() (markDowns, markUps int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.markDowns, r.markUps
+}
+
+// ForwardedPerWorker returns each worker's served-invocation count in
+// registration order (feeds metrics.Imbalance).
+func (r *Registry) ForwardedPerWorker() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, int(r.workers[id].forwarded))
+	}
+	return out
+}
+
+// Snapshot renders the worker table as wire rows, sorted by id.
+func (r *Registry) Snapshot() []httpapi.WorkerStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]httpapi.WorkerStatus, 0, len(r.order))
+	for _, id := range r.order {
+		w := r.workers[id]
+		out = append(out, httpapi.WorkerStatus{
+			ID:        w.spec.ID,
+			URL:       w.spec.URL,
+			State:     w.state.String(),
+			Inflight:  int64(w.inflight),
+			Capacity:  w.capacity,
+			Forwarded: w.forwarded,
+			Failures:  w.failures,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

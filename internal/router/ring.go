@@ -1,0 +1,217 @@
+// Package router is the live multi-worker routing tier: it fronts a
+// fleet of worker gateways (cmd/faasgate instances, each running
+// internal/platform) and preserves FaaSBatch's batching locality across
+// the fleet.
+//
+// The paper scopes FaaSBatch to one worker VM (§IV); internal/cluster
+// scales it out in the simulator. This package is the live counterpart:
+//
+//   - a consistent-hash ring keyed by function name (bounded-load
+//     variant), so each function's invocations land on one worker and
+//     whole dispatch windows batch together, with least-loaded spillover
+//     when a worker exceeds its load bound;
+//   - a worker registry with periodic health probes against each
+//     worker's /healthz capacity report, and mark-down/mark-up state
+//     transitions that shrink and regrow the ring;
+//   - a forwarding proxy with bounded retries/backoff and failover to
+//     the next ring replica on connection errors, wired into
+//     internal/chaos so worker death is testable deterministically;
+//   - an admission-control front door — per-function concurrency limits
+//     and a deadline-aware bounded queue that sheds load with 429 +
+//     Retry-After instead of collapsing.
+package router
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Ring defaults.
+const (
+	// DefaultVNodes is the virtual-node count per ring member. 64 keeps
+	// ownership spread within a few percent of even for small fleets
+	// while the ring stays cheap to rebuild on membership changes.
+	DefaultVNodes = 64
+	// DefaultLoadBound is the bounded-load factor: a worker accepts new
+	// keys while its in-flight load stays below ceil(factor * mean).
+	DefaultLoadBound = 1.25
+)
+
+// hash64 is FNV-1a over s, passed through a splitmix64 finalizer.
+// Raw FNV-1a avalanches poorly on trailing-byte differences, so
+// "w1#0".."w1#63" (and "fn-0".."fn-99") land on one tight arc and
+// virtual nodes stop spreading ownership; the finalizer fixes that.
+// The whole pipeline is deterministic across processes and platforms,
+// so the simulator's cluster dispatcher and the live router agree on
+// every assignment (the sim-vs-live conformance test depends on it).
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ringEntry is one virtual node.
+type ringEntry struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a consistent-hash ring over named members with virtual nodes.
+// It is not safe for concurrent use; the Registry serialises access.
+type Ring struct {
+	vnodes  int
+	entries []ringEntry // sorted by hash, ties by member
+	members map[string]struct{}
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// member (<= 0 selects DefaultVNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]struct{})}
+}
+
+// Add inserts a member; it reports false if the member already exists.
+func (r *Ring) Add(member string) bool {
+	if _, ok := r.members[member]; ok || member == "" {
+		return false
+	}
+	r.members[member] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.entries = append(r.entries, ringEntry{
+			hash:   hash64(member + "#" + strconv.Itoa(i)),
+			member: member,
+		})
+	}
+	sort.Slice(r.entries, func(a, b int) bool {
+		if r.entries[a].hash != r.entries[b].hash {
+			return r.entries[a].hash < r.entries[b].hash
+		}
+		return r.entries[a].member < r.entries[b].member
+	})
+	return true
+}
+
+// Remove deletes a member; it reports false if the member is absent.
+// Surviving members' virtual nodes keep their positions, so only keys
+// owned by the removed member move — the consistent-hashing stability
+// property the rebalance tests assert.
+func (r *Ring) Remove(member string) bool {
+	if _, ok := r.members[member]; !ok {
+		return false
+	}
+	delete(r.members, member)
+	kept := r.entries[:0]
+	for _, e := range r.entries {
+		if e.member != member {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(r.entries); i++ {
+		r.entries[i] = ringEntry{}
+	}
+	r.entries = kept
+	return true
+}
+
+// Len reports the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Members lists the members, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pick returns the member owning key: the first virtual node clockwise
+// from the key's hash. It reports false on an empty ring.
+func (r *Ring) Pick(key string) (string, bool) {
+	c := r.Candidates(key, 1)
+	if len(c) == 0 {
+		return "", false
+	}
+	return c[0], true
+}
+
+// Candidates returns up to max distinct members in ring order starting
+// clockwise from key's hash: the owner first, then the successive
+// replicas an invocation fails over to.
+func (r *Ring) Candidates(key string, max int) []string {
+	if len(r.entries) == 0 || max <= 0 {
+		return nil
+	}
+	if max > len(r.members) {
+		max = len(r.members)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].hash >= h })
+	out := make([]string, 0, max)
+	seen := make(map[string]struct{}, max)
+	for i := 0; i < len(r.entries) && len(out) < max; i++ {
+		e := r.entries[(start+i)%len(r.entries)]
+		if _, dup := seen[e.member]; dup {
+			continue
+		}
+		seen[e.member] = struct{}{}
+		out = append(out, e.member)
+	}
+	return out
+}
+
+// LoadBound converts a bounded-load factor and a total in-flight count
+// into the per-member admission bound: ceil(factor * (total+1) / members)
+// — the "consistent hashing with bounded loads" capacity, counting the
+// arriving invocation itself. Factors below 1 clamp to 1 (pure
+// least-loaded would otherwise starve the ring).
+func (r *Ring) LoadBound(factor float64, totalInflight int) int {
+	if r.Len() == 0 {
+		return 0
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	return int(math.Ceil(factor * float64(totalInflight+1) / float64(r.Len())))
+}
+
+// PickBounded orders the ring's members for one key under bounded load:
+// ring candidates whose load (per loadOf) is below the bound first, in
+// ring order, then the remaining members by ascending load (least-loaded
+// spillover). Every member appears exactly once, so the result doubles
+// as the failover order.
+func (r *Ring) PickBounded(key string, factor float64, loadOf func(member string) int) []string {
+	members := r.Members()
+	if len(members) == 0 {
+		return nil
+	}
+	total := 0
+	for _, m := range members {
+		total += loadOf(m)
+	}
+	bound := r.LoadBound(factor, total)
+	ringOrder := r.Candidates(key, len(members))
+	out := make([]string, 0, len(members))
+	var spill []string
+	for _, m := range ringOrder {
+		if loadOf(m) < bound {
+			out = append(out, m)
+		} else {
+			spill = append(spill, m)
+		}
+	}
+	sort.SliceStable(spill, func(a, b int) bool { return loadOf(spill[a]) < loadOf(spill[b]) })
+	return append(out, spill...)
+}

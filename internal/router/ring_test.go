@@ -1,0 +1,221 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys generates a deterministic key set large enough to exercise
+// every ring segment.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fn-%d", i)
+	}
+	return keys
+}
+
+func ownerMap(t *testing.T, r *Ring, keys []string) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		m, ok := r.Pick(k)
+		if !ok {
+			t.Fatalf("Pick(%q) on non-empty ring failed", k)
+		}
+		out[k] = m
+	}
+	return out
+}
+
+func TestRingAddRemove(t *testing.T) {
+	r := NewRing(0)
+	if r.vnodes != DefaultVNodes {
+		t.Fatalf("vnodes = %d, want default %d", r.vnodes, DefaultVNodes)
+	}
+	if _, ok := r.Pick("fn"); ok {
+		t.Fatal("empty ring picked a member")
+	}
+	if !r.Add("a") || !r.Add("b") {
+		t.Fatal("Add failed")
+	}
+	if r.Add("a") {
+		t.Fatal("duplicate Add accepted")
+	}
+	if r.Add("") {
+		t.Fatal("empty member accepted")
+	}
+	if got := r.Members(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Members = %v", got)
+	}
+	if !r.Remove("a") {
+		t.Fatal("Remove failed")
+	}
+	if r.Remove("a") {
+		t.Fatal("double Remove accepted")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	if len(r.entries) != r.vnodes {
+		t.Fatalf("entries = %d, want %d", len(r.entries), r.vnodes)
+	}
+}
+
+// TestRingStability is the consistent-hashing property: removing one
+// member moves only the keys it owned, and re-adding it restores the
+// original ownership exactly.
+func TestRingStability(t *testing.T) {
+	r := NewRing(64)
+	for _, m := range []string{"w1", "w2", "w3"} {
+		r.Add(m)
+	}
+	keys := testKeys(500)
+	before := ownerMap(t, r, keys)
+
+	r.Remove("w2")
+	after := ownerMap(t, r, keys)
+	moved := 0
+	for _, k := range keys {
+		if before[k] == "w2" {
+			if after[k] == "w2" {
+				t.Fatalf("key %q still owned by removed member", k)
+			}
+			moved++
+			continue
+		}
+		if after[k] != before[k] {
+			t.Errorf("key %q moved %s -> %s though its owner survived", k, before[k], after[k])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("w2 owned no keys out of 500; vnode spread is broken")
+	}
+
+	r.Add("w2")
+	restored := ownerMap(t, r, keys)
+	for _, k := range keys {
+		if restored[k] != before[k] {
+			t.Errorf("key %q not restored after re-add: %s != %s", k, restored[k], before[k])
+		}
+	}
+}
+
+func TestRingCandidatesDistinct(t *testing.T) {
+	r := NewRing(32)
+	members := []string{"w1", "w2", "w3", "w4"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	for _, k := range testKeys(50) {
+		c := r.Candidates(k, 10) // max beyond member count clamps
+		if len(c) != len(members) {
+			t.Fatalf("Candidates(%q) = %v, want all %d members", k, c, len(members))
+		}
+		seen := make(map[string]bool)
+		for _, m := range c {
+			if seen[m] {
+				t.Fatalf("Candidates(%q) repeats %q: %v", k, m, c)
+			}
+			seen[m] = true
+		}
+		owner, _ := r.Pick(k)
+		if c[0] != owner {
+			t.Fatalf("Candidates(%q)[0] = %q, owner = %q", k, c[0], owner)
+		}
+	}
+	if c := r.Candidates("fn", 0); c != nil {
+		t.Fatalf("max 0 returned %v", c)
+	}
+	if c := r.Candidates("fn", 2); len(c) != 2 {
+		t.Fatalf("max 2 returned %v", c)
+	}
+}
+
+func TestRingLoadBound(t *testing.T) {
+	r := NewRing(8)
+	if got := r.LoadBound(1.25, 10); got != 0 {
+		t.Fatalf("empty-ring bound = %d, want 0", got)
+	}
+	r.Add("w1")
+	r.Add("w2")
+	// ceil(1.25 * (10+1) / 2) = ceil(6.875) = 7.
+	if got := r.LoadBound(1.25, 10); got != 7 {
+		t.Fatalf("bound = %d, want 7", got)
+	}
+	// Sub-1 factors clamp to 1: ceil(1 * 11 / 2) = 6.
+	if got := r.LoadBound(0.5, 10); got != 6 {
+		t.Fatalf("clamped bound = %d, want 6", got)
+	}
+	// An idle fleet always admits the arriving invocation somewhere.
+	if got := r.LoadBound(1.25, 0); got < 1 {
+		t.Fatalf("idle bound = %d, want >= 1", got)
+	}
+}
+
+// TestRingPickBoundedSpillover drives one key's owner past the load
+// bound and asserts the pick order spills to the least-loaded replica
+// while every member still appears exactly once (failover order).
+func TestRingPickBoundedSpillover(t *testing.T) {
+	r := NewRing(64)
+	for _, m := range []string{"w1", "w2", "w3"} {
+		r.Add(m)
+	}
+	const key = "hot-fn"
+	owner, _ := r.Pick(key)
+
+	// Unloaded: bounded pick preserves plain ring order.
+	idle := r.PickBounded(key, 1.25, func(string) int { return 0 })
+	if len(idle) != 3 || idle[0] != owner {
+		t.Fatalf("idle PickBounded = %v, owner %q", idle, owner)
+	}
+
+	// Overload the owner: total 12 over 3 members, bound ceil(1.25*13/3)=6.
+	loads := map[string]int{owner: 12}
+	picked := r.PickBounded(key, 1.25, func(m string) int { return loads[m] })
+	if len(picked) != 3 {
+		t.Fatalf("PickBounded = %v, want 3 members", picked)
+	}
+	if picked[0] == owner {
+		t.Fatalf("overloaded owner %q still picked first: %v", owner, picked)
+	}
+	if picked[len(picked)-1] != owner {
+		t.Fatalf("overloaded owner should spill to the back: %v", picked)
+	}
+	seen := make(map[string]bool)
+	for _, m := range picked {
+		if seen[m] {
+			t.Fatalf("PickBounded repeats %q: %v", m, picked)
+		}
+		seen[m] = true
+	}
+
+	// Two members over the bound: the idle one leads, the overloaded pair
+	// spills in ascending-load order. Bound = ceil(1 * 191 / 3) = 64.
+	loads = map[string]int{"w1": 100, "w2": 90, "w3": 0}
+	picked = r.PickBounded(key, 1, func(m string) int { return loads[m] })
+	if picked[0] != "w3" || picked[1] != "w2" || picked[2] != "w1" {
+		t.Fatalf("spillover order = %v, want [w3 w2 w1] (idle, then ascending load)", picked)
+	}
+}
+
+// TestRingDistribution sanity-checks vnode spread: with 64 vnodes no
+// member of a 3-worker ring should own a wildly disproportionate share.
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(DefaultVNodes)
+	for _, m := range []string{"w1", "w2", "w3"} {
+		r.Add(m)
+	}
+	counts := make(map[string]int)
+	keys := testKeys(3000)
+	for _, k := range keys {
+		m, _ := r.Pick(k)
+		counts[m]++
+	}
+	for m, c := range counts {
+		share := float64(c) / float64(len(keys))
+		if share < 0.10 || share > 0.60 {
+			t.Errorf("member %s owns %.0f%% of keys; spread is broken: %v", m, share*100, counts)
+		}
+	}
+}

@@ -1,0 +1,493 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"faasbatch/internal/chaos"
+	"faasbatch/internal/httpapi"
+	"faasbatch/internal/metrics"
+	"faasbatch/internal/obs"
+)
+
+// ErrNoWorkers reports that no worker is currently marked up.
+var ErrNoWorkers = errors.New("router: no healthy worker")
+
+// PassThroughError carries a worker's non-retryable HTTP error verbatim
+// to the client: the worker answered, so the failure belongs to the
+// request (unknown function, handler error), not to the fleet — failing
+// over would just re-run a doomed invocation on a healthy worker.
+type PassThroughError struct {
+	// Worker identifies the worker that answered.
+	Worker string
+	// Status is the worker's HTTP status code.
+	Status int
+	// Body is the worker's response body.
+	Body string
+}
+
+// Error implements error.
+func (e *PassThroughError) Error() string {
+	return fmt.Sprintf("router: worker %s answered %d: %s", e.Worker, e.Status, e.Body)
+}
+
+// Config parameterises the router.
+type Config struct {
+	// Workers is the fleet (at least one).
+	Workers []WorkerSpec
+	// ProbeInterval is the health-probe period (default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip (default 500ms).
+	ProbeTimeout time.Duration
+	// MarkDownAfter is how many consecutive failures (probe or forward)
+	// mark a worker down (default 2).
+	MarkDownAfter int
+	// MarkUpAfter is how many consecutive probe successes mark a down
+	// worker back up (default 2).
+	MarkUpAfter int
+	// VNodes is the ring's virtual-node count per worker (default
+	// DefaultVNodes).
+	VNodes int
+	// LoadBound is the bounded-load factor (default DefaultLoadBound);
+	// values below 1 clamp to 1.
+	LoadBound float64
+	// MaxAttempts caps forward attempts per invocation across workers
+	// (default 3).
+	MaxAttempts int
+	// RetryBackoff is the base delay before a forward retry, doubled per
+	// attempt (default 10ms; 0 keeps the default, negative disables).
+	RetryBackoff time.Duration
+	// FnConcurrency caps concurrent forwards per function (0 = no
+	// admission control).
+	FnConcurrency int
+	// QueueDepth bounds per-function waiters beyond the concurrency cap
+	// (with FnConcurrency > 0; default 0 = shed immediately at the cap).
+	QueueDepth int
+	// QueueWait bounds how long a waiter queues before shedding
+	// (default 1s).
+	QueueWait time.Duration
+	// ForwardTimeout bounds one forward attempt (default 30s).
+	ForwardTimeout time.Duration
+	// Chaos optionally fails forward attempts deterministically
+	// (chaos.WorkerFailure), so failover is testable without killing
+	// real processes. Nil injects nothing.
+	Chaos *chaos.Injector
+	// Tracer records router spans: route, probe, forward, forward-retry,
+	// shed. Nil disables tracing.
+	Tracer *obs.Tracer
+	// Logger receives the router's structured logs. Nil discards.
+	Logger *slog.Logger
+	// Transport overrides the forwarding HTTP transport (tests).
+	Transport http.RoundTripper
+}
+
+// Stats is a snapshot of router counters.
+type Stats struct {
+	// Routed counts invocations admitted past admission control.
+	Routed int64
+	// Completed counts invocations that returned a worker response.
+	Completed int64
+	// Forwarded counts forward attempts that reached a worker.
+	Forwarded int64
+	// Retries counts extra forward attempts after transient failures.
+	Retries int64
+	// Failovers counts attempts that moved to a different worker.
+	Failovers int64
+	// Shed counts invocations rejected by admission control.
+	Shed int64
+	// NoWorkers counts invocations rejected with an empty ring.
+	NoWorkers int64
+	// Errors counts invocations that exhausted their forward attempts.
+	Errors int64
+	// Probes counts health probes sent.
+	Probes int64
+	// ProbeFailures counts health probes that failed.
+	ProbeFailures int64
+}
+
+// Router fronts a fleet of worker gateways: consistent-hash function
+// affinity with bounded load, health-checked membership, bounded
+// retries with failover, and admission control.
+type Router struct {
+	cfg     Config
+	reg     *Registry
+	adm     *admission
+	client  *http.Client
+	tracer  *obs.Tracer
+	metrics *obs.Metrics
+	logger  *slog.Logger
+
+	mu    sync.Mutex
+	stats Stats
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+	closed  bool
+}
+
+// New builds a router over cfg.Workers. Start launches the prober; a
+// router without Start still routes (tests drive ProbeAll directly).
+func New(cfg Config) (*Router, error) {
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 500 * time.Millisecond
+	}
+	if cfg.LoadBound == 0 {
+		cfg.LoadBound = DefaultLoadBound
+	}
+	if cfg.LoadBound < 1 {
+		cfg.LoadBound = 1
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 10 * time.Millisecond
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 30 * time.Second
+	}
+	reg, err := NewRegistry(cfg.Workers, cfg.VNodes, cfg.MarkDownAfter, cfg.MarkUpAfter)
+	if err != nil {
+		return nil, err
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.Nop()
+	}
+	rt := &Router{
+		cfg:     cfg,
+		reg:     reg,
+		adm:     newAdmission(cfg.FnConcurrency, cfg.QueueDepth, cfg.QueueWait),
+		client:  &http.Client{Transport: cfg.Transport},
+		tracer:  cfg.Tracer,
+		metrics: obs.NewMetrics(),
+		logger:  logger,
+		stop:    make(chan struct{}),
+	}
+	rt.logger.Info("router started",
+		"workers", len(cfg.Workers),
+		"vnodes", ringVNodes(cfg.VNodes),
+		"loadBound", cfg.LoadBound,
+		"maxAttempts", cfg.MaxAttempts,
+		"fnConcurrency", cfg.FnConcurrency)
+	return rt, nil
+}
+
+// ringVNodes resolves the configured virtual-node count.
+func ringVNodes(v int) int {
+	if v <= 0 {
+		return DefaultVNodes
+	}
+	return v
+}
+
+// Registry exposes the worker registry (for /workers and tests).
+func (rt *Router) Registry() *Registry { return rt.reg }
+
+// Metrics exposes the router's histogram registry (never nil).
+func (rt *Router) Metrics() *obs.Metrics { return rt.metrics }
+
+// Stats snapshots the router counters.
+func (rt *Router) Stats() Stats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.stats
+}
+
+// ForwardImbalance reports max/mean of per-worker forwarded counts.
+func (rt *Router) ForwardImbalance() float64 {
+	return metrics.Imbalance(rt.reg.ForwardedPerWorker())
+}
+
+// Start launches the periodic health prober.
+func (rt *Router) Start() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.started || rt.closed {
+		return
+	}
+	rt.started = true
+	rt.wg.Add(1)
+	go rt.probeLoop()
+}
+
+// Close stops the prober. It does not wait for in-flight forwards; the
+// HTTP server draining above the router owns that.
+func (rt *Router) Close() error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return nil
+	}
+	rt.closed = true
+	rt.mu.Unlock()
+	close(rt.stop)
+	rt.wg.Wait()
+	return nil
+}
+
+// probeLoop probes the fleet every ProbeInterval until Close.
+func (rt *Router) probeLoop() {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(rt.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			rt.ProbeAll(context.Background())
+		case <-rt.stop:
+			return
+		}
+	}
+}
+
+// ProbeAll runs one synchronous health-probe round over every worker —
+// up and down alike, so recoveries are noticed. Each probe reads the
+// worker's /healthz capacity report; anything but a 200 "ok" counts as
+// a failure toward mark-down.
+func (rt *Router) ProbeAll(ctx context.Context) {
+	trace := rt.tracer.Begin() // one trace per probe round
+	for _, spec := range rt.reg.Specs() {
+		start := rt.tracer.Now()
+		health, err := rt.probeOne(ctx, spec)
+		rt.tracer.Record(obs.Span{
+			Trace: trace, Name: obs.SpanProbe, Detail: spec.ID,
+			Start: start, End: rt.tracer.Now(),
+		})
+		rt.mu.Lock()
+		rt.stats.Probes++
+		if err != nil {
+			rt.stats.ProbeFailures++
+		}
+		rt.mu.Unlock()
+		if err == nil {
+			rt.reg.SetCapacity(spec.ID, health.Capacity)
+		}
+		changed, now := rt.reg.NoteResult(spec.ID, err == nil)
+		if changed {
+			rt.logger.Warn("worker state changed", "worker", spec.ID, "state", now.String(), "err", err)
+		} else if err != nil {
+			rt.logger.Debug("probe failed", "worker", spec.ID, "err", err)
+		}
+	}
+}
+
+// probeOne performs one /healthz round trip.
+func (rt *Router) probeOne(ctx context.Context, spec WorkerSpec) (httpapi.HealthResponse, error) {
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, spec.URL+"/healthz", nil)
+	if err != nil {
+		return httpapi.HealthResponse{}, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return httpapi.HealthResponse{}, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var health httpapi.HealthResponse
+	// The body is informative even on 503 (draining/unready states).
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&health)
+	if resp.StatusCode != http.StatusOK {
+		return health, fmt.Errorf("healthz %d (%s)", resp.StatusCode, health.Status)
+	}
+	if health.Status != "" && health.Status != httpapi.HealthOK {
+		return health, fmt.Errorf("healthz status %q", health.Status)
+	}
+	return health, nil
+}
+
+// Invoke routes one invocation: admission, ring pick, forward with
+// bounded retries and failover. The error is an *OverloadError (shed),
+// ErrNoWorkers, a *PassThroughError (the worker answered with an HTTP
+// error), or a wrapped transport error after the attempt budget drained.
+func (rt *Router) Invoke(ctx context.Context, req httpapi.RoutedInvokeRequest) (httpapi.RoutedInvokeResponse, error) {
+	if req.TimeoutMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
+		defer cancel()
+	}
+	trace := rt.tracer.Begin()
+	admitStart := rt.tracer.Now()
+	release, err := rt.adm.Acquire(ctx, req.Fn)
+	if err != nil {
+		rt.tracer.Record(obs.Span{
+			Trace: trace, Name: obs.SpanShed, Fn: req.Fn,
+			Start: admitStart, End: rt.tracer.Now(),
+		})
+		rt.mu.Lock()
+		rt.stats.Shed++
+		rt.mu.Unlock()
+		rt.logger.Warn("invocation shed", "fn", req.Fn, "err", err)
+		return httpapi.RoutedInvokeResponse{}, err
+	}
+	defer release()
+	rt.mu.Lock()
+	rt.stats.Routed++
+	rt.mu.Unlock()
+	return rt.forward(ctx, trace, req)
+}
+
+// forward walks the candidate workers with bounded retries/backoff.
+func (rt *Router) forward(ctx context.Context, trace uint64, req httpapi.RoutedInvokeRequest) (httpapi.RoutedInvokeResponse, error) {
+	routeStart := rt.tracer.Now()
+	cands := rt.reg.Candidates(req.Fn, rt.cfg.LoadBound)
+	rt.tracer.Record(obs.Span{
+		Trace: trace, Name: obs.SpanRoute, Fn: req.Fn,
+		Detail: fmt.Sprintf("candidates=%d", len(cands)),
+		Start:  routeStart, End: rt.tracer.Now(),
+	})
+	if len(cands) == 0 {
+		rt.mu.Lock()
+		rt.stats.NoWorkers++
+		rt.mu.Unlock()
+		return httpapi.RoutedInvokeResponse{}, ErrNoWorkers
+	}
+	body, err := json.Marshal(httpapi.InvokeRequest{Fn: req.Fn, Payload: req.Payload})
+	if err != nil {
+		return httpapi.RoutedInvokeResponse{}, fmt.Errorf("router: encode forward body: %w", err)
+	}
+	var lastErr error
+	for attempt := 1; attempt <= rt.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return httpapi.RoutedInvokeResponse{}, fmt.Errorf("router: invoke %s: %w", req.Fn, err)
+		}
+		id := cands[(attempt-1)%len(cands)]
+		if attempt > 1 {
+			rt.mu.Lock()
+			rt.stats.Retries++
+			if id != cands[(attempt-2)%len(cands)] {
+				rt.stats.Failovers++
+			}
+			rt.mu.Unlock()
+			rt.backoff(ctx, trace, req.Fn, attempt)
+		}
+		resp, err := rt.tryWorker(ctx, trace, id, req.Fn, body)
+		if err == nil {
+			resp.ForwardAttempts = attempt
+			rt.reg.NoteForwarded(id)
+			rt.reg.NoteResult(id, true)
+			rt.mu.Lock()
+			rt.stats.Completed++
+			rt.mu.Unlock()
+			return resp, nil
+		}
+		var pass *PassThroughError
+		if errors.As(err, &pass) {
+			// The worker answered: not a fleet failure, pass it through.
+			rt.reg.NoteResult(id, true)
+			rt.mu.Lock()
+			rt.stats.Completed++
+			rt.mu.Unlock()
+			return httpapi.RoutedInvokeResponse{}, err
+		}
+		// Transient: connection error, injected worker failure, or a 503
+		// from a draining worker. Counts toward mark-down, then fail over.
+		lastErr = err
+		changed, now := rt.reg.NoteResult(id, false)
+		if changed {
+			rt.logger.Warn("worker state changed", "worker", id, "state", now.String(), "err", err)
+		}
+		rt.logger.Info("forward failed", "fn", req.Fn, "worker", id, "attempt", attempt, "err", err)
+	}
+	rt.mu.Lock()
+	rt.stats.Errors++
+	rt.mu.Unlock()
+	return httpapi.RoutedInvokeResponse{}, fmt.Errorf("router: invoke %s: %d attempts exhausted: %w",
+		req.Fn, rt.cfg.MaxAttempts, lastErr)
+}
+
+// backoff sleeps the exponential retry delay (base doubled per extra
+// attempt), bounded by ctx.
+func (rt *Router) backoff(ctx context.Context, trace uint64, fn string, attempt int) {
+	if rt.cfg.RetryBackoff <= 0 {
+		return
+	}
+	delay := rt.cfg.RetryBackoff << uint(attempt-2)
+	start := rt.tracer.Now()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+	rt.tracer.Record(obs.Span{
+		Trace: trace, Name: obs.SpanForwardRetry, Fn: fn, Attempt: attempt,
+		Start: start, End: rt.tracer.Now(),
+	})
+}
+
+// tryWorker performs one forward attempt against one worker. A non-2xx,
+// non-503 worker response returns a *PassThroughError; connection
+// errors, injected worker failures and 503s return plain (retryable)
+// errors.
+func (rt *Router) tryWorker(ctx context.Context, trace uint64, id, fn string, body []byte) (httpapi.RoutedInvokeResponse, error) {
+	spanStart := rt.tracer.Now()
+	defer func() {
+		rt.tracer.Record(obs.Span{
+			Trace: trace, Name: obs.SpanForward, Fn: fn, Detail: id,
+			Start: spanStart, End: rt.tracer.Now(),
+		})
+	}()
+	if rt.cfg.Chaos.Should(chaos.WorkerFailure) {
+		return httpapi.RoutedInvokeResponse{}, fmt.Errorf("injected worker failure (%s)", id)
+	}
+	url := rt.reg.URL(id)
+	if url == "" {
+		return httpapi.RoutedInvokeResponse{}, fmt.Errorf("unknown worker %q", id)
+	}
+	rt.reg.AddInflight(id, 1)
+	defer rt.reg.AddInflight(id, -1)
+	fctx, cancel := context.WithTimeout(ctx, rt.cfg.ForwardTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(fctx, http.MethodPost, url+"/invoke", bytes.NewReader(body))
+	if err != nil {
+		return httpapi.RoutedInvokeResponse{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := rt.client.Do(hreq)
+	if err != nil {
+		return httpapi.RoutedInvokeResponse{}, fmt.Errorf("forward to %s: %w", id, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	rt.metrics.ObserveForward(id, time.Since(start))
+	rt.mu.Lock()
+	rt.stats.Forwarded++
+	rt.mu.Unlock()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return httpapi.RoutedInvokeResponse{}, fmt.Errorf("read response from %s: %w", id, err)
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return httpapi.RoutedInvokeResponse{}, fmt.Errorf("worker %s unavailable: %s", id, bytes.TrimSpace(raw))
+	}
+	if resp.StatusCode != http.StatusOK {
+		return httpapi.RoutedInvokeResponse{}, &PassThroughError{
+			Worker: id, Status: resp.StatusCode, Body: string(bytes.TrimSpace(raw)),
+		}
+	}
+	var inner httpapi.InvokeResponse
+	if err := json.Unmarshal(raw, &inner); err != nil {
+		return httpapi.RoutedInvokeResponse{}, fmt.Errorf("decode response from %s: %w", id, err)
+	}
+	out := httpapi.RoutedInvokeResponse{InvokeResponse: inner, Worker: id}
+	if inner.Worker != "" {
+		// Prefer the worker's self-reported identity: it survives URL
+		// remappings in front of the fleet.
+		out.Worker = inner.Worker
+	}
+	return out, nil
+}
