@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"faasbatch/internal/fnruntime"
+	"faasbatch/internal/multiplex"
 	"faasbatch/internal/node"
 	"faasbatch/internal/policy"
 	"faasbatch/internal/sim"
@@ -42,6 +43,10 @@ type Config struct {
 	// Disabling it isolates the Invoke Mapper + Inline-Parallel Producer
 	// contribution (the ablation in bench_test.go).
 	Multiplex bool
+	// Multiplexer tunes each container's Resource Multiplexer (shards,
+	// capacity bound, TTL, refresh window, negative backoff); the zero
+	// value takes the cache defaults. Ignored unless Multiplex is true.
+	Multiplexer multiplex.Config
 	// HTTPLatency is the cost of the batch-activating HTTP request from
 	// the producer to the container (§III-C step 3).
 	HTTPLatency time.Duration
@@ -263,7 +268,7 @@ func (f *FaaSBatch) dispatchGroup(fn string, group []*pendingItem) {
 		}
 		f.pendingCreates[fn]++
 	}
-	opts := node.AcquireOptions{CPULimit: f.cfg.CPULimit, Multiplex: f.cfg.Multiplex}
+	opts := node.AcquireOptions{CPULimit: f.cfg.CPULimit, Multiplex: f.cfg.Multiplex, Multiplexer: f.cfg.Multiplexer}
 	f.env.Node.Acquire(fn, opts, func(r node.AcquireResult) {
 		if r.Cold && f.pendingCreates[fn] > 0 {
 			f.pendingCreates[fn]--
@@ -318,7 +323,7 @@ func (f *FaaSBatch) prewarm() {
 		}
 		f.pendingCreates[fn]++
 		f.stats.Prewarms++
-		opts := node.AcquireOptions{CPULimit: f.cfg.CPULimit, Multiplex: f.cfg.Multiplex}
+		opts := node.AcquireOptions{CPULimit: f.cfg.CPULimit, Multiplex: f.cfg.Multiplex, Multiplexer: f.cfg.Multiplexer}
 		f.env.Node.Acquire(fn, opts, func(r node.AcquireResult) {
 			if f.pendingCreates[fn] > 0 {
 				f.pendingCreates[fn]--

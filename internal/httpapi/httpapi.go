@@ -100,6 +100,20 @@ type StatsResponse struct {
 	CacheMisses uint64 `json:"cacheMisses"`
 	// CacheBytesSaved is duplicate memory avoided by the multiplexer.
 	CacheBytesSaved int64 `json:"cacheBytesSaved"`
+	// CacheStaleHits counts creations served a stale instance while a
+	// background refresh ran.
+	CacheStaleHits uint64 `json:"cacheStaleHits"`
+	// CacheNegativeHits counts creations denied by the negative cache
+	// during failure backoff.
+	CacheNegativeHits uint64 `json:"cacheNegativeHits"`
+	// CacheEvictions counts cached instances dropped by the LRU bound or
+	// their TTL.
+	CacheEvictions uint64 `json:"cacheEvictions"`
+	// CacheShards counts lock-striped shards across live container caches.
+	CacheShards int `json:"cacheShards"`
+	// CacheMaxShardOccupancy is the ready-entry count of the fullest
+	// shard in any live cache (skew diagnostic).
+	CacheMaxShardOccupancy int `json:"cacheMaxShardOccupancy"`
 }
 
 // RoutedInvokeRequest asks the routing tier to invoke a function on

@@ -4,21 +4,41 @@
 // a hash of the creation arguments, and serves repeated creations from the
 // cache instead of constructing duplicate instances.
 //
+// The v2 cache is production-grade concurrent state:
+//
+//   - Lock striping: entries spread over a power-of-two number of shards
+//     keyed by a finalised hash of the Key, so concurrent creations on
+//     different keys never contend on one mutex.
+//   - Bounded capacity: per-shard LRU lists bound the ready instances
+//     (Config.MaxEntries split across shards) and Config.TTL expires
+//     entries by age; every instance leaving the cache passes through the
+//     OnEvict closer hook so evicted clients can release sockets.
+//   - Failure awareness: a failed build can be remembered as a negative
+//     entry (Config.NegativeBackoff) that denies rebuild stampedes with
+//     exponential backoff, and Invalidate lets handler feedback drop an
+//     instance that started erroring.
+//   - Stale-while-revalidate: a hit inside Config.RefreshWindow of expiry
+//     serves the current instance immediately while exactly one caller
+//     refreshes it in the background.
+//
 // The cache exposes two faces over one store:
 //
 //   - An event-driven face (Begin / Wait / Complete / Fail) used by the
 //     discrete-event simulator, where "building" takes virtual time and
 //     concurrent requesters for the same key coalesce onto the first
 //     build.
-//   - A blocking face (GetOrBuild) used by the live platform, where the
-//     build runs real code and concurrent goroutines coalesce
-//     singleflight-style.
+//   - A blocking face (GetOrBuild / GetOrBuildContext) used by the live
+//     platform, where the build runs real code and concurrent goroutines
+//     coalesce singleflight-style.
 package multiplex
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
-	"sync"
+	"runtime"
+	"time"
 )
 
 // Key identifies a resource creation: the intercepted callee plus the
@@ -44,6 +64,99 @@ func NewKey(callee, args string) Key {
 	return Key{Callee: callee, ArgsHash: HashArgs(args)}
 }
 
+// shardHash mixes a Key into a well-distributed 64-bit value for shard
+// selection: FNV-1a over the callee, xor the args hash, then a splitmix64
+// finalisation so map-adjacent keys land on distant shards.
+func shardHash(k Key) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k.Callee); i++ {
+		h ^= uint64(k.Callee[i])
+		h *= 1099511628211
+	}
+	h ^= k.ArgsHash
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Typed errors returned by the blocking face.
+var (
+	// ErrBuildFailed marks an error caused by a failed resource build —
+	// either this caller's own build or a remembered failure served from
+	// the negative cache. errors.Is(err, ErrBuildFailed) matches, and the
+	// underlying constructor error remains reachable via errors.Is/As.
+	ErrBuildFailed = errors.New("multiplex: resource build failed")
+	// ErrCacheClosed reports a GetOrBuildContext call against a closed
+	// cache (its container was torn down).
+	ErrCacheClosed = errors.New("multiplex: cache closed")
+)
+
+// buildError wraps a constructor failure so callers can match both
+// ErrBuildFailed and the original cause.
+type buildError struct {
+	key   Key
+	cause error
+}
+
+// Error implements error.
+func (e *buildError) Error() string {
+	return fmt.Sprintf("multiplex: build %s: %v", e.key.Callee, e.cause)
+}
+
+// Unwrap exposes both the sentinel and the cause to errors.Is/As.
+func (e *buildError) Unwrap() []error { return []error{ErrBuildFailed, e.cause} }
+
+// Outcome classifies how one blocking-face creation was served.
+type Outcome int
+
+// Outcomes of GetOrBuildContext.
+const (
+	// OutcomeMiss means this caller built the instance.
+	OutcomeMiss Outcome = iota + 1
+	// OutcomeHit means a ready instance was served.
+	OutcomeHit
+	// OutcomeCoalesced means the caller waited on another caller's build.
+	OutcomeCoalesced
+	// OutcomeStale means a near-expiry instance was served immediately
+	// while this call triggered a background refresh.
+	OutcomeStale
+	// OutcomeNegative means the creation was denied by the negative cache
+	// (a recent build failed and its backoff has not elapsed).
+	OutcomeNegative
+	// OutcomeError means the creation failed (build error, cache closed,
+	// or context cancellation).
+	OutcomeError
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeMiss:
+		return "miss"
+	case OutcomeHit:
+		return "hit"
+	case OutcomeCoalesced:
+		return "coalesced"
+	case OutcomeStale:
+		return "stale"
+	case OutcomeNegative:
+		return "negative"
+	case OutcomeError:
+		return "error"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Cached reports whether the outcome avoided a synchronous build (the
+// deprecated Get face folds outcomes into this boolean).
+func (o Outcome) Cached() bool {
+	return o == OutcomeHit || o == OutcomeCoalesced || o == OutcomeStale
+}
+
 // BeginResult reports the cache state encountered by Begin.
 type BeginResult int
 
@@ -57,6 +170,14 @@ const (
 	// BeginPending means another caller is building; register interest
 	// with Wait.
 	BeginPending
+	// BeginStale means a ready instance inside the refresh window was
+	// returned AND the caller became the refresher: it must rebuild and
+	// finish with Complete (replacing the instance) or Fail (keeping the
+	// stale one until hard expiry).
+	BeginStale
+	// BeginNegative means the key's last build failed recently and its
+	// backoff has not elapsed; the creation is denied without building.
+	BeginNegative
 )
 
 // String implements fmt.Stringer.
@@ -68,6 +189,10 @@ func (r BeginResult) String() string {
 		return "miss"
 	case BeginPending:
 		return "pending"
+	case BeginStale:
+		return "stale"
+	case BeginNegative:
+		return "negative"
 	default:
 		return fmt.Sprintf("begin(%d)", int(r))
 	}
@@ -81,95 +206,230 @@ type Stats struct {
 	Coalesced uint64
 	// Misses counts actual builds started.
 	Misses uint64
+	// StaleHits counts creations served a near-expiry instance while a
+	// refresh was triggered.
+	StaleHits uint64
+	// Refreshes counts stale-while-revalidate rebuilds started.
+	Refreshes uint64
+	// NegativeHits counts creations denied by the negative cache.
+	NegativeHits uint64
+	// BuildFailures counts builds that finished with an error.
+	BuildFailures uint64
+	// Invalidations counts entries dropped by handler feedback.
+	Invalidations uint64
 	// LiveInstances is the number of ready instances held.
 	LiveInstances int
 	// BytesLive is the memory held by ready instances.
 	BytesLive int64
 	// BytesSaved is the duplicate memory avoided: the instance size for
-	// each hit or coalesced creation.
+	// each hit, stale hit or coalesced creation.
 	BytesSaved int64
-	// Evictions counts instances dropped by the LRU bound.
+	// Evictions counts instances dropped by the LRU capacity bound.
 	Evictions uint64
+	// Expired counts instances dropped by the TTL.
+	Expired uint64
+	// Shards is the number of lock-striped shards.
+	Shards int
+	// MaxShardOccupancy is the largest ready-instance count held by any
+	// one shard (a skew indicator: compare against LiveInstances/Shards).
+	MaxShardOccupancy int
 }
 
-type entryState int
-
-const (
-	statePending entryState = iota + 1
-	stateReady
-)
-
-type entry struct {
-	state    entryState
-	instance any
-	bytes    int64
-	waiters  []func(any)   // event-driven waiters
-	done     chan struct{} // blocking waiters
-	lastUsed uint64        // LRU clock value of the last hit
+// Add folds another snapshot into s: counters and live gauges sum, shard
+// gauges aggregate (Shards sums across caches, MaxShardOccupancy takes the
+// max), so a platform can aggregate per-container caches into one view.
+func (s *Stats) Add(o Stats) {
+	s.Hits += o.Hits
+	s.Coalesced += o.Coalesced
+	s.Misses += o.Misses
+	s.StaleHits += o.StaleHits
+	s.Refreshes += o.Refreshes
+	s.NegativeHits += o.NegativeHits
+	s.BuildFailures += o.BuildFailures
+	s.Invalidations += o.Invalidations
+	s.LiveInstances += o.LiveInstances
+	s.BytesLive += o.BytesLive
+	s.BytesSaved += o.BytesSaved
+	s.Evictions += o.Evictions
+	s.Expired += o.Expired
+	s.Shards += o.Shards
+	if o.MaxShardOccupancy > s.MaxShardOccupancy {
+		s.MaxShardOccupancy = o.MaxShardOccupancy
+	}
 }
 
-// Option configures a Cache.
-type Option func(*Cache)
+// Config parameterises a Cache. The zero value is the paper's seed cache:
+// unbounded, immortal entries, no failure memory, auto-sized shards.
+type Config struct {
+	// Shards is the number of lock stripes, rounded up to a power of two.
+	// Zero picks an automatic size from GOMAXPROCS. When MaxEntries > 0
+	// the count is clamped so every shard owns at least one slot.
+	Shards int
+	// MaxEntries bounds the ready instances held across all shards; each
+	// shard owns MaxEntries/Shards slots and evicts its least-recently-
+	// used ready instance on overflow. Zero or negative means unbounded
+	// (the paper's container-scoped cache, whose lifetime bounds it
+	// naturally).
+	MaxEntries int
+	// TTL expires a ready instance this long after it was (re)built.
+	// Expiry is lazy: an expired entry is dropped (through OnEvict) when
+	// next touched. Zero means immortal entries.
+	TTL time.Duration
+	// RefreshWindow enables stale-while-revalidate: a lookup landing
+	// within this window before expiry is served the current instance
+	// immediately while one caller rebuilds in the background. Zero
+	// disables background refresh. Requires TTL > 0.
+	RefreshWindow time.Duration
+	// NegativeBackoff enables negative caching: after a build fails, the
+	// key denies creations (BeginNegative / OutcomeNegative) for this long,
+	// doubling on every further consecutive failure up to
+	// NegativeBackoffMax. Zero disables failure memory — a failed build is
+	// forgotten immediately, as in the seed cache.
+	NegativeBackoff time.Duration
+	// NegativeBackoffMax caps the exponential backoff. Zero defaults to
+	// 32× NegativeBackoff.
+	NegativeBackoffMax time.Duration
+	// Now is the cache's monotonic clock, used for TTL and backoff
+	// arithmetic. Nil defaults to wall time; the simulator injects virtual
+	// time so eviction and refresh land deterministically.
+	Now func() time.Duration
+	// OnEvict is the entry-lifecycle closer hook: it runs (outside the
+	// shard lock) for every instance that leaves the cache — LRU eviction,
+	// TTL expiry, refresh replacement, Invalidate and Close — so evicted
+	// clients can release sockets or return memory to a ledger.
+	OnEvict func(Key, any, int64)
+}
+
+// Option configures a Cache built with New.
+type Option func(*Config)
+
+// WithShards sets the lock-stripe count (rounded up to a power of two).
+func WithShards(n int) Option {
+	return func(c *Config) { c.Shards = n }
+}
 
 // WithMaxEntries bounds the number of ready instances held; when a build
-// completes over the bound, the least-recently-used ready instance is
-// evicted. Zero or negative means unbounded (the paper's container-scoped
-// cache, whose lifetime bounds it naturally).
+// completes over the bound, the shard's least-recently-used ready instance
+// is evicted. Zero or negative means unbounded.
 func WithMaxEntries(n int) Option {
-	return func(c *Cache) { c.maxEntries = n }
+	return func(c *Config) { c.MaxEntries = n }
 }
 
-// WithOnEvict registers a callback invoked (outside the cache lock is NOT
-// guaranteed; keep it cheap) whenever an instance is evicted, receiving
-// its key, instance and byte size — e.g. to return memory to a ledger.
+// WithTTL expires ready instances by age.
+func WithTTL(d time.Duration) Option {
+	return func(c *Config) { c.TTL = d }
+}
+
+// WithRefreshWindow enables stale-while-revalidate inside the window.
+func WithRefreshWindow(d time.Duration) Option {
+	return func(c *Config) { c.RefreshWindow = d }
+}
+
+// WithNegativeBackoff enables negative caching with the given base
+// backoff.
+func WithNegativeBackoff(base, max time.Duration) Option {
+	return func(c *Config) { c.NegativeBackoff, c.NegativeBackoffMax = base, max }
+}
+
+// WithClock injects the cache's monotonic clock (virtual time in the
+// simulator).
+func WithClock(now func() time.Duration) Option {
+	return func(c *Config) { c.Now = now }
+}
+
+// WithOnEvict registers the entry-lifecycle closer hook, invoked outside
+// the shard lock whenever an instance leaves the cache, receiving its key,
+// instance and byte size — e.g. to close sockets or return memory to a
+// ledger.
 func WithOnEvict(fn func(Key, any, int64)) Option {
-	return func(c *Cache) { c.onEvict = fn }
+	return func(c *Config) { c.OnEvict = fn }
 }
 
 // Cache is one container's Resource Multiplexer.
 //
-// The zero value is not usable; create caches with New.
+// The zero value is not usable; create caches with New or NewWithConfig.
 type Cache struct {
-	mu         sync.Mutex
-	entries    map[Key]*entry
-	stats      Stats
-	clock      uint64
-	maxEntries int
-	onEvict    func(Key, any, int64)
+	cfg    Config
+	shards []*shard
+	mask   uint64
 }
 
-// New creates an empty cache.
+// New creates an empty cache from options.
 func New(opts ...Option) *Cache {
-	c := &Cache{entries: make(map[Key]*entry)}
+	var cfg Config
 	for _, opt := range opts {
-		opt(c)
+		opt(&cfg)
+	}
+	return NewWithConfig(cfg)
+}
+
+// nextPow2 rounds n up to the next power of two (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NewWithConfig creates an empty cache from cfg.
+func NewWithConfig(cfg Config) *Cache {
+	n := cfg.Shards
+	if n <= 0 {
+		// Auto: enough stripes that GOMAXPROCS goroutines rarely collide.
+		n = 2 * runtime.GOMAXPROCS(0)
+		if n < 8 {
+			n = 8
+		}
+		if n > 256 {
+			n = 256
+		}
+	}
+	n = nextPow2(n)
+	if cfg.MaxEntries > 0 {
+		// Every shard must own at least one slot, or the capacity split
+		// would round a shard's bound to zero and evict everything it
+		// completes.
+		for n > 1 && cfg.MaxEntries/n < 1 {
+			n >>= 1
+		}
+	}
+	if cfg.NegativeBackoff > 0 && cfg.NegativeBackoffMax <= 0 {
+		cfg.NegativeBackoffMax = 32 * cfg.NegativeBackoff
+	}
+	if cfg.Now == nil {
+		base := time.Now()
+		cfg.Now = func() time.Duration { return time.Since(base) }
+	}
+	c := &Cache{cfg: cfg, mask: uint64(n - 1)}
+	perShard := 0
+	if cfg.MaxEntries > 0 {
+		perShard = cfg.MaxEntries / n
+	}
+	c.shards = make([]*shard, n)
+	for i := range c.shards {
+		c.shards[i] = &shard{cache: c, cap: perShard, entries: make(map[Key]*entry)}
 	}
 	return c
 }
 
+// shardFor picks the shard owning key.
+func (c *Cache) shardFor(key Key) *shard {
+	return c.shards[shardHash(key)&c.mask]
+}
+
 // Begin looks up key. On BeginHit the ready instance is returned. On
 // BeginMiss the caller becomes the builder and must finish with Complete
-// or Fail. On BeginPending the caller should register a Wait callback.
+// or Fail. On BeginPending the caller should register a Wait callback. On
+// BeginStale the instance is returned AND the caller became the
+// background refresher (finish with Complete or Fail). On BeginNegative
+// the creation is denied by the negative cache.
+//
+// On a closed cache Begin reports BeginMiss without becoming a builder:
+// the subsequent Complete is a no-op (releasing the instance through
+// OnEvict), so sim callers terminate cleanly during teardown.
 func (c *Cache) Begin(key Key) (BeginResult, any) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
-	if !ok {
-		c.entries[key] = &entry{state: statePending, done: make(chan struct{})}
-		c.stats.Misses++
-		return BeginMiss, nil
-	}
-	switch e.state {
-	case stateReady:
-		c.stats.Hits++
-		c.stats.BytesSaved += e.bytes
-		c.clock++
-		e.lastUsed = c.clock
-		return BeginHit, e.instance
-	default:
-		c.stats.Coalesced++
-		return BeginPending, nil
-	}
+	return c.shardFor(key).begin(key)
 }
 
 // Wait registers fn to run when the pending build for key finishes. fn
@@ -177,172 +437,167 @@ func (c *Cache) Begin(key Key) (BeginResult, any) {
 // should then retry Begin). If the key is already ready or absent, fn runs
 // immediately with the current instance (nil when absent).
 func (c *Cache) Wait(key Key, fn func(any)) {
-	c.mu.Lock()
-	e, ok := c.entries[key]
-	if !ok {
-		c.mu.Unlock()
-		fn(nil)
-		return
-	}
-	if e.state == stateReady {
-		inst := e.instance
-		c.mu.Unlock()
-		fn(inst)
-		return
-	}
-	e.waiters = append(e.waiters, fn)
-	c.mu.Unlock()
+	c.shardFor(key).wait(key, fn)
 }
 
 // Complete publishes the built instance for key and notifies waiters.
 // Waiters count toward BytesSaved: each avoided building a duplicate.
+// Completing a refresh (after BeginStale) replaces the stale instance,
+// releasing it through OnEvict. Completing a key the cache no longer
+// tracks (failed, invalidated or closed meanwhile) releases the instance
+// through OnEvict instead of storing it.
 func (c *Cache) Complete(key Key, instance any, bytes int64) {
-	c.mu.Lock()
-	e, ok := c.entries[key]
-	if !ok || e.state == stateReady {
-		c.mu.Unlock()
-		return
-	}
-	e.state = stateReady
-	e.instance = instance
-	e.bytes = bytes
-	c.clock++
-	e.lastUsed = c.clock
-	waiters := e.waiters
-	e.waiters = nil
-	c.stats.LiveInstances++
-	c.stats.BytesLive += bytes
-	c.stats.BytesSaved += bytes * int64(len(waiters))
-	close(e.done)
-	evictedKey, evicted := c.evictOverflowLocked(key)
-	c.mu.Unlock()
-	if evicted != nil && c.onEvict != nil {
-		c.onEvict(evictedKey, evicted.instance, evicted.bytes)
-	}
-	for _, w := range waiters {
-		w(instance)
-	}
+	c.shardFor(key).complete(key, instance, bytes)
 }
 
-// evictOverflowLocked drops the least-recently-used ready entry (other
-// than keep) when the ready count exceeds the bound. It returns the
-// evicted entry, if any. Callers hold c.mu.
-func (c *Cache) evictOverflowLocked(keep Key) (Key, *entry) {
-	if c.maxEntries <= 0 || c.stats.LiveInstances <= c.maxEntries {
-		return Key{}, nil
-	}
-	var victimKey Key
-	var victim *entry
-	for k, e := range c.entries {
-		if e.state != stateReady || k == keep {
-			continue
-		}
-		if victim == nil || e.lastUsed < victim.lastUsed {
-			victimKey = k
-			victim = e
-		}
-	}
-	if victim == nil {
-		return Key{}, nil
-	}
-	delete(c.entries, victimKey)
-	c.stats.LiveInstances--
-	c.stats.BytesLive -= victim.bytes
-	c.stats.Evictions++
-	return victimKey, victim
+// Fail abandons a pending build: waiters are notified with nil. With
+// negative caching enabled the key is remembered as failing and denies
+// creations until its backoff elapses; otherwise the entry is removed so
+// the next Begin retries. Failing a refresh keeps the stale instance until
+// hard expiry.
+func (c *Cache) Fail(key Key) { c.FailErr(key, nil) }
+
+// FailErr is Fail carrying the build error, which the negative cache
+// serves to denied callers (GetOrBuildContext wraps it with
+// ErrBuildFailed).
+func (c *Cache) FailErr(key Key, cause error) {
+	c.shardFor(key).fail(key, cause)
 }
 
-// Fail abandons a pending build: the entry is removed and waiters are
-// notified with nil so they can retry.
-func (c *Cache) Fail(key Key) {
-	c.mu.Lock()
-	e, ok := c.entries[key]
-	if !ok || e.state == stateReady {
-		c.mu.Unlock()
-		return
-	}
-	delete(c.entries, key)
-	waiters := e.waiters
-	close(e.done)
-	c.mu.Unlock()
-	for _, w := range waiters {
-		w(nil)
-	}
+// Invalidate drops the ready or negative entry for key — handler feedback
+// for an instance that started erroring (the paper's multiplexer trusts
+// instances forever; production clients go bad). A ready instance is
+// released through OnEvict. Pending builds are untouched. It reports
+// whether an entry was dropped.
+func (c *Cache) Invalidate(key Key) bool {
+	return c.shardFor(key).invalidate(key)
 }
 
-// GetOrBuild is the blocking face used by the live platform: it returns
-// the cached instance for key, or runs build exactly once per miss while
-// concurrent callers wait. The boolean reports whether the value was
-// served from cache (hit or coalesced wait).
+// GetOrBuild is the deprecated blocking face: it returns the cached
+// instance for key, or runs build exactly once per miss while concurrent
+// callers wait. The boolean reports whether the value was served from
+// cache (hit, stale hit or coalesced wait). On a closed cache it degrades
+// to building an uncached instance, preserving the seed cache's teardown
+// behaviour.
+//
+// Deprecated: use GetOrBuildContext, which reports a typed Outcome and
+// respects context cancellation.
 func (c *Cache) GetOrBuild(key Key, build func() (any, int64, error)) (any, bool, error) {
+	v, out, err := c.GetOrBuildContext(context.Background(), key, build)
+	if err != nil && errors.Is(err, ErrCacheClosed) {
+		v, _, berr := build()
+		if berr != nil {
+			return nil, false, &buildError{key: key, cause: berr}
+		}
+		return v, false, nil
+	}
+	return v, out.Cached(), err
+}
+
+// GetOrBuildContext is the blocking face used by the live platform: it
+// returns the cached instance for key, or runs build exactly once per miss
+// while concurrent callers wait (singleflight). The Outcome classifies how
+// the creation was served; on OutcomeStale the instance returns
+// immediately while build runs in the background. Errors are typed:
+// ErrBuildFailed (own build or negative-cache denial, with the
+// constructor's error in the chain), ErrCacheClosed, or the context's
+// error when ctx ends while coalesced on another caller's build.
+func (c *Cache) GetOrBuildContext(ctx context.Context, key Key, build func() (any, int64, error)) (any, Outcome, error) {
+	sh := c.shardFor(key)
 	for {
-		res, inst := c.Begin(key)
+		res, inst, done, lastErr, closed := sh.beginBlocking(key)
+		if closed {
+			return nil, OutcomeError, fmt.Errorf("multiplex: get %s: %w", key.Callee, ErrCacheClosed)
+		}
 		switch res {
 		case BeginHit:
-			return inst, true, nil
+			return inst, OutcomeHit, nil
+		case BeginStale:
+			// This caller owns the refresh; serve stale now, rebuild in the
+			// background.
+			go func() {
+				v, bytes, err := build()
+				if err != nil {
+					sh.fail(key, err)
+					return
+				}
+				sh.complete(key, v, bytes)
+			}()
+			return inst, OutcomeStale, nil
+		case BeginNegative:
+			return nil, OutcomeNegative, &buildError{key: key, cause: negativeCause(lastErr)}
 		case BeginMiss:
 			v, bytes, err := build()
 			if err != nil {
-				c.Fail(key)
-				return nil, false, fmt.Errorf("multiplex: build %s: %w", key.Callee, err)
+				sh.fail(key, err)
+				return nil, OutcomeError, &buildError{key: key, cause: err}
 			}
-			c.Complete(key, v, bytes)
-			return v, false, nil
-		case BeginPending:
-			c.mu.Lock()
-			e, ok := c.entries[key]
-			if !ok {
-				c.mu.Unlock()
-				continue // build failed and was removed; retry
+			sh.complete(key, v, bytes)
+			return v, OutcomeMiss, nil
+		default: // BeginPending: coalesce onto the in-flight build.
+			select {
+			case <-done:
+			case <-ctx.Done():
+				return nil, OutcomeError, fmt.Errorf("multiplex: wait for %s: %w", key.Callee, ctx.Err())
 			}
-			done := e.done
-			c.mu.Unlock()
-			<-done
-			c.mu.Lock()
-			e, ok = c.entries[key]
-			ready := ok && e.state == stateReady
-			var v any
-			if ready {
-				v = e.instance
+			if v, ok := sh.readyValue(key); ok {
+				return v, OutcomeCoalesced, nil
 			}
-			c.mu.Unlock()
-			if ready {
-				return v, true, nil
-			}
-			// The build failed; retry (this caller may become the builder).
+			// The build failed; loop — the negative cache denies, or this
+			// caller becomes the builder.
 		}
 	}
 }
 
-// Stats returns a snapshot of the cache statistics.
+// negativeCause normalises a negative entry's stored error (Fail without a
+// cause stores nil).
+func negativeCause(err error) error {
+	if err != nil {
+		return err
+	}
+	return errors.New("previous build failed")
+}
+
+// Stats returns an aggregated snapshot of the cache statistics.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var st Stats
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		s := sh.stats
+		s.LiveInstances = sh.ready
+		s.BytesLive = sh.bytesLive
+		if sh.ready > st.MaxShardOccupancy {
+			st.MaxShardOccupancy = sh.ready
+		}
+		sh.mu.Unlock()
+		st.Hits += s.Hits
+		st.Coalesced += s.Coalesced
+		st.Misses += s.Misses
+		st.StaleHits += s.StaleHits
+		st.Refreshes += s.Refreshes
+		st.NegativeHits += s.NegativeHits
+		st.BuildFailures += s.BuildFailures
+		st.Invalidations += s.Invalidations
+		st.LiveInstances += s.LiveInstances
+		st.BytesLive += s.BytesLive
+		st.BytesSaved += s.BytesSaved
+		st.Evictions += s.Evictions
+		st.Expired += s.Expired
+	}
+	st.Shards = len(c.shards)
+	return st
 }
 
-// Close drops every entry and reports the bytes that were live (so the
-// container teardown can return them to the node's memory ledger).
+// Close drops every entry — releasing ready instances through OnEvict and
+// waking pending waiters with nil, so coalesced invocations are never
+// stranded by a container teardown — and reports the bytes that were live
+// (so the teardown can return them to the node's memory ledger). After
+// Close, GetOrBuildContext reports ErrCacheClosed and the event-driven
+// face stops storing instances. Close is idempotent.
 func (c *Cache) Close() int64 {
-	c.mu.Lock()
-	freed := c.stats.BytesLive
-	// Pending builds are abandoned like Fail: blocking callers wake on
-	// done, and event-driven waiters are notified with nil. Dropping the
-	// waiters silently would strand coalesced invocations forever when a
-	// container is torn down (crashed) mid-build.
-	var waiters []func(any)
-	for k, e := range c.entries {
-		if e.state == statePending {
-			waiters = append(waiters, e.waiters...)
-			close(e.done)
-		}
-		delete(c.entries, k)
-	}
-	c.stats.BytesLive = 0
-	c.stats.LiveInstances = 0
-	c.mu.Unlock()
-	for _, w := range waiters {
-		w(nil)
+	var freed int64
+	for _, sh := range c.shards {
+		freed += sh.close()
 	}
 	return freed
 }

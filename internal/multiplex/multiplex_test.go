@@ -325,7 +325,8 @@ func TestPropertyOneBuildPerDistinctKey(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	var evicted []Key
-	c := New(WithMaxEntries(2), WithOnEvict(func(k Key, inst any, bytes int64) {
+	// One shard makes the LRU order globally exact for the assertion.
+	c := New(WithShards(1), WithMaxEntries(2), WithOnEvict(func(k Key, inst any, bytes int64) {
 		evicted = append(evicted, k)
 		if bytes != 10 {
 			t.Errorf("evicted bytes = %d, want 10", bytes)

@@ -1,0 +1,461 @@
+package multiplex
+
+import (
+	"sync"
+	"time"
+)
+
+type entryState int
+
+const (
+	statePending entryState = iota + 1
+	stateReady
+	stateNegative
+)
+
+// entry is one key's cache slot, moving pending → ready (→ refreshing
+// in place) or pending → negative as builds succeed or fail. Ready
+// entries are linked into the shard's LRU list.
+type entry struct {
+	key      Key
+	state    entryState
+	instance any
+	bytes    int64
+	waiters  []func(any)   // event-driven waiters
+	done     chan struct{} // blocking waiters
+	// refreshing marks a ready entry whose background rebuild is in
+	// flight (stale-while-revalidate); it stays servable and is never an
+	// eviction victim until the refresh settles.
+	refreshing bool
+	// expireAt is the clock reading at which the instance expires
+	// (0 = immortal).
+	expireAt time.Duration
+	// fails counts consecutive build failures; the negative backoff
+	// doubles with each one.
+	fails int
+	// retryAt is the clock reading at which a negative entry allows the
+	// next build probe.
+	retryAt time.Duration
+	// lastErr is the most recent build error (negative entries serve it).
+	lastErr error
+	// prev/next link ready entries in the shard LRU (head = most recent).
+	prev, next *entry
+}
+
+// evicted is one instance leaving the cache, queued for the OnEvict hook
+// which must run outside the shard lock.
+type evicted struct {
+	key      Key
+	instance any
+	bytes    int64
+}
+
+// shard is one lock stripe: a map plus an intrusive LRU of ready entries.
+type shard struct {
+	cache *Cache
+	// cap bounds this shard's ready entries (0 = unbounded).
+	cap int
+
+	mu         sync.Mutex
+	entries    map[Key]*entry
+	head, tail *entry
+	ready      int
+	negCount   int
+	bytesLive  int64
+	stats      Stats // scalar counters only; gauges derive from fields above
+	closed     bool
+}
+
+// --- LRU list (callers hold s.mu) ---
+
+func (s *shard) lruPushFront(e *entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard) lruRemove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if s.head == e {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if s.tail == e {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard) lruTouch(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.lruRemove(e)
+	s.lruPushFront(e)
+}
+
+// --- lifecycle helpers (callers hold s.mu) ---
+
+// dropReadyLocked unlinks a ready entry and returns its eviction record.
+func (s *shard) dropReadyLocked(e *entry) evicted {
+	s.lruRemove(e)
+	delete(s.entries, e.key)
+	s.ready--
+	s.bytesLive -= e.bytes
+	return evicted{key: e.key, instance: e.instance, bytes: e.bytes}
+}
+
+// evictOverflowLocked drops least-recently-used ready entries while the
+// shard exceeds its capacity, skipping entries with a refresh in flight
+// (they are demonstrably hot and their Complete must find them).
+func (s *shard) evictOverflowLocked(out []evicted) []evicted {
+	for s.cap > 0 && s.ready > s.cap {
+		victim := s.tail
+		for victim != nil && victim.refreshing {
+			victim = victim.prev
+		}
+		if victim == nil {
+			return out
+		}
+		out = append(out, s.dropReadyLocked(victim))
+		s.stats.Evictions++
+	}
+	return out
+}
+
+func (e *entry) expired(now time.Duration) bool {
+	return e.expireAt > 0 && now >= e.expireAt
+}
+
+func (s *shard) inRefreshWindow(e *entry, now time.Duration) bool {
+	w := s.cache.cfg.RefreshWindow
+	return w > 0 && e.expireAt > 0 && now >= e.expireAt-w
+}
+
+// fire invokes the OnEvict closer hook for every collected instance.
+// Callers must have released s.mu.
+func (s *shard) fire(evs []evicted) {
+	hook := s.cache.cfg.OnEvict
+	if hook == nil {
+		return
+	}
+	for _, ev := range evs {
+		hook(ev.key, ev.instance, ev.bytes)
+	}
+}
+
+// beginLocked is the shared lookup of both faces. Callers hold s.mu. It
+// returns the begin result, the instance (hit/stale), the done channel
+// (pending), the last build error (negative) and any evictions to fire.
+func (s *shard) beginLocked(key Key) (BeginResult, any, chan struct{}, error, []evicted) {
+	now := s.cache.cfg.Now()
+	e, ok := s.entries[key]
+	if ok && e.state == stateReady && e.expired(now) {
+		// Lazy TTL expiry: the instance is released through OnEvict and
+		// this caller rebuilds.
+		ev := s.dropReadyLocked(e)
+		s.stats.Expired++
+		s.stats.Misses++
+		s.entries[key] = &entry{key: key, state: statePending, done: make(chan struct{})}
+		return BeginMiss, nil, nil, nil, []evicted{ev}
+	}
+	if !ok {
+		s.stats.Misses++
+		s.entries[key] = &entry{key: key, state: statePending, done: make(chan struct{})}
+		return BeginMiss, nil, nil, nil, nil
+	}
+	switch e.state {
+	case stateReady:
+		if !e.refreshing && s.inRefreshWindow(e, now) {
+			e.refreshing = true
+			s.stats.StaleHits++
+			s.stats.Refreshes++
+			s.stats.BytesSaved += e.bytes
+			s.lruTouch(e)
+			return BeginStale, e.instance, nil, nil, nil
+		}
+		s.stats.Hits++
+		s.stats.BytesSaved += e.bytes
+		s.lruTouch(e)
+		return BeginHit, e.instance, nil, nil, nil
+	case stateNegative:
+		if now >= e.retryAt {
+			// Backoff elapsed: this caller probes. The consecutive-failure
+			// count survives so another failure doubles the backoff again.
+			e.state = statePending
+			e.done = make(chan struct{})
+			e.waiters = nil
+			s.negCount--
+			s.stats.Misses++
+			return BeginMiss, nil, nil, nil, nil
+		}
+		s.stats.NegativeHits++
+		return BeginNegative, nil, nil, e.lastErr, nil
+	default: // statePending
+		s.stats.Coalesced++
+		return BeginPending, nil, e.done, nil, nil
+	}
+}
+
+// begin is the event-driven face's lookup.
+func (s *shard) begin(key Key) (BeginResult, any) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return BeginMiss, nil
+	}
+	res, inst, _, _, evs := s.beginLocked(key)
+	s.mu.Unlock()
+	s.fire(evs)
+	return res, inst
+}
+
+// beginBlocking is the blocking face's lookup; closed reports a closed
+// cache (GetOrBuildContext turns it into ErrCacheClosed).
+func (s *shard) beginBlocking(key Key) (res BeginResult, inst any, done chan struct{}, lastErr error, closed bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, nil, nil, nil, true
+	}
+	var evs []evicted
+	res, inst, done, lastErr, evs = s.beginLocked(key)
+	s.mu.Unlock()
+	s.fire(evs)
+	return res, inst, done, lastErr, false
+}
+
+// readyValue reports the instance for key if it is ready and unexpired —
+// the recheck a coalesced waiter performs after the build settles.
+func (s *shard) readyValue(key Key) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok || e.state != stateReady || e.expired(s.cache.cfg.Now()) {
+		return nil, false
+	}
+	return e.instance, true
+}
+
+// wait registers an event-driven waiter (see Cache.Wait).
+func (s *shard) wait(key Key, fn func(any)) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		fn(nil)
+		return
+	}
+	e, ok := s.entries[key]
+	if !ok || e.state == stateNegative {
+		s.mu.Unlock()
+		fn(nil)
+		return
+	}
+	if e.state == stateReady {
+		inst := e.instance
+		s.mu.Unlock()
+		fn(inst)
+		return
+	}
+	e.waiters = append(e.waiters, fn)
+	s.mu.Unlock()
+}
+
+// complete publishes a built instance (see Cache.Complete).
+func (s *shard) complete(key Key, instance any, bytes int64) {
+	now := s.cache.cfg.Now()
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if s.closed || !ok {
+		// Nowhere to store it: release the orphaned instance so its
+		// sockets do not leak past the container teardown.
+		s.mu.Unlock()
+		s.fire([]evicted{{key: key, instance: instance, bytes: bytes}})
+		return
+	}
+	var evs []evicted
+	var waiters []func(any)
+	switch e.state {
+	case statePending:
+		e.state = stateReady
+		e.instance = instance
+		e.bytes = bytes
+		e.fails = 0
+		e.lastErr = nil
+		if ttl := s.cache.cfg.TTL; ttl > 0 {
+			e.expireAt = now + ttl
+		}
+		waiters = e.waiters
+		e.waiters = nil
+		close(e.done)
+		e.done = nil
+		s.ready++
+		s.bytesLive += bytes
+		s.stats.BytesSaved += bytes * int64(len(waiters))
+		s.lruPushFront(e)
+		evs = s.evictOverflowLocked(evs)
+	case stateReady:
+		if e.refreshing {
+			// Refresh replacement: the stale instance leaves the cache.
+			evs = append(evs, evicted{key: key, instance: e.instance, bytes: e.bytes})
+			s.bytesLive += bytes - e.bytes
+			e.instance = instance
+			e.bytes = bytes
+			e.refreshing = false
+			if ttl := s.cache.cfg.TTL; ttl > 0 {
+				e.expireAt = now + ttl
+			}
+			s.lruTouch(e)
+		} else {
+			// Duplicate publish: the first instance wins, the duplicate is
+			// released.
+			evs = append(evs, evicted{key: key, instance: instance, bytes: bytes})
+		}
+	default: // stateNegative: a stray publish after a Fail settled the key
+		evs = append(evs, evicted{key: key, instance: instance, bytes: bytes})
+	}
+	s.mu.Unlock()
+	s.fire(evs)
+	for _, w := range waiters {
+		w(instance)
+	}
+}
+
+// fail settles a failed build (see Cache.Fail / Cache.FailErr).
+func (s *shard) fail(key Key, cause error) {
+	now := s.cache.cfg.Now()
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if s.closed || !ok {
+		s.mu.Unlock()
+		return
+	}
+	var waiters []func(any)
+	switch e.state {
+	case statePending:
+		s.stats.BuildFailures++
+		waiters = e.waiters
+		e.waiters = nil
+		close(e.done)
+		e.done = nil
+		if base := s.cache.cfg.NegativeBackoff; base > 0 {
+			e.state = stateNegative
+			e.fails++
+			backoff := base << uint(e.fails-1)
+			if max := s.cache.cfg.NegativeBackoffMax; backoff > max || backoff <= 0 {
+				backoff = max
+			}
+			e.retryAt = now + backoff
+			e.lastErr = cause
+			s.negCount++
+			s.boundNegativesLocked(e)
+		} else {
+			delete(s.entries, key)
+		}
+	case stateReady:
+		if e.refreshing {
+			// A failed refresh keeps the stale instance until hard expiry;
+			// the next stale hit may try again.
+			e.refreshing = false
+			s.stats.BuildFailures++
+		}
+		// Fail on a plain ready key must not evict it (seed semantics).
+	default: // stateNegative: already settled
+	}
+	s.mu.Unlock()
+	for _, w := range waiters {
+		w(nil)
+	}
+}
+
+// boundNegativesLocked keeps the negative-entry population finite: failing
+// keys are remembered, but a workload cycling through endless distinct
+// failing keys must not grow the map without bound. The entry closest to
+// its retry time (other than keep) is dropped first.
+func (s *shard) boundNegativesLocked(keep *entry) {
+	maxNeg := 64
+	if s.cap > maxNeg {
+		maxNeg = s.cap
+	}
+	if s.negCount <= maxNeg {
+		return
+	}
+	var victim *entry
+	for _, e := range s.entries {
+		if e.state != stateNegative || e == keep {
+			continue
+		}
+		if victim == nil || e.retryAt < victim.retryAt {
+			victim = e
+		}
+	}
+	if victim != nil {
+		delete(s.entries, victim.key)
+		s.negCount--
+	}
+}
+
+// invalidate drops a ready or negative entry (see Cache.Invalidate).
+func (s *shard) invalidate(key Key) bool {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if s.closed || !ok || e.state == statePending {
+		s.mu.Unlock()
+		return false
+	}
+	var evs []evicted
+	switch e.state {
+	case stateReady:
+		// A refresh in flight will find the key pending-less and release
+		// its instance through the orphan path in complete.
+		evs = append(evs, s.dropReadyLocked(e))
+	default: // stateNegative
+		delete(s.entries, key)
+		s.negCount--
+	}
+	s.stats.Invalidations++
+	s.mu.Unlock()
+	s.fire(evs)
+	return true
+}
+
+// close tears the shard down (see Cache.Close).
+func (s *shard) close() int64 {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0
+	}
+	s.closed = true
+	freed := s.bytesLive
+	var evs []evicted
+	var waiters []func(any)
+	for k, e := range s.entries {
+		switch e.state {
+		case statePending:
+			waiters = append(waiters, e.waiters...)
+			close(e.done)
+		case stateReady:
+			evs = append(evs, evicted{key: k, instance: e.instance, bytes: e.bytes})
+		}
+		delete(s.entries, k)
+	}
+	s.head, s.tail = nil, nil
+	s.ready = 0
+	s.negCount = 0
+	s.bytesLive = 0
+	s.mu.Unlock()
+	s.fire(evs)
+	for _, w := range waiters {
+		w(nil)
+	}
+	return freed
+}

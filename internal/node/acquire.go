@@ -19,6 +19,12 @@ type AcquireOptions struct {
 	// Multiplex equips a newly created container with a Resource
 	// Multiplexer cache.
 	Multiplex bool
+	// Multiplexer tunes the container's cache (shards, capacity, TTL,
+	// refresh window, negative backoff). The zero value takes the cache
+	// defaults. The node always overrides the clock with the engine's
+	// virtual time and layers instance-memory release on OnEvict, so
+	// evicted and refreshed instances return their bytes to the ledger.
+	Multiplexer multiplex.Config
 }
 
 // AcquireResult reports how a container was obtained.
@@ -254,7 +260,7 @@ func (n *Node) startCreation(req *createReq) {
 			return
 		}
 		if req.opts.Multiplex {
-			c.cache = multiplex.New()
+			c.cache = multiplex.NewWithConfig(n.containerCacheConfig(c, req.opts.Multiplexer))
 		} else {
 			c.cacheDisabled = true
 		}
@@ -290,6 +296,24 @@ func (n *Node) startCreation(req *createReq) {
 			ready()
 		})
 	})
+}
+
+// containerCacheConfig adapts an acquisition's multiplexer config to the
+// simulation: TTL and backoff arithmetic run on the engine's virtual
+// clock, and every instance leaving the cache (LRU eviction, TTL expiry,
+// refresh replacement, invalidation, close) releases its charged client
+// memory — the eviction half of the cache's cost model. A user OnEvict
+// runs first.
+func (n *Node) containerCacheConfig(c *Container, mcfg multiplex.Config) multiplex.Config {
+	user := mcfg.OnEvict
+	mcfg.Now = func() time.Duration { return time.Duration(n.eng.Now()) }
+	mcfg.OnEvict = func(k multiplex.Key, inst any, bytes int64) {
+		if user != nil {
+			user(k, inst, bytes)
+		}
+		c.FreeClientMem(bytes)
+	}
+	return mcfg
 }
 
 // parkIdle returns a drained container to the warm pool and arms its
@@ -330,7 +354,9 @@ func (n *Node) teardown(c *Container) {
 	c.state = Evicted
 	// All client memory — transient duplicates and multiplexer-cached
 	// instances alike — is charged through AllocClientMem and therefore
-	// lives in clientBytes; the cache is closed for its stats only.
+	// lives in clientBytes, freed wholesale here. The cache is closed for
+	// its stats and lifecycle hooks; its per-instance FreeClientMem calls
+	// clamp to the already-zeroed balance.
 	freed := n.cfg.ContainerMem + c.clientBytes
 	c.clientBytes = 0
 	c.clientLive = 0

@@ -50,6 +50,14 @@ var statExports = []statExport{
 	{"Multiplexer.BytesLive", "faasbatch_multiplexer_bytes_live", "gauge", "Memory held by ready cached instances."},
 	{"Multiplexer.BytesSaved", "faasbatch_multiplexer_bytes_saved_total", "counter", "Duplicate client memory avoided."},
 	{"Multiplexer.Evictions", "faasbatch_multiplexer_evictions_total", "counter", "Cached instances dropped by the LRU bound."},
+	{"Multiplexer.Expired", "faasbatch_multiplexer_expired_total", "counter", "Cached instances dropped at lookup after their TTL lapsed."},
+	{"Multiplexer.StaleHits", "faasbatch_multiplexer_stale_hits_total", "counter", "Lookups served a stale instance while a background refresh ran."},
+	{"Multiplexer.Refreshes", "faasbatch_multiplexer_refreshes_total", "counter", "Background stale-while-revalidate refreshes started."},
+	{"Multiplexer.NegativeHits", "faasbatch_multiplexer_negative_hits_total", "counter", "Creations denied by the negative cache during failure backoff."},
+	{"Multiplexer.BuildFailures", "faasbatch_multiplexer_build_failures_total", "counter", "Resource builds that returned an error."},
+	{"Multiplexer.Invalidations", "faasbatch_multiplexer_invalidations_total", "counter", "Entries dropped by handler-feedback invalidation."},
+	{"Multiplexer.Shards", "faasbatch_multiplexer_shards", "gauge", "Lock-striped shards across live container caches."},
+	{"Multiplexer.MaxShardOccupancy", "faasbatch_multiplexer_max_shard_occupancy", "gauge", "Ready entries in the fullest shard of any live cache."},
 }
 
 // statValue resolves a statExport path against a Stats snapshot.
@@ -85,9 +93,19 @@ func statValue(st Stats, path string) (string, error) {
 //	                      report: 200 "ok" when ready, 503 "unready"
 //	                      before SetReady(true), 503 "draining" once
 //	                      Close begins
+//
+// Every route is also served under the /v1/ prefix (/v1/invoke,
+// /v1/stats, ...) with identical behaviour; the unversioned paths remain
+// as aliases for existing clients. See docs/OBSERVABILITY.md.
 func NewHTTPHandler(p *Platform) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/invoke", func(w http.ResponseWriter, r *http.Request) {
+	// handle registers one route under both its legacy unversioned path
+	// and the /v1 prefix, so the two surfaces cannot drift apart.
+	handle := func(path string, h http.HandlerFunc) {
+		mux.HandleFunc(path, h)
+		mux.HandleFunc("/v1"+path, h)
+	}
+	handle("/invoke", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)
 			return
@@ -128,7 +146,7 @@ func NewHTTPHandler(p *Platform) http.Handler {
 			},
 		})
 	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET required", http.StatusMethodNotAllowed)
 			return
@@ -150,16 +168,22 @@ func NewHTTPHandler(p *Platform) http.Handler {
 			CacheHits:         st.Multiplexer.Hits + st.Multiplexer.Coalesced,
 			CacheMisses:       st.Multiplexer.Misses,
 			CacheBytesSaved:   st.Multiplexer.BytesSaved,
+			CacheStaleHits:    st.Multiplexer.StaleHits,
+			CacheNegativeHits: st.Multiplexer.NegativeHits,
+			CacheEvictions:    st.Multiplexer.Evictions + st.Multiplexer.Expired,
+
+			CacheShards:            st.Multiplexer.Shards,
+			CacheMaxShardOccupancy: st.Multiplexer.MaxShardOccupancy,
 		})
 	})
-	mux.HandleFunc("/functions", func(w http.ResponseWriter, r *http.Request) {
+	handle("/functions", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET required", http.StatusMethodNotAllowed)
 			return
 		}
 		writeJSON(p.logger, w, r.URL.Path, p.Functions())
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET required", http.StatusMethodNotAllowed)
 			return
@@ -181,7 +205,7 @@ func NewHTTPHandler(p *Platform) http.Handler {
 		writeRuntimeGauges(w)
 		p.metrics.WritePrometheus(w)
 	})
-	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+	handle("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET required", http.StatusMethodNotAllowed)
 			return
@@ -193,7 +217,7 @@ func NewHTTPHandler(p *Platform) http.Handler {
 			p.logger.Warn("trace export failed", "path", r.URL.Path, "err", err)
 		}
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		health := httpapi.HealthResponse{
 			Worker:   p.WorkerID(),
 			Capacity: p.Capacity(),

@@ -9,8 +9,9 @@
 //     a dispatch interval and expands each group inside one container
 //     (a goroutine-backed worker with a simulated cold-start delay);
 //   - each container carries a Resource Multiplexer; handlers obtain
-//     shared clients through Resources.Get, so duplicate constructions
-//     coalesce exactly as in §III-D.
+//     shared clients through Resources.GetContext (or the deprecated
+//     Resources.Get), so duplicate constructions coalesce exactly as in
+//     §III-D.
 //
 // A per-invocation mode (Vanilla) is included for comparison, and
 // NewHTTPHandler exposes the platform over HTTP (cmd/faasgate).
@@ -21,6 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"sort"
 	"sync"
@@ -68,8 +70,33 @@ type Invocation struct {
 	ContainerID string
 }
 
+// Outcome classifies how a Resources.GetContext call was served; it is
+// the multiplexer's Outcome re-exported for handler ergonomics.
+type Outcome = multiplex.Outcome
+
+// Outcomes of Resources.GetContext.
+const (
+	OutcomeMiss      = multiplex.OutcomeMiss
+	OutcomeHit       = multiplex.OutcomeHit
+	OutcomeCoalesced = multiplex.OutcomeCoalesced
+	OutcomeStale     = multiplex.OutcomeStale
+	OutcomeNegative  = multiplex.OutcomeNegative
+	OutcomeError     = multiplex.OutcomeError
+)
+
+// Typed errors surfaced by Resources.GetContext, matchable with
+// errors.Is through any wrapping.
+var (
+	// ErrBuildFailed marks a failed client construction (the build
+	// callback erred, or the negative cache is absorbing its failures).
+	ErrBuildFailed = multiplex.ErrBuildFailed
+	// ErrCacheClosed marks a multiplexer that has been torn down (the
+	// hosting container is retiring).
+	ErrCacheClosed = multiplex.ErrCacheClosed
+)
+
 // Resources is the handler-facing face of the container's Resource
-// Multiplexer: Get intercepts resource creations, as the paper's
+// Multiplexer: GetContext intercepts resource creations, as the paper's
 // multiplexer intercepts client(args) calls. When the invocation is
 // traced, the platform hands the handler a per-invocation view carrying
 // the trace context, so client builds appear as spans on the right trace.
@@ -84,16 +111,24 @@ type Resources struct {
 	container string
 }
 
-// Get returns the shared instance for (callee, argsKey), building it at
-// most once per container. The boolean reports whether the instance came
-// from the cache. When the platform runs without multiplexing, every call
-// builds a fresh instance and Get reports false.
-func (r *Resources) Get(callee, argsKey string, build func() (any, int64, error)) (any, bool, error) {
+// GetContext returns the shared instance for (callee, argsKey), building
+// it at most once per container. The Outcome reports how the call was
+// served: a miss builds, a hit or coalesced wait reuses, a stale outcome
+// serves the old instance while one background refresh runs, and a
+// negative outcome means the key's recent build failures are being
+// absorbed by backoff (the error matches ErrBuildFailed without the
+// build having run). Errors match ErrBuildFailed / ErrCacheClosed with
+// errors.Is; a done ctx abandons a coalesced wait with ctx.Err.
+//
+// When the platform runs without multiplexing, every call builds a fresh
+// instance and reports OutcomeMiss.
+func (r *Resources) GetContext(ctx context.Context, callee, argsKey string, build func() (any, int64, error)) (any, Outcome, error) {
 	if r.inj != nil {
 		// Fault injection wraps the constructor, so an injected failure
 		// fires only when a build actually runs — cache hits are immune,
-		// and a failed build exercises the multiplexer's Fail path
-		// (coalesced waiters wake and retry).
+		// and a failed build exercises the multiplexer's failure path
+		// (coalesced waiters wake and retry, repeated failures arm the
+		// negative cache).
 		orig := build
 		build = func() (any, int64, error) {
 			if r.inj.Should(chaos.StorageFailure) {
@@ -102,29 +137,68 @@ func (r *Resources) Get(callee, argsKey string, build func() (any, int64, error)
 			return orig()
 		}
 	}
+	var start time.Duration
 	if r.trace != 0 {
-		// Span only the actual build — cache hits and coalesced waits cost
-		// nothing and record nothing.
-		orig := build
-		build = func() (any, int64, error) {
-			start := r.tracer.Now()
-			v, bytes, err := orig()
-			r.tracer.Record(obs.Span{
-				Trace: r.trace, Name: obs.SpanResourceBuild,
-				Fn: r.fn, Container: r.container, Detail: callee,
-				Start: start, End: r.tracer.Now(),
-			})
-			return v, bytes, err
-		}
+		start = r.tracer.Now()
 	}
+	v, out, err := r.getCached(ctx, callee, argsKey, build)
+	if r.trace != 0 {
+		// One span per creation attempt, tagged with how it was served —
+		// a hit's near-zero span is the §III-D saving made visible.
+		r.tracer.Record(obs.Span{
+			Trace: r.trace, Name: obs.SpanResourceBuild,
+			Fn: r.fn, Container: r.container,
+			Detail: callee + " [" + out.String() + "]",
+			Start:  start, End: r.tracer.Now(),
+		})
+	}
+	return v, out, err
+}
+
+// getCached is GetContext after instrumentation: the cache lookup, or an
+// uncached build when multiplexing is off.
+func (r *Resources) getCached(ctx context.Context, callee, argsKey string, build func() (any, int64, error)) (any, Outcome, error) {
 	if r.cache == nil {
 		v, _, err := build()
 		if err != nil {
-			return nil, false, fmt.Errorf("platform: build %s: %w", callee, err)
+			return nil, OutcomeError, fmt.Errorf("platform: build %s: %w", callee, err)
 		}
-		return v, false, nil
+		return v, OutcomeMiss, nil
 	}
-	return r.cache.GetOrBuild(multiplex.NewKey(callee, argsKey), build)
+	return r.cache.GetOrBuildContext(ctx, multiplex.NewKey(callee, argsKey), build)
+}
+
+// Get returns the shared instance for (callee, argsKey). The boolean
+// reports whether the instance came from the cache.
+//
+// Deprecated: use GetContext, which adds cancellation, an Outcome and
+// typed errors. Get remains as a compatibility wrapper: it maps the
+// Outcome to Outcome.Cached and, when the container's cache has already
+// been torn down, degrades to an uncached build instead of surfacing
+// ErrCacheClosed.
+func (r *Resources) Get(callee, argsKey string, build func() (any, int64, error)) (any, bool, error) {
+	v, out, err := r.GetContext(context.Background(), callee, argsKey, build)
+	if err != nil && errors.Is(err, ErrCacheClosed) {
+		uncached := &Resources{
+			inj: r.inj, tracer: r.tracer, trace: r.trace,
+			fn: r.fn, container: r.container,
+		}
+		v, out, err = uncached.GetContext(context.Background(), callee, argsKey, build)
+	}
+	return v, out.Cached(), err
+}
+
+// Invalidate drops the shared instance for (callee, argsKey), reporting
+// whether an instance (or a negative entry) was removed. It is the
+// handler-feedback half of the failure-aware cache: after a cached
+// client errors at use time (stale credentials, dead connection), the
+// handler invalidates it so the next creation rebuilds instead of
+// reusing a broken instance. An in-flight build is left alone.
+func (r *Resources) Invalidate(callee, argsKey string) bool {
+	if r.cache == nil {
+		return false
+	}
+	return r.cache.Invalidate(multiplex.NewKey(callee, argsKey))
 }
 
 // Result is the outcome of one invocation, with the latency decomposition
@@ -171,6 +245,13 @@ type Config struct {
 	KeepAlive time.Duration
 	// Multiplex equips containers with a Resource Multiplexer.
 	Multiplex bool
+	// Multiplexer tunes each container's Resource Multiplexer: shard
+	// count, capacity bound, TTL, stale-while-revalidate window and
+	// negative-caching backoff (see multiplex.Config). The zero value
+	// takes the cache defaults. Evicted instances implementing io.Closer
+	// are closed automatically, after any OnEvict hook set here runs.
+	// Ignored unless Multiplex is true.
+	Multiplexer multiplex.Config
 	// MaxConcurrency caps how many invocations expand inside one
 	// container; a window group larger than the cap splits across
 	// containers (Knative-style containerConcurrency). Zero means
@@ -561,13 +642,37 @@ func (p *Platform) retireLocked(f *function, c *container) {
 	}
 	if c.resources != nil && c.resources.cache != nil {
 		st := c.resources.cache.Stats()
-		p.stats.Multiplexer.Hits += st.Hits
-		p.stats.Multiplexer.Coalesced += st.Coalesced
-		p.stats.Multiplexer.Misses += st.Misses
-		p.stats.Multiplexer.BytesSaved += st.BytesSaved
+		// Fold the retired cache's counters into the platform totals, but
+		// not its gauges — its live instances and shards are about to be
+		// released by Close (which fires the Closer hook per instance).
+		st.LiveInstances, st.BytesLive = 0, 0
+		st.Shards, st.MaxShardOccupancy = 0, 0
+		p.stats.Multiplexer.Add(st)
 		c.resources.cache.Close()
 	}
 	p.stats.LiveContainers--
+}
+
+// containerCacheConfig derives one container's multiplexer config from
+// Config.Multiplexer, layering the platform's instance-lifecycle hook on
+// top of any user OnEvict: every instance leaving a cache (evicted,
+// expired, replaced by a refresh, invalidated or released at container
+// retirement) that implements io.Closer is closed, so cached clients
+// release their sockets deterministically.
+func (p *Platform) containerCacheConfig() multiplex.Config {
+	mcfg := p.cfg.Multiplexer
+	user := mcfg.OnEvict
+	mcfg.OnEvict = func(k multiplex.Key, inst any, bytes int64) {
+		if user != nil {
+			user(k, inst, bytes)
+		}
+		if closer, ok := inst.(io.Closer); ok {
+			if err := closer.Close(); err != nil && p.logOn(slog.LevelDebug) {
+				p.logger.Debug("evicted client close failed", "callee", k.Callee, "err", err)
+			}
+		}
+	}
+	return mcfg
 }
 
 // acquire obtains a container for f: warm if available, else cold.
@@ -585,7 +690,7 @@ func (p *Platform) acquire(f *function) (*container, bool) {
 	c := &container{id: fmt.Sprintf("live-%04d-%s", p.seq, f.name), fn: f.name}
 	res := &Resources{inj: p.cfg.Chaos}
 	if p.cfg.Multiplex {
-		res.cache = multiplex.New()
+		res.cache = multiplex.NewWithConfig(p.containerCacheConfig())
 	}
 	c.resources = res
 	c.active++
@@ -955,13 +1060,7 @@ func (p *Platform) Stats() Stats {
 	for _, f := range p.fns {
 		for _, c := range f.all {
 			if c.resources != nil && c.resources.cache != nil {
-				cs := c.resources.cache.Stats()
-				st.Multiplexer.Hits += cs.Hits
-				st.Multiplexer.Coalesced += cs.Coalesced
-				st.Multiplexer.Misses += cs.Misses
-				st.Multiplexer.BytesSaved += cs.BytesSaved
-				st.Multiplexer.BytesLive += cs.BytesLive
-				st.Multiplexer.LiveInstances += cs.LiveInstances
+				st.Multiplexer.Add(c.resources.cache.Stats())
 			}
 		}
 	}

@@ -22,9 +22,19 @@ import (
 //	GET  /metrics  — Prometheus text: router counters, per-worker
 //	                 gauges/counters, forward-latency histograms
 //	GET  /healthz  — 200 while at least one worker is up, else 503
+//
+// Every route is also served under the /v1/ prefix (/v1/invoke,
+// /v1/stats, ...) with identical behaviour; the unversioned paths remain
+// as aliases for existing clients. See docs/CLUSTER.md.
 func NewHTTPHandler(rt *Router) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/invoke", func(w http.ResponseWriter, r *http.Request) {
+	// handle registers one route under both its legacy unversioned path
+	// and the /v1 prefix, so the two surfaces cannot drift apart.
+	handle := func(path string, h http.HandlerFunc) {
+		mux.HandleFunc(path, h)
+		mux.HandleFunc("/v1"+path, h)
+	}
+	handle("/invoke", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)
 			return
@@ -46,21 +56,21 @@ func NewHTTPHandler(rt *Router) http.Handler {
 		}
 		writeJSON(rt, w, res)
 	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET required", http.StatusMethodNotAllowed)
 			return
 		}
 		writeJSON(rt, w, rt.statsResponse())
 	})
-	mux.HandleFunc("/workers", func(w http.ResponseWriter, r *http.Request) {
+	handle("/workers", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET required", http.StatusMethodNotAllowed)
 			return
 		}
 		writeJSON(rt, w, rt.reg.Snapshot())
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET required", http.StatusMethodNotAllowed)
 			return
@@ -68,7 +78,7 @@ func NewHTTPHandler(rt *Router) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		rt.writeMetrics(w)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		up := rt.reg.UpCount()
 		if up == 0 {
 			w.WriteHeader(http.StatusServiceUnavailable)
