@@ -27,9 +27,12 @@
 //     discrete-event simulator, where "building" takes virtual time and
 //     concurrent requesters for the same key coalesce onto the first
 //     build.
-//   - A blocking face (GetOrBuild / GetOrBuildContext) used by the live
-//     platform, where the build runs real code and concurrent goroutines
-//     coalesce singleflight-style.
+//   - A blocking face (Acquire, plus the non-borrowing GetOrBuild /
+//     GetOrBuildContext wrappers) used by the live platform, where the
+//     build runs real code and concurrent goroutines coalesce
+//     singleflight-style. Acquire additionally lends the instance to the
+//     caller: evictions of a lent instance defer the OnEvict hook until
+//     its release, so in-use clients are never closed mid-request.
 package multiplex
 
 import (
@@ -38,6 +41,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
+	"sync"
 	"time"
 )
 
@@ -265,11 +269,16 @@ type Config struct {
 	// Zero picks an automatic size from GOMAXPROCS. When MaxEntries > 0
 	// the count is clamped so every shard owns at least one slot.
 	Shards int
-	// MaxEntries bounds the ready instances held across all shards; each
-	// shard owns MaxEntries/Shards slots and evicts its least-recently-
-	// used ready instance on overflow. Zero or negative means unbounded
-	// (the paper's container-scoped cache, whose lifetime bounds it
-	// naturally).
+	// MaxEntries bounds the ready instances held across all shards. The
+	// capacity splits per shard (remainder slots distributed so the shard
+	// caps sum to exactly MaxEntries) and each shard evicts its least-
+	// recently-used ready instance on overflow. Because the bound is
+	// enforced per shard, a heavily skewed key population can see
+	// evictions while total occupancy is still below MaxEntries; with
+	// auto-sized Shards the shard count shrinks until every shard owns at
+	// least a few slots to keep that skew effect small. Zero or negative
+	// means unbounded (the paper's container-scoped cache, whose lifetime
+	// bounds it naturally).
 	MaxEntries int
 	// TTL expires a ready instance this long after it was (re)built.
 	// Expiry is lazy: an expired entry is dropped (through OnEvict) when
@@ -375,7 +384,8 @@ func nextPow2(n int) int {
 // NewWithConfig creates an empty cache from cfg.
 func NewWithConfig(cfg Config) *Cache {
 	n := cfg.Shards
-	if n <= 0 {
+	auto := n <= 0
+	if auto {
 		// Auto: enough stripes that GOMAXPROCS goroutines rarely collide.
 		n = 2 * runtime.GOMAXPROCS(0)
 		if n < 8 {
@@ -387,6 +397,14 @@ func NewWithConfig(cfg Config) *Cache {
 	}
 	n = nextPow2(n)
 	if cfg.MaxEntries > 0 {
+		if auto {
+			// Auto sizing also respects the capacity: fewer, deeper shards
+			// beat many 1-slot shards, which thrash under key skew (two hot
+			// keys colliding in a 1-slot shard evict each other forever).
+			for n > 1 && cfg.MaxEntries/n < 4 {
+				n >>= 1
+			}
+		}
 		// Every shard must own at least one slot, or the capacity split
 		// would round a shard's bound to zero and evict everything it
 		// completes.
@@ -402,13 +420,19 @@ func NewWithConfig(cfg Config) *Cache {
 		cfg.Now = func() time.Duration { return time.Since(base) }
 	}
 	c := &Cache{cfg: cfg, mask: uint64(n - 1)}
-	perShard := 0
+	// The capacity splits across shards with the remainder distributed one
+	// slot at a time, so the shard caps sum to exactly MaxEntries.
+	base, rem := 0, 0
 	if cfg.MaxEntries > 0 {
-		perShard = cfg.MaxEntries / n
+		base, rem = cfg.MaxEntries/n, cfg.MaxEntries%n
 	}
 	c.shards = make([]*shard, n)
 	for i := range c.shards {
-		c.shards[i] = &shard{cache: c, cap: perShard, entries: make(map[Key]*entry)}
+		capacity := base
+		if i < rem {
+			capacity++
+		}
+		c.shards[i] = &shard{cache: c, cap: capacity, entries: make(map[Key]*entry)}
 	}
 	return c
 }
@@ -467,8 +491,11 @@ func (c *Cache) FailErr(key Key, cause error) {
 // Invalidate drops the ready or negative entry for key — handler feedback
 // for an instance that started erroring (the paper's multiplexer trusts
 // instances forever; production clients go bad). A ready instance is
-// released through OnEvict. Pending builds are untouched. It reports
-// whether an entry was dropped.
+// released through OnEvict. Pending builds are untouched. An entry whose
+// background refresh is in flight is condemned rather than dropped (so
+// the refresher's Complete/Fail still find it): a completing refresh
+// replaces the condemned instance, a failing one drops the entry. It
+// reports whether an entry was dropped or condemned.
 func (c *Cache) Invalidate(key Key) bool {
 	return c.shardFor(key).invalidate(key)
 }
@@ -494,28 +521,87 @@ func (c *Cache) GetOrBuild(key Key, build func() (any, int64, error)) (any, bool
 	return v, out.Cached(), err
 }
 
-// GetOrBuildContext is the blocking face used by the live platform: it
-// returns the cached instance for key, or runs build exactly once per miss
-// while concurrent callers wait (singleflight). The Outcome classifies how
-// the creation was served; on OutcomeStale the instance returns
-// immediately while build runs in the background. Errors are typed:
-// ErrBuildFailed (own build or negative-cache denial, with the
-// constructor's error in the chain), ErrCacheClosed, or the context's
-// error when ctx ends while coalesced on another caller's build.
+// GetOrBuildContext is the non-borrowing blocking face: Acquire with the
+// instance released immediately. It offers no protection against the
+// cache closing an evicted io.Closer instance while the caller still uses
+// it — callers holding instances across real work should use Acquire and
+// release when done.
 func (c *Cache) GetOrBuildContext(ctx context.Context, key Key, build func() (any, int64, error)) (any, Outcome, error) {
+	v, out, release, err := c.Acquire(ctx, key, build)
+	release()
+	return v, out, err
+}
+
+// ReleaseFunc returns a borrowed instance to the cache's lifecycle
+// management. It is idempotent and never nil.
+type ReleaseFunc func()
+
+// releaseNop is the shared release for un-tracked borrows (no OnEvict
+// hook, non-comparable instance, or no instance at all).
+var releaseNop ReleaseFunc = func() {}
+
+// releaser wraps one loan of inst in an idempotent ReleaseFunc.
+func (c *Cache) releaser(sh *shard, inst any) ReleaseFunc {
+	if !sh.trackBorrows(inst) {
+		return releaseNop
+	}
+	var once sync.Once
+	return func() { once.Do(func() { sh.release(inst) }) }
+}
+
+// runBuild invokes a caller-supplied constructor for key. A panicking
+// constructor fails the in-flight build first — waking coalesced waiters
+// and arming the negative cache instead of leaving a pending entry that
+// deadlocks every later caller — and then re-raises.
+func runBuild(sh *shard, key Key, build func() (any, int64, error)) (v any, bytes int64, err error) {
+	returned := false
+	defer func() {
+		if !returned {
+			sh.fail(key, fmt.Errorf("multiplex: build %s panicked", key.Callee))
+		}
+	}()
+	v, bytes, err = build()
+	returned = true
+	return v, bytes, err
+}
+
+// Acquire is the blocking face used by the live platform: it returns the
+// cached instance for key, or runs build exactly once per miss while
+// concurrent callers wait (singleflight). The Outcome classifies how the
+// creation was served; on OutcomeStale the instance returns immediately
+// while build runs in the background (a panicking refresh is recovered
+// and recorded as a failed build). Errors are typed: ErrBuildFailed (own
+// build or negative-cache denial, with the constructor's error in the
+// chain), ErrCacheClosed, or the context's error when ctx ends while
+// coalesced on another caller's build.
+//
+// The returned ReleaseFunc marks the end of the caller's use of the
+// instance: until it runs, any eviction of the instance (LRU overflow,
+// TTL expiry, refresh replacement, Invalidate, Close) defers the OnEvict
+// hook, so a cached client is never closed out from under a caller
+// mid-use. It is never nil, idempotent, and must be called exactly once
+// — a forgotten release pins an evicted instance's OnEvict forever.
+func (c *Cache) Acquire(ctx context.Context, key Key, build func() (any, int64, error)) (any, Outcome, ReleaseFunc, error) {
 	sh := c.shardFor(key)
 	for {
-		res, inst, done, lastErr, closed := sh.beginBlocking(key)
+		res, inst, done, lastErr, closed := sh.beginBlocking(key, true)
 		if closed {
-			return nil, OutcomeError, fmt.Errorf("multiplex: get %s: %w", key.Callee, ErrCacheClosed)
+			return nil, OutcomeError, releaseNop, fmt.Errorf("multiplex: get %s: %w", key.Callee, ErrCacheClosed)
 		}
 		switch res {
 		case BeginHit:
-			return inst, OutcomeHit, nil
+			return inst, OutcomeHit, c.releaser(sh, inst), nil
 		case BeginStale:
 			// This caller owns the refresh; serve stale now, rebuild in the
-			// background.
+			// background. The goroutine must always settle the entry: a
+			// panic in the constructor is recovered into a failed refresh
+			// so the entry is not pinned refreshing forever.
 			go func() {
+				defer func() {
+					if r := recover(); r != nil {
+						sh.fail(key, fmt.Errorf("multiplex: refresh %s panicked: %v", key.Callee, r))
+					}
+				}()
 				v, bytes, err := build()
 				if err != nil {
 					sh.fail(key, err)
@@ -523,25 +609,30 @@ func (c *Cache) GetOrBuildContext(ctx context.Context, key Key, build func() (an
 				}
 				sh.complete(key, v, bytes)
 			}()
-			return inst, OutcomeStale, nil
+			return inst, OutcomeStale, c.releaser(sh, inst), nil
 		case BeginNegative:
-			return nil, OutcomeNegative, &buildError{key: key, cause: negativeCause(lastErr)}
+			return nil, OutcomeNegative, releaseNop, &buildError{key: key, cause: negativeCause(lastErr)}
 		case BeginMiss:
-			v, bytes, err := build()
+			v, bytes, err := runBuild(sh, key, build)
 			if err != nil {
 				sh.fail(key, err)
-				return nil, OutcomeError, &buildError{key: key, cause: err}
+				return nil, OutcomeError, releaseNop, &buildError{key: key, cause: err}
 			}
+			// Register the loan before publishing: once complete runs the
+			// instance is evictable (and the duplicate/orphan paths inside
+			// complete release through OnEvict), but this caller is about
+			// to return it.
+			sh.borrow(v)
 			sh.complete(key, v, bytes)
-			return v, OutcomeMiss, nil
+			return v, OutcomeMiss, c.releaser(sh, v), nil
 		default: // BeginPending: coalesce onto the in-flight build.
 			select {
 			case <-done:
 			case <-ctx.Done():
-				return nil, OutcomeError, fmt.Errorf("multiplex: wait for %s: %w", key.Callee, ctx.Err())
+				return nil, OutcomeError, releaseNop, fmt.Errorf("multiplex: wait for %s: %w", key.Callee, ctx.Err())
 			}
-			if v, ok := sh.readyValue(key); ok {
-				return v, OutcomeCoalesced, nil
+			if v, ok := sh.readyValue(key, true); ok {
+				return v, OutcomeCoalesced, c.releaser(sh, v), nil
 			}
 			// The build failed; loop — the negative cache denies, or this
 			// caller becomes the builder.

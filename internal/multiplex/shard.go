@@ -1,6 +1,7 @@
 package multiplex
 
 import (
+	"reflect"
 	"sync"
 	"time"
 )
@@ -24,9 +25,16 @@ type entry struct {
 	waiters  []func(any)   // event-driven waiters
 	done     chan struct{} // blocking waiters
 	// refreshing marks a ready entry whose background rebuild is in
-	// flight (stale-while-revalidate); it stays servable and is never an
-	// eviction victim until the refresh settles.
+	// flight (stale-while-revalidate); it stays servable and is never
+	// dropped — not by LRU overflow, not by TTL expiry, not by
+	// Invalidate — until the refresh settles. Dropping it would strand
+	// the refresher's Complete/Fail on a different entry for the same key
+	// (cross-talk between two concurrent builds).
 	refreshing bool
+	// doomed marks a refreshing entry that was invalidated mid-refresh:
+	// a completing refresh replaces the condemned instance as usual, a
+	// failing refresh drops the entry instead of keeping it.
+	doomed bool
 	// expireAt is the clock reading at which the instance expires
 	// (0 = immortal).
 	expireAt time.Duration
@@ -50,6 +58,14 @@ type evicted struct {
 	bytes    int64
 }
 
+// borrowState refcounts one instance lent to blocking callers (Acquire).
+// While count > 0 any eviction record naming the instance is parked in
+// pending instead of reaching OnEvict; the last release fires them.
+type borrowState struct {
+	count   int
+	pending []evicted
+}
+
 // shard is one lock stripe: a map plus an intrusive LRU of ready entries.
 type shard struct {
 	cache *Cache
@@ -64,6 +80,10 @@ type shard struct {
 	bytesLive  int64
 	stats      Stats // scalar counters only; gauges derive from fields above
 	closed     bool
+	// borrows tracks instances currently lent out by Acquire, keyed by
+	// instance identity. Guarded by mu; kept usable after close so late
+	// releases still fire deferred evictions.
+	borrows map[any]*borrowState
 }
 
 // --- LRU list (callers hold s.mu) ---
@@ -140,27 +160,117 @@ func (s *shard) inRefreshWindow(e *entry, now time.Duration) bool {
 	return w > 0 && e.expireAt > 0 && now >= e.expireAt-w
 }
 
-// fire invokes the OnEvict closer hook for every collected instance.
-// Callers must have released s.mu.
+// fire invokes the OnEvict closer hook for every collected instance,
+// except those still lent out by Acquire: their records are parked and
+// fire when the last borrower releases. Callers must have released s.mu.
 func (s *shard) fire(evs []evicted) {
 	hook := s.cache.cfg.OnEvict
 	if hook == nil {
 		return
 	}
 	for _, ev := range evs {
+		if s.deferWhileBorrowed(ev) {
+			continue
+		}
 		hook(ev.key, ev.instance, ev.bytes)
+	}
+}
+
+// hashable reports whether v can key the borrow map (non-comparable
+// instances — slices, maps, funcs — cannot be tracked and fall back to
+// immediate OnEvict on eviction).
+func hashable(v any) bool {
+	if v == nil {
+		return false
+	}
+	return reflect.TypeOf(v).Comparable()
+}
+
+// trackBorrows reports whether borrow bookkeeping buys anything: without
+// an OnEvict hook there is nothing to defer.
+func (s *shard) trackBorrows(inst any) bool {
+	return s.cache.cfg.OnEvict != nil && hashable(inst)
+}
+
+// borrowLocked registers one loan of inst. Callers hold s.mu and have
+// checked trackBorrows.
+func (s *shard) borrowLocked(inst any) {
+	if s.borrows == nil {
+		s.borrows = make(map[any]*borrowState)
+	}
+	st := s.borrows[inst]
+	if st == nil {
+		st = &borrowState{}
+		s.borrows[inst] = st
+	}
+	st.count++
+}
+
+// borrow is borrowLocked for callers not yet holding s.mu (the miss-path
+// builder registers its instance before publishing it).
+func (s *shard) borrow(inst any) {
+	if !s.trackBorrows(inst) {
+		return
+	}
+	s.mu.Lock()
+	s.borrowLocked(inst)
+	s.mu.Unlock()
+}
+
+// deferWhileBorrowed parks ev if its instance is still lent out,
+// reporting whether the OnEvict hook must wait for the last release.
+func (s *shard) deferWhileBorrowed(ev evicted) bool {
+	if !hashable(ev.instance) {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.borrows[ev.instance]
+	if st == nil || st.count <= 0 {
+		return false
+	}
+	st.pending = append(st.pending, ev)
+	return true
+}
+
+// release returns one loan of inst; the last release fires any eviction
+// records that were parked while the instance was lent out.
+func (s *shard) release(inst any) {
+	if !s.trackBorrows(inst) {
+		return
+	}
+	s.mu.Lock()
+	st := s.borrows[inst]
+	if st == nil {
+		s.mu.Unlock()
+		return
+	}
+	st.count--
+	if st.count > 0 {
+		s.mu.Unlock()
+		return
+	}
+	pending := st.pending
+	delete(s.borrows, inst)
+	s.mu.Unlock()
+	for _, ev := range pending {
+		s.cache.cfg.OnEvict(ev.key, ev.instance, ev.bytes)
 	}
 }
 
 // beginLocked is the shared lookup of both faces. Callers hold s.mu. It
 // returns the begin result, the instance (hit/stale), the done channel
 // (pending), the last build error (negative) and any evictions to fire.
-func (s *shard) beginLocked(key Key) (BeginResult, any, chan struct{}, error, []evicted) {
+// borrow registers a loan on any returned instance (the blocking face's
+// Acquire; the event-driven face never borrows).
+func (s *shard) beginLocked(key Key, borrow bool) (BeginResult, any, chan struct{}, error, []evicted) {
 	now := s.cache.cfg.Now()
 	e, ok := s.entries[key]
-	if ok && e.state == stateReady && e.expired(now) {
+	if ok && e.state == stateReady && e.expired(now) && !e.refreshing {
 		// Lazy TTL expiry: the instance is released through OnEvict and
-		// this caller rebuilds.
+		// this caller rebuilds. An expired entry whose refresh is in
+		// flight is NOT dropped — its refresher's Complete/Fail must find
+		// it — so it falls through and keeps serving stale below.
 		ev := s.dropReadyLocked(e)
 		s.stats.Expired++
 		s.stats.Misses++
@@ -180,11 +290,17 @@ func (s *shard) beginLocked(key Key) (BeginResult, any, chan struct{}, error, []
 			s.stats.Refreshes++
 			s.stats.BytesSaved += e.bytes
 			s.lruTouch(e)
+			if borrow && s.trackBorrows(e.instance) {
+				s.borrowLocked(e.instance)
+			}
 			return BeginStale, e.instance, nil, nil, nil
 		}
 		s.stats.Hits++
 		s.stats.BytesSaved += e.bytes
 		s.lruTouch(e)
+		if borrow && s.trackBorrows(e.instance) {
+			s.borrowLocked(e.instance)
+		}
 		return BeginHit, e.instance, nil, nil, nil
 	case stateNegative:
 		if now >= e.retryAt {
@@ -212,22 +328,23 @@ func (s *shard) begin(key Key) (BeginResult, any) {
 		s.mu.Unlock()
 		return BeginMiss, nil
 	}
-	res, inst, _, _, evs := s.beginLocked(key)
+	res, inst, _, _, evs := s.beginLocked(key, false)
 	s.mu.Unlock()
 	s.fire(evs)
 	return res, inst
 }
 
 // beginBlocking is the blocking face's lookup; closed reports a closed
-// cache (GetOrBuildContext turns it into ErrCacheClosed).
-func (s *shard) beginBlocking(key Key) (res BeginResult, inst any, done chan struct{}, lastErr error, closed bool) {
+// cache (Acquire turns it into ErrCacheClosed). borrow registers a loan
+// on any instance returned.
+func (s *shard) beginBlocking(key Key, borrow bool) (res BeginResult, inst any, done chan struct{}, lastErr error, closed bool) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return 0, nil, nil, nil, true
 	}
 	var evs []evicted
-	res, inst, done, lastErr, evs = s.beginLocked(key)
+	res, inst, done, lastErr, evs = s.beginLocked(key, borrow)
 	s.mu.Unlock()
 	s.fire(evs)
 	return res, inst, done, lastErr, false
@@ -235,12 +352,16 @@ func (s *shard) beginBlocking(key Key) (res BeginResult, inst any, done chan str
 
 // readyValue reports the instance for key if it is ready and unexpired —
 // the recheck a coalesced waiter performs after the build settles.
-func (s *shard) readyValue(key Key) (any, bool) {
+// borrow registers a loan on the returned instance.
+func (s *shard) readyValue(key Key, borrow bool) (any, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.entries[key]
-	if !ok || e.state != stateReady || e.expired(s.cache.cfg.Now()) {
+	if !ok || e.state != stateReady || (e.expired(s.cache.cfg.Now()) && !e.refreshing) {
 		return nil, false
+	}
+	if borrow && s.trackBorrows(e.instance) {
+		s.borrowLocked(e.instance)
 	}
 	return e.instance, true
 }
@@ -304,12 +425,15 @@ func (s *shard) complete(key Key, instance any, bytes int64) {
 		evs = s.evictOverflowLocked(evs)
 	case stateReady:
 		if e.refreshing {
-			// Refresh replacement: the stale instance leaves the cache.
+			// Refresh replacement: the stale instance leaves the cache. An
+			// invalidation that condemned the entry mid-refresh is satisfied
+			// too — the condemned instance is exactly what leaves.
 			evs = append(evs, evicted{key: key, instance: e.instance, bytes: e.bytes})
 			s.bytesLive += bytes - e.bytes
 			e.instance = instance
 			e.bytes = bytes
 			e.refreshing = false
+			e.doomed = false
 			if ttl := s.cache.cfg.TTL; ttl > 0 {
 				e.expireAt = now + ttl
 			}
@@ -339,6 +463,7 @@ func (s *shard) fail(key Key, cause error) {
 		return
 	}
 	var waiters []func(any)
+	var evs []evicted
 	switch e.state {
 	case statePending:
 		s.stats.BuildFailures++
@@ -362,15 +487,22 @@ func (s *shard) fail(key Key, cause error) {
 		}
 	case stateReady:
 		if e.refreshing {
-			// A failed refresh keeps the stale instance until hard expiry;
-			// the next stale hit may try again.
 			e.refreshing = false
 			s.stats.BuildFailures++
+			if e.doomed {
+				// Invalidated mid-refresh: the failed refresh cannot replace
+				// the condemned instance, so the entry leaves now instead of
+				// lingering until hard expiry.
+				evs = append(evs, s.dropReadyLocked(e))
+			}
+			// Otherwise a failed refresh keeps the stale instance until
+			// hard expiry; the next stale hit may try again.
 		}
 		// Fail on a plain ready key must not evict it (seed semantics).
 	default: // stateNegative: already settled
 	}
 	s.mu.Unlock()
+	s.fire(evs)
 	for _, w := range waiters {
 		w(nil)
 	}
@@ -414,9 +546,16 @@ func (s *shard) invalidate(key Key) bool {
 	var evs []evicted
 	switch e.state {
 	case stateReady:
-		// A refresh in flight will find the key pending-less and release
-		// its instance through the orphan path in complete.
-		evs = append(evs, s.dropReadyLocked(e))
+		if e.refreshing {
+			// Never drop an entry whose refresh is in flight — the
+			// refresher's Complete/Fail must find it. Condemn it instead:
+			// a completing refresh replaces the instance anyway, a failing
+			// refresh drops the entry. Until then the condemned instance
+			// keeps being served, as stale-while-revalidate already does.
+			e.doomed = true
+		} else {
+			evs = append(evs, s.dropReadyLocked(e))
+		}
 	default: // stateNegative
 		delete(s.entries, key)
 		s.negCount--

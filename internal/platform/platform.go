@@ -104,11 +104,44 @@ type Resources struct {
 	cache *multiplex.Cache
 	inj   *chaos.Injector
 
-	// Trace context (zero on shared, untraced views).
+	// borrows collects the release half of every cache loan this view
+	// hands out. The platform gives each invocation its own view and
+	// releases after the handler returns, so an instance evicted while
+	// the handler still uses it is closed only once the handler is done.
+	// Nil on views without a release bracket (those fall back to the
+	// non-borrowing face).
+	borrows *borrowSet
+
+	// Trace context (zero on untraced views).
 	tracer    *obs.Tracer
 	trace     uint64
 	fn        string
 	container string
+}
+
+// borrowSet is one invocation's outstanding resource loans. Handlers may
+// call GetContext from concurrent goroutines, so it locks.
+type borrowSet struct {
+	mu       sync.Mutex
+	releases []multiplex.ReleaseFunc
+}
+
+func (b *borrowSet) add(r multiplex.ReleaseFunc) {
+	b.mu.Lock()
+	b.releases = append(b.releases, r)
+	b.mu.Unlock()
+}
+
+// releaseAll returns every borrowed instance, firing any eviction closes
+// that were deferred while the invocation held them.
+func (b *borrowSet) releaseAll() {
+	b.mu.Lock()
+	rs := b.releases
+	b.releases = nil
+	b.mu.Unlock()
+	for _, r := range rs {
+		r()
+	}
 }
 
 // GetContext returns the shared instance for (callee, argsKey), building
@@ -119,6 +152,13 @@ type Resources struct {
 // absorbed by backoff (the error matches ErrBuildFailed without the
 // build having run). Errors match ErrBuildFailed / ErrCacheClosed with
 // errors.Is; a done ctx abandons a coalesced wait with ctx.Err.
+//
+// A returned instance is borrowed for the rest of the invocation: if the
+// cache evicts it (capacity, TTL, a concurrent Invalidate, container
+// retirement) while the handler still holds it, its io.Closer runs only
+// after the handler returns — never mid-use. Instances kept beyond the
+// invocation (e.g. captured by a goroutine the handler leaves behind)
+// lose that protection.
 //
 // When the platform runs without multiplexing, every call builds a fresh
 // instance and reports OutcomeMiss.
@@ -165,7 +205,16 @@ func (r *Resources) getCached(ctx context.Context, callee, argsKey string, build
 		}
 		return v, OutcomeMiss, nil
 	}
-	return r.cache.GetOrBuildContext(ctx, multiplex.NewKey(callee, argsKey), build)
+	key := multiplex.NewKey(callee, argsKey)
+	if r.borrows == nil {
+		return r.cache.GetOrBuildContext(ctx, key, build)
+	}
+	// Borrow the instance for the rest of the invocation: if it is
+	// evicted while the handler still holds it, its Closer runs only
+	// after the handler returns.
+	v, out, release, err := r.cache.Acquire(ctx, key, build)
+	r.borrows.add(release)
+	return v, out, err
 }
 
 // Get returns the shared instance for (callee, argsKey). The boolean
@@ -658,7 +707,9 @@ func (p *Platform) retireLocked(f *function, c *container) {
 // top of any user OnEvict: every instance leaving a cache (evicted,
 // expired, replaced by a refresh, invalidated or released at container
 // retirement) that implements io.Closer is closed, so cached clients
-// release their sockets deterministically.
+// release their sockets deterministically. The cache defers this hook
+// for instances a running invocation borrowed (see Resources.GetContext),
+// so the close lands after the last borrowing handler returns.
 func (p *Platform) containerCacheConfig() multiplex.Config {
 	mcfg := p.cfg.Multiplexer
 	user := mcfg.OnEvict
@@ -824,17 +875,23 @@ func (p *Platform) runGroupOne(f *function, group []*pendingCall) {
 		go func() {
 			defer wg.Done()
 			start := time.Now()
-			res := c.resources
+			// Every invocation gets its own multiplexer view: it scopes the
+			// resource borrows released below, and on traced calls carries
+			// the trace so client builds span on the invocation that paid
+			// for them.
+			res := &Resources{
+				cache: c.resources.cache, inj: c.resources.inj,
+				borrows: &borrowSet{},
+			}
 			if call.trace != 0 {
-				// A per-invocation multiplexer view carries the trace, so
-				// client builds span on the invocation that paid for them.
-				res = &Resources{
-					cache: c.resources.cache, inj: c.resources.inj,
-					tracer: p.tracer, trace: call.trace, fn: f.name, container: c.id,
-				}
+				res.tracer, res.trace = p.tracer, call.trace
+				res.fn, res.container = f.name, c.id
 			}
 			inv := &Invocation{Payload: call.payload, Resources: res, ContainerID: c.id}
 			value, err := p.runHandler(f, call.ctx, inv)
+			// The handler is done with everything it borrowed; deferred
+			// eviction closes fire now, before the result is published.
+			res.borrows.releaseAll()
 			end := time.Now()
 			if call.trace != 0 {
 				attempt := call.attempts + 1

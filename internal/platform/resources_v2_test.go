@@ -156,6 +156,53 @@ func TestEvictedClientsAreClosed(t *testing.T) {
 	}
 }
 
+// TestBorrowedClientClosesAfterHandlerReturns: a client evicted while
+// the handler that fetched it is still running must not be closed
+// mid-use — the close fires after the handler returns (borrow tracking),
+// and the handler can keep using the evicted client meanwhile.
+func TestBorrowedClientClosesAfterHandlerReturns(t *testing.T) {
+	cfg := quickConfig(ModeBatch)
+	cfg.Multiplexer = multiplex.Config{MaxEntries: 1}
+	p := newPlatform(t, cfg)
+	var closedA, closedB atomic.Int64
+	err := p.Register("fn", func(ctx context.Context, inv *Invocation) (any, error) {
+		a, _, err := inv.Resources.GetContext(ctx, "s3", "a", func() (any, int64, error) {
+			return &closerClient{closed: &closedA}, 4, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Building B overflows the 1-entry cache and evicts A, which this
+		// handler still holds.
+		if _, _, err := inv.Resources.GetContext(ctx, "s3", "b", func() (any, int64, error) {
+			return &closerClient{closed: &closedB}, 4, nil
+		}); err != nil {
+			return nil, err
+		}
+		if n := closedA.Load(); n != 0 {
+			return nil, fmt.Errorf("client A closed %d times while the handler still uses it", n)
+		}
+		// A is evicted but must remain usable for the rest of the
+		// invocation.
+		if a.(*closerClient).closed == nil {
+			return nil, errors.New("client A unusable")
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, err := p.Invoke(context.Background(), "fn", nil); err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if n := closedA.Load(); n != 1 {
+		t.Fatalf("client A closed %d times after the invocation, want 1", n)
+	}
+	if n := closedB.Load(); n != 0 {
+		t.Fatalf("client B closed %d times while cached, want 0", n)
+	}
+}
+
 // TestDeprecatedGetStillWorks locks the compatibility wrapper: the
 // boolean face reports cached-ness exactly as the seed API did.
 func TestDeprecatedGetStillWorks(t *testing.T) {
