@@ -1,0 +1,182 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"faasbatch/internal/experiment"
+	"faasbatch/internal/metrics"
+	"faasbatch/internal/platform"
+	"faasbatch/internal/trace"
+	"faasbatch/internal/workload"
+)
+
+// dispatchRun is one (trace, mode) simulation's scheduling summary.
+type dispatchRun struct {
+	Trace              string  `json:"trace"`
+	Mode               string  `json:"mode"`
+	Invocations        int     `json:"invocations"`
+	SchedP50Millis     float64 `json:"sched_p50_ms"`
+	SchedP99Millis     float64 `json:"sched_p99_ms"`
+	AvgGroupSize       float64 `json:"avg_group_size"`
+	FastPathDispatches int64   `json:"fast_path_dispatches"`
+	EarlyCloses        int64   `json:"early_closes"`
+}
+
+// liveRun is one lone wall-clock invocation on an idle live platform.
+type liveRun struct {
+	Mode        string  `json:"mode"`
+	SchedMillis float64 `json:"sched_ms"`
+}
+
+// dispatchReport is the BENCH_dispatch.json shape.
+type dispatchReport struct {
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	NumCPU int    `json:"num_cpu"`
+	// Interval is the fixed window and the adaptive cap (the paper's
+	// 0.2 s default), so the two modes are directly comparable.
+	IntervalMillis float64       `json:"interval_ms"`
+	Sim            []dispatchRun `json:"sim"`
+	Live           []liveRun     `json:"live"`
+	// SparseP50Speedup is fixed/adaptive p50 scheduling delay on the
+	// sparse trace (how much window wait the fast path removes).
+	SparseP50Speedup float64 `json:"sparse_p50_speedup"`
+	// BurstyGroupRatio is adaptive/fixed average group size on the bursty
+	// trace (1.0 = batching fully preserved; the acceptance floor is 0.9).
+	BurstyGroupRatio float64 `json:"bursty_group_ratio"`
+}
+
+const dispatchInterval = 200 * time.Millisecond
+
+// runDispatch measures fixed vs adaptive dispatch and writes the report.
+func runDispatch(w io.Writer) error {
+	rep := dispatchReport{
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		NumCPU:         runtime.NumCPU(),
+		IntervalMillis: float64(dispatchInterval.Milliseconds()),
+	}
+
+	scfg := trace.DefaultBurstConfig(workload.IO)
+	scfg.N = 200
+	sparse, err := trace.SynthesizeSteady(scfg)
+	if err != nil {
+		return err
+	}
+	// Pure dense bursts (no background Poisson arrivals): this report
+	// measures how much of a dense burst's batching the adaptive
+	// controller preserves; sparse singletons are the sparse trace's
+	// job. Longer bursts amortise the one idle fast-path each burst
+	// head pays before the rate estimate re-primes.
+	bcfg := trace.DefaultBurstConfig(workload.IO)
+	bcfg.BurstFraction = 1.0
+	bcfg.MeanBurstSize = 160
+	bursty, err := trace.SynthesizeBurst(bcfg)
+	if err != nil {
+		return err
+	}
+
+	traces := []struct {
+		name string
+		tr   trace.Trace
+	}{{"sparse", sparse}, {"bursty", bursty}}
+	runs := map[string]dispatchRun{}
+	for _, tc := range traces {
+		for _, adaptive := range []bool{false, true} {
+			run, err := simRun(tc.name, tc.tr, adaptive)
+			if err != nil {
+				return err
+			}
+			rep.Sim = append(rep.Sim, run)
+			runs[run.Trace+"/"+run.Mode] = run
+		}
+	}
+	if p50 := runs["sparse/adaptive"].SchedP50Millis; p50 > 0 {
+		rep.SparseP50Speedup = round3(runs["sparse/fixed"].SchedP50Millis / p50)
+	}
+	if grp := runs["bursty/fixed"].AvgGroupSize; grp > 0 {
+		rep.BurstyGroupRatio = round3(runs["bursty/adaptive"].AvgGroupSize / grp)
+	}
+
+	for _, adaptive := range []bool{false, true} {
+		lr, err := liveLoneInvocation(adaptive)
+		if err != nil {
+			return err
+		}
+		rep.Live = append(rep.Live, lr)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// simRun replays one trace through the simulator under one dispatch mode.
+func simRun(name string, tr trace.Trace, adaptive bool) (dispatchRun, error) {
+	res, err := experiment.Run(experiment.Config{
+		Policy:           experiment.PolicyFaaSBatch,
+		Trace:            tr,
+		Seed:             13,
+		Interval:         dispatchInterval,
+		AdaptiveDispatch: adaptive,
+	})
+	if err != nil {
+		return dispatchRun{}, err
+	}
+	sched := res.CDF(metrics.Scheduling)
+	run := dispatchRun{
+		Trace:          name,
+		Mode:           modeName(adaptive),
+		Invocations:    tr.Len(),
+		SchedP50Millis: millis(sched.P(0.5)),
+		SchedP99Millis: millis(sched.P(0.99)),
+	}
+	if res.Batch != nil {
+		run.AvgGroupSize = round3(res.Batch.AvgGroupSize())
+		run.FastPathDispatches = res.Batch.FastPathDispatches
+		run.EarlyCloses = res.Batch.EarlyCloses
+	}
+	return run, nil
+}
+
+// liveLoneInvocation measures the wall-clock scheduling delay of a single
+// invocation on an otherwise idle live platform: the fixed window makes it
+// wait up to a full interval; the adaptive fast path dispatches at once
+// (the acceptance bound is < 5ms).
+func liveLoneInvocation(adaptive bool) (liveRun, error) {
+	cfg := platform.DefaultConfig()
+	cfg.DispatchInterval = dispatchInterval
+	cfg.AdaptiveDispatch = adaptive
+	cfg.ColdStart = 0
+	p, err := platform.New(cfg)
+	if err != nil {
+		return liveRun{}, err
+	}
+	defer p.Close()
+	if err := p.Register("echo", func(_ context.Context, inv *platform.Invocation) (any, error) {
+		return string(inv.Payload), nil
+	}); err != nil {
+		return liveRun{}, err
+	}
+	res, err := p.Invoke(context.Background(), "echo", nil)
+	if err != nil {
+		return liveRun{}, fmt.Errorf("lone invocation (%s): %w", modeName(adaptive), err)
+	}
+	return liveRun{Mode: modeName(adaptive), SchedMillis: millis(res.Sched)}, nil
+}
+
+func modeName(adaptive bool) string {
+	if adaptive {
+		return "adaptive"
+	}
+	return "fixed"
+}
+
+func millis(d time.Duration) float64 {
+	return round3(float64(d.Microseconds()) / 1000)
+}

@@ -12,11 +12,20 @@
 // striping only manifests on multi-core hosts: on a single-CPU machine at
 // most one goroutine runs at a time, so even a single global mutex is
 // almost never contended. The report records NumCPU so readers can judge.
+//
+// With -dispatch the command ignores stdin and instead benchmarks the
+// Invoke Mapper itself: fixed vs adaptive dispatch windows on sparse and
+// bursty synthetic traces (deterministic simulations), plus a lone
+// wall-clock invocation on an idle live platform per mode. The JSON lands
+// in BENCH_dispatch.json in CI.
+//
+//	go run ./cmd/benchjson -dispatch > BENCH_dispatch.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -46,6 +55,15 @@ type report struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
 
 func main() {
+	dispatchMode := flag.Bool("dispatch", false, "benchmark fixed vs adaptive dispatch windows instead of parsing stdin")
+	flag.Parse()
+	if *dispatchMode {
+		if err := runDispatch(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: dispatch:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	rep := report{
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,

@@ -57,6 +57,9 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	mode := fs.String("mode", "faasbatch", "scheduling mode: faasbatch or vanilla")
 	interval := fs.Duration("interval", 200*time.Millisecond, "dispatch interval (faasbatch mode)")
+	adaptive := fs.Bool("adaptive", false, "adaptive dispatch windows: size per-function windows from the arrival rate, capped at -interval")
+	minInterval := fs.Duration("min-interval", 0, "adaptive window floor (0 = platform default)")
+	maxGroup := fs.Int("max-group", 0, "early-close an adaptive window at this group size (0 = no cap)")
 	coldStart := fs.Duration("coldstart", 100*time.Millisecond, "simulated container boot time")
 	keepAlive := fs.Duration("keepalive", 2*time.Minute, "idle container keep-alive")
 	noMux := fs.Bool("no-multiplex", false, "disable the Resource Multiplexer")
@@ -86,6 +89,9 @@ func run(args []string) error {
 	cfg := platform.DefaultConfig()
 	cfg.Logger = logger
 	cfg.DispatchInterval = *interval
+	cfg.AdaptiveDispatch = *adaptive
+	cfg.MinInterval = *minInterval
+	cfg.MaxGroupSize = *maxGroup
 	cfg.ColdStart = *coldStart
 	cfg.KeepAlive = *keepAlive
 	cfg.Multiplex = !*noMux
@@ -145,8 +151,8 @@ func run(args []string) error {
 	// Registration is complete: /healthz may truthfully report ready.
 	p.SetReady(true)
 
-	fmt.Printf("faasgate: %s mode, interval %v, multiplex %v, listening on %s\n",
-		cfg.Mode, cfg.DispatchInterval, cfg.Multiplex, *addr)
+	fmt.Printf("faasgate: %s mode, interval %v, adaptive %v, multiplex %v, listening on %s\n",
+		cfg.Mode, cfg.DispatchInterval, cfg.AdaptiveDispatch, cfg.Multiplex, *addr)
 	handler := platform.NewHTTPHandler(p)
 	if *pprofOn {
 		handler = withPprof(handler)

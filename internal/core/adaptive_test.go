@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"faasbatch/internal/workload"
+)
+
+// adaptiveConfig returns the paper's defaults with the adaptive
+// controller switched on (cap = the fixed interval).
+func adaptiveConfig() Config {
+	cfg := DefaultConfig()
+	cfg.AdaptiveDispatch = true
+	return cfg
+}
+
+// TestAdaptiveLoneArrivalFastPaths: a lone invocation on an idle
+// scheduler must not eat a dispatch window — its scheduling latency is
+// just the batch HTTP hop.
+func TestAdaptiveLoneArrivalFastPaths(t *testing.T) {
+	env := testEnv(t)
+	f := newScheduler(t, env, adaptiveConfig())
+	spec := workload.IOSpec("s3func")
+	recs := runAll(t, env, f, []workload.Spec{spec}, []time.Duration{10 * time.Millisecond})
+	if len(recs) != 1 {
+		t.Fatalf("records = %d, want 1", len(recs))
+	}
+	if got := recs[0].Sched; got > 2*time.Millisecond {
+		t.Fatalf("lone arrival Sched = %v, want ~HTTPLatency (fixed interval would be up to 200ms)", got)
+	}
+	st := f.Stats()
+	if st.FastPathDispatches != 1 {
+		t.Fatalf("FastPathDispatches = %d, want 1", st.FastPathDispatches)
+	}
+}
+
+// TestAdaptiveSparseTrafficAvoidsWindowWait: sparse arrivals (1 per
+// second, far beyond the 200ms cap) all fast-path.
+func TestAdaptiveSparseTrafficAvoidsWindowWait(t *testing.T) {
+	env := testEnv(t)
+	f := newScheduler(t, env, adaptiveConfig())
+	const n = 20
+	specs := make([]workload.Spec, n)
+	offsets := make([]time.Duration, n)
+	for i := range specs {
+		specs[i] = workload.IOSpec("s3func")
+		offsets[i] = time.Duration(i) * time.Second
+	}
+	recs := runAll(t, env, f, specs, offsets)
+	for i, r := range recs {
+		if r.Sched > 5*time.Millisecond {
+			t.Fatalf("sparse arrival %d Sched = %v, want near-immediate dispatch", i, r.Sched)
+		}
+	}
+	st := f.Stats()
+	if st.AvgGroupSize() > 1.01 {
+		t.Fatalf("AvgGroupSize = %.2f, want ~1 on sparse traffic", st.AvgGroupSize())
+	}
+}
+
+// TestAdaptiveDenseBurstStillBatches: a dense burst must group nearly as
+// well as the fixed window — the adaptive controller grows each window
+// toward the cap once the EWMA sees tight gaps.
+func TestAdaptiveDenseBurstStillBatches(t *testing.T) {
+	const n = 1000
+	specs := make([]workload.Spec, n)
+	offsets := make([]time.Duration, n)
+	for i := range specs {
+		specs[i] = workload.IOSpec("s3func")
+		offsets[i] = time.Duration(i) * 2 * time.Millisecond // 500/s
+	}
+
+	run := func(cfg Config) Stats {
+		env := testEnv(t)
+		f := newScheduler(t, env, cfg)
+		runAll(t, env, f, specs, offsets)
+		return f.Stats()
+	}
+	fixed := run(DefaultConfig())
+	adaptive := run(adaptiveConfig())
+
+	if fixed.Groups == 0 || adaptive.Groups == 0 {
+		t.Fatalf("no groups dispatched: fixed %d, adaptive %d", fixed.Groups, adaptive.Groups)
+	}
+	// Within 10% of the fixed baseline's grouping (the Fig. 11 criterion).
+	if adaptive.AvgGroupSize() < fixed.AvgGroupSize()*0.9 {
+		t.Fatalf("adaptive AvgGroupSize = %.2f, fixed = %.2f: adaptive lost more than 10%% of the batching",
+			adaptive.AvgGroupSize(), fixed.AvgGroupSize())
+	}
+}
+
+// TestAdaptiveEarlyCloseBoundsGroups: with MaxGroupSize set, no group
+// exceeds the cap and early closes are counted.
+func TestAdaptiveEarlyCloseBoundsGroups(t *testing.T) {
+	cfg := adaptiveConfig()
+	cfg.MaxGroupSize = 8
+	env := testEnv(t)
+	f := newScheduler(t, env, cfg)
+	const n = 100
+	specs := make([]workload.Spec, n)
+	offsets := make([]time.Duration, n)
+	for i := range specs {
+		specs[i] = workload.IOSpec("s3func")
+		offsets[i] = time.Duration(i) * time.Millisecond
+	}
+	runAll(t, env, f, specs, offsets)
+	st := f.Stats()
+	if st.MaxGroupSize > cfg.MaxGroupSize {
+		t.Fatalf("MaxGroupSize = %d, want <= %d", st.MaxGroupSize, cfg.MaxGroupSize)
+	}
+	if st.EarlyCloses == 0 {
+		t.Fatal("EarlyCloses = 0, want > 0 on a dense stream with a group cap")
+	}
+}
+
+// TestAdaptiveKnobValidation: bad adaptive knobs are rejected.
+func TestAdaptiveKnobValidation(t *testing.T) {
+	env := testEnv(t)
+	cfg := adaptiveConfig()
+	cfg.MinInterval = 300 * time.Millisecond // above the 200ms cap
+	if _, err := New(env, cfg); err == nil {
+		t.Error("min interval above max accepted")
+	}
+	cfg = adaptiveConfig()
+	cfg.MinInterval = -time.Millisecond
+	if _, err := New(env, cfg); err == nil {
+		t.Error("negative min interval accepted")
+	}
+}
+
+// TestAdaptiveCompletesEveryInvocation: conservation under adaptive
+// dispatch — every submission completes exactly once.
+func TestAdaptiveCompletesEveryInvocation(t *testing.T) {
+	env := testEnv(t)
+	f := newScheduler(t, env, adaptiveConfig())
+	const n = 60
+	specs := make([]workload.Spec, n)
+	offsets := make([]time.Duration, n)
+	for i := range specs {
+		if i%3 == 0 {
+			specs[i] = fibSpec(t, 20)
+		} else {
+			specs[i] = workload.IOSpec("s3func")
+		}
+		offsets[i] = time.Duration(i%7) * 30 * time.Millisecond
+	}
+	recs := runAll(t, env, f, specs, offsets)
+	if len(recs) != n {
+		t.Fatalf("records = %d, want %d", len(recs), n)
+	}
+	st := f.Stats()
+	if st.Submitted != n {
+		t.Fatalf("Submitted = %d, want %d", st.Submitted, n)
+	}
+}

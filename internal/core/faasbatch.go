@@ -24,6 +24,7 @@ import (
 	"sort"
 	"time"
 
+	"faasbatch/internal/dispatch"
 	"faasbatch/internal/fnruntime"
 	"faasbatch/internal/multiplex"
 	"faasbatch/internal/node"
@@ -71,7 +72,30 @@ type Config struct {
 	// invocation that exhausts the budget completes with Rec.Failed set —
 	// at-most-(1+MaxRetries) execution attempts, never silent loss.
 	MaxRetries int
+	// AdaptiveDispatch replaces the fixed Invoke Mapper interval with the
+	// load-aware controller (internal/dispatch): lone arrivals with no
+	// batching opportunity dispatch immediately, an EWMA arrival-rate
+	// tracker sizes each function's window within
+	// [MinInterval, MaxInterval], and a window whose group reaches
+	// MaxGroupSize closes early. Off by default — the fixed Interval
+	// remains the paper's behaviour.
+	AdaptiveDispatch bool
+	// MinInterval is the adaptive window floor (AdaptiveDispatch only).
+	// Zero selects DefaultMinInterval.
+	MinInterval time.Duration
+	// MaxInterval is the adaptive window cap (AdaptiveDispatch only).
+	// Zero selects Interval, so adaptive mode never batches more coarsely
+	// than the fixed configuration it replaces.
+	MaxInterval time.Duration
+	// MaxGroupSize early-closes an adaptive window whose group reached
+	// this many invocations (AdaptiveDispatch only; 0 means no cap).
+	MaxGroupSize int
 }
+
+// DefaultMinInterval is the adaptive window floor when none is set: small
+// enough that sparse traffic sees near-immediate dispatch, large enough
+// that same-instant arrivals still fold into one group.
+const DefaultMinInterval = 5 * time.Millisecond
 
 // DefaultConfig returns the paper's defaults.
 func DefaultConfig() Config {
@@ -107,6 +131,15 @@ type Stats struct {
 	// KeepWarmTouches counts keep-alive refreshes of warm containers
 	// for predicted-active functions (Prewarm only).
 	KeepWarmTouches int64
+	// FastPathDispatches counts lone arrivals dispatched immediately by
+	// the adaptive idle fast-path (AdaptiveDispatch only).
+	FastPathDispatches int64
+	// EarlyCloses counts adaptive windows closed before their deadline
+	// because the group reached MaxGroupSize.
+	EarlyCloses int64
+	// WindowDispatches counts adaptive windows that closed at their
+	// deadline.
+	WindowDispatches int64
 }
 
 // AvgGroupSize reports the mean invocations per dispatched group.
@@ -133,9 +166,19 @@ type FaaSBatch struct {
 	// lastActive records each function's most recent arrival time
 	// (Prewarm only).
 	lastActive map[string]sim.Time
-	ticker     *sim.Ticker
-	stats      Stats
-	closed     bool
+	// ticker drives fixed-interval windows; in adaptive mode it exists
+	// only for pre-warming (nil otherwise).
+	ticker *sim.Ticker
+	// ctrl sizes per-function windows in adaptive mode (nil when fixed);
+	// windows holds each function's scheduled window-close event and
+	// windowAt its scheduled time (the controller may extend an open
+	// window's deadline as the arrival estimate densifies, which
+	// reschedules the event).
+	ctrl     *dispatch.Controller
+	windows  map[string]*sim.Event
+	windowAt map[string]sim.Time
+	stats    Stats
+	closed   bool
 }
 
 // attachedGroup is a window group waiting for an in-flight creation.
@@ -172,6 +215,17 @@ func New(env policy.Env, cfg Config) (*FaaSBatch, error) {
 	if cfg.MaxRetries < 0 {
 		return nil, fmt.Errorf("core: max retries must be non-negative, got %d", cfg.MaxRetries)
 	}
+	if cfg.AdaptiveDispatch {
+		if cfg.MaxInterval == 0 {
+			cfg.MaxInterval = cfg.Interval
+		}
+		if cfg.MinInterval == 0 {
+			cfg.MinInterval = DefaultMinInterval
+			if cfg.MinInterval > cfg.MaxInterval {
+				cfg.MinInterval = cfg.MaxInterval
+			}
+		}
+	}
 	f := &FaaSBatch{
 		env:            env,
 		cfg:            cfg,
@@ -180,6 +234,29 @@ func New(env policy.Env, cfg Config) (*FaaSBatch, error) {
 		pendingCreates: make(map[string]int),
 		attached:       make(map[string][]attachedGroup),
 		lastActive:     make(map[string]sim.Time),
+	}
+	if cfg.AdaptiveDispatch {
+		ctrl, err := dispatch.New(dispatch.Config{
+			MinInterval:  cfg.MinInterval,
+			MaxInterval:  cfg.MaxInterval,
+			MaxGroupSize: cfg.MaxGroupSize,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		f.ctrl = ctrl
+		f.windows = make(map[string]*sim.Event)
+		f.windowAt = make(map[string]sim.Time)
+		if cfg.Prewarm {
+			// Per-function window events replace the global tick, but
+			// pre-warming still needs a cadence to refresh predictions on.
+			t, err := sim.NewTicker(env.Eng, cfg.Interval, func(sim.Time) { f.prewarm() })
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			f.ticker = t
+		}
+		return f, nil
 	}
 	t, err := sim.NewTicker(env.Eng, cfg.Interval, func(sim.Time) { f.dispatchWindow() })
 	if err != nil {
@@ -196,24 +273,98 @@ func (f *FaaSBatch) Name() string { return "faasbatch" }
 func (f *FaaSBatch) Stats() Stats { return f.stats }
 
 // Submit implements policy.Scheduler: the Invoke Mapper appends the
-// invocation to its function's group for the current window.
+// invocation to its function's group for the current window. In adaptive
+// mode the dispatch controller decides whether the arrival dispatches
+// immediately (idle fast-path, early close) or waits for its function's
+// load-sized window.
 func (f *FaaSBatch) Submit(inv *fnruntime.Invocation, complete func(*fnruntime.Invocation)) {
 	f.stats.Submitted++
 	fn := inv.Spec.Name
 	if f.cfg.Prewarm {
 		f.lastActive[fn] = f.env.Eng.Now()
 	}
-	f.pending[fn] = append(f.pending[fn], &pendingItem{inv: inv, complete: complete})
+	item := &pendingItem{inv: inv, complete: complete}
+	if !f.cfg.AdaptiveDispatch {
+		f.pending[fn] = append(f.pending[fn], item)
+		return
+	}
+	// The arrival is idle (no batching opportunity) when nothing of its
+	// function waits, executes or boots: a window would hold it for
+	// nothing unless the arrival process says company is coming.
+	idle := len(f.pending[fn]) == 0 && f.busyContainer(fn) == nil && f.pendingCreates[fn] == 0
+	f.pending[fn] = append(f.pending[fn], item)
+	f.applyDecision(fn, f.ctrl.Arrive(fn, f.env.Eng.Now().Duration(), idle))
 }
 
-// Close stops the dispatch ticker after flushing pending groups.
+// applyDecision acts on the controller's verdict for fn's pending group.
+func (f *FaaSBatch) applyDecision(fn string, d dispatch.Decision) {
+	switch d.Action {
+	case dispatch.ActionFastPath:
+		f.stats.FastPathDispatches++
+		f.closeNow(fn)
+	case dispatch.ActionEarlyClose:
+		f.stats.EarlyCloses++
+		f.closeNow(fn)
+	case dispatch.ActionWait:
+		at := sim.Time(d.Deadline)
+		if ev, open := f.windows[fn]; open {
+			if f.windowAt[fn] == at {
+				return
+			}
+			// The controller extended the open window's deadline.
+			ev.Cancel()
+		}
+		f.windowAt[fn] = at
+		f.windows[fn] = f.env.Eng.ScheduleAt(at, func() { f.windowDue(fn) })
+	}
+}
+
+// closeNow dispatches fn's pending group immediately (fast path or early
+// close; the controller has already reset its group state).
+func (f *FaaSBatch) closeNow(fn string) {
+	if ev, open := f.windows[fn]; open {
+		ev.Cancel()
+		delete(f.windows, fn)
+		delete(f.windowAt, fn)
+	}
+	group := f.pending[fn]
+	delete(f.pending, fn)
+	if len(group) > 0 {
+		f.dispatchGroup(fn, group)
+	}
+}
+
+// windowDue fires at fn's adaptive window deadline.
+func (f *FaaSBatch) windowDue(fn string) {
+	delete(f.windows, fn)
+	delete(f.windowAt, fn)
+	if f.closed {
+		return
+	}
+	f.ctrl.WindowClosed(fn)
+	group := f.pending[fn]
+	delete(f.pending, fn)
+	if len(group) > 0 {
+		f.stats.WindowDispatches++
+		f.dispatchGroup(fn, group)
+	}
+}
+
+// Close stops the dispatcher after flushing pending groups.
 func (f *FaaSBatch) Close() error {
 	if f.closed {
 		return nil
 	}
 	f.closed = true
 	f.dispatchWindow()
-	f.ticker.Stop()
+	for fn, ev := range f.windows {
+		ev.Cancel()
+		delete(f.windows, fn)
+		delete(f.windowAt, fn)
+	}
+	if f.ticker != nil {
+		f.ticker.Stop()
+	}
 	return nil
 }
 
@@ -235,6 +386,9 @@ func (f *FaaSBatch) dispatchWindow() {
 	for _, fn := range fns {
 		group := f.pending[fn]
 		delete(f.pending, fn)
+		if f.ctrl != nil {
+			f.ctrl.WindowClosed(fn)
+		}
 		f.dispatchGroup(fn, group)
 	}
 }
@@ -457,4 +611,10 @@ func (f *FaaSBatch) retryItem(item *pendingItem) {
 	// completed + failed must hold at quiescence).
 	fn := inv.Spec.Name
 	f.pending[fn] = append(f.pending[fn], item)
+	if f.cfg.AdaptiveDispatch && !f.closed {
+		// A retry must ride a window like any pending call, but must not
+		// skew the arrival-rate estimate: EnsureOpen arms a window-close
+		// event without observing an arrival.
+		f.applyDecision(fn, f.ctrl.EnsureOpen(fn, f.env.Eng.Now().Duration()))
+	}
 }

@@ -64,6 +64,18 @@ type Config struct {
 	// Interval is FaaSBatch's dispatch interval and Kraken's
 	// provisioning window (the paper sweeps 0.01 s – 0.5 s).
 	Interval time.Duration
+	// AdaptiveDispatch replaces FaaSBatch's fixed interval with the
+	// load-aware controller (core.Config.AdaptiveDispatch): idle
+	// fast-path, EWMA-sized windows in [MinInterval, MaxInterval], early
+	// close at MaxGroupSize.
+	AdaptiveDispatch bool
+	// MinInterval is the adaptive window floor (zero: core's default).
+	MinInterval time.Duration
+	// MaxInterval is the adaptive window cap (zero: Interval).
+	MaxInterval time.Duration
+	// MaxGroupSize early-closes adaptive windows at this group size
+	// (zero: unbounded).
+	MaxGroupSize int
 	// Seed drives the simulation's random source.
 	Seed int64
 	// Node configures the worker VM; zero value means node.DefaultConfig.
@@ -313,6 +325,10 @@ func buildScheduler(eng *sim.Engine, cfg Config, inj *chaos.Injector) (*node.Nod
 		fcfg.Interval = cfg.Interval
 		fcfg.Multiplex = !cfg.DisableMultiplex
 		fcfg.Prewarm = cfg.Prewarm
+		fcfg.AdaptiveDispatch = cfg.AdaptiveDispatch
+		fcfg.MinInterval = cfg.MinInterval
+		fcfg.MaxInterval = cfg.MaxInterval
+		fcfg.MaxGroupSize = cfg.MaxGroupSize
 		batch, err = core.New(env, fcfg)
 		sched = batch
 	}

@@ -71,6 +71,9 @@ type InvokeResponse struct {
 type StatsResponse struct {
 	// Submitted counts invocations accepted by the gateway.
 	Submitted int64 `json:"submitted"`
+	// Canceled counts invocations dropped before execution because their
+	// caller's context ended while they waited.
+	Canceled int64 `json:"canceled"`
 	// Invocations counts completed invocations (including failures).
 	Invocations int64 `json:"invocations"`
 	// Failures counts invocations that exhausted their retry budget.
@@ -87,6 +90,15 @@ type StatsResponse struct {
 	BootFailures int64 `json:"bootFailures"`
 	// Groups counts dispatched batches.
 	Groups int64 `json:"groups"`
+	// FastPathDispatches counts adaptive idle fast-path dispatches.
+	FastPathDispatches int64 `json:"fastPathDispatches"`
+	// EarlyCloses counts adaptive windows closed at the group-size cap.
+	EarlyCloses int64 `json:"earlyCloses"`
+	// WindowDispatches counts adaptive windows closed by their deadline.
+	WindowDispatches int64 `json:"windowDispatches"`
+	// DispatchWindowMicros is the most recently chosen adaptive dispatch
+	// window, in microseconds (zero with adaptive dispatch off).
+	DispatchWindowMicros int64 `json:"dispatchWindowMicros"`
 	// ContainersCreated counts cold starts.
 	ContainersCreated int64 `json:"containersCreated"`
 	// WarmStarts counts container reuses.

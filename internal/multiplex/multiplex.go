@@ -39,10 +39,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"time"
+
+	"faasbatch/internal/hashmix"
 )
 
 // Key identifies a resource creation: the intercepted callee plus the
@@ -57,11 +58,7 @@ type Key struct {
 }
 
 // HashArgs hashes creation arguments with FNV-1a.
-func HashArgs(args string) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(args)) // fnv.Write never fails
-	return h.Sum64()
-}
+func HashArgs(args string) uint64 { return hashmix.FNV64a(args) }
 
 // NewKey builds a Key from a callee and raw argument string.
 func NewKey(callee, args string) Key {
@@ -69,21 +66,11 @@ func NewKey(callee, args string) Key {
 }
 
 // shardHash mixes a Key into a well-distributed 64-bit value for shard
-// selection: FNV-1a over the callee, xor the args hash, then a splitmix64
-// finalisation so map-adjacent keys land on distant shards.
+// selection: FNV-1a over the callee, xor the args hash, then the shared
+// splitmix64 finalisation (internal/hashmix) so map-adjacent keys land on
+// distant shards.
 func shardHash(k Key) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(k.Callee); i++ {
-		h ^= uint64(k.Callee[i])
-		h *= 1099511628211
-	}
-	h ^= k.ArgsHash
-	h ^= h >> 30
-	h *= 0xbf58476d1ce4e5b9
-	h ^= h >> 27
-	h *= 0x94d049bb133111eb
-	h ^= h >> 31
-	return h
+	return hashmix.Mix64(hashmix.FNV64a(k.Callee) ^ k.ArgsHash)
 }
 
 // Typed errors returned by the blocking face.

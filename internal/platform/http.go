@@ -32,6 +32,7 @@ type statExport struct {
 // an entry here fails TestMetricsConformance.
 var statExports = []statExport{
 	{"Submitted", "faasbatch_submitted_total", "counter", "Invocations accepted by Invoke."},
+	{"Canceled", "faasbatch_canceled_total", "counter", "Invocations dropped before execution because their context ended."},
 	{"Invocations", "faasbatch_invocations_total", "counter", "Completed invocations."},
 	{"Failures", "faasbatch_failures_total", "counter", "Invocations that exhausted their retry budget."},
 	{"Retries", "faasbatch_retries_total", "counter", "Extra execution attempts granted after faults."},
@@ -40,6 +41,10 @@ var statExports = []statExport{
 	{"Crashes", "faasbatch_crashes_total", "counter", "Containers lost mid-batch."},
 	{"BootFailures", "faasbatch_boot_failures_total", "counter", "Failed container boots."},
 	{"Groups", "faasbatch_groups_total", "counter", "Dispatched window batches."},
+	{"FastPathDispatches", "faasbatch_fast_path_dispatches_total", "counter", "Adaptive idle fast-path dispatches (lone arrivals sent straight to a container)."},
+	{"EarlyCloses", "faasbatch_early_closes_total", "counter", "Adaptive windows closed early at the group-size cap."},
+	{"WindowDispatches", "faasbatch_window_dispatches_total", "counter", "Adaptive windows closed by their deadline."},
+	{"DispatchWindowMicros", "faasbatch_dispatch_window_micros", "gauge", "Most recently chosen adaptive dispatch window, in microseconds."},
 	{"ContainersCreated", "faasbatch_containers_created_total", "counter", "Cold starts."},
 	{"WarmStarts", "faasbatch_warm_starts_total", "counter", "Warm container reuses."},
 	{"LiveContainers", "faasbatch_live_containers", "gauge", "Containers currently alive."},
@@ -153,24 +158,29 @@ func NewHTTPHandler(p *Platform) http.Handler {
 		}
 		st := p.Stats()
 		writeJSON(p.logger, w, r.URL.Path, httpapi.StatsResponse{
-			Submitted:         st.Submitted,
-			Invocations:       st.Invocations,
-			Failures:          st.Failures,
-			Retries:           st.Retries,
-			Timeouts:          st.Timeouts,
-			Panics:            st.Panics,
-			Crashes:           st.Crashes,
-			BootFailures:      st.BootFailures,
-			Groups:            st.Groups,
-			ContainersCreated: st.ContainersCreated,
-			WarmStarts:        st.WarmStarts,
-			LiveContainers:    st.LiveContainers,
-			CacheHits:         st.Multiplexer.Hits + st.Multiplexer.Coalesced,
-			CacheMisses:       st.Multiplexer.Misses,
-			CacheBytesSaved:   st.Multiplexer.BytesSaved,
-			CacheStaleHits:    st.Multiplexer.StaleHits,
-			CacheNegativeHits: st.Multiplexer.NegativeHits,
-			CacheEvictions:    st.Multiplexer.Evictions + st.Multiplexer.Expired,
+			Submitted:            st.Submitted,
+			Canceled:             st.Canceled,
+			Invocations:          st.Invocations,
+			Failures:             st.Failures,
+			Retries:              st.Retries,
+			Timeouts:             st.Timeouts,
+			Panics:               st.Panics,
+			Crashes:              st.Crashes,
+			BootFailures:         st.BootFailures,
+			Groups:               st.Groups,
+			FastPathDispatches:   st.FastPathDispatches,
+			EarlyCloses:          st.EarlyCloses,
+			WindowDispatches:     st.WindowDispatches,
+			DispatchWindowMicros: st.DispatchWindowMicros,
+			ContainersCreated:    st.ContainersCreated,
+			WarmStarts:           st.WarmStarts,
+			LiveContainers:       st.LiveContainers,
+			CacheHits:            st.Multiplexer.Hits + st.Multiplexer.Coalesced,
+			CacheMisses:          st.Multiplexer.Misses,
+			CacheBytesSaved:      st.Multiplexer.BytesSaved,
+			CacheStaleHits:       st.Multiplexer.StaleHits,
+			CacheNegativeHits:    st.Multiplexer.NegativeHits,
+			CacheEvictions:       st.Multiplexer.Evictions + st.Multiplexer.Expired,
 
 			CacheShards:            st.Multiplexer.Shards,
 			CacheMaxShardOccupancy: st.Multiplexer.MaxShardOccupancy,

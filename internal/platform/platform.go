@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"faasbatch/internal/chaos"
+	"faasbatch/internal/dispatch"
 	"faasbatch/internal/multiplex"
 	"faasbatch/internal/obs"
 )
@@ -287,7 +288,27 @@ type Config struct {
 	// Mode selects batching (FaaSBatch) or per-invocation (Vanilla).
 	Mode Mode
 	// DispatchInterval is the Invoke Mapper window (ModeBatch only).
+	// With AdaptiveDispatch it becomes the default window cap (see
+	// MaxInterval).
 	DispatchInterval time.Duration
+	// AdaptiveDispatch replaces the fixed dispatch interval with a
+	// load-aware controller (internal/dispatch): a lone arrival on an
+	// idle function dispatches immediately instead of waiting out a
+	// window, an EWMA of inter-arrival gaps sizes each window within
+	// [MinInterval, MaxInterval], and a window whose group reaches
+	// MaxGroupSize closes early. ModeBatch only; off by default (the
+	// paper's fixed interval).
+	AdaptiveDispatch bool
+	// MinInterval is the adaptive window floor. Zero takes
+	// DefaultMinInterval (clamped to MaxInterval).
+	MinInterval time.Duration
+	// MaxInterval is the adaptive window cap. Zero takes
+	// DispatchInterval, so switching AdaptiveDispatch on never batches
+	// longer than the fixed configuration it replaces.
+	MaxInterval time.Duration
+	// MaxGroupSize closes an adaptive window early once its group
+	// reaches this size. Zero means unbounded groups.
+	MaxGroupSize int
 	// ColdStart simulates container boot time.
 	ColdStart time.Duration
 	// KeepAlive retains idle containers before eviction.
@@ -349,6 +370,10 @@ type Config struct {
 	Logger *slog.Logger
 }
 
+// DefaultMinInterval is the adaptive window floor when Config.MinInterval
+// is zero, mirroring core.DefaultMinInterval.
+const DefaultMinInterval = 5 * time.Millisecond
+
 // DefaultConfig returns paper-like live defaults (cold starts scaled down
 // so examples run snappily).
 func DefaultConfig() Config {
@@ -364,9 +389,16 @@ func DefaultConfig() Config {
 // Stats is a snapshot of platform counters.
 type Stats struct {
 	// Submitted counts invocations accepted by Invoke. At quiescence
-	// Submitted == Invocations: every accepted invocation completes
-	// exactly once (possibly as a failure), never silently disappears.
+	// Submitted == Invocations + Canceled: every accepted invocation
+	// completes exactly once (possibly as a failure) or is dropped
+	// because its caller's context ended while it waited — never
+	// silently disappears.
 	Submitted int64
+	// Canceled counts invocations dropped before execution because their
+	// context was already done at window close (or before a retry
+	// re-batched). Their callers had stopped listening; executing the
+	// handler anyway would burn a batch slot for nobody.
+	Canceled int64
 	// Invocations counts completed invocations (successes and final
 	// failures alike).
 	Invocations int64
@@ -385,6 +417,18 @@ type Stats struct {
 	BootFailures int64
 	// Groups counts dispatched batches (ModeBatch).
 	Groups int64
+	// FastPathDispatches counts adaptive idle fast-path dispatches: lone
+	// arrivals sent straight to a container because no batching
+	// opportunity existed.
+	FastPathDispatches int64
+	// EarlyCloses counts adaptive windows closed early because their
+	// group reached MaxGroupSize.
+	EarlyCloses int64
+	// WindowDispatches counts adaptive windows closed by their deadline.
+	WindowDispatches int64
+	// DispatchWindowMicros is the most recently chosen adaptive window,
+	// in microseconds (a gauge; zero until the first adaptive arrival).
+	DispatchWindowMicros int64
 	// ContainersCreated counts cold starts.
 	ContainersCreated int64
 	// WarmStarts counts container reuses.
@@ -411,6 +455,9 @@ type function struct {
 	warm    []*container
 	pending []*pendingCall
 	all     []*container
+	// deadline is the wall-clock close of the function's open adaptive
+	// window (zero when no window is open). Guarded by Platform.mu.
+	deadline time.Time
 }
 
 // pendingCall is an invocation waiting for its window.
@@ -450,6 +497,14 @@ type Platform struct {
 	ready  bool
 	closed bool
 
+	// Adaptive dispatch (nil/zero when AdaptiveDispatch is off). The
+	// controller is clock-agnostic: the platform feeds it wall-clock
+	// offsets from epoch. ctrl is guarded by mu; kick (buffered 1) wakes
+	// adaptiveLoop when an arrival opens an earlier window.
+	ctrl  *dispatch.Controller
+	epoch time.Time
+	kick  chan struct{}
+
 	stopTicker chan struct{}
 	wg         sync.WaitGroup
 }
@@ -463,6 +518,30 @@ func New(cfg Config) (*Platform, error) {
 	}
 	if cfg.Mode == ModeBatch && cfg.DispatchInterval <= 0 {
 		return nil, fmt.Errorf("platform: dispatch interval must be positive, got %v", cfg.DispatchInterval)
+	}
+	if cfg.MaxGroupSize < 0 {
+		return nil, fmt.Errorf("platform: max group size must be non-negative, got %d", cfg.MaxGroupSize)
+	}
+	var ctrl *dispatch.Controller
+	if cfg.Mode == ModeBatch && cfg.AdaptiveDispatch {
+		if cfg.MaxInterval == 0 {
+			cfg.MaxInterval = cfg.DispatchInterval
+		}
+		if cfg.MinInterval == 0 {
+			cfg.MinInterval = DefaultMinInterval
+			if cfg.MinInterval > cfg.MaxInterval {
+				cfg.MinInterval = cfg.MaxInterval
+			}
+		}
+		var err error
+		ctrl, err = dispatch.New(dispatch.Config{
+			MinInterval:  cfg.MinInterval,
+			MaxInterval:  cfg.MaxInterval,
+			MaxGroupSize: cfg.MaxGroupSize,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("platform: %w", err)
+		}
 	}
 	if cfg.ColdStart < 0 {
 		return nil, fmt.Errorf("platform: cold start must be non-negative, got %v", cfg.ColdStart)
@@ -498,17 +577,31 @@ func New(cfg Config) (*Platform, error) {
 		metrics:    obs.NewMetrics(),
 		logger:     logger,
 		fns:        make(map[string]*function),
+		ctrl:       ctrl,
+		epoch:      time.Now(),
+		kick:       make(chan struct{}, 1),
 		stopTicker: make(chan struct{}),
 	}
 	p.logger.Info("platform started",
 		"mode", cfg.Mode.String(),
 		"interval", cfg.DispatchInterval,
+		"adaptive", ctrl != nil,
 		"multiplex", cfg.Multiplex,
 		"tracing", cfg.Tracer != nil)
 	if cfg.Mode == ModeBatch {
 		p.wg.Add(1)
-		go p.dispatchLoop()
+		if ctrl != nil {
+			go p.adaptiveLoop()
+		} else {
+			go p.dispatchLoop()
+		}
 	}
+	// Eviction runs on its own timer in every mode: Vanilla has no
+	// dispatch loop to piggyback on (the pre-fix bug — idle Vanilla
+	// containers outlived KeepAlive until Close), and adaptive windows
+	// fire irregularly.
+	p.wg.Add(1)
+	go p.evictLoop()
 	return p, nil
 }
 
@@ -573,11 +666,12 @@ func (p *Platform) WorkerID() string { return p.cfg.WorkerID }
 // Capacity reports the advertised concurrency capacity (0 = unbounded).
 func (p *Platform) Capacity() int { return p.cfg.Capacity }
 
-// Inflight counts invocations accepted but not yet completed.
+// Inflight counts invocations accepted but not yet completed (canceled
+// calls dropped before execution no longer count).
 func (p *Platform) Inflight() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.stats.Submitted - p.stats.Invocations
+	return p.stats.Submitted - p.stats.Invocations - p.stats.Canceled
 }
 
 // Invoke runs one invocation and blocks until it completes. In ModeBatch
@@ -596,10 +690,25 @@ func (p *Platform) Invoke(ctx context.Context, fn string, payload json.RawMessag
 	}
 	call := &pendingCall{ctx: ctx, payload: payload, arrive: time.Now(), done: make(chan outcome, 1), trace: p.tracer.Begin()}
 	p.stats.Submitted++
-	if p.cfg.Mode == ModeVanilla {
+	switch {
+	case p.cfg.Mode == ModeVanilla:
 		p.mu.Unlock()
 		p.runGroup(f, []*pendingCall{call})
-	} else {
+	case p.ctrl != nil:
+		if group := p.adaptiveSubmitLocked(f, call); group != nil {
+			// Fast path or early close: dispatch without waiting for the
+			// window loop. Add under mu while open (Close sets closed under
+			// mu before Wait), then run outside the lock.
+			p.wg.Add(1)
+			p.mu.Unlock()
+			go func() {
+				defer p.wg.Done()
+				p.runGroup(f, group)
+			}()
+		} else {
+			p.mu.Unlock()
+		}
+	default:
 		f.pending = append(f.pending, call)
 		p.mu.Unlock()
 	}
@@ -611,8 +720,8 @@ func (p *Platform) Invoke(ctx context.Context, fn string, payload json.RawMessag
 	}
 }
 
-// dispatchLoop is the Invoke Mapper: every interval it drains each
-// function's pending calls as one group.
+// dispatchLoop is the fixed-interval Invoke Mapper: every interval it
+// drains each function's pending calls as one group.
 func (p *Platform) dispatchLoop() {
 	defer p.wg.Done()
 	ticker := time.NewTicker(p.cfg.DispatchInterval)
@@ -628,23 +737,129 @@ func (p *Platform) dispatchLoop() {
 	}
 }
 
-// dispatchWindow drains every function's window group.
-func (p *Platform) dispatchWindow() {
-	p.mu.Lock()
+// adaptiveSubmitLocked routes one arrival through the dispatch
+// controller. It returns a group to dispatch immediately (idle fast-path
+// or early close), or nil when the call must wait for its window.
+// Caller holds p.mu.
+func (p *Platform) adaptiveSubmitLocked(f *function, call *pendingCall) []*pendingCall {
+	idle := len(f.pending) == 0 && !p.busyLocked(f)
+	f.pending = append(f.pending, call)
+	d := p.ctrl.Arrive(f.name, time.Since(p.epoch), idle)
+	p.stats.DispatchWindowMicros = d.Window.Microseconds()
+	switch d.Action {
+	case dispatch.ActionFastPath:
+		p.stats.FastPathDispatches++
+	case dispatch.ActionEarlyClose:
+		p.stats.EarlyCloses++
+	default:
+		// The controller may extend an open window's deadline as the
+		// arrival estimate densifies; a stale-armed loop timer just
+		// re-arms when it finds the deadline still in the future.
+		wasIdle := f.deadline.IsZero()
+		f.deadline = p.epoch.Add(d.Deadline)
+		if wasIdle {
+			p.kickLocked()
+		}
+		return nil
+	}
+	f.deadline = time.Time{}
+	group := p.claimPendingLocked(f)
+	if len(group) == 0 {
+		return nil
+	}
+	p.recordWindowSpans(f, group, d.Window, d.Action.String())
+	return group
+}
+
+// busyLocked reports whether any container of f is currently executing —
+// a batching opportunity an arrival could wait to share.
+func (p *Platform) busyLocked(f *function) bool {
+	for _, c := range f.all {
+		if c.active > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// kickLocked wakes adaptiveLoop to re-arm its timer (an arrival opened a
+// window that may close before the one the loop is sleeping on).
+func (p *Platform) kickLocked() {
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// adaptiveLoop is the Invoke Mapper in adaptive mode: instead of a fixed
+// ticker it sleeps until the earliest per-function window deadline,
+// re-armed whenever an arrival opens an earlier window. The timer is
+// created fresh each iteration (no Reset races).
+func (p *Platform) adaptiveLoop() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		var next time.Time
+		for _, f := range p.fns {
+			if !f.deadline.IsZero() && (next.IsZero() || f.deadline.Before(next)) {
+				next = f.deadline
+			}
+		}
+		p.mu.Unlock()
+		var (
+			timer  *time.Timer
+			timerC <-chan time.Time
+		)
+		if !next.IsZero() {
+			d := time.Until(next)
+			if d < 0 {
+				d = 0
+			}
+			timer = time.NewTimer(d)
+			timerC = timer.C
+		}
+		select {
+		case <-timerC:
+			p.dispatchDue()
+		case <-p.kick:
+			// Re-scan deadlines and re-arm.
+		case <-p.stopTicker:
+			if timer != nil {
+				timer.Stop()
+			}
+			p.dispatchWindow() // flush
+			return
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// dispatchDue closes every adaptive window whose deadline has passed.
+func (p *Platform) dispatchDue() {
+	now := time.Now()
 	type job struct {
 		f     *function
 		group []*pendingCall
 	}
 	var jobs []job
+	p.mu.Lock()
 	for _, f := range p.fns {
-		if len(f.pending) == 0 {
+		if f.deadline.IsZero() || f.deadline.After(now) {
 			continue
 		}
-		group := f.pending
-		f.pending = nil
+		f.deadline = time.Time{}
+		window := p.ctrl.Window(f.name)
+		p.ctrl.WindowClosed(f.name)
+		group := p.claimPendingLocked(f)
+		if len(group) == 0 {
+			continue
+		}
+		p.stats.WindowDispatches++
+		p.recordWindowSpans(f, group, window, "window")
 		jobs = append(jobs, job{f: f, group: group})
 	}
-	p.evictIdleLocked()
 	p.mu.Unlock()
 	for _, j := range jobs {
 		j := j
@@ -656,6 +871,112 @@ func (p *Platform) dispatchWindow() {
 			defer p.wg.Done()
 			p.runGroup(j.f, j.group)
 		}()
+	}
+}
+
+// dispatchWindow drains every function's window group: the fixed-interval
+// tick, and the final flush of both batch loops at Close.
+func (p *Platform) dispatchWindow() {
+	p.mu.Lock()
+	type job struct {
+		f     *function
+		group []*pendingCall
+	}
+	var jobs []job
+	for _, f := range p.fns {
+		if p.ctrl != nil {
+			f.deadline = time.Time{}
+			p.ctrl.WindowClosed(f.name)
+		}
+		group := p.claimPendingLocked(f)
+		if len(group) == 0 {
+			continue
+		}
+		jobs = append(jobs, job{f: f, group: group})
+	}
+	p.mu.Unlock()
+	for _, j := range jobs {
+		j := j
+		if p.logOn(slog.LevelDebug) {
+			p.logger.Debug("dispatch window", "fn", j.f.name, "group", len(j.group))
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.runGroup(j.f, j.group)
+		}()
+	}
+}
+
+// claimPendingLocked takes f's pending group, dropping calls whose
+// context ended while they waited: a canceled call's caller has already
+// returned, so executing it would burn a batch slot for nobody. Caller
+// holds p.mu.
+func (p *Platform) claimPendingLocked(f *function) []*pendingCall {
+	group := f.pending
+	f.pending = nil
+	kept := group[:0]
+	for _, call := range group {
+		if call.ctx.Err() != nil {
+			p.stats.Canceled++
+			if p.logOn(slog.LevelDebug) {
+				p.logger.Debug("canceled call dropped", "fn", f.name, "trace", call.trace)
+			}
+			continue
+		}
+		kept = append(kept, call)
+	}
+	for i := len(kept); i < len(group); i++ {
+		group[i] = nil
+	}
+	return kept
+}
+
+// recordWindowSpans stamps one dispatch-window span per traced group
+// member: arrival to window close, tagged with the chosen interval and
+// why the window closed.
+func (p *Platform) recordWindowSpans(f *function, group []*pendingCall, window time.Duration, reason string) {
+	if p.tracer == nil {
+		return
+	}
+	end := p.tracer.Now()
+	detail := fmt.Sprintf("window %v [%s]", window, reason)
+	for _, call := range group {
+		if call.trace == 0 {
+			continue
+		}
+		p.tracer.Record(obs.Span{
+			Trace: call.trace, Name: obs.SpanDispatchWindow, Fn: f.name,
+			Attempt: call.attempts + 1, Detail: detail,
+			Start: p.tracer.Stamp(call.arrive), End: end,
+		})
+	}
+}
+
+// evictLoop retires idle warm containers past KeepAlive on its own
+// cadence, decoupled from dispatch: Vanilla mode has no dispatch loop at
+// all, and adaptive windows fire irregularly, so eviction can ride
+// neither.
+func (p *Platform) evictLoop() {
+	defer p.wg.Done()
+	period := p.cfg.KeepAlive / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	if period > time.Second {
+		period = time.Second
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			p.mu.Lock()
+			p.evictIdleLocked()
+			p.mu.Unlock()
+		case <-p.stopTicker:
+			return
+		}
 	}
 }
 
@@ -1065,8 +1386,38 @@ func (p *Platform) retryLater(f *function, call *pendingCall) {
 		}
 	}
 	p.mu.Lock()
+	if call.ctx.Err() != nil {
+		// The caller's context ended during the backoff: drop the retry
+		// instead of re-batching a call nobody is waiting for.
+		p.stats.Canceled++
+		p.mu.Unlock()
+		if p.logOn(slog.LevelDebug) {
+			p.logger.Debug("canceled retry dropped", "fn", f.name, "trace", call.trace)
+		}
+		return
+	}
 	if p.cfg.Mode == ModeBatch && !p.closed {
 		f.pending = append(f.pending, call)
+		if p.ctrl != nil {
+			// Ride the adaptive window machinery without skewing the
+			// arrival-rate estimate (EnsureOpen, not Arrive).
+			d := p.ctrl.EnsureOpen(f.name, time.Since(p.epoch))
+			if d.Action == dispatch.ActionEarlyClose {
+				p.stats.EarlyCloses++
+				f.deadline = time.Time{}
+				group := p.claimPendingLocked(f)
+				p.recordWindowSpans(f, group, d.Window, d.Action.String())
+				p.mu.Unlock()
+				if len(group) > 0 {
+					p.runGroup(f, group)
+				}
+				return
+			}
+			if f.deadline.IsZero() {
+				f.deadline = p.epoch.Add(d.Deadline)
+				p.kickLocked()
+			}
+		}
 		p.mu.Unlock()
 		return
 	}

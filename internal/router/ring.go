@@ -22,10 +22,11 @@
 package router
 
 import (
-	"hash/fnv"
 	"math"
 	"sort"
 	"strconv"
+
+	"faasbatch/internal/hashmix"
 )
 
 // Ring defaults.
@@ -39,24 +40,14 @@ const (
 	DefaultLoadBound = 1.25
 )
 
-// hash64 is FNV-1a over s, passed through a splitmix64 finalizer.
-// Raw FNV-1a avalanches poorly on trailing-byte differences, so
-// "w1#0".."w1#63" (and "fn-0".."fn-99") land on one tight arc and
-// virtual nodes stop spreading ownership; the finalizer fixes that.
-// The whole pipeline is deterministic across processes and platforms,
-// so the simulator's cluster dispatcher and the live router agree on
-// every assignment (the sim-vs-live conformance test depends on it).
-func hash64(s string) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(s))
-	x := h.Sum64()
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
+// hash64 is the shared splitmix64-finalised FNV-1a pipeline
+// (internal/hashmix): raw FNV-1a avalanches poorly on trailing-byte
+// differences, so "w1#0".."w1#63" (and "fn-0".."fn-99") would land on one
+// tight arc and virtual nodes would stop spreading ownership. The shared
+// implementation is deterministic across processes and platforms, so the
+// simulator's cluster dispatcher and the live router agree on every
+// assignment (the sim-vs-live conformance test depends on it).
+func hash64(s string) uint64 { return hashmix.String(s) }
 
 // ringEntry is one virtual node.
 type ringEntry struct {
