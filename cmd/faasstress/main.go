@@ -1,0 +1,158 @@
+// Command faasstress executes a declarative stress scenario (YAML)
+// against the FaaSBatch stack: a simulated worker fleet for large-scale
+// deterministic runs, or the in-process live platform for small smoke
+// scenarios. It writes a versioned JSON report (optionally an HTML
+// summary), enforces the scenario's invariants, and can replay the same
+// seed multiple times to prove the run reproducible.
+//
+// Usage:
+//
+//	go run ./cmd/faasstress -input scenarios/smoke.yaml
+//	go run ./cmd/faasstress -input scenarios/fleet-1m.yaml -out report.json -html report.html
+//	go run ./cmd/faasstress -input scenarios/smoke.yaml -repeat 2   # determinism check
+//
+// Exit codes: 0 success; 1 usage or execution error; 2 an invariant was
+// violated (the report is still written); 3 a -repeat rerun diverged
+// from the first run (determinism failure).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"faasbatch/internal/scenario"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("faasstress", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	input := fs.String("input", "", "scenario YAML (required)")
+	out := fs.String("out", "", "write the JSON report here (default: stdout)")
+	htmlOut := fs.String("html", "", "also write an HTML summary here")
+	repeat := fs.Int("repeat", 1, "run the scenario N times and require byte-identical report bodies")
+	mode := fs.String("mode", "", "override the scenario's mode (sim or live)")
+	seed := fs.Int64("seed", 0, "override the scenario's seed (0 keeps the file's)")
+	quiet := fs.Bool("q", false, "suppress the progress summary on stderr")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *input == "" {
+		fmt.Fprintln(stderr, "faasstress: -input is required")
+		fs.Usage()
+		return 1
+	}
+	if *repeat < 1 {
+		fmt.Fprintln(stderr, "faasstress: -repeat must be at least 1")
+		return 1
+	}
+	src, err := os.ReadFile(*input)
+	if err != nil {
+		fmt.Fprintln(stderr, "faasstress:", err)
+		return 1
+	}
+	sc, err := scenario.Parse(src)
+	if err != nil {
+		fmt.Fprintln(stderr, "faasstress:", err)
+		return 1
+	}
+	switch *mode {
+	case "":
+	case "sim":
+		sc.Mode = scenario.ModeSim
+	case "live":
+		sc.Mode = scenario.ModeLive
+	default:
+		fmt.Fprintf(stderr, "faasstress: unknown -mode %q\n", *mode)
+		return 1
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	if !*quiet {
+		fmt.Fprintf(stderr, "faasstress: scenario %q (%s), seed %d, %d workers, %d phase(s), ~%d invocations expected\n",
+			sc.Name, sc.Mode, sc.Seed, sc.Fleet.Workers, len(sc.Phases), sc.ExpectedInvocations())
+	}
+
+	runner := scenario.NewRunner()
+	var firstBody *scenario.Body
+	var firstRaw []byte
+	for i := 0; i < *repeat; i++ {
+		started := time.Now()
+		body, err := runner.RunBody(sc)
+		if err != nil {
+			fmt.Fprintln(stderr, "faasstress:", err)
+			return 1
+		}
+		raw, err := body.Marshal()
+		if err != nil {
+			fmt.Fprintln(stderr, "faasstress:", err)
+			return 1
+		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "faasstress: run %d/%d: %d invocations, makespan %d ms (wall %v)\n",
+				i+1, *repeat, body.Totals.Submitted, body.MakespanMillis, time.Since(started).Round(time.Millisecond))
+		}
+		if i == 0 {
+			firstBody, firstRaw = body, raw
+			continue
+		}
+		if !bytes.Equal(firstRaw, raw) {
+			fmt.Fprintf(stderr, "faasstress: determinism failure: run %d produced a different report body (%d vs %d bytes)\n",
+				i+1, len(firstRaw), len(raw))
+			return 3
+		}
+	}
+
+	report, err := scenario.NewReport(*firstBody, time.Now())
+	if err != nil {
+		fmt.Fprintln(stderr, "faasstress:", err)
+		return 1
+	}
+	raw, err := report.Marshal()
+	if err != nil {
+		fmt.Fprintln(stderr, "faasstress:", err)
+		return 1
+	}
+	if *out == "" {
+		if _, err := stdout.Write(raw); err != nil {
+			fmt.Fprintln(stderr, "faasstress:", err)
+			return 1
+		}
+	} else if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fmt.Fprintln(stderr, "faasstress:", err)
+		return 1
+	}
+	if *htmlOut != "" {
+		var buf bytes.Buffer
+		if err := report.WriteHTML(&buf); err != nil {
+			fmt.Fprintln(stderr, "faasstress:", err)
+			return 1
+		}
+		if err := os.WriteFile(*htmlOut, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(stderr, "faasstress:", err)
+			return 1
+		}
+	}
+
+	violated := firstBody.Violations()
+	for _, inv := range violated {
+		fmt.Fprintf(stderr, "faasstress: INVARIANT VIOLATED: %s: %s\n", inv.Name, inv.Detail)
+	}
+	if !*quiet {
+		ok := len(firstBody.Invariants) - len(violated)
+		fmt.Fprintf(stderr, "faasstress: %d/%d invariants held; body sha256 %s\n",
+			ok, len(firstBody.Invariants), report.BodySHA256)
+	}
+	if len(violated) > 0 {
+		return 2
+	}
+	return 0
+}

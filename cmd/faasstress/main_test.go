@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeScenario(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.yaml")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const tinyScenario = `
+scenario: tiny
+seed: 5
+fleet:
+  workers: 2
+  zones: 2
+phases:
+  - name: p
+    duration: 5s
+    arrival: poisson
+    rate: 20
+    mix:
+      - fn: fib
+        instances: 4
+invariants:
+  - no-lost-invocations
+`
+
+func TestRunWritesReportAndHTML(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.json")
+	html := filepath.Join(dir, "report.html")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-input", writeScenario(t, tinyScenario),
+		"-out", out, "-html", html, "-repeat", "2",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report missing: %v", err)
+	}
+	if !bytes.Contains(raw, []byte(`"scenario": "tiny"`)) {
+		t.Error("report does not carry the scenario name")
+	}
+	if h, err := os.ReadFile(html); err != nil || !bytes.Contains(h, []byte("tiny")) {
+		t.Errorf("html summary missing or empty: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "invariants held") {
+		t.Errorf("summary line missing: %s", stderr.String())
+	}
+}
+
+func TestRunReportsToStdoutByDefault(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-input", writeScenario(t, tinyScenario), "-q"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte(`"body_sha256"`)) {
+		t.Error("stdout does not contain the report")
+	}
+}
+
+// TestInvariantViolationExitsTwo: a scenario engineered to fail its
+// declared invariant must write the report and exit 2.
+func TestInvariantViolationExitsTwo(t *testing.T) {
+	src := `
+scenario: doomed
+seed: 6
+fleet:
+  workers: 2
+  zones: 2
+dispatch:
+  max-retries: -1
+phases:
+  - name: p
+    duration: 5s
+    arrival: poisson
+    rate: 40
+    mix:
+      - fn: fib
+        instances: 4
+    chaos:
+      container-crash: 0.5
+invariants:
+  - zero-failures
+`
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-input", writeScenario(t, src), "-out", out}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "INVARIANT VIOLATED") {
+		t.Errorf("violation not reported: %s", stderr.String())
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Error("report must still be written on invariant violation")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 1 {
+		t.Errorf("missing -input: exit %d, want 1", code)
+	}
+	if code := run([]string{"-input", "no-such-file.yaml"}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+	if code := run([]string{"-input", writeScenario(t, tinyScenario), "-mode", "dream"}, &stdout, &stderr); code != 1 {
+		t.Errorf("bad mode: exit %d, want 1", code)
+	}
+	if code := run([]string{"-input", writeScenario(t, "scenario: [broken\n")}, &stdout, &stderr); code != 1 {
+		t.Errorf("unparseable scenario: exit %d, want 1", code)
+	}
+	if code := run([]string{"-input", writeScenario(t, tinyScenario), "-repeat", "0"}, &stdout, &stderr); code != 1 {
+		t.Errorf("bad repeat: exit %d, want 1", code)
+	}
+}
+
+// TestCommittedScenariosParse keeps the shipped scenario files loadable.
+func TestCommittedScenariosParse(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.yaml"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("scenarios glob: %v (%d files)", err, len(files))
+	}
+	var stdout, stderr bytes.Buffer
+	for _, f := range files {
+		// Parsing happens before any run; a seed override plus an
+		// unknown-mode error path keeps this cheap... instead just parse
+		// via the run path with a bogus mode so no simulation runs but
+		// the file must have parsed first.
+		stderr.Reset()
+		if code := run([]string{"-input", f, "-mode", "bogus"}, &stdout, &stderr); code != 1 {
+			t.Errorf("%s: exit %d", f, code)
+		}
+		if !strings.Contains(stderr.String(), "unknown -mode") {
+			t.Errorf("%s: failed before mode check (parse error?): %s", f, stderr.String())
+		}
+	}
+}

@@ -163,6 +163,65 @@ func MustNew(cfg Config) *Injector {
 	return inj
 }
 
+// SetRates atomically replaces the injector's rate table, validating like
+// New: absent kinds drop to zero, rates outside [0, 1) are an error and
+// leave the injector unchanged. The per-kind random streams and draw
+// counters are NOT reset: decisions made while a kind's rate is zero
+// stay free (no value drawn, as in Should), and decisions at non-zero
+// rates keep consuming that kind's stream in order, so in the
+// single-threaded simulation a run's fault schedule remains a pure
+// function of (seed, rates timeline). Scenario phases use this to turn
+// fault storms on and off mid-run. Safe for concurrent use with Should;
+// an error is returned on a nil injector.
+func (inj *Injector) SetRates(rates map[Kind]float64) error {
+	if inj == nil {
+		return fmt.Errorf("chaos: SetRates on nil injector")
+	}
+	var next [numKinds]float64
+	for k, rate := range rates {
+		if k < 0 || k >= numKinds {
+			return fmt.Errorf("chaos: unknown fault kind %d", int(k))
+		}
+		if rate < 0 || rate >= 1 {
+			return fmt.Errorf("chaos: rate for %v must be in [0, 1), got %v", k, rate)
+		}
+		next[k] = rate
+	}
+	inj.mu.Lock()
+	inj.rates = next
+	inj.mu.Unlock()
+	return nil
+}
+
+// Rates snapshots the current per-kind injection rates, omitting zero
+// entries. It is safe on a nil injector (empty map).
+func (inj *Injector) Rates() map[Kind]float64 {
+	out := map[Kind]float64{}
+	if inj == nil {
+		return out
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for k, r := range inj.rates {
+		if r > 0 {
+			out[Kind(k)] = r
+		}
+	}
+	return out
+}
+
+// KindByName resolves a fault kind from its String form ("boot-failure",
+// "container-crash", ...), for declarative configuration surfaces like
+// scenario YAML. The second result reports whether the name is known.
+func KindByName(name string) (Kind, bool) {
+	for _, k := range Kinds() {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // Should reports whether a fault of kind k fires at this decision point.
 // It is safe on a nil injector (never fires) and for concurrent use.
 func (inj *Injector) Should(k Kind) bool {

@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSetRatesSwapsTable(t *testing.T) {
+	inj := MustNew(Config{Seed: 1})
+	for i := 0; i < 100; i++ {
+		if inj.Should(HandlerError) {
+			t.Fatal("zero-rate injector fired")
+		}
+	}
+	if err := inj.SetRates(map[Kind]float64{HandlerError: 0.9}); err != nil {
+		t.Fatalf("SetRates: %v", err)
+	}
+	fired := 0
+	for i := 0; i < 100; i++ {
+		if inj.Should(HandlerError) {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("0.9-rate injector never fired in 100 draws")
+	}
+	if err := inj.SetRates(nil); err != nil {
+		t.Fatalf("SetRates(nil): %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if inj.Should(HandlerError) {
+			t.Fatal("injector fired after rates were zeroed")
+		}
+	}
+	if got := inj.Counts()[HandlerError]; got != uint64(fired) {
+		t.Errorf("Counts = %d, want %d", got, fired)
+	}
+}
+
+func TestSetRatesValidation(t *testing.T) {
+	inj := MustNew(Config{Seed: 1, Rates: map[Kind]float64{BootFailure: 0.5}})
+	if err := inj.SetRates(map[Kind]float64{BootFailure: 1.5}); err == nil {
+		t.Fatal("out-of-range rate accepted")
+	}
+	if err := inj.SetRates(map[Kind]float64{Kind(99): 0.1}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	// A failed swap must leave the previous table intact.
+	if got := inj.Rates()[BootFailure]; got != 0.5 {
+		t.Fatalf("rate after failed swap = %v, want 0.5", got)
+	}
+	var nilInj *Injector
+	if err := nilInj.SetRates(nil); err == nil {
+		t.Fatal("SetRates on nil injector accepted")
+	}
+}
+
+// TestSetRatesDeterministicSchedule verifies that the same swap timeline
+// yields the same fault schedule: streams are not reset by swaps, and
+// zero-rate decisions draw nothing.
+func TestSetRatesDeterministicSchedule(t *testing.T) {
+	runSchedule := func() []bool {
+		inj := MustNew(Config{Seed: 42, Rates: map[Kind]float64{ContainerCrash: 0.3}})
+		out := make([]bool, 0, 300)
+		for i := 0; i < 100; i++ {
+			out = append(out, inj.Should(ContainerCrash))
+		}
+		if err := inj.SetRates(nil); err != nil {
+			t.Fatalf("SetRates: %v", err)
+		}
+		for i := 0; i < 100; i++ {
+			out = append(out, inj.Should(ContainerCrash))
+		}
+		if err := inj.SetRates(map[Kind]float64{ContainerCrash: 0.3}); err != nil {
+			t.Fatalf("SetRates: %v", err)
+		}
+		for i := 0; i < 100; i++ {
+			out = append(out, inj.Should(ContainerCrash))
+		}
+		return out
+	}
+	a, b := runSchedule(), runSchedule()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical schedules", i)
+		}
+	}
+	for _, v := range a[100:200] {
+		if v {
+			t.Fatal("fault fired while rates were zero")
+		}
+	}
+}
+
+// TestSetRatesConcurrentWithShould drives swaps against decisions from
+// many goroutines; run under -race this is the data-race regression for
+// scenario-driven mid-run chaos reconfiguration.
+func TestSetRatesConcurrentWithShould(t *testing.T) {
+	inj := MustNew(Config{Seed: 7, Rates: Uniform(0.2)})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, k := range Kinds() {
+					inj.Should(k)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		rates := Uniform(float64(i%10) / 20)
+		if err := inj.SetRates(rates); err != nil {
+			t.Errorf("SetRates: %v", err)
+		}
+		inj.Rates()
+	}
+	close(stop)
+	wg.Wait()
+}

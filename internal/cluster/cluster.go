@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"faasbatch/internal/chaos"
 	"faasbatch/internal/core"
 	"faasbatch/internal/fnruntime"
 	"faasbatch/internal/metrics"
@@ -73,11 +74,21 @@ type Config struct {
 	Nodes int
 	// Node configures each worker (zero value: node.DefaultConfig).
 	Node node.Config
+	// NodeConfigs optionally configures workers individually — a
+	// heterogeneous fleet generated from weighted templates (the stress
+	// harness's fleet section). When non-empty its length must equal
+	// Nodes and it overrides Node.
+	NodeConfigs []node.Config
 	// Core configures each node's FaaSBatch scheduler (zero value:
 	// core.DefaultConfig).
 	Core core.Config
 	// Balancing selects the dispatcher strategy (default FnAffinity).
 	Balancing Balancing
+	// Chaos optionally injects seeded faults into every node (boot
+	// failures, slow cold starts) and runner (crashes, handler faults).
+	// All nodes share the injector, so one seed fixes the fleet's fault
+	// schedule. Nil injects nothing.
+	Chaos *chaos.Injector
 }
 
 // Cluster is a fleet of FaaSBatch worker nodes behind a dispatcher.
@@ -98,6 +109,8 @@ type picker struct {
 	inflight  []int
 	assigned  []int // functions pinned per node (FnAffinity)
 	affinity  map[string]int
+	down      []bool // marked-down nodes are skipped for new routing
+	downCount int
 	rrCounter int
 	ring      *router.Ring   // ConsistentHash only
 	memberIdx map[string]int // ring member name -> node index
@@ -110,6 +123,7 @@ func newPicker(b Balancing, n int) *picker {
 		inflight:  make([]int, n),
 		assigned:  make([]int, n),
 		affinity:  make(map[string]int, 16),
+		down:      make([]bool, n),
 	}
 	if b == ConsistentHash {
 		p.ring = router.NewRing(router.DefaultVNodes)
@@ -123,50 +137,113 @@ func newPicker(b Balancing, n int) *picker {
 	return p
 }
 
-// pick selects the target node for a function.
+// setDown updates node i's mark-down state, mirroring the live registry's
+// state machine: a down node stops receiving new work but keeps draining
+// what it already owns. ConsistentHash removes/re-adds the ring member so
+// ownership arcs redistribute exactly as the live router's would.
+func (p *picker) setDown(i int, down bool) {
+	if p.down[i] == down {
+		return
+	}
+	p.down[i] = down
+	if down {
+		p.downCount++
+	} else {
+		p.downCount--
+	}
+	if p.ring != nil {
+		m := NodeMember(i)
+		if down {
+			p.ring.Remove(m)
+		} else {
+			p.ring.Add(m)
+		}
+	}
+}
+
+// pick selects the target node for a function. Marked-down nodes are
+// avoided; when the whole fleet is down, routing degrades to
+// least-loaded over all nodes (mark-down is advisory, work is never
+// dropped at the dispatcher).
 func (p *picker) pick(fn string) int {
 	switch p.balancing {
 	case LeastLoaded:
 		return p.leastLoaded()
 	case RoundRobin:
-		idx := p.rrCounter % len(p.inflight)
-		p.rrCounter++
-		return idx
+		for tries := 0; tries < len(p.inflight); tries++ {
+			idx := p.rrCounter % len(p.inflight)
+			p.rrCounter++
+			if !p.down[idx] {
+				return idx
+			}
+		}
+		return p.leastLoaded()
 	case ConsistentHash:
 		member, ok := p.ring.Pick(fn)
 		if !ok {
-			return 0
+			return p.leastLoaded()
 		}
 		idx := p.memberIdx[member]
 		p.affinity[fn] = idx
 		return idx
 	default: // FnAffinity
-		if idx, ok := p.affinity[fn]; ok {
+		if idx, ok := p.affinity[fn]; ok && !p.down[idx] {
 			return idx
+		}
+		if idx, ok := p.affinity[fn]; ok {
+			// Pinned node is down: fail the function over to the best
+			// healthy node. The new pin is sticky — recovery does not
+			// move it back, matching the live tier's behaviour where a
+			// recovered worker only regains functions on re-routing.
+			p.assigned[idx]--
+			best := p.bestPin()
+			p.affinity[fn] = best
+			p.assigned[best]++
+			return best
 		}
 		// First sight: pin to the node with the lightest combination of
 		// in-flight work and already-pinned functions, so a cold window
 		// of many new functions still spreads across the fleet.
-		best := 0
-		for i := 1; i < len(p.inflight); i++ {
-			if p.inflight[i]+p.assigned[i] < p.inflight[best]+p.assigned[best] {
-				best = i
-			}
-		}
+		best := p.bestPin()
 		p.affinity[fn] = best
 		p.assigned[best]++
 		return best
 	}
 }
 
-// leastLoaded returns the node with the fewest in-flight invocations
-// (lowest index wins ties, keeping runs deterministic).
-func (p *picker) leastLoaded() int {
-	best := 0
-	for i := 1; i < len(p.inflight); i++ {
-		if p.inflight[i] < p.inflight[best] {
+// bestPin returns the healthy node with the lightest in-flight+pinned
+// load (lowest index wins ties); all nodes compete when none is healthy.
+func (p *picker) bestPin() int {
+	best := -1
+	for i := range p.inflight {
+		if p.down[i] && p.downCount < len(p.inflight) {
+			continue
+		}
+		if best < 0 || p.inflight[i]+p.assigned[i] < p.inflight[best]+p.assigned[best] {
 			best = i
 		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return best
+}
+
+// leastLoaded returns the healthy node with the fewest in-flight
+// invocations (lowest index wins ties, keeping runs deterministic); all
+// nodes compete when none is healthy.
+func (p *picker) leastLoaded() int {
+	best := -1
+	for i := range p.inflight {
+		if p.down[i] && p.downCount < len(p.inflight) {
+			continue
+		}
+		if best < 0 || p.inflight[i] < p.inflight[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		best = 0
 	}
 	return best
 }
@@ -181,6 +258,9 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 	}
 	if cfg.Node.Cores == 0 {
 		cfg.Node = node.DefaultConfig()
+	}
+	if len(cfg.NodeConfigs) > 0 && len(cfg.NodeConfigs) != cfg.Nodes {
+		return nil, fmt.Errorf("cluster: NodeConfigs has %d entries for %d nodes", len(cfg.NodeConfigs), cfg.Nodes)
 	}
 	if cfg.Core.Interval == 0 {
 		cfg.Core = core.DefaultConfig()
@@ -197,11 +277,20 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		picker: newPicker(cfg.Balancing, cfg.Nodes),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		nd, err := node.New(eng, cfg.Node)
+		ncfg := cfg.Node
+		if len(cfg.NodeConfigs) > 0 {
+			ncfg = cfg.NodeConfigs[i]
+			if ncfg.Cores == 0 {
+				ncfg = node.DefaultConfig()
+			}
+		}
+		ncfg.Chaos = cfg.Chaos
+		nd, err := node.New(eng, ncfg)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
 		}
 		runner := fnruntime.NewRunner(eng)
+		runner.SetChaos(cfg.Chaos)
 		sched, err := core.New(policy.Env{Eng: eng, Node: nd, Runner: runner}, cfg.Core)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: scheduler %d: %w", i, err)
@@ -211,6 +300,29 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		c.scheds = append(c.scheds, sched)
 	}
 	return c, nil
+}
+
+// SetDown marks node i down (true) or back up (false). A down node stops
+// receiving newly routed work but keeps draining in-flight invocations —
+// the mark-down/mark-up semantics of the live worker registry, so a
+// zone-outage scenario loses zero invocations on failover. Marking every
+// node down degrades routing to least-loaded over the whole fleet rather
+// than dropping work.
+func (c *Cluster) SetDown(i int, down bool) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("cluster: node index %d out of range [0, %d)", i, len(c.nodes))
+	}
+	c.picker.setDown(i, down)
+	return nil
+}
+
+// Down reports whether node i is currently marked down (false for
+// out-of-range indexes).
+func (c *Cluster) Down(i int) bool {
+	if i < 0 || i >= len(c.picker.down) {
+		return false
+	}
+	return c.picker.down[i]
 }
 
 // Nodes exposes the worker nodes (for metrics probes).

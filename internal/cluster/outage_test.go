@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"faasbatch/internal/chaos"
+	"faasbatch/internal/fnruntime"
+	"faasbatch/internal/node"
+	"faasbatch/internal/sim"
+	"faasbatch/internal/workload"
+)
+
+func TestNodeConfigsHeterogeneousFleet(t *testing.T) {
+	eng := sim.New(1)
+	small := node.DefaultConfig()
+	small.Cores = 4
+	big := node.DefaultConfig()
+	big.Cores = 16
+	cfg := testClusterConfig(2, FnAffinity)
+	cfg.NodeConfigs = []node.Config{small, big}
+	cl, err := New(eng, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := cl.Nodes()[0].Config().Cores; got != 4 {
+		t.Errorf("node 0 cores = %v, want 4", got)
+	}
+	if got := cl.Nodes()[1].Config().Cores; got != 16 {
+		t.Errorf("node 1 cores = %v, want 16", got)
+	}
+
+	cfg.NodeConfigs = []node.Config{small}
+	if _, err := New(sim.New(1), cfg); err == nil {
+		t.Error("NodeConfigs length mismatch accepted")
+	}
+}
+
+func TestClusterChaosInjects(t *testing.T) {
+	inj := chaos.MustNew(chaos.Config{Seed: 5, Rates: map[chaos.Kind]float64{chaos.BootFailure: 0.5}})
+	eng := sim.New(5)
+	cfg := testClusterConfig(2, FnAffinity)
+	cfg.Chaos = inj
+	cl, err := New(eng, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	spec, err := workload.FibSpec(22)
+	if err != nil {
+		t.Fatalf("FibSpec: %v", err)
+	}
+	done := 0
+	for i := 0; i < 40; i++ {
+		i := i
+		s := spec
+		s.Name = string(rune('a' + i%8))
+		eng.Schedule(time.Duration(i)*5*time.Millisecond, func() {
+			cl.Submit(fnruntime.NewInvocation(int64(i), s, eng.Now()), func(*fnruntime.Invocation) { done++ })
+		})
+	}
+	for done < 40 {
+		if !eng.Step() {
+			t.Fatalf("engine drained with %d/40 complete", done)
+		}
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if inj.Counts()[chaos.BootFailure] == 0 {
+		t.Error("no boot failures injected despite 0.5 rate")
+	}
+}
+
+// TestSetDownFailsOverWithoutLoss marks a node down mid-run and checks
+// (a) new work for its pinned functions re-pins elsewhere, and (b) every
+// submitted invocation still completes — the zero-lost-on-failover
+// guarantee the stress harness asserts as an invariant.
+func TestSetDownFailsOverWithoutLoss(t *testing.T) {
+	for _, bal := range []Balancing{FnAffinity, ConsistentHash, LeastLoaded, RoundRobin} {
+		eng := sim.New(2)
+		cl, err := New(eng, testClusterConfig(3, bal))
+		if err != nil {
+			t.Fatalf("%v: New: %v", bal, err)
+		}
+		spec, err := workload.FibSpec(21)
+		if err != nil {
+			t.Fatalf("FibSpec: %v", err)
+		}
+		spec.Name = "hot"
+		victim := cl.picker.pick("hot") // where the function lands pre-outage
+		cl.picker.inflight[victim]--    // undo the probe's accounting
+		if bal == FnAffinity {
+			cl.picker.assigned[victim]--
+			delete(cl.picker.affinity, "hot")
+		}
+
+		submitted, done := 0, 0
+		submit := func(id int) {
+			submitted++
+			cl.Submit(fnruntime.NewInvocation(int64(id), spec, eng.Now()), func(*fnruntime.Invocation) { done++ })
+		}
+		for i := 0; i < 10; i++ {
+			i := i
+			eng.Schedule(time.Duration(i)*10*time.Millisecond, func() { submit(i) })
+		}
+		eng.Schedule(150*time.Millisecond, func() {
+			if err := cl.SetDown(victim, true); err != nil {
+				t.Errorf("%v: SetDown: %v", bal, err)
+			}
+		})
+		after := make([]int, 0, 10)
+		for i := 0; i < 10; i++ {
+			i := i
+			eng.Schedule(200*time.Millisecond+time.Duration(i)*10*time.Millisecond, func() {
+				idx := cl.picker.pick(spec.Name)
+				cl.picker.inflight[idx]-- // probe only; Submit re-picks
+				after = append(after, idx)
+				submit(100 + i)
+			})
+		}
+		for done < submitted || submitted < 20 {
+			if !eng.Step() {
+				t.Fatalf("%v: engine drained with %d/%d complete", bal, done, submitted)
+			}
+		}
+		if err := cl.Close(); err != nil {
+			t.Fatalf("%v: Close: %v", bal, err)
+		}
+		if !cl.Down(victim) {
+			t.Errorf("%v: victim not reported down", bal)
+		}
+		for _, idx := range after {
+			if idx == victim {
+				t.Errorf("%v: post-outage pick routed to downed node %d", bal, victim)
+			}
+		}
+	}
+}
+
+// TestSetDownWholeFleetStillRoutes checks mark-down is advisory: with
+// every node down, routing degrades instead of dropping work.
+func TestSetDownWholeFleetStillRoutes(t *testing.T) {
+	eng := sim.New(3)
+	cl, err := New(eng, testClusterConfig(2, FnAffinity))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := cl.SetDown(i, true); err != nil {
+			t.Fatalf("SetDown: %v", err)
+		}
+	}
+	spec, err := workload.FibSpec(20)
+	if err != nil {
+		t.Fatalf("FibSpec: %v", err)
+	}
+	done := 0
+	cl.Submit(fnruntime.NewInvocation(0, spec, eng.Now()), func(*fnruntime.Invocation) { done++ })
+	for done < 1 {
+		if !eng.Step() {
+			t.Fatal("engine drained before completion")
+		}
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := cl.SetDown(5, true); err == nil {
+		t.Error("out-of-range SetDown accepted")
+	}
+	if cl.Down(5) {
+		t.Error("out-of-range Down reported true")
+	}
+}
+
+// TestSetDownRecovery verifies a recovered node receives new first-sight
+// pins again (FnAffinity) and rejoins the hash ring (ConsistentHash).
+func TestSetDownRecovery(t *testing.T) {
+	eng := sim.New(4)
+	cl, err := New(eng, testClusterConfig(2, ConsistentHash))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Find a function owned by node 0 on the full ring.
+	owned := ""
+	for _, fn := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		idx := cl.picker.pick(fn)
+		cl.picker.inflight[idx]--
+		if idx == 0 {
+			owned = fn
+			break
+		}
+	}
+	if owned == "" {
+		t.Skip("no probe function landed on node 0")
+	}
+	if err := cl.SetDown(0, true); err != nil {
+		t.Fatalf("SetDown: %v", err)
+	}
+	idx := cl.picker.pick(owned)
+	cl.picker.inflight[idx]--
+	if idx == 0 {
+		t.Fatal("downed ring member still owns its arc")
+	}
+	if err := cl.SetDown(0, false); err != nil {
+		t.Fatalf("SetDown(up): %v", err)
+	}
+	idx = cl.picker.pick(owned)
+	cl.picker.inflight[idx]--
+	if idx != 0 {
+		t.Fatal("recovered ring member did not regain its arc")
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

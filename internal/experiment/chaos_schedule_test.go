@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"faasbatch/internal/chaos"
+	"faasbatch/internal/trace"
+	"faasbatch/internal/workload"
+)
+
+func scheduleTestTrace(t *testing.T) trace.Trace {
+	t.Helper()
+	cfg := trace.DefaultBurstConfig(workload.CPUIntensive)
+	cfg.N = 120
+	cfg.Span = 20 * time.Second
+	tr, err := trace.SynthesizeBurst(cfg)
+	if err != nil {
+		t.Fatalf("SynthesizeBurst: %v", err)
+	}
+	return tr
+}
+
+// TestChaosScheduleSwapsMidRun runs a two-phase schedule — quiet, then a
+// container-crash storm — and checks the storm phase actually injected.
+func TestChaosScheduleSwapsMidRun(t *testing.T) {
+	tr := scheduleTestTrace(t)
+	res, err := Run(Config{
+		Policy:   PolicyFaaSBatch,
+		Trace:    tr,
+		Interval: 100 * time.Millisecond,
+		Seed:     9,
+		ChaosSchedule: []ChaosPhase{
+			{At: 0, Rates: nil},
+			{At: 5 * time.Second, Rates: map[chaos.Kind]float64{chaos.ContainerCrash: 0.4}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Retries == 0 && res.Failures == 0 {
+		t.Error("storm phase caused no retries or failures")
+	}
+	if res.FaultSummary == "none" {
+		t.Error("fault summary empty despite storm phase")
+	}
+
+	// A schedule that never raises a rate must inject nothing.
+	quiet, err := Run(Config{
+		Policy:   PolicyFaaSBatch,
+		Trace:    tr,
+		Interval: 100 * time.Millisecond,
+		Seed:     9,
+		ChaosSchedule: []ChaosPhase{
+			{At: 0, Rates: nil},
+			{At: 5 * time.Second, Rates: nil},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run (quiet): %v", err)
+	}
+	if quiet.BootFailures != 0 || quiet.FaultSummary != "none" {
+		t.Errorf("quiet schedule injected faults: %d boot failures, summary %q",
+			quiet.BootFailures, quiet.FaultSummary)
+	}
+}
+
+func TestChaosScheduleValidation(t *testing.T) {
+	tr := scheduleTestTrace(t)
+	base := Config{Policy: PolicyFaaSBatch, Trace: tr, Seed: 1}
+
+	cfg := base
+	cfg.ChaosSchedule = []ChaosPhase{{At: -time.Second}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative offset accepted")
+	}
+
+	cfg = base
+	cfg.ChaosSchedule = []ChaosPhase{{At: 2 * time.Second}, {At: time.Second}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("unsorted schedule accepted")
+	}
+
+	cfg = base
+	cfg.ChaosSchedule = []ChaosPhase{{At: 0, Rates: map[chaos.Kind]float64{chaos.BootFailure: 2}}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("out-of-range rate accepted")
+	}
+}

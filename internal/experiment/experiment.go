@@ -104,10 +104,28 @@ type Config struct {
 	// The injector seed defaults to Seed when Chaos.Seed is zero, so one
 	// experiment seed fixes both arrivals and the fault schedule.
 	Chaos *chaos.Config
+	// ChaosSchedule reconfigures the injector's rates mid-run: at each
+	// entry's virtual-time offset the rate table is swapped in place
+	// (chaos.Injector.SetRates), so a run can move through quiet and
+	// noisy phases — the scenario harness's per-phase chaos, available
+	// to single-node experiments too. Entries must be sorted by At.
+	// When Chaos is nil, a non-empty schedule starts the run with an
+	// all-zero injector seeded from Seed.
+	ChaosSchedule []ChaosPhase
 	// Tracer, when non-nil, receives the run's invocation decomposition
 	// spans on the virtual timeline (see EmitSpans). The simulation itself
 	// is unaffected: spans are derived from completed records.
 	Tracer *obs.Tracer
+}
+
+// ChaosPhase is one scheduled chaos reconfiguration: at offset At from
+// the run's start the injector's rate table becomes Rates (absent kinds
+// drop to zero).
+type ChaosPhase struct {
+	// At is the virtual-time offset the swap fires at.
+	At time.Duration
+	// Rates is the full rate table from At on.
+	Rates map[chaos.Kind]float64
 }
 
 // Result aggregates one run's measurements.
@@ -196,16 +214,37 @@ func Run(cfg Config) (*Result, error) {
 
 	eng := sim.New(cfg.Seed)
 	var inj *chaos.Injector
-	if cfg.Chaos != nil {
-		ccfg := *cfg.Chaos
-		if ccfg.Seed == 0 {
-			ccfg.Seed = cfg.Seed
+	if cfg.Chaos != nil || len(cfg.ChaosSchedule) > 0 {
+		ccfg := chaos.Config{Seed: cfg.Seed}
+		if cfg.Chaos != nil {
+			ccfg = *cfg.Chaos
+			if ccfg.Seed == 0 {
+				ccfg.Seed = cfg.Seed
+			}
 		}
 		var cerr error
 		inj, cerr = chaos.New(ccfg)
 		if cerr != nil {
 			return nil, fmt.Errorf("experiment: %w", cerr)
 		}
+	}
+	for i, ph := range cfg.ChaosSchedule {
+		if ph.At < 0 {
+			return nil, fmt.Errorf("experiment: chaos schedule entry %d: negative offset %v", i, ph.At)
+		}
+		if i > 0 && ph.At < cfg.ChaosSchedule[i-1].At {
+			return nil, fmt.Errorf("experiment: chaos schedule not sorted at entry %d", i)
+		}
+		// Validate the rate table up front so a bad entry fails the run
+		// before any event fires, not mid-flight.
+		if _, err := chaos.New(chaos.Config{Rates: ph.Rates}); err != nil {
+			return nil, fmt.Errorf("experiment: chaos schedule entry %d: %w", i, err)
+		}
+		rates := ph.Rates
+		eng.Schedule(ph.At, func() {
+			// Rates were validated above; SetRates cannot fail here.
+			_ = inj.SetRates(rates)
+		})
 	}
 	nd, runner, sched, batch, err := buildScheduler(eng, cfg, inj)
 	if err != nil {

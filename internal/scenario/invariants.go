@@ -1,0 +1,111 @@
+// invariants.go is the catalog of run assertions a scenario can declare.
+// The runner evaluates them at quiescence and records each verdict in the
+// report; cmd/faasstress exits non-zero when any fails, so CI treats an
+// invariant violation exactly like a failing test.
+package scenario
+
+import "fmt"
+
+// invariantCatalog names the known assertions; parameterised entries take
+// a "name: value" form in the scenario file.
+var invariantCatalog = map[string]struct{ parameterised bool }{
+	// no-lost-invocations: every submitted invocation completed (possibly
+	// as a recorded failure) — zero silent loss, including across zone
+	// outages and chaos storms. Always checked; declaring it is
+	// documentation.
+	"no-lost-invocations": {},
+	// conservation: the routing tier's accounting balances. Sim: the sum
+	// of per-node scheduler Submitted counters equals the harness's
+	// submissions. Live: platform Submitted == Invocations + Canceled at
+	// quiescence. Always checked.
+	"conservation": {},
+	// zero-failures: no invocation exhausted its retry budget.
+	"zero-failures": {},
+	// max-failure-rate: failed/submitted must not exceed the value.
+	"max-failure-rate": {parameterised: true},
+	// all-recovered: no worker is still marked down at the end of the
+	// run (every outage's recovery fired).
+	"all-recovered": {},
+}
+
+// InvariantResult is one evaluated assertion in the report.
+type InvariantResult struct {
+	// Name is the catalog entry.
+	Name string `json:"name"`
+	// OK reports whether the assertion held.
+	OK bool `json:"ok"`
+	// Detail explains the verdict with the numbers that decided it.
+	Detail string `json:"detail"`
+}
+
+// invariantInputs carries the quiescence-time counters the assertions
+// are evaluated against; both runners fill one.
+type invariantInputs struct {
+	submitted int64
+	completed int64
+	failed    int64
+	// conservationLHS/RHS are the two sides of the accounting identity
+	// (per-mode meaning documented in the catalog).
+	conservationLHS  int64
+	conservationRHS  int64
+	conservationExpr string
+	downAtEnd        int
+}
+
+// evalInvariants evaluates the always-on assertions plus the scenario's
+// declared extras, deduplicated, in deterministic order.
+func evalInvariants(declared []Invariant, in invariantInputs) []InvariantResult {
+	checks := []Invariant{{Name: "no-lost-invocations"}, {Name: "conservation"}}
+	seen := map[string]bool{"no-lost-invocations": true, "conservation": true}
+	for _, inv := range declared {
+		if !seen[inv.Name] {
+			seen[inv.Name] = true
+			checks = append(checks, inv)
+		}
+	}
+	out := make([]InvariantResult, 0, len(checks))
+	for _, inv := range checks {
+		out = append(out, evalInvariant(inv, in))
+	}
+	return out
+}
+
+func evalInvariant(inv Invariant, in invariantInputs) InvariantResult {
+	r := InvariantResult{Name: inv.Name}
+	switch inv.Name {
+	case "no-lost-invocations":
+		r.OK = in.submitted == in.completed
+		r.Detail = fmt.Sprintf("submitted %d, completed %d", in.submitted, in.completed)
+	case "conservation":
+		r.OK = in.conservationLHS == in.conservationRHS
+		r.Detail = fmt.Sprintf("%s: %d vs %d", in.conservationExpr, in.conservationLHS, in.conservationRHS)
+	case "zero-failures":
+		r.OK = in.failed == 0
+		r.Detail = fmt.Sprintf("%d invocations failed", in.failed)
+	case "max-failure-rate":
+		rate := 0.0
+		if in.submitted > 0 {
+			rate = float64(in.failed) / float64(in.submitted)
+		}
+		r.OK = rate <= inv.Value
+		r.Detail = fmt.Sprintf("failure rate %.6f, bound %g", rate, inv.Value)
+	case "all-recovered":
+		r.OK = in.downAtEnd == 0
+		r.Detail = fmt.Sprintf("%d workers still down", in.downAtEnd)
+	default:
+		r.OK = false
+		r.Detail = "unknown invariant"
+	}
+	return r
+}
+
+// Violations lists the failed invariants of a report body.
+func (b *Body) Violations() []InvariantResult {
+	var out []InvariantResult
+	for _, r := range b.Invariants {
+		if !r.OK {
+			out = append(out, r)
+		}
+	}
+	return out
+}

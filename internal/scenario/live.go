@@ -1,0 +1,306 @@
+// live.go replays a scenario against the in-process live platform: real
+// goroutines, wall-clock windows, seeded chaos swapped at phase
+// boundaries. Live mode exists for smoke coverage — does the platform
+// uphold the same invariants the simulator promises, under real
+// concurrency? — so it is deliberately small: one worker, a bounded
+// arrival budget, no outages (the live registry owns mark-down in
+// production; a single in-process worker has nothing to fail over to).
+// Live reports carry real timings and are not byte-reproducible.
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"faasbatch/internal/chaos"
+	"faasbatch/internal/platform"
+)
+
+// maxLiveInvocations bounds a live scenario's expected arrivals: live
+// runs burn wall clock and real CPU, so fleet-scale numbers belong in
+// sim mode.
+const maxLiveInvocations = 100_000
+
+func runLive(sc *Scenario) (*Body, error) {
+	if sc.Fleet.Workers != 1 {
+		return nil, fmt.Errorf("scenario: live mode supports exactly 1 worker, got %d (use mode: sim for fleets)", sc.Fleet.Workers)
+	}
+	for i, p := range sc.Phases {
+		if len(p.Outages) > 0 {
+			return nil, fmt.Errorf("scenario: live mode does not support outages (phase %d)", i)
+		}
+	}
+	if n := sc.ExpectedInvocations(); n > maxLiveInvocations {
+		return nil, fmt.Errorf("scenario: live mode caps expected invocations at %d, scenario declares ~%d", maxLiveInvocations, n)
+	}
+	scale := sc.LiveTimeScale
+
+	inj := chaos.MustNew(chaos.Config{
+		Seed:            subSeed(sc.Seed, "chaos"),
+		ColdStartFactor: sc.Chaos.ColdStartFactor,
+		HangDuration:    sc.Chaos.Hang,
+	})
+	pcfg := platform.DefaultConfig()
+	pcfg.ColdStart = 5 * time.Millisecond
+	pcfg.DispatchInterval = 20 * time.Millisecond
+	if sc.Dispatch.Interval > 0 {
+		pcfg.DispatchInterval = sc.Dispatch.Interval
+	}
+	pcfg.AdaptiveDispatch = sc.Dispatch.Adaptive
+	if sc.Dispatch.MinInterval > 0 {
+		pcfg.MinInterval = sc.Dispatch.MinInterval
+	}
+	pcfg.MaxGroupSize = sc.Dispatch.MaxGroupSize
+	pcfg.MaxRetries = 3
+	switch {
+	case sc.Dispatch.MaxRetries < 0:
+		pcfg.MaxRetries = 0
+	case sc.Dispatch.MaxRetries > 0:
+		pcfg.MaxRetries = sc.Dispatch.MaxRetries
+	}
+	// Hangs must resolve inside the drain budget, so every attempt gets a
+	// deadline comfortably above the injected hang.
+	pcfg.InvokeTimeout = 2*injHang(sc) + time.Second
+	pcfg.Chaos = inj
+	p, err := platform.New(pcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	echo := func(ctx context.Context, inv *platform.Invocation) (any, error) {
+		return len(inv.Payload), nil
+	}
+	registered := map[string]bool{}
+	for _, ph := range sc.Phases {
+		for _, e := range ph.Mix {
+			for i := 0; i < e.Instances; i++ {
+				name := e.Fn
+				if e.Instances > 1 {
+					name = fmt.Sprintf("%s-%d", e.Fn, i)
+				}
+				if !registered[name] {
+					registered[name] = true
+					if err := p.Register(name, echo); err != nil {
+						_ = p.Close()
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	start := time.Now()
+	var (
+		mu     sync.Mutex
+		events []Event
+		body   Body
+	)
+	event := func(kind, detail string) {
+		mu.Lock()
+		events = append(events, Event{TimeMillis: time.Since(start).Milliseconds(), Kind: kind, Detail: detail})
+		mu.Unlock()
+	}
+
+	// Sampler goroutine: platform stats every Sampling/scale.
+	var samples []Sample
+	stopSampler := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		tick := time.NewTicker(scaled(sc.Sampling, scale))
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSampler:
+				return
+			case <-tick.C:
+				st := p.Stats()
+				mu.Lock()
+				samples = append(samples, Sample{
+					TimeMillis:     time.Since(start).Milliseconds(),
+					Submitted:      st.Submitted,
+					Completed:      st.Invocations + st.Canceled,
+					Inflight:       st.Submitted - st.Invocations - st.Canceled,
+					LiveContainers: int64(st.LiveContainers),
+				})
+				mu.Unlock()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var submitted int64
+	var aggs []*phaseAgg
+	for pi, ph := range sc.Phases {
+		agg := &phaseAgg{}
+		aggs = append(aggs, agg)
+		event("phase", fmt.Sprintf("phase %q starts (arrival %s, rate %g/s)", ph.Name, ph.Arrival, ph.Rate))
+		// The phase-boundary rate swap races the platform's in-flight
+		// dispatch goroutines by design — the -race stress satellite
+		// exercises exactly this path.
+		if err := inj.SetRates(ph.Chaos); err != nil {
+			_ = p.Close()
+			return nil, err
+		}
+		if len(ph.Chaos) > 0 {
+			event("chaos", fmt.Sprintf("fault rates set for phase %q", ph.Name))
+		}
+		runLivePhase(p, sc, pi, ph, scale, &wg, agg, &mu)
+	}
+	// All arrivals issued; wait for every in-flight invocation so the
+	// phase aggregates are complete before they are summarised.
+	wg.Wait()
+	for pi, ph := range sc.Phases {
+		agg := aggs[pi]
+		submitted += agg.submitted
+		body.Phases = append(body.Phases, PhaseReport{
+			Name:      ph.Name,
+			Arrival:   ph.Arrival,
+			Rate:      ph.Rate,
+			Submitted: agg.submitted,
+			Completed: agg.completed,
+			Failed:    agg.failed,
+			Retries:   agg.retries,
+			Total:     summarize(agg.totalMicros),
+			Sched:     summarize(agg.schedMicros),
+		})
+	}
+	close(stopSampler)
+	<-samplerDone
+	if err := p.Close(); err != nil {
+		return nil, fmt.Errorf("scenario: platform close: %w", err)
+	}
+	st := p.Stats()
+
+	body.Version = ReportVersion
+	body.Scenario = sc.Name
+	body.Mode = sc.Mode.String()
+	body.Seed = sc.Seed
+	body.Workers = 1
+	body.Zones = sc.Fleet.Zones
+	body.Balancing = sc.Dispatch.Balancing.String()
+	body.Events = events
+	body.Samples = samples
+	var completed, failed, retries int64
+	var allTotal []int64
+	for i := range body.Phases {
+		completed += body.Phases[i].Completed
+		failed += body.Phases[i].Failed
+		retries += body.Phases[i].Retries
+		allTotal = append(allTotal, aggs[i].totalMicros...)
+	}
+	body.Totals = Totals{Submitted: submitted, Completed: completed, Failed: failed, Retries: retries, Total: summarize(allTotal)}
+	body.Scheduler = SchedStats{
+		Submitted:          st.Submitted,
+		Groups:             st.Groups,
+		Retries:            st.Retries,
+		Failed:             st.Failures,
+		FastPathDispatches: st.FastPathDispatches,
+		EarlyCloses:        st.EarlyCloses,
+		WindowDispatches:   st.WindowDispatches,
+	}
+	body.Fleet = FleetStats{
+		ContainersCreated: st.ContainersCreated,
+		ColdStarts:        st.ContainersCreated,
+		WarmStarts:        st.WarmStarts,
+		Crashes:           st.Crashes,
+		BootFailures:      st.BootFailures,
+	}
+	body.Chaos = chaosCounts(inj)
+	body.Invariants = evalInvariants(sc.Invariants, invariantInputs{
+		submitted:        submitted,
+		completed:        completed,
+		failed:           failed,
+		conservationLHS:  st.Submitted,
+		conservationRHS:  st.Invocations + st.Canceled,
+		conservationExpr: "platform Submitted == Invocations + Canceled",
+	})
+	body.MakespanMillis = time.Since(start).Milliseconds()
+	return &body, nil
+}
+
+// runLivePhase paces one phase's arrivals on the wall clock and blocks
+// until the phase window has elapsed (in-flight calls may drain later).
+func runLivePhase(p *platform.Platform, sc *Scenario, pi int, ph Phase, scale float64, wg *sync.WaitGroup, agg *phaseAgg, mu *sync.Mutex) {
+	rng := rand.New(rand.NewSource(subSeed(sc.Seed, fmt.Sprintf("arrivals-%d", pi))))
+	names := liveMixNames(ph)
+	deadline := time.Now().Add(scaled(ph.Duration, scale))
+	payload := json.RawMessage(`{}`)
+	for ph.Rate > 0 && time.Now().Before(deadline) {
+		fn := names[rng.Intn(len(names))]
+		mu.Lock()
+		agg.submitted++
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := p.Invoke(context.Background(), fn, payload)
+			mu.Lock()
+			defer mu.Unlock()
+			agg.completed++
+			if err != nil {
+				agg.failed++
+			}
+			if res.Attempts > 1 {
+				agg.retries += int64(res.Attempts - 1)
+			}
+			agg.totalMicros = append(agg.totalMicros, res.Total().Microseconds())
+			agg.schedMicros = append(agg.schedMicros, res.Sched.Microseconds())
+		}()
+		gap := scaled(expDuration(rng, ph.Rate), scale)
+		time.Sleep(gap)
+	}
+	if ph.Rate <= 0 {
+		time.Sleep(scaled(ph.Duration, scale))
+	}
+}
+
+// liveMixNames expands a phase mix into a weighted name list (weights
+// rounded to a small integer resolution — live smoke runs need mix
+// coverage, not exact proportions).
+func liveMixNames(ph Phase) []string {
+	var names []string
+	for _, e := range ph.Mix {
+		copies := int(e.Weight + 0.5)
+		if copies < 1 {
+			copies = 1
+		}
+		for c := 0; c < copies; c++ {
+			for i := 0; i < e.Instances; i++ {
+				name := e.Fn
+				if e.Instances > 1 {
+					name = fmt.Sprintf("%s-%d", e.Fn, i)
+				}
+				names = append(names, name)
+			}
+		}
+	}
+	if len(names) == 0 {
+		names = []string{"noop"}
+	}
+	return names
+}
+
+// scaled compresses a wall-clock duration by the scenario's time scale.
+func scaled(d time.Duration, scale float64) time.Duration {
+	if scale <= 1 {
+		return d
+	}
+	out := time.Duration(float64(d) / scale)
+	if out < time.Millisecond {
+		out = time.Millisecond
+	}
+	return out
+}
+
+// injHang reports the effective injected hang duration.
+func injHang(sc *Scenario) time.Duration {
+	if sc.Chaos.Hang > 0 {
+		return sc.Chaos.Hang
+	}
+	return 2 * time.Second
+}

@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLiveSmoke drives a small scenario through the real platform:
+// goroutines, wall-clock windows, seeded chaos. The conservation
+// invariant — platform Submitted == Invocations + Canceled — is the live
+// analogue of the simulator's zero-loss guarantee.
+func TestLiveSmoke(t *testing.T) {
+	sc, err := Parse([]byte(`
+scenario: live-smoke
+mode: live
+seed: 7
+live-time-scale: 10
+dispatch:
+  interval: 10ms
+  adaptive: true
+sampling: 100ms
+chaos:
+  hang: 50ms
+phases:
+  - name: clean
+    duration: 2s
+    arrival: poisson
+    rate: 200
+    mix:
+      - fn: ping
+        instances: 3
+  - name: faulty
+    duration: 2s
+    arrival: poisson
+    rate: 200
+    mix:
+      - fn: ping
+        instances: 3
+    chaos:
+      handler-error: 0.05
+      container-crash: 0.02
+invariants:
+  - no-lost-invocations
+`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	body, err := NewRunner().RunBody(sc)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if body.Totals.Submitted == 0 {
+		t.Fatal("live run submitted nothing")
+	}
+	for _, inv := range body.Violations() {
+		t.Errorf("invariant %s violated: %s", inv.Name, inv.Detail)
+	}
+	if body.Mode != "live" {
+		t.Errorf("mode = %q, want live", body.Mode)
+	}
+}
+
+// TestLiveChaosSwapRace is the harness-level race regression: rapid
+// phase boundaries swap the injector's rate table (SetRates) while the
+// platform's dispatch goroutines consult it (Should) from in-flight
+// windows. Run under -race this mirrors the PR 5 Close-vs-invokers
+// shape, with the scenario engine as the driver.
+func TestLiveChaosSwapRace(t *testing.T) {
+	src := `
+scenario: chaos-swap-race
+mode: live
+seed: 11
+live-time-scale: 20
+dispatch:
+  interval: 5ms
+sampling: 50ms
+chaos:
+  hang: 20ms
+phases:
+`
+	// Many short phases, alternating fault tables, so rate swaps land
+	// mid-dispatch over and over.
+	for i := 0; i < 6; i++ {
+		src += `
+  - name: p` + string(rune('0'+i)) + `
+    duration: 1s
+    arrival: constant
+    rate: 150
+    mix:
+      - fn: ping
+        instances: 2
+`
+		if i%2 == 1 {
+			src += `    chaos:
+      handler-error: 0.1
+      handler-panic: 0.02
+      container-crash: 0.02
+      storage-failure: 0.05
+`
+		}
+	}
+	sc, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	body, err := NewRunner().RunBody(sc)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, inv := range body.Violations() {
+		t.Errorf("invariant %s violated: %s", inv.Name, inv.Detail)
+	}
+	if len(body.Chaos) == 0 {
+		t.Error("no faults injected across the faulty phases")
+	}
+}
+
+// TestLiveRejections: live mode's guard rails.
+func TestLiveRejections(t *testing.T) {
+	fleet := &Scenario{}
+	*fleet = Scenario{
+		Name:          "fleet-live",
+		Seed:          1,
+		Mode:          ModeLive,
+		Fleet:         Fleet{Workers: 4, Zones: 1},
+		Sampling:      time.Second,
+		MaxDrain:      time.Hour,
+		LiveTimeScale: 1,
+		Phases:        []Phase{{Name: "p", Duration: time.Second, Arrival: "poisson"}},
+	}
+	if _, err := NewRunner().RunBody(fleet); err == nil {
+		t.Error("live mode accepted a multi-worker fleet")
+	}
+}

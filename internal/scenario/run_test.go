@@ -1,0 +1,227 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func loadScenario(t *testing.T, name string) *Scenario {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	sc, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return sc
+}
+
+// TestDeterminismCorpus is the reproducibility regression: every sim
+// scenario in the committed corpus, run twice with the same seed, must
+// produce byte-identical report bodies — and therefore identical hashes
+// in the stamped report. One runner is reused across all runs, so the
+// engine's Reset path is part of what is being pinned.
+func TestDeterminismCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.yaml"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("corpus glob: %v (%d files)", err, len(files))
+	}
+	runner := NewRunner()
+	fresh := NewRunner()
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			sc, err := Parse(src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if sc.Mode != ModeSim {
+				t.Skip("live scenarios are not byte-reproducible")
+			}
+			first, err := runner.RunBody(sc)
+			if err != nil {
+				t.Fatalf("run 1: %v", err)
+			}
+			second, err := runner.RunBody(sc)
+			if err != nil {
+				t.Fatalf("run 2 (reused engine): %v", err)
+			}
+			third, err := fresh.RunBody(sc)
+			if err != nil {
+				t.Fatalf("run 3 (fresh-engine runner): %v", err)
+			}
+			a, err := first.Marshal()
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			b, _ := second.Marshal()
+			c, _ := third.Marshal()
+			if !bytes.Equal(a, b) {
+				t.Errorf("reused-engine rerun diverged (%d vs %d bytes)", len(a), len(b))
+			}
+			if !bytes.Equal(a, c) {
+				t.Errorf("fresh-engine rerun diverged (%d vs %d bytes)", len(a), len(c))
+			}
+			if first.Totals.Submitted == 0 {
+				t.Error("scenario submitted nothing; corpus entry is vacuous")
+			}
+			for _, inv := range first.Violations() {
+				t.Errorf("invariant %s violated: %s", inv.Name, inv.Detail)
+			}
+		})
+	}
+}
+
+// TestFailoverScenario digs into the failover corpus entry: the outage
+// must actually take workers down (and bring them back), and the
+// zero-loss invariant must hold through it.
+func TestFailoverScenario(t *testing.T) {
+	sc := loadScenario(t, "failover.yaml")
+	body, err := NewRunner().RunBody(sc)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var downs, ups int
+	for _, e := range body.Events {
+		switch e.Kind {
+		case "outage-down":
+			downs++
+		case "outage-up":
+			ups++
+		}
+	}
+	if downs != 2 || ups != 2 { // zone 1 of 4 zones over 8 workers = 2 workers
+		t.Errorf("outage events = %d down / %d up, want 2/2", downs, ups)
+	}
+	sawDown := false
+	for _, s := range body.Samples {
+		if s.WorkersDown > 0 {
+			sawDown = true
+		}
+	}
+	if !sawDown {
+		t.Error("no sample observed a downed worker during the outage window")
+	}
+	for _, inv := range body.Violations() {
+		t.Errorf("invariant %s violated: %s", inv.Name, inv.Detail)
+	}
+}
+
+// TestNoisyChaosScenario checks the chaos schedule had teeth: injections
+// happened, retries happened, and the declared failure-rate bound still
+// held.
+func TestNoisyChaosScenario(t *testing.T) {
+	sc := loadScenario(t, "noisy-chaos.yaml")
+	body, err := NewRunner().RunBody(sc)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(body.Chaos) == 0 {
+		t.Error("no faults injected despite the noisy phase")
+	}
+	if body.Totals.Retries == 0 {
+		t.Error("no retries despite container crashes")
+	}
+	for _, inv := range body.Violations() {
+		t.Errorf("invariant %s violated: %s", inv.Name, inv.Detail)
+	}
+	// The clean first phase must stay clean: its submissions happen
+	// before any rate swap.
+	if body.Phases[0].Failed != 0 {
+		t.Errorf("clean phase recorded %d failures", body.Phases[0].Failed)
+	}
+}
+
+// TestAdaptiveDispatchWiring checks the dispatch section reaches the
+// schedulers: the bursty corpus entry runs adaptive windows, so adaptive
+// counters must move.
+func TestAdaptiveDispatchWiring(t *testing.T) {
+	sc := loadScenario(t, "bursty.yaml")
+	body, err := NewRunner().RunBody(sc)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	adaptive := body.Scheduler.FastPathDispatches + body.Scheduler.EarlyCloses + body.Scheduler.WindowDispatches
+	if adaptive == 0 {
+		t.Error("adaptive dispatch counters all zero; dispatch config not wired through")
+	}
+	if body.Scheduler.MaxGroupSize > 32 {
+		t.Errorf("max group size %d exceeds configured cap 32", body.Scheduler.MaxGroupSize)
+	}
+}
+
+// TestReportStamping checks hash/timestamp placement: same body, same
+// hash; the timestamp lives outside the hashed payload.
+func TestReportStamping(t *testing.T) {
+	sc := loadScenario(t, "sparse.yaml")
+	body, err := NewRunner().RunBody(sc)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	r1, err := NewReport(*body, time.Unix(1000, 0))
+	if err != nil {
+		t.Fatalf("NewReport: %v", err)
+	}
+	r2, err := NewReport(*body, time.Unix(2000, 0))
+	if err != nil {
+		t.Fatalf("NewReport: %v", err)
+	}
+	if r1.BodySHA256 != r2.BodySHA256 {
+		t.Error("hash depends on the stamping time")
+	}
+	if r1.GeneratedAt == r2.GeneratedAt {
+		t.Error("timestamps should differ")
+	}
+	var html bytes.Buffer
+	if err := r1.WriteHTML(&html); err != nil {
+		t.Fatalf("WriteHTML: %v", err)
+	}
+	if !bytes.Contains(html.Bytes(), []byte(sc.Name)) {
+		t.Error("html summary does not mention the scenario name")
+	}
+}
+
+// TestControlEventsOutliveWorkload: an outage whose recovery lands after
+// the last phase must still be waited for — all-recovered holds because
+// the runner's end-of-run is the later of the workload end and the last
+// control event, not just the phase timeline.
+func TestControlEventsOutliveWorkload(t *testing.T) {
+	sc, err := Parse([]byte(`
+scenario: late-recovery
+fleet:
+  workers: 2
+  zones: 2
+phases:
+  - name: p
+    duration: 1s
+    rate: 0
+    outages:
+      - zone: 0
+        at: 500ms
+        duration: 30s
+invariants:
+  - all-recovered
+`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	body, err := NewRunner().RunBody(sc)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, inv := range body.Violations() {
+		t.Errorf("invariant %s violated: %s", inv.Name, inv.Detail)
+	}
+	if body.MakespanMillis < 30_000 {
+		t.Errorf("makespan %d ms; the run ended before the recovery at ~30.5s", body.MakespanMillis)
+	}
+}

@@ -1,0 +1,197 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"faasbatch/internal/chaos"
+	"faasbatch/internal/cluster"
+)
+
+func TestParseFullScenario(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "noisy-chaos.yaml"))
+	if err != nil {
+		t.Fatalf("read corpus: %v", err)
+	}
+	sc, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if sc.Name != "noisy-chaos" || sc.Seed != 404 || sc.Mode != ModeSim {
+		t.Errorf("header mismatch: %q seed %d mode %v", sc.Name, sc.Seed, sc.Mode)
+	}
+	if sc.Fleet.Workers != 4 || sc.Fleet.Zones != 2 {
+		t.Errorf("fleet mismatch: %+v", sc.Fleet)
+	}
+	if sc.Dispatch.Balancing != cluster.LeastLoaded || sc.Dispatch.MaxRetries != 5 {
+		t.Errorf("dispatch mismatch: %+v", sc.Dispatch)
+	}
+	if len(sc.Phases) != 3 {
+		t.Fatalf("want 3 phases, got %d", len(sc.Phases))
+	}
+	noisy := sc.Phases[1]
+	if noisy.Chaos[chaos.ContainerCrash] != 0.05 || noisy.Chaos[chaos.SlowColdStart] != 0.2 {
+		t.Errorf("chaos rates mismatch: %v", noisy.Chaos)
+	}
+	found := false
+	for _, inv := range sc.Invariants {
+		if inv.Name == "max-failure-rate" && inv.Value == 0.02 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("parameterised invariant missing: %+v", sc.Invariants)
+	}
+}
+
+func TestParseCorpusAll(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.yaml"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("corpus glob: %v (%d files)", err, len(files))
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("read %s: %v", f, err)
+		}
+		if _, err := Parse(src); err != nil {
+			t.Errorf("%s: %v", filepath.Base(f), err)
+		}
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	sc, err := Parse([]byte(`
+scenario: mini
+phases:
+  - duration: 1s
+    rate: 10
+    mix:
+      - fn: f
+`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if sc.Seed != 1 || sc.Mode != ModeSim || sc.Sampling != time.Second || sc.MaxDrain != time.Hour {
+		t.Errorf("defaults mismatch: %+v", sc)
+	}
+	if sc.Fleet.Workers != 1 || sc.Fleet.Zones != 1 {
+		t.Errorf("fleet defaults mismatch: %+v", sc.Fleet)
+	}
+	if sc.Dispatch.Balancing != cluster.FnAffinity {
+		t.Errorf("balancing default mismatch: %v", sc.Dispatch.Balancing)
+	}
+	p := sc.Phases[0]
+	if p.Arrival != "poisson" || p.Mix[0].Weight != 1 || p.Mix[0].Instances != 1 {
+		t.Errorf("phase defaults mismatch: %+v", p)
+	}
+}
+
+func TestParseRejections(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"missing name", "seed: 1\nphases:\n  - duration: 1s\n"},
+		{"no phases", "scenario: x\n"},
+		{"unknown top key", "scenario: x\nbogus: 1\nphases:\n  - duration: 1s\n"},
+		{"unknown phase key", "scenario: x\nphases:\n  - duration: 1s\n    bogus: 2\n"},
+		{"unknown balancing", "scenario: x\ndispatch:\n  balancing: magic\nphases:\n  - duration: 1s\n"},
+		{"unknown arrival", "scenario: x\nphases:\n  - duration: 1s\n    arrival: lumpy\n"},
+		{"rate without mix", "scenario: x\nphases:\n  - duration: 1s\n    rate: 5\n"},
+		{"zone out of range", "scenario: x\nfleet:\n  workers: 4\n  zones: 2\nphases:\n  - duration: 1s\n    outages:\n      - zone: 2\n        at: 0s\n        duration: 1s\n"},
+		{"io and fib-n", "scenario: x\nphases:\n  - duration: 1s\n    rate: 1\n    mix:\n      - fn: f\n        io: true\n        fib-n: 20\n"},
+		{"unknown fault kind", "scenario: x\nphases:\n  - duration: 1s\n    chaos:\n      meteor-strike: 0.1\n"},
+		{"chaos rate of 1", "scenario: x\nphases:\n  - duration: 1s\n    chaos:\n      boot-failure: 1\n"},
+		{"unknown invariant", "scenario: x\nphases:\n  - duration: 1s\ninvariants:\n  - perpetual-motion\n"},
+		{"bad duration", "scenario: x\nphases:\n  - duration: fortnight\n"},
+		{"bad mode", "scenario: x\nmode: dream\nphases:\n  - duration: 1s\n"},
+		{"zones above workers", "scenario: x\nfleet:\n  workers: 2\n  zones: 5\nphases:\n  - duration: 1s\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse([]byte(tc.src)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"16GiB":  16 << 30,
+		"512MiB": 512 << 20,
+		"8KiB":   8 << 10,
+		"2GB":    2e9,
+		"64":     64,
+		"1.5MiB": 3 << 19,
+	}
+	for in, want := range cases {
+		got, err := parseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "-1", "lots", "GiB", "1.5.5MB"} {
+		if _, err := parseBytes(bad); err == nil {
+			t.Errorf("parseBytes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestExpectedInvocations(t *testing.T) {
+	sc := &Scenario{Phases: []Phase{
+		{Duration: 10 * time.Second, Rate: 100},
+		{Duration: 10 * time.Second, Rate: 100, Ramp: 10 * time.Second},
+	}}
+	// Full phase: 1000; fully ramped phase counts half: 500.
+	if got := sc.ExpectedInvocations(); got != 1500 {
+		t.Errorf("ExpectedInvocations = %d, want 1500", got)
+	}
+	if got := sc.TotalDuration(); got != 20*time.Second {
+		t.Errorf("TotalDuration = %v, want 20s", got)
+	}
+}
+
+func TestTemplateFleetInterleaves(t *testing.T) {
+	sc := &Scenario{Fleet: Fleet{
+		Workers: 6,
+		Zones:   2,
+		Templates: []Template{
+			{Name: "a", Weight: 2, Cores: 8},
+			{Name: "b", Weight: 1, Cores: 16},
+		},
+	}}
+	cfgs := buildFleet(sc)
+	var eights, sixteens int
+	for _, c := range cfgs {
+		switch c.Cores {
+		case 8:
+			eights++
+		case 16:
+			sixteens++
+		default:
+			t.Fatalf("unexpected cores %v", c.Cores)
+		}
+	}
+	if eights != 4 || sixteens != 2 {
+		t.Errorf("weighted split = %d/%d, want 4/2", eights, sixteens)
+	}
+	// Interleaved, not contiguous: both zones must see both shapes.
+	zoneCores := map[int]map[float64]bool{0: {}, 1: {}}
+	for i, c := range cfgs {
+		zoneCores[i%2][c.Cores] = true
+	}
+	for z, set := range zoneCores {
+		if len(set) != 2 {
+			t.Errorf("zone %d saw only %v", z, set)
+		}
+	}
+}
+
+func TestValidateStringerCoverage(t *testing.T) {
+	if ModeSim.String() != "sim" || ModeLive.String() != "live" {
+		t.Error("mode strings mismatch")
+	}
+	if !strings.Contains(Mode(9).String(), "9") {
+		t.Error("unknown mode string should echo the value")
+	}
+}

@@ -1,0 +1,316 @@
+// yaml.go implements the YAML subset scenario files are written in.
+//
+// The repository takes no external dependencies, so instead of importing a
+// YAML module the scenario engine parses the subset it actually needs:
+// block mappings and sequences nested by indentation, inline scalars
+// (strings, quoted strings, integers, floats, booleans, null), "- key:
+// value" sequence items, comments, and the empty flow collections []/{}.
+// Anchors, aliases, multi-document streams, multi-line scalars and general
+// flow syntax are intentionally out of scope — a scenario that needs them
+// should be restructured, not the parser grown.
+//
+// The parser is a fuzz target (FuzzParseYAML): it must never panic, loop,
+// or allocate unboundedly on hostile input, which the explicit depth cap
+// and single-pass line scan guarantee.
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// maxYAMLDepth bounds block nesting so crafted inputs (one space deeper
+// per line) cannot recurse unboundedly.
+const maxYAMLDepth = 128
+
+// ParseYAML parses src into a tree of map[string]any, []any and scalar
+// values (string, int64, float64, bool, nil).
+func ParseYAML(src []byte) (any, error) {
+	lines, err := splitYAMLLines(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, nil
+	}
+	p := &yamlParser{lines: lines}
+	v, next, err := p.parseBlock(0, lines[0].indent, 0)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, fmt.Errorf("yaml: line %d: unexpected content after top-level block", lines[next].n)
+	}
+	return v, nil
+}
+
+// yamlLine is one non-blank source line with its comment stripped.
+type yamlLine struct {
+	n      int // 1-based source line number, for errors
+	indent int
+	text   string
+}
+
+// splitYAMLLines breaks src into indent-annotated content lines, dropping
+// blanks and comments. Tabs in indentation are an error (as in YAML).
+func splitYAMLLines(src []byte) ([]yamlLine, error) {
+	var out []yamlLine
+	for n, raw := range strings.Split(string(src), "\n") {
+		line := strings.TrimSuffix(raw, "\r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		rest := line[indent:]
+		if strings.HasPrefix(rest, "\t") {
+			return nil, fmt.Errorf("yaml: line %d: tab in indentation", n+1)
+		}
+		rest = stripYAMLComment(rest)
+		rest = strings.TrimRight(rest, " \t")
+		if rest == "" {
+			continue
+		}
+		out = append(out, yamlLine{n: n + 1, indent: indent, text: rest})
+	}
+	return out, nil
+}
+
+// stripYAMLComment removes a trailing comment: a '#' at the start or
+// preceded by whitespace, outside single or double quotes.
+func stripYAMLComment(s string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\\' && inDouble:
+			i++ // skip the escaped character
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			inDouble = !inDouble
+		case c == '#' && !inSingle && !inDouble:
+			if i == 0 || s[i-1] == ' ' || s[i-1] == '\t' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+type yamlParser struct {
+	lines []yamlLine
+}
+
+// parseBlock parses the block starting at line i, whose lines sit at
+// exactly the given indent. It returns the value and the index of the
+// first line it did not consume.
+func (p *yamlParser) parseBlock(i, indent, depth int) (any, int, error) {
+	if depth > maxYAMLDepth {
+		return nil, i, fmt.Errorf("yaml: line %d: nesting deeper than %d levels", p.lines[i].n, maxYAMLDepth)
+	}
+	if p.lines[i].indent != indent {
+		return nil, i, fmt.Errorf("yaml: line %d: unexpected indentation", p.lines[i].n)
+	}
+	if isSequenceItem(p.lines[i].text) {
+		return p.parseSequence(i, indent, depth)
+	}
+	if _, _, ok := splitKey(p.lines[i].text); ok {
+		return p.parseMapping(i, indent, depth)
+	}
+	// A lone scalar block.
+	v, err := parseScalar(p.lines[i].text, p.lines[i].n)
+	if err != nil {
+		return nil, i, err
+	}
+	return v, i + 1, nil
+}
+
+// parseMapping consumes "key: value" lines at the given indent.
+func (p *yamlParser) parseMapping(i, indent, depth int) (any, int, error) {
+	m := map[string]any{}
+	for i < len(p.lines) {
+		ln := p.lines[i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, i, fmt.Errorf("yaml: line %d: unexpected indentation", ln.n)
+		}
+		if isSequenceItem(ln.text) {
+			return nil, i, fmt.Errorf("yaml: line %d: sequence item inside mapping", ln.n)
+		}
+		key, rest, ok := splitKey(ln.text)
+		if !ok {
+			return nil, i, fmt.Errorf("yaml: line %d: expected \"key: value\"", ln.n)
+		}
+		if _, dup := m[key]; dup {
+			return nil, i, fmt.Errorf("yaml: line %d: duplicate key %q", ln.n, key)
+		}
+		i++
+		if rest != "" {
+			v, err := parseScalar(rest, ln.n)
+			if err != nil {
+				return nil, i, err
+			}
+			m[key] = v
+			continue
+		}
+		// No inline value: a nested block if the next line is deeper,
+		// otherwise null.
+		if i < len(p.lines) && p.lines[i].indent > indent {
+			v, next, err := p.parseBlock(i, p.lines[i].indent, depth+1)
+			if err != nil {
+				return nil, i, err
+			}
+			m[key] = v
+			i = next
+			continue
+		}
+		m[key] = nil
+	}
+	return m, i, nil
+}
+
+// parseSequence consumes "- ..." lines at the given indent.
+func (p *yamlParser) parseSequence(i, indent, depth int) (any, int, error) {
+	var seq []any
+	for i < len(p.lines) {
+		ln := p.lines[i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, i, fmt.Errorf("yaml: line %d: unexpected indentation", ln.n)
+		}
+		if !isSequenceItem(ln.text) {
+			return nil, i, fmt.Errorf("yaml: line %d: expected \"- item\" in sequence", ln.n)
+		}
+		if ln.text == "-" {
+			i++
+			// Item body on the following deeper-indented lines, or null.
+			if i < len(p.lines) && p.lines[i].indent > indent {
+				v, next, err := p.parseBlock(i, p.lines[i].indent, depth+1)
+				if err != nil {
+					return nil, i, err
+				}
+				seq = append(seq, v)
+				i = next
+			} else {
+				seq = append(seq, nil)
+			}
+			continue
+		}
+		// Inline item content: re-home it at its real column so "- key:
+		// value" plus deeper continuation lines parse as one mapping.
+		rest := strings.TrimLeft(ln.text[1:], " ")
+		virtual := indent + (len(ln.text) - len(rest))
+		p.lines[i] = yamlLine{n: ln.n, indent: virtual, text: rest}
+		v, next, err := p.parseBlock(i, virtual, depth+1)
+		if err != nil {
+			return nil, i, err
+		}
+		seq = append(seq, v)
+		i = next
+	}
+	return seq, i, nil
+}
+
+// isSequenceItem reports whether a content line introduces a sequence
+// element.
+func isSequenceItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+// splitKey splits "key: value" / "key:" into key and the raw value text.
+// The separating colon must sit outside quotes and be followed by a space
+// or end the line.
+func splitKey(s string) (key, rest string, ok bool) {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\\' && inDouble:
+			i++
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			inDouble = !inDouble
+		case c == ':' && !inSingle && !inDouble:
+			if i+1 == len(s) || s[i+1] == ' ' {
+				key = strings.TrimSpace(s[:i])
+				if key == "" {
+					return "", "", false
+				}
+				return key, strings.TrimSpace(s[i+1:]), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// parseScalar interprets one inline value.
+func parseScalar(s string, line int) (any, error) {
+	switch {
+	case s == "[]":
+		return []any{}, nil
+	case s == "{}":
+		return map[string]any{}, nil
+	case s == "null" || s == "~":
+		return nil, nil
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	}
+	if len(s) >= 1 && (s[0] == '"' || s[0] == '\'') {
+		return unquoteScalar(s, line)
+	}
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return v, nil
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, nil
+	}
+	return s, nil
+}
+
+// unquoteScalar handles single- and double-quoted strings. Double quotes
+// support the \" \\ \n \t escapes; single quotes escape only ” -> '.
+func unquoteScalar(s string, line int) (string, error) {
+	q := s[0]
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == q && q == '\'' && i+1 < len(s) && s[i+1] == '\'':
+			b.WriteByte('\'')
+			i += 2
+		case c == q:
+			if i != len(s)-1 {
+				return "", fmt.Errorf("yaml: line %d: content after closing quote", line)
+			}
+			return b.String(), nil
+		case c == '\\' && q == '"':
+			if i+1 >= len(s) {
+				return "", fmt.Errorf("yaml: line %d: dangling escape", line)
+			}
+			switch s[i+1] {
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return "", fmt.Errorf("yaml: line %d: unsupported escape \\%c", line, s[i+1])
+			}
+			i += 2
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", fmt.Errorf("yaml: line %d: unterminated quoted string", line)
+}

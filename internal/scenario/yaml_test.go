@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLScenarioShape(t *testing.T) {
+	src := []byte(`
+# comment line
+scenario: demo   # trailing comment
+seed: 42
+ratio: 0.5
+enabled: true
+empty-list: []
+empty-map: {}
+nothing: null
+quoted: "a: b # not a comment"
+single: 'it''s'
+fleet:
+  workers: 10
+  templates:
+    - name: small
+      cores: 4
+    - name: big
+      cores: 16
+mix:
+  - fib
+  - 27
+  -
+`)
+	v, err := ParseYAML(src)
+	if err != nil {
+		t.Fatalf("ParseYAML: %v", err)
+	}
+	want := map[string]any{
+		"scenario":   "demo",
+		"seed":       int64(42),
+		"ratio":      0.5,
+		"enabled":    true,
+		"empty-list": []any{},
+		"empty-map":  map[string]any{},
+		"nothing":    nil,
+		"quoted":     "a: b # not a comment",
+		"single":     "it's",
+		"fleet": map[string]any{
+			"workers": int64(10),
+			"templates": []any{
+				map[string]any{"name": "small", "cores": int64(4)},
+				map[string]any{"name": "big", "cores": int64(16)},
+			},
+		},
+		"mix": []any{"fib", int64(27), nil},
+	}
+	if !reflect.DeepEqual(v, want) {
+		t.Errorf("parse tree mismatch:\n got %#v\nwant %#v", v, want)
+	}
+}
+
+func TestParseYAMLEmpty(t *testing.T) {
+	for _, src := range []string{"", "\n\n", "# only comments\n  # more\n"} {
+		v, err := ParseYAML([]byte(src))
+		if err != nil || v != nil {
+			t.Errorf("ParseYAML(%q) = %v, %v; want nil, nil", src, v, err)
+		}
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"tab indent", "a:\n\tb: 1"},
+		{"duplicate key", "a: 1\na: 2"},
+		{"unterminated quote", `a: "oops`},
+		{"content after quote", `a: "x" y`},
+		{"dangling escape", `a: "x\`},
+		{"bad escape", `a: "\q"`},
+		{"seq in mapping", "a: 1\n- b"},
+		{"scalar then deeper", "a: 1\n  b: 2"},
+		{"no key", "a:\n  just a scalar\n  and another"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseYAML([]byte(tc.src)); err == nil {
+			t.Errorf("%s: no error for %q", tc.name, tc.src)
+		}
+	}
+}
+
+func TestParseYAMLDepthCap(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < maxYAMLDepth+8; i++ {
+		b.WriteString(strings.Repeat(" ", i))
+		b.WriteString("k:\n")
+	}
+	if _, err := ParseYAML([]byte(b.String())); err == nil {
+		t.Fatal("no error for nesting past the depth cap")
+	}
+}
+
+func TestParseYAMLSequenceOfScalars(t *testing.T) {
+	v, err := ParseYAML([]byte("- 1\n- two\n- 3.5\n"))
+	if err != nil {
+		t.Fatalf("ParseYAML: %v", err)
+	}
+	want := []any{int64(1), "two", 3.5}
+	if !reflect.DeepEqual(v, want) {
+		t.Errorf("got %#v, want %#v", v, want)
+	}
+}
+
+// FuzzParseYAML is the parser's no-panic guarantee: arbitrary input must
+// produce a value or an error, never a panic, hang or unbounded
+// recursion. The corpus seeds the grammar's tricky corners; go test runs
+// the corpus as a regression suite even without -fuzz.
+func FuzzParseYAML(f *testing.F) {
+	seeds := []string{
+		"",
+		"a: 1",
+		"a:\n  b:\n    - c: 2\n      d: 'e'\n",
+		"- -\n- - x\n",
+		"a: \"unterminated",
+		"k: v # comment\n# full comment\n",
+		"a:\n - b\n  - c\n",
+		"deep:\n" + strings.Repeat(" ", 64) + "k: v\n",
+		"'k: ': 'v'\n\"q\": \"w\"\n",
+		"a: []\nb: {}\nc: ~\n",
+		"\xff\xfe: \x00",
+		"scenario: x\nphases:\n  - name: p\n    duration: 1s\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := ParseYAML(data)
+		if err != nil && v != nil {
+			t.Errorf("both value and error returned: %v / %v", v, err)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestReset verifies a reset engine behaves exactly like a fresh one:
+// clock at zero, no pending events, and an identical random stream.
+func TestReset(t *testing.T) {
+	eng := New(7)
+	fired := 0
+	eng.Schedule(time.Second, func() { fired++ })
+	eng.Schedule(2*time.Second, func() { fired++ })
+	eng.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if eng.Now() != Time(2*time.Second) {
+		t.Fatalf("Now = %v, want 2s", eng.Now())
+	}
+
+	eng.Reset(7)
+	if eng.Now() != 0 {
+		t.Errorf("Now after Reset = %v, want 0", eng.Now())
+	}
+	if eng.Pending() != 0 {
+		t.Errorf("Pending after Reset = %d, want 0", eng.Pending())
+	}
+	if eng.Fired() != 0 {
+		t.Errorf("Fired after Reset = %d, want 0", eng.Fired())
+	}
+
+	fresh := New(7)
+	for i := 0; i < 100; i++ {
+		if got, want := eng.Rand().Int63(), fresh.Rand().Int63(); got != want {
+			t.Fatalf("draw %d: reset engine %d, fresh engine %d", i, got, want)
+		}
+	}
+}
+
+// TestResetDropsPendingEvents checks events scheduled before a reset never
+// fire after it.
+func TestResetDropsPendingEvents(t *testing.T) {
+	eng := New(1)
+	stale := false
+	eng.Schedule(time.Second, func() { stale = true })
+	eng.Reset(1)
+	eng.Schedule(time.Millisecond, func() {})
+	eng.Run()
+	if stale {
+		t.Fatal("event scheduled before Reset fired after it")
+	}
+}
+
+// TestGrowPreallocates verifies Grow reserves heap capacity without
+// disturbing scheduled events, and that scheduling within the grown
+// capacity does not reallocate the backing array.
+func TestGrowPreallocates(t *testing.T) {
+	eng := New(1)
+	order := []int{}
+	eng.Schedule(2*time.Second, func() { order = append(order, 2) })
+	eng.Grow(1000)
+	if cap(eng.events) < 1001 {
+		t.Fatalf("cap = %d, want >= 1001", cap(eng.events))
+	}
+	eng.Schedule(time.Second, func() { order = append(order, 1) })
+
+	before := cap(eng.events)
+	for i := 0; i < 900; i++ {
+		eng.Schedule(3*time.Second, func() {})
+	}
+	if cap(eng.events) != before {
+		t.Errorf("cap changed %d -> %d despite Grow reservation", before, cap(eng.events))
+	}
+	eng.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+}
+
+// TestGrowReuseAcrossReset exercises the runner pattern the stress
+// harness uses: Grow once, run, Reset, run again — the second run must
+// not reallocate the heap.
+func TestGrowReuseAcrossReset(t *testing.T) {
+	eng := New(3)
+	eng.Grow(512)
+	for i := 0; i < 500; i++ {
+		eng.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	eng.Run()
+	eng.Reset(3)
+	before := cap(eng.events)
+	for i := 0; i < 500; i++ {
+		eng.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if cap(eng.events) != before {
+		t.Errorf("cap changed %d -> %d across Reset", before, cap(eng.events))
+	}
+	eng.Run()
+	if eng.Fired() != 500 {
+		t.Fatalf("Fired = %d, want 500", eng.Fired())
+	}
+}

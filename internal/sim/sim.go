@@ -70,6 +70,38 @@ func New(seed int64) *Engine {
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// Grow ensures the event heap has capacity for at least n more scheduled
+// events without reallocating. Multi-million-event runs (the stress
+// harness simulates tens of millions of invocations) otherwise pay for
+// repeated append-doubling of the heap's backing array; a single Grow up
+// front keeps the allocator out of the event loop.
+func (e *Engine) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if free := cap(e.events) - len(e.events); free < n {
+		grown := make(eventHeap, len(e.events), len(e.events)+n)
+		copy(grown, e.events)
+		e.events = grown
+	}
+}
+
+// Reset returns the engine to its initial state — clock at zero, no
+// pending events, counters cleared, random source reseeded — while
+// retaining the event heap's backing array. A runner that replays the
+// same scenario repeatedly (determinism verification, seed sweeps) can
+// reuse one engine instead of re-growing a fresh heap every run.
+func (e *Engine) Reset(seed int64) {
+	for i := range e.events {
+		e.events[i] = nil
+	}
+	e.events = e.events[:0]
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
+	e.rng = rand.New(rand.NewSource(seed))
+}
+
 // Rand exposes the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
