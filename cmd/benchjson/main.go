@@ -20,6 +20,11 @@
 // in BENCH_dispatch.json in CI.
 //
 //	go run ./cmd/benchjson -dispatch > BENCH_dispatch.json
+//
+// When the input carries -benchmem columns they are parsed into
+// bytes_per_op / allocs_per_op, so CI can gate allocation-free hot paths:
+//
+//	go test -run=NONE -bench 'TraceParent|Tracer' -benchmem ./internal/obs | go run ./cmd/benchjson > BENCH_obs.json
 package main
 
 import (
@@ -39,6 +44,11 @@ type benchResult struct {
 	Ops       int64   `json:"ops"`
 	NsPerOp   float64 `json:"ns_per_op"`
 	OpsPerSec float64 `json:"ops_per_sec"`
+	// BytesPerOp/AllocsPerOp carry the -benchmem columns when present.
+	// Pointers distinguish "not measured" (absent) from a measured zero —
+	// the zero matters: CI gates the tracing hot paths on 0 allocs/op.
+	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
 }
 
 type report struct {
@@ -52,7 +62,7 @@ type report struct {
 	Speedups   map[string]float64 `json:"sharded_vs_global_speedup,omitempty"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 func main() {
 	dispatchMode := flag.Bool("dispatch", false, "benchmark fixed vs adaptive dispatch windows instead of parsing stdin")
@@ -94,12 +104,21 @@ func main() {
 		if err != nil || ns <= 0 {
 			continue
 		}
-		rep.Benchmarks = append(rep.Benchmarks, benchResult{
+		res := benchResult{
 			Name:      m[1],
 			Ops:       ops,
 			NsPerOp:   ns,
 			OpsPerSec: 1e9 / ns,
-		})
+		}
+		if m[4] != "" && m[5] != "" {
+			if bpo, err := strconv.ParseInt(m[4], 10, 64); err == nil {
+				res.BytesPerOp = &bpo
+			}
+			if apo, err := strconv.ParseInt(m[5], 10, 64); err == nil {
+				res.AllocsPerOp = &apo
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: read:", err)

@@ -9,6 +9,7 @@
 //	faasgate -interval 100ms       # dispatch window
 //	faasgate -no-multiplex         # disable the Resource Multiplexer
 //	faasgate -trace-out t.json     # record invocation traces (Perfetto)
+//	faasgate -slo 'fib:p99_ms=250' # burn-rate gauges on /metrics
 //	faasgate -pprof                # serve /debug/pprof/
 //	faasgate -log-level debug      # structured logs on stderr
 //	faasgate -worker-id w1         # fleet worker behind cmd/faasrouter:
@@ -36,12 +37,16 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"faasbatch/internal/chaos"
+	"faasbatch/internal/hashmix"
 	"faasbatch/internal/obs"
 	"faasbatch/internal/platform"
+	"faasbatch/internal/slo"
 	"faasbatch/internal/workload"
 )
 
@@ -77,6 +82,15 @@ func run(args []string) error {
 	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
+	var slos []slo.Objective
+	fs.Func("slo", "per-function SLO objective 'fn:p99_ms=250:max_burn=2' or 'fn:availability=0.999' (repeatable; exports faasbatch_slo_* gauges on /metrics)", func(v string) error {
+		obj, err := parseSLO(v)
+		if err != nil {
+			return err
+		}
+		slos = append(slos, obj)
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,6 +115,7 @@ func run(args []string) error {
 	cfg.DrainTimeout = *drainTimeout
 	cfg.WorkerID = *workerID
 	cfg.Capacity = *capacity
+	cfg.SLOs = slos
 	if *chaosRate < 0 {
 		return fmt.Errorf("-chaos-rate must be in [0, 1), got %v", *chaosRate)
 	}
@@ -124,7 +139,14 @@ func run(args []string) error {
 		if *traceSample < 1 {
 			return fmt.Errorf("-trace-sample must be >= 1, got %d", *traceSample)
 		}
-		tracer, err = obs.NewWallTracer(0, *traceSample)
+		// Salt locally minted trace IDs with the worker identity so a
+		// fleet's per-process traces never alias when stitched
+		// (cmd/faasstitch); a lone gateway keeps unsalted IDs.
+		var salt uint64
+		if *workerID != "" {
+			salt = hashmix.String("faasgate|" + *workerID)
+		}
+		tracer, err = obs.NewWallTracerWithSalt(0, *traceSample, salt)
 		if err != nil {
 			return err
 		}
@@ -177,6 +199,58 @@ func withPprof(next http.Handler) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// sloQuantiles maps the latency objective keys of -slo to their
+// quantiles, mirroring the scenario engine's slo invariant keys.
+var sloQuantiles = map[string]float64{
+	"p50_ms": 0.50, "p90_ms": 0.90, "p95_ms": 0.95, "p99_ms": 0.99,
+}
+
+// parseSLO decodes one -slo value: a function name followed by
+// colon-separated key=value settings, e.g. "fib:p99_ms=250:max_burn=2"
+// or "echo:availability=0.999". Exactly one objective key (pXX_ms or
+// availability) is required; max_burn defaults to 2.
+func parseSLO(v string) (slo.Objective, error) {
+	parts := strings.Split(v, ":")
+	obj := slo.Objective{Function: parts[0], MaxBurn: 2}
+	if obj.Function == "" {
+		return obj, fmt.Errorf("-slo %q: needs a function name", v)
+	}
+	objectives := 0
+	for _, part := range parts[1:] {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return obj, fmt.Errorf("-slo %q: bad setting %q, want key=value", v, part)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return obj, fmt.Errorf("-slo %q: bad value %q: %v", v, val, err)
+		}
+		switch {
+		case sloQuantiles[key] != 0:
+			objectives++
+			obj.Quantile = sloQuantiles[key]
+			obj.Target = time.Duration(f * float64(time.Millisecond))
+			if obj.Target <= 0 {
+				return obj, fmt.Errorf("-slo %q: %s must be a positive millisecond bound", v, key)
+			}
+		case key == "availability":
+			objectives++
+			obj.Quantile = f
+		case key == "max_burn":
+			obj.MaxBurn = f
+		default:
+			return obj, fmt.Errorf("-slo %q: unknown key %q", v, key)
+		}
+	}
+	if objectives != 1 {
+		return obj, fmt.Errorf("-slo %q: needs exactly one objective key (p50_ms/p90_ms/p95_ms/p99_ms or availability), got %d", v, objectives)
+	}
+	if err := obj.Validate(); err != nil {
+		return obj, fmt.Errorf("-slo %q: %v", v, err)
+	}
+	return obj, nil
 }
 
 // writeTraceFile exports the tracer's ring buffer to path.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"faasbatch/internal/platform"
+	"faasbatch/internal/slo"
 )
 
 func newGatePlatform(t *testing.T) *platform.Platform {
@@ -35,6 +36,42 @@ func TestRunRejectsBadArgs(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-slo", "fib"}); err == nil {
+		t.Fatal("-slo without an objective key accepted")
+	}
+}
+
+func TestParseSLO(t *testing.T) {
+	obj, err := parseSLO("fib:p99_ms=250:max_burn=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := slo.Objective{Function: "fib", Quantile: 0.99, Target: 250 * time.Millisecond, MaxBurn: 4}
+	if obj != want {
+		t.Fatalf("parseSLO = %+v, want %+v", obj, want)
+	}
+	obj, err = parseSLO("echo:availability=0.999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = slo.Objective{Function: "echo", Quantile: 0.999, MaxBurn: 2}
+	if obj != want {
+		t.Fatalf("parseSLO = %+v, want %+v", obj, want)
+	}
+	for _, bad := range []string{
+		"",                          // no function
+		"fib",                       // no objective key
+		"fib:p99_ms=250:p50_ms=10",  // two objective keys
+		"fib:p99_ms=-1",             // non-positive bound
+		"fib:availability=1.5",      // quantile out of range
+		"fib:p99_ms=250:max_burn=0", // non-positive burn bound
+		"fib:p99_ms=abc",            // non-numeric value
+		"fib:bogus=1",               // unknown key
+	} {
+		if _, err := parseSLO(bad); err == nil {
+			t.Errorf("parseSLO(%q) succeeded, want error", bad)
+		}
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"flag"
 
 	"faasbatch/internal/chaos"
+	"faasbatch/internal/hashmix"
 	"faasbatch/internal/obs"
 	"faasbatch/internal/router"
 )
@@ -60,6 +61,7 @@ func run(args []string) error {
 	queueDepth := fs.Int("queue-depth", 64, "admission: queued invocations per function beyond the concurrency cap")
 	queueWait := fs.Duration("queue-wait", time.Second, "admission: max queue wait before shedding with 429")
 	forwardTimeout := fs.Duration("forward-timeout", 30*time.Second, "per-forward-attempt deadline")
+	scrapeTimeout := fs.Duration("scrape-timeout", 2*time.Second, "per-worker deadline when federating /cluster/metrics and /cluster/stats")
 	chaosRate := fs.Float64("chaos-rate", 0, "inject worker-failure faults at this rate in [0,1) (0 = off)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the fault schedule")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file here on exit (enables router tracing)")
@@ -91,6 +93,7 @@ func run(args []string) error {
 		QueueDepth:     *queueDepth,
 		QueueWait:      *queueWait,
 		ForwardTimeout: *forwardTimeout,
+		ScrapeTimeout:  *scrapeTimeout,
 		Logger:         logger,
 	}
 	if *chaosRate < 0 || *chaosRate >= 1 {
@@ -108,7 +111,10 @@ func run(args []string) error {
 	}
 	var tracer *obs.Tracer
 	if *traceOut != "" {
-		tracer, err = obs.NewWallTracer(0, 1)
+		// Salt locally minted trace IDs with the router identity so the
+		// router's lanes never alias a worker's in a stitched trace
+		// (workers salt with their -worker-id).
+		tracer, err = obs.NewWallTracerWithSalt(0, 1, hashmix.String("faasrouter"))
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,83 @@
+// Command faasstitch merges per-process Chrome trace exports — one from
+// the router (faasrouter -trace-out), one per worker (faasgate
+// -trace-out), or a live faasstress run — into a single Perfetto file.
+// Each input becomes its own process row; spans keep the distributed
+// trace ID as their thread lane, so a propagated invocation reads
+// router→forward(attempt=n)→worker scheduling/execution end to end.
+//
+// Usage:
+//
+//	go run ./cmd/faasstitch -out cluster.json router.json w1.json w2.json
+//	go run ./cmd/faasstitch router=router.json worker-1=w1.json
+//
+// Each argument is either a path (the source is named after the file's
+// basename, extension stripped) or an explicit name=path pair.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"faasbatch/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("faasstitch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "", "write the stitched trace here (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "faasstitch: at least one trace file is required")
+		fs.Usage()
+		return 1
+	}
+
+	var sources []obs.TraceSource
+	for _, arg := range fs.Args() {
+		name, path := splitArg(arg)
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "faasstitch:", err)
+			return 1
+		}
+		defer f.Close()
+		sources = append(sources, obs.TraceSource{Name: name, Reader: f})
+	}
+
+	var w io.Writer = stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "faasstitch:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := obs.StitchChromeTraces(w, sources...); err != nil {
+		fmt.Fprintln(stderr, "faasstitch:", err)
+		return 1
+	}
+	return 0
+}
+
+// splitArg resolves an input argument to a (source name, file path)
+// pair: "name=path" is explicit, a bare path names the source after its
+// basename with the extension stripped.
+func splitArg(arg string) (name, path string) {
+	if i := strings.IndexByte(arg, '='); i > 0 {
+		return arg[:i], arg[i+1:]
+	}
+	base := filepath.Base(arg)
+	return strings.TrimSuffix(base, filepath.Ext(base)), arg
+}

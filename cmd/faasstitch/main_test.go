@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"faasbatch/internal/obs"
+)
+
+// writeTrace exports one span from a fresh wall tracer into a file and
+// returns the path plus the span's trace ID.
+func writeTrace(t *testing.T, dir, name string, salt uint64) (string, uint64) {
+	t.Helper()
+	tr, err := obs.NewWallTracerWithSalt(64, 1, salt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := tr.Begin()
+	start := tr.Now()
+	tr.Record(obs.Span{Trace: id, Name: obs.SpanExecution, Fn: "f", Start: start, End: start + time.Millisecond})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, id
+}
+
+func TestStitchTwoTraces(t *testing.T) {
+	dir := t.TempDir()
+	p1, id1 := writeTrace(t, dir, "router.json", 1<<32)
+	p2, id2 := writeTrace(t, dir, "w1.json", 2<<32)
+
+	var stdout, stderr bytes.Buffer
+	outPath := filepath.Join(dir, "stitched.json")
+	if code := run([]string{"-out", outPath, p1, "worker-1=" + p2}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Pid  int               `json:"pid"`
+			Tid  uint64            `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatal(err)
+	}
+	procs := map[string]bool{}
+	lanes := map[uint64]bool{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			procs[ev.Args["name"]] = true
+		}
+		if ev.Ph == "X" {
+			lanes[ev.Tid] = true
+		}
+	}
+	// The bare path names its source after the basename; name=path is
+	// explicit.
+	if !procs["router"] || !procs["worker-1"] {
+		t.Fatalf("process names = %v, want router and worker-1", procs)
+	}
+	if !lanes[id1] || !lanes[id2] {
+		t.Fatalf("trace lanes = %v, want %d and %d", lanes, id1, id2)
+	}
+}
+
+func TestStitchErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 1 {
+		t.Fatalf("no args: exit %d, want 1", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"/does/not/exist.json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing file: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "exist.json") {
+		t.Fatalf("stderr %q does not name the missing file", stderr.String())
+	}
+}

@@ -10,6 +10,13 @@
 //	go run ./cmd/faasstress -input scenarios/smoke.yaml
 //	go run ./cmd/faasstress -input scenarios/fleet-1m.yaml -out report.json -html report.html
 //	go run ./cmd/faasstress -input scenarios/smoke.yaml -repeat 2   # determinism check
+//	go run ./cmd/faasstress -input scenarios/slo-burn.yaml -no-chaos  # fault-free baseline
+//	go run ./cmd/faasstress -input scenarios/smoke.yaml -mode live -trace-out trace.json
+//
+// -no-chaos strips every phase's fault-injection rates, so a chaos
+// scenario's SLO invariants can be proven to hold on the fault-free
+// baseline. -trace-out writes a Chrome trace of the run (live mode only:
+// the simulator carries no span instrumentation).
 //
 // Exit codes: 0 success; 1 usage or execution error; 2 an invariant was
 // violated (the report is still written); 3 a -repeat rerun diverged
@@ -40,6 +47,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	repeat := fs.Int("repeat", 1, "run the scenario N times and require byte-identical report bodies")
 	mode := fs.String("mode", "", "override the scenario's mode (sim or live)")
 	seed := fs.Int64("seed", 0, "override the scenario's seed (0 keeps the file's)")
+	noChaos := fs.Bool("no-chaos", false, "strip every phase's fault-injection rates (baseline run of a chaos scenario)")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace of the run here (live mode only)")
 	quiet := fs.Bool("q", false, "suppress the progress summary on stderr")
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -76,6 +85,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
+	if *noChaos {
+		sc.DisableChaos()
+	}
 	if !*quiet {
 		fmt.Fprintf(stderr, "faasstress: scenario %q (%s), seed %d, %d workers, %d phase(s), ~%d invocations expected\n",
 			sc.Name, sc.Mode, sc.Seed, sc.Fleet.Workers, len(sc.Phases), sc.ExpectedInvocations())
@@ -84,7 +96,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	runner := scenario.NewRunner()
 	var firstBody *scenario.Body
 	var firstRaw []byte
+	var traceBuf bytes.Buffer
 	for i := 0; i < *repeat; i++ {
+		// Only the first run is traced: reruns exist to prove report
+		// determinism, and tracing is a live-mode observation, not part of
+		// the report body.
+		if *traceOut != "" && i == 0 {
+			runner.SetTraceSink(&traceBuf)
+		} else {
+			runner.SetTraceSink(nil)
+		}
 		started := time.Now()
 		body, err := runner.RunBody(sc)
 		if err != nil {
@@ -129,6 +150,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else if err := os.WriteFile(*out, raw, 0o644); err != nil {
 		fmt.Fprintln(stderr, "faasstress:", err)
 		return 1
+	}
+	if *traceOut != "" {
+		if err := os.WriteFile(*traceOut, traceBuf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(stderr, "faasstress:", err)
+			return 1
+		}
 	}
 	if *htmlOut != "" {
 		var buf bytes.Buffer

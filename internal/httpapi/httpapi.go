@@ -63,6 +63,11 @@ type InvokeResponse struct {
 	// Attempts is how many execution attempts the invocation consumed:
 	// 1 on a first-try success, more when the platform retried it.
 	Attempts int `json:"attempts"`
+	// TraceID is the invocation's trace identity as 16 lowercase hex
+	// digits, matching the low 64 bits of the W3C traceparent trace-id.
+	// Empty when tracing is disabled. A hex string survives JSON clients
+	// that round numbers through float64.
+	TraceID string `json:"traceId,omitempty"`
 	// Latency is the invocation's latency decomposition.
 	Latency Latency `json:"latency"`
 }
@@ -247,6 +252,36 @@ type RouterStatsResponse struct {
 	// ForwardImbalance is max/mean of per-worker forwarded counts
 	// (1 = perfectly balanced, 0 = nothing forwarded).
 	ForwardImbalance float64 `json:"forwardImbalance"`
+	// Scrapes counts member scrape attempts made for the cluster view.
+	Scrapes int64 `json:"scrapes"`
+	// ScrapeFailures counts member scrapes that failed (the cluster view
+	// then served the member's last good snapshot, if any).
+	ScrapeFailures int64 `json:"scrapeFailures"`
 	// Workers is the per-worker breakdown.
 	Workers []WorkerStatus `json:"workers"`
+}
+
+// MemberStats is one worker's stats snapshot inside the router's
+// federated /cluster/stats reply.
+type MemberStats struct {
+	// Worker is the member's fleet identity.
+	Worker string `json:"worker"`
+	// Fresh reports whether the snapshot came from this scrape round;
+	// false means the member failed to answer and its last good snapshot
+	// is being served.
+	Fresh bool `json:"fresh"`
+	// Stats is the member's gateway counters snapshot.
+	Stats StatsResponse `json:"stats"`
+}
+
+// ClusterStatsResponse is the router's /cluster/stats reply: the
+// router's own counters plus a fleet-wide roll-up of every member
+// gateway's counters.
+type ClusterStatsResponse struct {
+	// Router is the routing tier's own counters snapshot.
+	Router RouterStatsResponse `json:"router"`
+	// Cluster is the field-wise sum of every member's StatsResponse.
+	Cluster StatsResponse `json:"cluster"`
+	// Members lists each member's individual snapshot.
+	Members []MemberStats `json:"members"`
 }

@@ -1,0 +1,225 @@
+// federate.go parses the Prometheus text exposition format and merges
+// scrapes from many fleet members into one cluster-level exposition:
+// counters and histograms sum by (name, labels) — exact for the fixed
+// shared buckets every member uses — while gauges, which are point
+// readings that cannot meaningfully sum, are re-emitted per member
+// under a worker="id" label.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one exposition sample line.
+type PromSample struct {
+	// Name is the sample's metric name (may carry a histogram suffix
+	// like _bucket relative to its family).
+	Name string
+	// Labels is the raw text between the braces ("" when unlabeled).
+	Labels string
+	// Value is the parsed sample value.
+	Value float64
+}
+
+// PromFamily is one metric family: its metadata plus samples in
+// exposition order.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string // counter, gauge, histogram or untyped
+	Samples []PromSample
+}
+
+// histogramSuffix reports the family base name for histogram-series
+// sample names.
+func histogramSuffix(name string) (string, bool) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			return base, true
+		}
+	}
+	return "", false
+}
+
+// ParsePrometheus reads one exposition document into its families,
+// preserving order. Unknown lines and comments other than HELP/TYPE are
+// skipped; malformed sample lines are an error.
+func ParsePrometheus(r io.Reader) ([]*PromFamily, error) {
+	var (
+		order  []*PromFamily
+		byName = map[string]*PromFamily{}
+	)
+	family := func(name string) *PromFamily {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &PromFamily{Name: name, Type: "untyped"}
+		byName[name] = f
+		order = append(order, f)
+		return f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				f := family(fields[2])
+				if fields[1] == "TYPE" {
+					f.Type = fields[3]
+				} else if len(fields) == 4 {
+					f.Help = fields[3]
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, err
+		}
+		f, ok := byName[name]
+		if !ok {
+			if base, isHist := histogramSuffix(name); isHist {
+				if bf, bok := byName[base]; bok && bf.Type == "histogram" {
+					f = bf
+				}
+			}
+		}
+		if f == nil {
+			f = family(name)
+		}
+		f.Samples = append(f.Samples, PromSample{Name: name, Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: parse prometheus text: %w", err)
+	}
+	return order, nil
+}
+
+// parseSampleLine splits `name{labels} value` (or `name value`).
+func parseSampleLine(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("obs: malformed sample line %q", line)
+		}
+		name, labels, rest = line[:i], line[i+1:j], strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.SplitN(line, " ", 2)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("obs: malformed sample line %q", line)
+		}
+		name, rest = fields[0], strings.TrimSpace(fields[1])
+	}
+	// A timestamp may trail the value; keep the first field only.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	value, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("obs: malformed sample value in %q: %w", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// MemberMetrics is one fleet member's parsed exposition.
+type MemberMetrics struct {
+	// Worker is the member's fleet identity, used to label its gauges.
+	Worker string
+	// Families is the member's parsed /metrics document.
+	Families []*PromFamily
+}
+
+// formatValue renders a merged sample value. Integral values (every
+// counter and bucket count) print as plain integers — exact, and
+// grep-friendly for the smoke tests — instead of 1e+06 notation.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// withWorkerLabel appends worker="id" to a raw label string.
+func withWorkerLabel(labels, worker string) string {
+	tag := fmt.Sprintf("worker=%q", worker)
+	if labels == "" {
+		return tag
+	}
+	return labels + "," + tag
+}
+
+// FederateMetrics merges the members' expositions into one cluster
+// document on w. Counters, histograms and untyped series sum by
+// (sample name, labels); gauges emit one sample per member tagged
+// worker="id". Family metadata (HELP/TYPE) is taken from the first
+// member that exposes the family; family and sample order follow
+// first-seen order across members, so the output is deterministic for
+// a fixed member order.
+func FederateMetrics(w io.Writer, members []MemberMetrics) {
+	type sampleKey struct{ name, labels string }
+	type aggFamily struct {
+		meta *PromFamily
+		// order holds sum-type sample keys first-seen order; sums the
+		// accumulated values.
+		order  []sampleKey
+		sums   map[sampleKey]float64
+		gauges []PromSample // worker-labeled, in member order
+	}
+	var famOrder []string
+	fams := map[string]*aggFamily{}
+	for _, m := range members {
+		for _, f := range m.Families {
+			af, ok := fams[f.Name]
+			if !ok {
+				af = &aggFamily{meta: f, sums: map[sampleKey]float64{}}
+				fams[f.Name] = af
+				famOrder = append(famOrder, f.Name)
+			}
+			if f.Type == "gauge" {
+				for _, s := range f.Samples {
+					af.gauges = append(af.gauges, PromSample{
+						Name:   s.Name,
+						Labels: withWorkerLabel(s.Labels, m.Worker),
+						Value:  s.Value,
+					})
+				}
+				continue
+			}
+			for _, s := range f.Samples {
+				k := sampleKey{name: s.Name, labels: s.Labels}
+				if _, seen := af.sums[k]; !seen {
+					af.order = append(af.order, k)
+				}
+				af.sums[k] += s.Value
+			}
+		}
+	}
+	for _, name := range famOrder {
+		af := fams[name]
+		if af.meta.Help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, af.meta.Help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, af.meta.Type)
+		for _, s := range af.gauges {
+			fmt.Fprintf(w, "%s{%s} %s\n", s.Name, s.Labels, formatValue(s.Value))
+		}
+		for _, k := range af.order {
+			if k.labels == "" {
+				fmt.Fprintf(w, "%s %s\n", k.name, formatValue(af.sums[k]))
+			} else {
+				fmt.Fprintf(w, "%s{%s} %s\n", k.name, k.labels, formatValue(af.sums[k]))
+			}
+		}
+	}
+}

@@ -79,6 +79,38 @@ func (h *Histogram) Bounds() []float64 {
 	return out
 }
 
+// Buckets returns a copy of the raw (non-cumulative) bucket counts, one
+// per bound plus the trailing +Inf bucket.
+func (h *Histogram) Buckets() []uint64 {
+	out := make([]uint64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Merge folds other into h bucket-wise. Because both histograms share
+// fixed bounds the merge is exact: merged bucket counts, sum and count
+// equal those of a histogram that observed the union of both sample
+// streams. Mismatched bounds are an error and leave h unchanged.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if len(h.bounds) != len(other.bounds) {
+		return fmt.Errorf("obs: merge histograms with %d vs %d bounds", len(h.bounds), len(other.bounds))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != other.bounds[i] {
+			return fmt.Errorf("obs: merge histograms with different bounds at index %d (%v vs %v)", i, h.bounds[i], other.bounds[i])
+		}
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.sum += other.sum
+	h.count += other.count
+	return nil
+}
+
 // latencyKey labels one latency histogram series.
 type latencyKey struct {
 	Fn        string

@@ -1,0 +1,140 @@
+// propagation.go carries trace identity across process boundaries in a
+// W3C traceparent-shaped header:
+//
+//	00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// FaaSBatch trace IDs are 64-bit, so the wire trace-id field is the ID
+// zero-padded to 128 bits; parsers take the low 64 bits and ignore the
+// high half, which keeps the header interoperable with full W3C
+// producers. Parent-id and flags are carried but not interpreted — the
+// span tree is reconstructed from span names and timestamps by the
+// stitcher, not from parent pointers.
+package obs
+
+import (
+	"strconv"
+	"time"
+)
+
+// TraceParentHeader is the canonical header name for trace propagation
+// (HTTP canonicalises to this form).
+const TraceParentHeader = "Traceparent"
+
+// traceParentLen is the exact length of a well-formed header value:
+// 2 + 1 + 32 + 1 + 16 + 1 + 2.
+const traceParentLen = 55
+
+const hexDigits = "0123456789abcdef"
+
+// AppendTraceParent appends the header value for trace id to dst and
+// returns the extended slice. It allocates nothing when dst has
+// capacity (pass a stack-backed array slice on hot paths).
+func AppendTraceParent(dst []byte, id uint64) []byte {
+	dst = append(dst, '0', '0', '-')
+	for i := 0; i < 16; i++ {
+		dst = append(dst, '0')
+	}
+	for i := 60; i >= 0; i -= 4 {
+		dst = append(dst, hexDigits[(id>>uint(i))&0xf])
+	}
+	dst = append(dst, '-')
+	for i := 60; i >= 0; i -= 4 {
+		dst = append(dst, hexDigits[(id>>uint(i))&0xf])
+	}
+	dst = append(dst, '-', '0', '1')
+	return dst
+}
+
+// FormatTraceParent renders the header value for trace id.
+func FormatTraceParent(id uint64) string {
+	return string(AppendTraceParent(make([]byte, 0, traceParentLen), id))
+}
+
+// hexNibble decodes one lowercase-or-uppercase hex digit, reporting
+// validity.
+func hexNibble(c byte) (uint64, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return uint64(c - '0'), true
+	case c >= 'a' && c <= 'f':
+		return uint64(c-'a') + 10, true
+	case c >= 'A' && c <= 'F':
+		return uint64(c-'A') + 10, true
+	}
+	return 0, false
+}
+
+// ParseTraceParent extracts the trace ID (low 64 bits of the trace-id
+// field) from a traceparent header value. It returns (0, false) for
+// malformed input, unknown versions, and the all-zero trace ID the spec
+// reserves as invalid. The parse allocates nothing.
+func ParseTraceParent(s string) (uint64, bool) {
+	if len(s) != traceParentLen {
+		return 0, false
+	}
+	// version: exactly "00" (01-fe would be tolerable per spec, but we
+	// only ever mint 00 and reject ff like the spec requires; being
+	// strict keeps the fuzz oracle simple).
+	if s[0] != '0' || s[1] != '0' {
+		return 0, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return 0, false
+	}
+	var hi, lo uint64
+	for i := 3; i < 19; i++ {
+		n, ok := hexNibble(s[i])
+		if !ok {
+			return 0, false
+		}
+		hi = hi<<4 | n
+	}
+	for i := 19; i < 35; i++ {
+		n, ok := hexNibble(s[i])
+		if !ok {
+			return 0, false
+		}
+		lo = lo<<4 | n
+	}
+	// parent-id: must be valid hex and non-zero per spec.
+	var parent uint64
+	for i := 36; i < 52; i++ {
+		n, ok := hexNibble(s[i])
+		if !ok {
+			return 0, false
+		}
+		parent = parent<<4 | n
+	}
+	if parent == 0 {
+		return 0, false
+	}
+	// flags: two hex digits, uninterpreted.
+	if _, ok := hexNibble(s[53]); !ok {
+		return 0, false
+	}
+	if _, ok := hexNibble(s[54]); !ok {
+		return 0, false
+	}
+	// The spec's invalid sentinel is the all-zero 128-bit trace ID. A
+	// non-zero high half with a zero low half still yields no usable
+	// 64-bit ID, so both cases report invalid.
+	if lo == 0 {
+		return 0, false
+	}
+	_ = hi
+	return lo, true
+}
+
+// traceEpochKey is the otherData key carrying the tracer's wall-clock
+// epoch in Unix nanoseconds, used by the stitcher to place per-process
+// traces on one timeline.
+const traceEpochKey = "epochUnixNano"
+
+// epochNanos renders a wall epoch for export; zero (virtual-time
+// tracers) exports nothing.
+func epochNanos(epoch time.Time) (string, bool) {
+	if epoch.IsZero() {
+		return "", false
+	}
+	return strconv.FormatInt(epoch.UnixNano(), 10), true
+}

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	ids := []uint64{1, 2, 0xdeadbeef, 1 << 40, math.MaxUint64, 0x0123456789abcdef}
+	for _, id := range ids {
+		hdr := FormatTraceParent(id)
+		if len(hdr) != traceParentLen {
+			t.Fatalf("FormatTraceParent(%d) = %q: length %d, want %d", id, hdr, len(hdr), traceParentLen)
+		}
+		got, ok := ParseTraceParent(hdr)
+		if !ok || got != id {
+			t.Fatalf("ParseTraceParent(%q) = (%d, %v), want (%d, true)", hdr, got, ok, id)
+		}
+	}
+}
+
+func TestFormatTraceParentShape(t *testing.T) {
+	hdr := FormatTraceParent(0xabc)
+	want := "00-0000000000000000" + "0000000000000abc" + "-0000000000000abc-01"
+	if hdr != want {
+		t.Fatalf("FormatTraceParent(0xabc) = %q, want %q", hdr, want)
+	}
+}
+
+func TestParseTraceParentAcceptsFullW3C(t *testing.T) {
+	// A header minted by a full W3C tracer: non-zero high 64 bits and a
+	// parent-id unrelated to the trace-id. The low 64 bits are the ID.
+	hdr := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	got, ok := ParseTraceParent(hdr)
+	if !ok || got != 0xa3ce929d0e0e4736 {
+		t.Fatalf("ParseTraceParent(%q) = (%#x, %v), want (0xa3ce929d0e0e4736, true)", hdr, got, ok)
+	}
+}
+
+func TestParseTraceParentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00",
+		strings.Repeat("0", traceParentLen),
+		"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // unknown version
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // forbidden version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",  // zero trace id
+		"00-4bf92f3577b34da60000000000000000-00f067aa0ba902b7-01",  // zero low 64 bits
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",  // zero parent id
+		"00-4bf92f3577b34da6a3ce929d0e0e473x-00f067aa0ba902b7-01",  // bad hex in trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902bx-01",  // bad hex in parent id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0x",  // bad hex in flags
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // bad separator
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-011", // too long
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0",   // too short
+	}
+	for _, s := range bad {
+		if id, ok := ParseTraceParent(s); ok {
+			t.Errorf("ParseTraceParent(%q) = (%d, true), want rejection", s, id)
+		}
+	}
+}
+
+func TestAppendTraceParentNoAllocs(t *testing.T) {
+	buf := make([]byte, 0, traceParentLen)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = AppendTraceParent(buf[:0], 0xdeadbeefcafe)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendTraceParent allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestParseTraceParentNoAllocs(t *testing.T) {
+	hdr := FormatTraceParent(0xdeadbeefcafe)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := ParseTraceParent(hdr); !ok {
+			t.Fatal("parse failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ParseTraceParent allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestDisabledTracerPropagationNoAllocs(t *testing.T) {
+	// The disabled-tracing hot path: nil tracer, adopted remote ID,
+	// recording skipped. None of it may allocate.
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		trace := tr.BeginWith(42)
+		tr.Record(Span{Trace: trace, Name: SpanForward})
+		trace = tr.Begin()
+		tr.Record(Span{Trace: trace, Name: SpanForward})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestBeginWithAdoptsRemote(t *testing.T) {
+	tr, err := NewWallTracer(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.BeginWith(99); got != 99 {
+		t.Fatalf("BeginWith(99) = %d, want 99 (adopted verbatim)", got)
+	}
+	if got := tr.BeginWith(0); got == 0 {
+		t.Fatal("BeginWith(0) = 0, want a locally minted ID")
+	}
+	// Adopted traces bypass sampling: a 1-in-1000 sampler still records
+	// every remote continuation.
+	sampled, err := NewWallTracer(16, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sampled.BeginWith(7); got != 7 {
+		t.Fatalf("sampled BeginWith(7) = %d, want 7", got)
+	}
+	var nilTr *Tracer
+	if got := nilTr.BeginWith(7); got != 0 {
+		t.Fatalf("nil BeginWith(7) = %d, want 0", got)
+	}
+}
+
+func TestTracerIDSalt(t *testing.T) {
+	a, err := NewWallTracerWithSalt(16, 1, 0x1111000000000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWallTracerWithSalt(16, 1, 0x2222000000000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		ida, idb := a.Begin(), b.Begin()
+		if ida == 0 || idb == 0 {
+			t.Fatal("salted tracer minted the zero sentinel")
+		}
+		if ida == idb {
+			t.Fatalf("salted tracers collided on ID %d", ida)
+		}
+	}
+	// A salt that would make some counter value XOR to zero must skip
+	// the sentinel, not emit it.
+	c, err := NewWallTracerWithSalt(16, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := c.Begin(); id == 0 {
+		t.Fatal("salt-collision produced the zero sentinel")
+	}
+}
+
+func FuzzParseTraceParent(f *testing.F) {
+	f.Add(FormatTraceParent(1))
+	f.Add(FormatTraceParent(math.MaxUint64))
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("")
+	f.Add(strings.Repeat("0", traceParentLen))
+	f.Add("00-zzzz2f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Fuzz(func(t *testing.T, s string) {
+		id, ok := ParseTraceParent(s)
+		if !ok {
+			if id != 0 {
+				t.Fatalf("ParseTraceParent(%q) rejected with non-zero id %d", s, id)
+			}
+			return
+		}
+		if id == 0 {
+			t.Fatalf("ParseTraceParent(%q) accepted the zero sentinel", s)
+		}
+		// Accepted IDs must round-trip through our own minting format.
+		if got, ok2 := ParseTraceParent(FormatTraceParent(id)); !ok2 || got != id {
+			t.Fatalf("round-trip of accepted id %d failed: (%d, %v)", id, got, ok2)
+		}
+	})
+}
+
+func BenchmarkAppendTraceParent(b *testing.B) {
+	b.ReportAllocs()
+	buf := make([]byte, 0, traceParentLen)
+	for i := 0; i < b.N; i++ {
+		buf = AppendTraceParent(buf[:0], uint64(i)|1)
+	}
+}
+
+func BenchmarkParseTraceParent(b *testing.B) {
+	b.ReportAllocs()
+	hdr := FormatTraceParent(0xdeadbeefcafe)
+	for i := 0; i < b.N; i++ {
+		if _, ok := ParseTraceParent(hdr); !ok {
+			b.Fatal("parse failed")
+		}
+	}
+}
+
+func BenchmarkDisabledTracer(b *testing.B) {
+	b.ReportAllocs()
+	var tr *Tracer
+	for i := 0; i < b.N; i++ {
+		trace := tr.BeginWith(uint64(i))
+		tr.Record(Span{Trace: trace, Name: SpanForward})
+	}
+}

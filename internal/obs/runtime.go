@@ -1,0 +1,108 @@
+// runtime.go exports Go runtime health gauges, sourced from the
+// runtime/metrics package, for every /metrics surface in the system
+// (gateway and router alike). The export set is data — RuntimeExports —
+// so the conformance tests in each package can assert the full set is
+// present without duplicating the list.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+	"strconv"
+)
+
+// RuntimeExport maps one exported runtime gauge onto the
+// runtime/metrics keys it is computed from (values are summed).
+type RuntimeExport struct {
+	// Suffix is appended to the component prefix to form the metric name
+	// (prefix "faasbatch" + suffix "goroutines" → "faasbatch_goroutines").
+	Suffix string
+	// Typ is "counter" or "gauge".
+	Typ string
+	// Help is the HELP line text.
+	Help string
+	// Keys are the runtime/metrics sample names summed into the value.
+	Keys []string
+}
+
+// RuntimeExports is the runtime gauge set every /metrics endpoint
+// carries. Keys unavailable in the running Go version contribute zero,
+// so the exposition shape is stable across toolchains.
+var RuntimeExports = []RuntimeExport{
+	{"goroutines", "gauge", "Goroutines currently running.",
+		[]string{"/sched/goroutines:goroutines"}},
+	{"heap_alloc_bytes", "gauge", "Heap bytes occupied by live objects and unswept dead objects.",
+		[]string{"/memory/classes/heap/objects:bytes"}},
+	{"heap_sys_bytes", "gauge", "Heap bytes obtained from the OS (in use, unused, free and released).",
+		[]string{
+			"/memory/classes/heap/objects:bytes",
+			"/memory/classes/heap/unused:bytes",
+			"/memory/classes/heap/free:bytes",
+			"/memory/classes/heap/released:bytes",
+		}},
+	{"gc_cycles_total", "counter", "Completed GC cycles.",
+		[]string{"/gc/cycles/total:gc-cycles"}},
+	{"gc_pause_total_seconds", "counter", "Estimated total CPU-seconds spent in GC stop-the-world pauses.",
+		[]string{"/cpu/classes/gc/pause:cpu-seconds"}},
+}
+
+// runtimeSampleNames flattens the export table's key set, deduplicated
+// in first-use order.
+func runtimeSampleNames() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, ex := range RuntimeExports {
+		for _, k := range ex.Keys {
+			if !seen[k] {
+				seen[k] = true
+				names = append(names, k)
+			}
+		}
+	}
+	return names
+}
+
+// sampleValue converts one runtime/metrics sample to float64; samples
+// the toolchain does not support (KindBad) and histogram kinds read as
+// zero.
+func sampleValue(s metrics.Sample) float64 {
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s.Value.Uint64())
+	case metrics.KindFloat64:
+		return s.Value.Float64()
+	default:
+		return 0
+	}
+}
+
+// WriteRuntimeGauges emits the RuntimeExports set in Prometheus text
+// form under the given component prefix.
+func WriteRuntimeGauges(w io.Writer, prefix string) {
+	names := runtimeSampleNames()
+	samples := make([]metrics.Sample, len(names))
+	byName := make(map[string]int, len(names))
+	for i, n := range names {
+		samples[i].Name = n
+		byName[n] = i
+	}
+	metrics.Read(samples)
+	for _, ex := range RuntimeExports {
+		var v float64
+		for _, k := range ex.Keys {
+			v += sampleValue(samples[byName[k]])
+		}
+		name := prefix + "_" + ex.Suffix
+		fmt.Fprintf(w, "# HELP %s %s\n", name, ex.Help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, ex.Typ)
+		// Byte and count gauges print as plain integers (not 1.2e+06) so
+		// the exposition stays grep-friendly.
+		if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+			fmt.Fprintf(w, "%s %d\n", name, int64(v))
+		} else {
+			fmt.Fprintf(w, "%s %s\n", name, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+}

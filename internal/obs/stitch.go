@@ -1,0 +1,115 @@
+// stitch.go merges per-process Chrome trace exports into one Perfetto
+// file. Each source process (router, worker w1, ...) writes its own
+// trace with WriteChromeTrace; the stitcher re-homes each source onto
+// its own pid (with a process_name metadata event), shifts timestamps
+// onto a shared timeline using the wall-clock epochs the exporter
+// embeds in otherData, and keeps the trace ID as the thread lane — so a
+// propagated invocation reads router→forward(attempt=n)→worker
+// scheduling/cold-start/queuing/execution end to end on one row group.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// TraceSource is one per-process trace file to stitch.
+type TraceSource struct {
+	// Name labels the process in the stitched output (e.g. "router",
+	// "w1").
+	Name string
+	// Reader yields the process's Chrome trace JSON.
+	Reader io.Reader
+}
+
+// StitchChromeTraces merges the sources into a single Chrome trace on
+// w. Sources missing an epoch (virtual-time tracers) keep their own
+// timestamps unshifted; when every source carries a wall epoch, all
+// timestamps land on one consistent timeline anchored at the earliest
+// epoch.
+func StitchChromeTraces(w io.Writer, sources ...TraceSource) error {
+	if len(sources) == 0 {
+		return fmt.Errorf("obs: stitch needs at least one trace source")
+	}
+	type parsed struct {
+		name   string
+		trace  chromeTrace
+		epoch  int64
+		hasEp  bool
+		offset float64 // microseconds to add to every timestamp
+	}
+	ins := make([]parsed, 0, len(sources))
+	var minEpoch int64
+	anyEpoch := false
+	for _, src := range sources {
+		var ct chromeTrace
+		dec := json.NewDecoder(src.Reader)
+		if err := dec.Decode(&ct); err != nil {
+			return fmt.Errorf("obs: stitch: parse trace %q: %w", src.Name, err)
+		}
+		p := parsed{name: src.Name, trace: ct}
+		if raw, ok := ct.OtherData[traceEpochKey]; ok {
+			nanos, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil {
+				return fmt.Errorf("obs: stitch: trace %q: bad %s %q: %w", src.Name, traceEpochKey, raw, err)
+			}
+			p.epoch, p.hasEp = nanos, true
+			if !anyEpoch || nanos < minEpoch {
+				minEpoch = nanos
+			}
+			anyEpoch = true
+		}
+		ins = append(ins, p)
+	}
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	if anyEpoch {
+		out.OtherData = map[string]string{traceEpochKey: strconv.FormatInt(minEpoch, 10)}
+	}
+	for i := range ins {
+		p := &ins[i]
+		pid := i + 1
+		if p.hasEp {
+			p.offset = float64(p.epoch-minEpoch) / 1e3 // ns → µs
+		}
+		// Perfetto names the process from this metadata event.
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name",
+			Cat:  "__metadata",
+			Ph:   "M",
+			Pid:  pid,
+			Args: map[string]string{"name": p.name},
+		})
+		for _, ev := range p.trace.TraceEvents {
+			if ev.Ph == "M" {
+				continue // re-homed sources get fresh metadata
+			}
+			ev.Pid = pid
+			ev.Ts += p.offset
+			if ev.Args == nil {
+				ev.Args = map[string]string{}
+			}
+			ev.Args["process"] = p.name
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
+	}
+	// Stable-sort spans by timestamp, keeping metadata events first so
+	// viewers see process names before their events.
+	sort.SliceStable(out.TraceEvents, func(i, j int) bool {
+		ei, ej := out.TraceEvents[i], out.TraceEvents[j]
+		if (ei.Ph == "M") != (ej.Ph == "M") {
+			return ei.Ph == "M"
+		}
+		if ei.Ph == "M" {
+			return false // metadata keeps source order
+		}
+		return ei.Ts < ej.Ts
+	})
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("obs: encode stitched trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stitchFixture builds a trace document string with a fixed epoch.
+func stitchFixture(t *testing.T, epochNano int64, events []chromeEvent) string {
+	t.Helper()
+	doc := chromeTrace{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{traceEpochKey: jsonInt(epochNano)},
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func jsonInt(v int64) string {
+	raw, _ := json.Marshal(v)
+	return string(raw)
+}
+
+func TestStitchAlignsEpochsAndAssignsPids(t *testing.T) {
+	// Router started 1ms before the worker. A span at router offset
+	// 500µs and a worker span at offset 200µs must land at 500µs and
+	// 1200µs on the stitched timeline.
+	router := stitchFixture(t, 1_000_000, []chromeEvent{
+		{Name: SpanForward, Cat: "faasbatch", Ph: "X", Ts: 500, Dur: 900, Pid: 1, Tid: 42},
+	})
+	worker := stitchFixture(t, 2_000_000, []chromeEvent{
+		{Name: SpanExecution, Cat: "faasbatch", Ph: "X", Ts: 200, Dur: 300, Pid: 1, Tid: 42},
+	})
+	var out bytes.Buffer
+	err := StitchChromeTraces(&out,
+		TraceSource{Name: "router", Reader: strings.NewReader(router)},
+		TraceSource{Name: "w1", Reader: strings.NewReader(worker)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stitched chromeTrace
+	if err := json.Unmarshal(out.Bytes(), &stitched); err != nil {
+		t.Fatalf("stitched output is not valid trace JSON: %v", err)
+	}
+	var meta, spans []chromeEvent
+	for _, ev := range stitched.TraceEvents {
+		if ev.Ph == "M" {
+			meta = append(meta, ev)
+		} else {
+			spans = append(spans, ev)
+		}
+	}
+	if len(meta) != 2 {
+		t.Fatalf("got %d process_name metadata events, want 2", len(meta))
+	}
+	if meta[0].Args["name"] != "router" || meta[0].Pid != 1 {
+		t.Fatalf("first metadata = %+v, want router on pid 1", meta[0])
+	}
+	if meta[1].Args["name"] != "w1" || meta[1].Pid != 2 {
+		t.Fatalf("second metadata = %+v, want w1 on pid 2", meta[1])
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != SpanForward || spans[0].Ts != 500 || spans[0].Pid != 1 {
+		t.Fatalf("router span = %+v, want forward at ts 500 on pid 1", spans[0])
+	}
+	if spans[1].Name != SpanExecution || spans[1].Ts != 1200 || spans[1].Pid != 2 {
+		t.Fatalf("worker span = %+v, want execution at ts 1200 on pid 2", spans[1])
+	}
+	if spans[0].Tid != 42 || spans[1].Tid != 42 {
+		t.Fatal("stitching must preserve the shared trace ID lane")
+	}
+	if spans[1].Args["process"] != "w1" {
+		t.Fatalf("worker span args = %v, want process=w1", spans[1].Args)
+	}
+	if stitched.OtherData[traceEpochKey] != "1000000" {
+		t.Fatalf("stitched epoch = %q, want the earliest source epoch 1000000", stitched.OtherData[traceEpochKey])
+	}
+}
+
+func TestStitchRealTracers(t *testing.T) {
+	a, err := NewWallTracerWithSalt(64, 1, 0xa000000000000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWallTracerWithSalt(64, 1, 0xb000000000000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := a.Begin()
+	a.Record(Span{Trace: trace, Name: SpanForward, Fn: "echo", Start: 0, End: time.Millisecond})
+	// The worker adopts the router's ID, as the propagation header does.
+	adopted := b.BeginWith(trace)
+	b.Record(Span{Trace: adopted, Name: SpanExecution, Fn: "echo", Start: 0, End: time.Millisecond / 2})
+
+	var fa, fb bytes.Buffer
+	if err := a.WriteChromeTrace(&fa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteChromeTrace(&fb); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = StitchChromeTraces(&out,
+		TraceSource{Name: "router", Reader: &fa},
+		TraceSource{Name: "w1", Reader: &fb},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stitched chromeTrace
+	if err := json.Unmarshal(out.Bytes(), &stitched); err != nil {
+		t.Fatal(err)
+	}
+	lanes := map[uint64]int{}
+	for _, ev := range stitched.TraceEvents {
+		if ev.Ph == "X" {
+			lanes[ev.Tid]++
+		}
+	}
+	if lanes[trace] != 2 {
+		t.Fatalf("trace lane %d has %d spans, want both processes' spans on one lane (lanes: %v)", trace, lanes[trace], lanes)
+	}
+}
+
+func TestStitchErrors(t *testing.T) {
+	if err := StitchChromeTraces(&bytes.Buffer{}); err == nil {
+		t.Fatal("stitching zero sources must fail")
+	}
+	err := StitchChromeTraces(&bytes.Buffer{}, TraceSource{Name: "bad", Reader: strings.NewReader("not json")})
+	if err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("malformed source error = %v, want it to name the source", err)
+	}
+}

@@ -48,6 +48,11 @@ type TracerConfig struct {
 	// Clock reports the current offset from the tracer's epoch. Required
 	// for virtual-time tracers; NewWallTracer supplies a wall clock.
 	Clock func() time.Duration
+	// IDSalt is XORed into locally minted trace IDs so that tracers in
+	// different processes (router, each worker) allocate from disjoint
+	// ranges and stitched traces don't collide. Adopted remote IDs
+	// (BeginWith) are never salted. Zero means unsalted.
+	IDSalt uint64
 	// epoch anchors Stamp for wall-clock tracers.
 	epoch time.Time
 }
@@ -59,6 +64,7 @@ type Tracer struct {
 	clock  func() time.Duration
 	epoch  time.Time
 	sample uint64
+	salt   uint64
 
 	mu      sync.Mutex
 	spans   []Span
@@ -87,6 +93,7 @@ func NewTracer(cfg TracerConfig) (*Tracer, error) {
 		clock:  cfg.Clock,
 		epoch:  cfg.epoch,
 		sample: uint64(cfg.Sample),
+		salt:   cfg.IDSalt,
 		spans:  make([]Span, cfg.Capacity),
 	}, nil
 }
@@ -94,10 +101,19 @@ func NewTracer(cfg TracerConfig) (*Tracer, error) {
 // NewWallTracer builds a wall-clock tracer whose epoch is the moment of
 // creation. Zero capacity/sample select the defaults.
 func NewWallTracer(capacity, sample int) (*Tracer, error) {
+	return NewWallTracerWithSalt(capacity, sample, 0)
+}
+
+// NewWallTracerWithSalt builds a wall-clock tracer whose locally minted
+// trace IDs are salted (see TracerConfig.IDSalt). Every process in a
+// routed fleet should salt with its own identity so stitched traces
+// never alias.
+func NewWallTracerWithSalt(capacity, sample int, salt uint64) (*Tracer, error) {
 	epoch := time.Now()
 	return NewTracer(TracerConfig{
 		Capacity: capacity,
 		Sample:   sample,
+		IDSalt:   salt,
 		Clock:    func() time.Duration { return time.Since(epoch) },
 		epoch:    epoch,
 	})
@@ -116,8 +132,34 @@ func (t *Tracer) Begin() uint64 {
 	if t.sample > 1 && t.seq%t.sample != 0 {
 		return 0
 	}
+	return t.mint()
+}
+
+// mint allocates the next salted, non-zero trace ID. Callers hold t.mu.
+func (t *Tracer) mint() uint64 {
 	t.ids++
-	return t.ids
+	id := t.ids ^ t.salt
+	if id == 0 { // the salt collided with the counter; skip the sentinel
+		t.ids++
+		id = t.ids ^ t.salt
+	}
+	return id
+}
+
+// BeginWith starts a trace continuing a remote parent: the remote ID is
+// adopted verbatim so spans recorded here stitch onto the caller's
+// trace. Sampling is the originator's decision — an adopted trace is
+// always recorded. A zero remote falls back to Begin (mint locally,
+// subject to sampling); a nil tracer returns the zero sentinel either
+// way.
+func (t *Tracer) BeginWith(remote uint64) uint64 {
+	if t == nil {
+		return 0
+	}
+	if remote == 0 {
+		return t.Begin()
+	}
+	return remote
 }
 
 // Now reports the current offset on the tracer's clock (zero when nil).
@@ -208,8 +250,9 @@ type chromeEvent struct {
 // chromeTrace is the JSON-object form of the Chrome trace-event format,
 // which Perfetto and chrome://tracing both load.
 type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
 }
 
 // WriteChromeTrace exports the buffered spans as Chrome trace-event JSON:
@@ -219,6 +262,11 @@ type chromeTrace struct {
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	spans := t.Snapshot()
 	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	if t != nil {
+		if nanos, ok := epochNanos(t.epoch); ok {
+			out.OtherData = map[string]string{traceEpochKey: nanos}
+		}
+	}
 	for _, s := range spans {
 		args := map[string]string{"trace": fmt.Sprintf("%d", s.Trace)}
 		if s.Fn != "" {

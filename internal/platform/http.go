@@ -7,10 +7,10 @@ import (
 	"log/slog"
 	"net/http"
 	"reflect"
-	"runtime"
 	"strings"
 
 	"faasbatch/internal/httpapi"
+	"faasbatch/internal/obs"
 )
 
 // statExport maps one numeric field of Stats — addressed by its
@@ -125,7 +125,12 @@ func NewHTTPHandler(p *Platform) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		res, err := p.Invoke(r.Context(), req.Fn, req.Payload)
+		// An inbound traceparent header (minted by the router or an
+		// external caller) joins this worker's spans to the caller's
+		// trace; a malformed header is ignored rather than rejected, per
+		// the W3C processing model.
+		parent, _ := obs.ParseTraceParent(r.Header.Get(obs.TraceParentHeader))
+		res, err := p.InvokeWithTrace(r.Context(), req.Fn, req.Payload, parent)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadGateway)
 			return
@@ -135,7 +140,12 @@ func NewHTTPHandler(p *Platform) http.Handler {
 			http.Error(w, fmt.Sprintf("encode result: %v", err), http.StatusInternalServerError)
 			return
 		}
-		writeJSON(p.logger, w, r.URL.Path, httpapi.InvokeResponse{
+		if res.TraceID != 0 {
+			// Echo the trace identity so callers can correlate the
+			// response with their trace even when the worker minted it.
+			w.Header().Set(obs.TraceParentHeader, obs.FormatTraceParent(res.TraceID))
+		}
+		out := httpapi.InvokeResponse{
 			Fn:          req.Fn,
 			Result:      value,
 			ContainerID: res.ContainerID,
@@ -149,7 +159,11 @@ func NewHTTPHandler(p *Platform) http.Handler {
 				ExecMillis:  float64(res.Exec.Microseconds()) / 1000,
 				TotalMillis: float64(res.Total().Microseconds()) / 1000,
 			},
-		})
+		}
+		if res.TraceID != 0 {
+			out.TraceID = fmt.Sprintf("%016x", res.TraceID)
+		}
+		writeJSON(p.logger, w, r.URL.Path, out)
 	})
 	handle("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -212,7 +226,8 @@ func NewHTTPHandler(p *Platform) http.Handler {
 			fmt.Fprintf(w, "# TYPE %s %s\n", ex.name, ex.typ)
 			fmt.Fprintf(w, "%s %s\n", ex.name, val)
 		}
-		writeRuntimeGauges(w)
+		obs.WriteRuntimeGauges(w, "faasbatch")
+		p.WriteSLOMetrics(w)
 		p.metrics.WritePrometheus(w)
 	})
 	handle("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
@@ -253,24 +268,6 @@ func NewHTTPHandler(p *Platform) http.Handler {
 		}
 	})
 	return mux
-}
-
-// writeRuntimeGauges emits process-level runtime gauges.
-func writeRuntimeGauges(w io.Writer) {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	fmt.Fprintf(w, "# HELP faasbatch_goroutines Goroutines currently running.\n")
-	fmt.Fprintf(w, "# TYPE faasbatch_goroutines gauge\n")
-	fmt.Fprintf(w, "faasbatch_goroutines %d\n", runtime.NumGoroutine())
-	fmt.Fprintf(w, "# HELP faasbatch_heap_alloc_bytes Heap bytes currently allocated.\n")
-	fmt.Fprintf(w, "# TYPE faasbatch_heap_alloc_bytes gauge\n")
-	fmt.Fprintf(w, "faasbatch_heap_alloc_bytes %d\n", ms.HeapAlloc)
-	fmt.Fprintf(w, "# HELP faasbatch_heap_sys_bytes Heap bytes obtained from the OS.\n")
-	fmt.Fprintf(w, "# TYPE faasbatch_heap_sys_bytes gauge\n")
-	fmt.Fprintf(w, "faasbatch_heap_sys_bytes %d\n", ms.HeapSys)
-	fmt.Fprintf(w, "# HELP faasbatch_gc_cycles_total Completed GC cycles.\n")
-	fmt.Fprintf(w, "# TYPE faasbatch_gc_cycles_total counter\n")
-	fmt.Fprintf(w, "faasbatch_gc_cycles_total %d\n", ms.NumGC)
 }
 
 // writeJSON writes v as a JSON response. The response header is already

@@ -14,6 +14,7 @@ import (
 
 	"faasbatch/internal/httpapi"
 	"faasbatch/internal/obs"
+	"faasbatch/internal/slo"
 )
 
 // numericStatPaths walks a Stats value by reflection and returns the
@@ -102,10 +103,18 @@ func TestMetricsConformance(t *testing.T) {
 			t.Errorf("/metrics missing %q", want)
 		}
 	}
-	// Runtime gauges.
-	for _, want := range []string{"faasbatch_goroutines ", "faasbatch_heap_alloc_bytes "} {
-		if !strings.Contains(out, want) {
-			t.Errorf("/metrics missing %q", want)
+	// Runtime gauges: the full obs.RuntimeExports set, each with HELP,
+	// TYPE and a sample line.
+	for _, ex := range obs.RuntimeExports {
+		name := "faasbatch_" + ex.Suffix
+		for _, want := range []string{
+			fmt.Sprintf("# HELP %s %s\n", name, ex.Help),
+			fmt.Sprintf("# TYPE %s %s\n", name, ex.Typ),
+			"\n" + name + " ",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("/metrics missing %q", want)
+			}
 		}
 	}
 }
@@ -177,6 +186,111 @@ func TestTraceRoundTripLive(t *testing.T) {
 		if cur.Start != prev.End {
 			t.Errorf("%s starts at %v, %s ends at %v", order[i], cur.Start, order[i-1], prev.End)
 		}
+	}
+}
+
+// TestInvokeAcceptsTraceparent checks the gateway joins a caller-supplied
+// trace: a W3C traceparent header on /invoke makes the worker record its
+// spans under the remote trace ID and echo the header on the response.
+func TestInvokeAcceptsTraceparent(t *testing.T) {
+	p, tracer := tracedPlatform(t)
+	if err := p.Register("noop", func(_ context.Context, _ *Invocation) (any, error) { return "ok", nil }); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	p.SetReady(true)
+	srv := httptest.NewServer(NewHTTPHandler(p))
+	t.Cleanup(srv.Close)
+
+	const parent = uint64(0xfeedface12345678)
+	body, _ := json.Marshal(httpapi.InvokeRequest{Fn: "noop"})
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/invoke", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceParentHeader, obs.FormatTraceParent(parent))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /invoke: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.TraceParentHeader); got != obs.FormatTraceParent(parent) {
+		t.Fatalf("response traceparent = %q, want echo of %q", got, obs.FormatTraceParent(parent))
+	}
+	spans := 0
+	for _, s := range tracer.Snapshot() {
+		if s.Trace == parent {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Fatalf("no worker spans adopted remote trace %x; have %v", parent, tracer.Snapshot())
+	}
+
+	// A malformed header is ignored per the W3C processing model: the
+	// invocation succeeds on a locally minted trace.
+	req2, _ := http.NewRequest(http.MethodPost, srv.URL+"/invoke", strings.NewReader(string(body)))
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set(obs.TraceParentHeader, "00-bogus")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatalf("POST /invoke (malformed): %v", err)
+	}
+	defer func() { _ = resp2.Body.Close() }()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("malformed-header status = %d, want 200", resp2.StatusCode)
+	}
+	echo := resp2.Header.Get(obs.TraceParentHeader)
+	if id, ok := obs.ParseTraceParent(echo); !ok || id == parent {
+		t.Fatalf("malformed inbound header produced traceparent %q (parsed %x)", echo, id)
+	}
+}
+
+// TestSLOGaugesOnMetrics checks a platform configured with SLO objectives
+// exposes burn-rate gauges on /metrics, and that a latency storm flips the
+// breached gauge to 1.
+func TestSLOGaugesOnMetrics(t *testing.T) {
+	cfg := quickConfig(ModeBatch)
+	cfg.SLOs = []slo.Objective{{Function: "slow", Quantile: 0.99, Target: time.Millisecond, MaxBurn: 2}}
+	cfg.SLOWindows = slo.ScaledWindows(2 * time.Second)
+	p := newPlatform(t, cfg)
+	if err := p.Register("slow", func(_ context.Context, _ *Invocation) (any, error) {
+		time.Sleep(5 * time.Millisecond)
+		return "ok", nil
+	}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := p.Invoke(context.Background(), "slow", nil); err != nil {
+			t.Fatalf("Invoke: %v", err)
+		}
+	}
+	p.SetReady(true)
+	srv := httptest.NewServer(NewHTTPHandler(p))
+	t.Cleanup(srv.Close)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	raw, _ := io.ReadAll(resp.Body)
+	out := string(raw)
+	for _, want := range []string{
+		"# TYPE faasbatch_slo_fast_burn gauge",
+		"# TYPE faasbatch_slo_slow_burn gauge",
+		"# TYPE faasbatch_slo_breached gauge",
+		`faasbatch_slo_breached{fn="slow",quantile="0.99"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	st := p.SLOStatuses()
+	if len(st) != 1 || !st[0].Breached {
+		t.Fatalf("SLOStatuses = %+v, want one breached status", st)
 	}
 }
 

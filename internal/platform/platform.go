@@ -32,6 +32,7 @@ import (
 	"faasbatch/internal/dispatch"
 	"faasbatch/internal/multiplex"
 	"faasbatch/internal/obs"
+	"faasbatch/internal/slo"
 )
 
 // Mode selects the scheduling policy of the live platform.
@@ -364,6 +365,14 @@ type Config struct {
 	// Nil — the default — disables tracing; the disabled hot path adds no
 	// allocations.
 	Tracer *obs.Tracer
+	// SLOs declares per-function service-level objectives, evaluated with
+	// multi-window burn rates (internal/slo) and exported on /metrics.
+	// Empty disables SLO tracking.
+	SLOs []slo.Objective
+	// SLOWindows overrides the burn-rate window ladder (production-scale
+	// defaults when zero). Scenario runs pass slo.ScaledWindows so a
+	// compressed run is judged with the same geometry.
+	SLOWindows slo.Windows
 	// Logger receives the platform's structured logs (dispatch decisions,
 	// container lifecycle, fault and retry events), correlated by trace
 	// ID. Nil discards everything.
@@ -484,10 +493,12 @@ type outcome struct {
 type Platform struct {
 	cfg Config
 
-	// Observability: tracer (nil when disabled), labeled histograms and
-	// the structured logger (never nil; obs.Nop() by default).
+	// Observability: tracer (nil when disabled), labeled histograms, SLO
+	// burn-rate tracker (nil when no objectives are configured) and the
+	// structured logger (never nil; obs.Nop() by default).
 	tracer  *obs.Tracer
 	metrics *obs.Metrics
+	slos    *slo.Tracker
 	logger  *slog.Logger
 
 	mu     sync.Mutex
@@ -571,10 +582,23 @@ func New(cfg Config) (*Platform, error) {
 	if logger == nil {
 		logger = obs.Nop()
 	}
+	var slos *slo.Tracker
+	if len(cfg.SLOs) > 0 {
+		win := cfg.SLOWindows
+		if win == (slo.Windows{}) {
+			win = slo.DefaultWindows()
+		}
+		var err error
+		slos, err = slo.NewTracker(win, cfg.SLOs)
+		if err != nil {
+			return nil, err
+		}
+	}
 	p := &Platform{
 		cfg:        cfg,
 		tracer:     cfg.Tracer,
 		metrics:    obs.NewMetrics(),
+		slos:       slos,
 		logger:     logger,
 		fns:        make(map[string]*function),
 		ctrl:       ctrl,
@@ -616,6 +640,22 @@ func (p *Platform) Metrics() *obs.Metrics { return p.metrics }
 
 // Tracer exposes the platform's tracer (nil when tracing is disabled).
 func (p *Platform) Tracer() *obs.Tracer { return p.tracer }
+
+// SLOs exposes the platform's SLO tracker (nil when no objectives are
+// configured; the nil tracker is safe to use).
+func (p *Platform) SLOs() *slo.Tracker { return p.slos }
+
+// SLOStatuses evaluates the configured objectives at the current
+// platform uptime.
+func (p *Platform) SLOStatuses() []slo.Status {
+	return p.slos.Evaluate(time.Since(p.epoch))
+}
+
+// WriteSLOMetrics appends the SLO burn-rate gauges to a /metrics
+// exposition (nothing when no objectives are configured).
+func (p *Platform) WriteSLOMetrics(w io.Writer) {
+	p.slos.WriteMetrics(w, "faasbatch", time.Since(p.epoch))
+}
 
 // Register adds a function. Registering a duplicate or empty name fails.
 func (p *Platform) Register(name string, h Handler) error {
@@ -678,6 +718,15 @@ func (p *Platform) Inflight() int64 {
 // the call waits for its window, travels with its group, and expands
 // inside the group's container.
 func (p *Platform) Invoke(ctx context.Context, fn string, payload json.RawMessage) (Result, error) {
+	return p.InvokeWithTrace(ctx, fn, payload, 0)
+}
+
+// InvokeWithTrace is Invoke continuing a caller-supplied trace: a
+// non-zero parent (from a traceparent header minted by the router or an
+// external tracer) is adopted as this invocation's trace ID, so the
+// worker's scheduling/cold-start/queuing/execution spans join the
+// caller's distributed trace. Zero parent mints locally (sampled).
+func (p *Platform) InvokeWithTrace(ctx context.Context, fn string, payload json.RawMessage, parent uint64) (Result, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -688,7 +737,7 @@ func (p *Platform) Invoke(ctx context.Context, fn string, payload json.RawMessag
 		p.mu.Unlock()
 		return Result{}, fmt.Errorf("platform: unknown function %q", fn)
 	}
-	call := &pendingCall{ctx: ctx, payload: payload, arrive: time.Now(), done: make(chan outcome, 1), trace: p.tracer.Begin()}
+	call := &pendingCall{ctx: ctx, payload: payload, arrive: time.Now(), done: make(chan outcome, 1), trace: p.tracer.BeginWith(parent)}
 	p.stats.Submitted++
 	switch {
 	case p.cfg.Mode == ModeVanilla:
@@ -1360,6 +1409,7 @@ func (p *Platform) finish(f *function, call *pendingCall, res Result, err error)
 	p.metrics.ObserveLatency(f.name, obs.SpanQueuing, res.Queue)
 	p.metrics.ObserveLatency(f.name, obs.SpanExecution, res.Exec)
 	p.metrics.ObserveLatency(f.name, obs.ComponentEndToEnd, res.Total())
+	p.slos.Observe(f.name, res.Total(), err != nil, time.Since(p.epoch))
 	call.done <- outcome{res: res, err: err}
 }
 

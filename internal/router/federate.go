@@ -1,0 +1,181 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"sync"
+
+	"faasbatch/internal/httpapi"
+	"faasbatch/internal/obs"
+)
+
+// This file implements the router's metrics-federation plane: the router
+// scrapes every member worker's /metrics and /stats surfaces on demand
+// and serves a cluster-wide roll-up on /cluster/metrics and
+// /cluster/stats. Federation is exact where exactness is possible —
+// counters and fixed-bucket histograms sum bucket-wise with no precision
+// tricks — and attributed where it is not: gauges are re-emitted once
+// per member under a worker label instead of being averaged into
+// meaninglessness. A member that fails to answer is served from its last
+// good snapshot (marked stale) so one crashed worker does not blank the
+// fleet view.
+
+// memberSnapshot is the last successful scrape of one worker.
+type memberSnapshot struct {
+	families []*obs.PromFamily
+	stats    httpapi.StatsResponse
+}
+
+// memberView is one worker's contribution to a cluster view.
+type memberView struct {
+	worker string
+	fresh  bool
+	snap   memberSnapshot
+}
+
+// scrapeCluster scrapes every registered worker's /metrics and /stats
+// concurrently, bounded per member by Config.ScrapeTimeout. Failed
+// members fall back to their last good snapshot; members that never
+// answered are omitted.
+func (rt *Router) scrapeCluster(ctx context.Context) []memberView {
+	specs := rt.reg.Specs()
+	views := make([]memberView, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec WorkerSpec) {
+			defer wg.Done()
+			snap, err := rt.scrapeMember(ctx, spec)
+			rt.mu.Lock()
+			rt.stats.Scrapes++
+			if err != nil {
+				rt.stats.ScrapeFailures++
+			}
+			rt.mu.Unlock()
+			if err != nil {
+				rt.logger.Debug("member scrape failed", "worker", spec.ID, "err", err)
+				rt.scrapeMu.Lock()
+				last, ok := rt.lastScrape[spec.ID]
+				rt.scrapeMu.Unlock()
+				if ok {
+					views[i] = memberView{worker: spec.ID, fresh: false, snap: last}
+				}
+				return
+			}
+			rt.scrapeMu.Lock()
+			rt.lastScrape[spec.ID] = snap
+			rt.scrapeMu.Unlock()
+			views[i] = memberView{worker: spec.ID, fresh: true, snap: snap}
+		}(i, spec)
+	}
+	wg.Wait()
+	out := views[:0]
+	for _, v := range views {
+		if v.worker != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// scrapeMember fetches one worker's /metrics exposition and /stats
+// snapshot.
+func (rt *Router) scrapeMember(ctx context.Context, spec WorkerSpec) (memberSnapshot, error) {
+	sctx, cancel := context.WithTimeout(ctx, rt.cfg.ScrapeTimeout)
+	defer cancel()
+	var snap memberSnapshot
+	body, err := rt.scrapeGet(sctx, spec.URL+"/metrics")
+	if err != nil {
+		return snap, err
+	}
+	defer func() { _ = body.Close() }()
+	snap.families, err = obs.ParsePrometheus(io.LimitReader(body, 8<<20))
+	if err != nil {
+		return snap, fmt.Errorf("parse %s/metrics: %w", spec.ID, err)
+	}
+	stats, err := rt.scrapeGet(sctx, spec.URL+"/stats")
+	if err != nil {
+		return snap, err
+	}
+	defer func() { _ = stats.Close() }()
+	if err := json.NewDecoder(io.LimitReader(stats, 1<<20)).Decode(&snap.stats); err != nil {
+		return snap, fmt.Errorf("decode %s/stats: %w", spec.ID, err)
+	}
+	return snap, nil
+}
+
+// scrapeGet performs one federation GET and hands back the body on 200.
+func (rt *Router) scrapeGet(ctx context.Context, url string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		_ = resp.Body.Close()
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return resp.Body, nil
+}
+
+// writeClusterMetrics renders the federated Prometheus exposition:
+// synthetic faascluster_* meta-series describing the scrape itself,
+// followed by the members' series merged by obs.FederateMetrics.
+func (rt *Router) writeClusterMetrics(ctx context.Context, w io.Writer) {
+	views := rt.scrapeCluster(ctx)
+	fresh := 0
+	members := make([]obs.MemberMetrics, len(views))
+	for i, v := range views {
+		if v.fresh {
+			fresh++
+		}
+		members[i] = obs.MemberMetrics{Worker: v.worker, Families: v.snap.families}
+	}
+	st := rt.Stats()
+	fmt.Fprintf(w, "# HELP faascluster_members Workers registered with the router.\n# TYPE faascluster_members gauge\nfaascluster_members %d\n", len(rt.reg.Specs()))
+	fmt.Fprintf(w, "# HELP faascluster_members_scraped Workers that answered this scrape round.\n# TYPE faascluster_members_scraped gauge\nfaascluster_members_scraped %d\n", fresh)
+	fmt.Fprintf(w, "# HELP faascluster_members_stale Workers served from their last good snapshot.\n# TYPE faascluster_members_stale gauge\nfaascluster_members_stale %d\n", len(views)-fresh)
+	fmt.Fprintf(w, "# HELP faascluster_scrape_failures_total Member scrapes that failed.\n# TYPE faascluster_scrape_failures_total counter\nfaascluster_scrape_failures_total %d\n", st.ScrapeFailures)
+	obs.FederateMetrics(w, members)
+}
+
+// clusterStatsResponse assembles the /cluster/stats reply.
+func (rt *Router) clusterStatsResponse(ctx context.Context) httpapi.ClusterStatsResponse {
+	views := rt.scrapeCluster(ctx)
+	out := httpapi.ClusterStatsResponse{
+		Router:  rt.statsResponse(),
+		Members: make([]httpapi.MemberStats, 0, len(views)),
+	}
+	for _, v := range views {
+		out.Members = append(out.Members, httpapi.MemberStats{
+			Worker: v.worker, Fresh: v.fresh, Stats: v.snap.stats,
+		})
+		sumStats(&out.Cluster, v.snap.stats)
+	}
+	return out
+}
+
+// sumStats adds src's numeric fields into dst field-wise, by reflection:
+// a StatsResponse field added upstream is federated here automatically
+// instead of silently reading zero in the cluster roll-up.
+func sumStats(dst *httpapi.StatsResponse, src httpapi.StatsResponse) {
+	dv := reflect.ValueOf(dst).Elem()
+	sv := reflect.ValueOf(src)
+	for i := 0; i < sv.NumField(); i++ {
+		switch sv.Field(i).Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			dv.Field(i).SetInt(dv.Field(i).Int() + sv.Field(i).Int())
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			dv.Field(i).SetUint(dv.Field(i).Uint() + sv.Field(i).Uint())
+		case reflect.Float32, reflect.Float64:
+			dv.Field(i).SetFloat(dv.Field(i).Float() + sv.Field(i).Float())
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"faasbatch/internal/httpapi"
+	"faasbatch/internal/obs"
 )
 
 // NewHTTPHandler exposes a router over HTTP:
@@ -21,6 +22,14 @@ import (
 //	GET  /workers  — reply []httpapi.WorkerStatus
 //	GET  /metrics  — Prometheus text: router counters, per-worker
 //	                 gauges/counters, forward-latency histograms
+//	GET  /cluster/metrics — federated Prometheus text: every member
+//	                 worker's /metrics scraped and merged (counters and
+//	                 histograms sum exactly; gauges are re-emitted per
+//	                 member under a worker label) plus faascluster_*
+//	                 scrape meta-series
+//	GET  /cluster/stats — reply httpapi.ClusterStatsResponse: router
+//	                 counters plus a field-wise sum of every member's
+//	                 /stats snapshot
 //	GET  /healthz  — 200 while at least one worker is up, else 503
 //
 // Every route is also served under the /v1/ prefix (/v1/invoke,
@@ -49,10 +58,17 @@ func NewHTTPHandler(rt *Router) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		res, err := rt.Invoke(r.Context(), req)
+		// An inbound traceparent joins the router's route/forward spans —
+		// and, propagated onward, the worker's spans — to the caller's
+		// trace. Malformed headers are ignored per the W3C model.
+		parent, _ := obs.ParseTraceParent(r.Header.Get(obs.TraceParentHeader))
+		res, err := rt.InvokeTraced(r.Context(), req, parent)
 		if err != nil {
 			writeInvokeError(w, err)
 			return
+		}
+		if id, err := strconv.ParseUint(res.TraceID, 16, 64); err == nil && id != 0 {
+			w.Header().Set(obs.TraceParentHeader, obs.FormatTraceParent(id))
 		}
 		writeJSON(rt, w, res)
 	})
@@ -77,6 +93,21 @@ func NewHTTPHandler(rt *Router) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		rt.writeMetrics(w)
+	})
+	handle("/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		rt.writeClusterMetrics(r.Context(), w)
+	})
+	handle("/cluster/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(rt, w, rt.clusterStatsResponse(r.Context()))
 	})
 	handle("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		up := rt.reg.UpCount()
@@ -131,6 +162,8 @@ func (rt *Router) statsResponse() httpapi.RouterStatsResponse {
 		Errors:           st.Errors,
 		Probes:           st.Probes,
 		ProbeFailures:    st.ProbeFailures,
+		Scrapes:          st.Scrapes,
+		ScrapeFailures:   st.ScrapeFailures,
 		MarkDowns:        markDowns,
 		MarkUps:          markUps,
 		WorkersUp:        rt.reg.UpCount(),
@@ -164,6 +197,8 @@ func (rt *Router) writeMetrics(w io.Writer) {
 	counter("faasrouter_errors_total", "Invocations that exhausted their forward attempts.", st.Errors)
 	counter("faasrouter_probes_total", "Health probes sent.", st.Probes)
 	counter("faasrouter_probe_failures_total", "Health probes that failed.", st.ProbeFailures)
+	counter("faasrouter_scrapes_total", "Member scrapes attempted for the cluster view.", st.Scrapes)
+	counter("faasrouter_scrape_failures_total", "Member scrapes that failed.", st.ScrapeFailures)
 	counter("faasrouter_mark_downs_total", "Worker up-to-down transitions.", markDowns)
 	counter("faasrouter_mark_ups_total", "Worker down-to-up transitions.", markUps)
 	fmt.Fprintf(w, "# HELP faasrouter_workers_up Workers currently marked up.\n# TYPE faasrouter_workers_up gauge\nfaasrouter_workers_up %d\n", rt.reg.UpCount())
@@ -185,5 +220,6 @@ func (rt *Router) writeMetrics(w io.Writer) {
 	for _, wk := range workers {
 		fmt.Fprintf(w, "faasrouter_worker_inflight{worker=%q} %d\n", wk.ID, wk.Inflight)
 	}
+	obs.WriteRuntimeGauges(w, "faasrouter")
 	rt.metrics.WritePrometheus(w)
 }

@@ -76,6 +76,10 @@ type Config struct {
 	QueueWait time.Duration
 	// ForwardTimeout bounds one forward attempt (default 30s).
 	ForwardTimeout time.Duration
+	// ScrapeTimeout bounds one member scrape (both its /metrics and
+	// /stats round trips) when serving /cluster/metrics and
+	// /cluster/stats (default 2s).
+	ScrapeTimeout time.Duration
 	// Chaos optionally fails forward attempts deterministically
 	// (chaos.WorkerFailure), so failover is testable without killing
 	// real processes. Nil injects nothing.
@@ -111,6 +115,10 @@ type Stats struct {
 	Probes int64
 	// ProbeFailures counts health probes that failed.
 	ProbeFailures int64
+	// Scrapes counts member scrape attempts made for the cluster view.
+	Scrapes int64
+	// ScrapeFailures counts member scrapes that failed.
+	ScrapeFailures int64
 }
 
 // Router fronts a fleet of worker gateways: consistent-hash function
@@ -127,6 +135,9 @@ type Router struct {
 
 	mu    sync.Mutex
 	stats Stats
+
+	scrapeMu   sync.Mutex
+	lastScrape map[string]memberSnapshot
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -158,6 +169,9 @@ func New(cfg Config) (*Router, error) {
 	if cfg.ForwardTimeout <= 0 {
 		cfg.ForwardTimeout = 30 * time.Second
 	}
+	if cfg.ScrapeTimeout <= 0 {
+		cfg.ScrapeTimeout = 2 * time.Second
+	}
 	reg, err := NewRegistry(cfg.Workers, cfg.VNodes, cfg.MarkDownAfter, cfg.MarkUpAfter)
 	if err != nil {
 		return nil, err
@@ -167,14 +181,15 @@ func New(cfg Config) (*Router, error) {
 		logger = obs.Nop()
 	}
 	rt := &Router{
-		cfg:     cfg,
-		reg:     reg,
-		adm:     newAdmission(cfg.FnConcurrency, cfg.QueueDepth, cfg.QueueWait),
-		client:  &http.Client{Transport: cfg.Transport},
-		tracer:  cfg.Tracer,
-		metrics: obs.NewMetrics(),
-		logger:  logger,
-		stop:    make(chan struct{}),
+		cfg:        cfg,
+		reg:        reg,
+		adm:        newAdmission(cfg.FnConcurrency, cfg.QueueDepth, cfg.QueueWait),
+		client:     &http.Client{Transport: cfg.Transport},
+		tracer:     cfg.Tracer,
+		metrics:    obs.NewMetrics(),
+		logger:     logger,
+		lastScrape: make(map[string]memberSnapshot),
+		stop:       make(chan struct{}),
 	}
 	rt.logger.Info("router started",
 		"workers", len(cfg.Workers),
@@ -314,12 +329,22 @@ func (rt *Router) probeOne(ctx context.Context, spec WorkerSpec) (httpapi.Health
 // ErrNoWorkers, a *PassThroughError (the worker answered with an HTTP
 // error), or a wrapped transport error after the attempt budget drained.
 func (rt *Router) Invoke(ctx context.Context, req httpapi.RoutedInvokeRequest) (httpapi.RoutedInvokeResponse, error) {
+	return rt.InvokeTraced(ctx, req, 0)
+}
+
+// InvokeTraced is Invoke with an explicit parent trace ID: a non-zero
+// parent (from an inbound traceparent header) is adopted instead of
+// minting a fresh trace, so the caller's trace, the router's spans and
+// the worker's spans stitch into one end-to-end timeline. The trace
+// identity travels to the worker as a traceparent header on the forward
+// request and comes back on the response's TraceID field.
+func (rt *Router) InvokeTraced(ctx context.Context, req httpapi.RoutedInvokeRequest, parent uint64) (httpapi.RoutedInvokeResponse, error) {
 	if req.TimeoutMillis > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
 		defer cancel()
 	}
-	trace := rt.tracer.Begin()
+	trace := rt.tracer.BeginWith(parent)
 	admitStart := rt.tracer.Now()
 	release, err := rt.adm.Acquire(ctx, req.Fn)
 	if err != nil {
@@ -374,9 +399,13 @@ func (rt *Router) forward(ctx context.Context, trace uint64, req httpapi.RoutedI
 			rt.mu.Unlock()
 			rt.backoff(ctx, trace, req.Fn, attempt)
 		}
-		resp, err := rt.tryWorker(ctx, trace, id, req.Fn, body)
+		resp, err := rt.tryWorker(ctx, trace, attempt, id, req.Fn, body)
 		if err == nil {
 			resp.ForwardAttempts = attempt
+			if resp.TraceID == "" && trace != 0 {
+				// Worker tracing off: report the router's trace identity.
+				resp.TraceID = fmt.Sprintf("%016x", trace)
+			}
 			rt.reg.NoteForwarded(id)
 			rt.reg.NoteResult(id, true)
 			rt.mu.Lock()
@@ -409,6 +438,20 @@ func (rt *Router) forward(ctx context.Context, trace uint64, req httpapi.RoutedI
 		req.Fn, rt.cfg.MaxAttempts, lastErr)
 }
 
+// attemptOutcome labels a forward attempt's result for its span detail:
+// "ok", "worker-error" (the worker answered with a non-retryable HTTP
+// error) or "transient" (connection failure, 503, injected fault).
+func attemptOutcome(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	var pass *PassThroughError
+	if errors.As(err, &pass) {
+		return "worker-error"
+	}
+	return "transient"
+}
+
 // backoff sleeps the exponential retry delay (base doubled per extra
 // attempt), bounded by ctx.
 func (rt *Router) backoff(ctx context.Context, trace uint64, fn string, attempt int) {
@@ -432,13 +475,16 @@ func (rt *Router) backoff(ctx context.Context, trace uint64, fn string, attempt 
 // tryWorker performs one forward attempt against one worker. A non-2xx,
 // non-503 worker response returns a *PassThroughError; connection
 // errors, injected worker failures and 503s return plain (retryable)
-// errors.
-func (rt *Router) tryWorker(ctx context.Context, trace uint64, id, fn string, body []byte) (httpapi.RoutedInvokeResponse, error) {
+// errors. Each attempt records one forward span carrying the worker ID
+// and the attempt's outcome, and propagates the trace to the worker as
+// a traceparent header so the worker's spans join the same trace.
+func (rt *Router) tryWorker(ctx context.Context, trace uint64, attempt int, id, fn string, body []byte) (_ httpapi.RoutedInvokeResponse, retErr error) {
 	spanStart := rt.tracer.Now()
 	defer func() {
 		rt.tracer.Record(obs.Span{
-			Trace: trace, Name: obs.SpanForward, Fn: fn, Detail: id,
-			Start: spanStart, End: rt.tracer.Now(),
+			Trace: trace, Name: obs.SpanForward, Fn: fn, Attempt: attempt,
+			Detail: id + " " + attemptOutcome(retErr),
+			Start:  spanStart, End: rt.tracer.Now(),
 		})
 	}()
 	if rt.cfg.Chaos.Should(chaos.WorkerFailure) {
@@ -457,6 +503,9 @@ func (rt *Router) tryWorker(ctx context.Context, trace uint64, id, fn string, bo
 		return httpapi.RoutedInvokeResponse{}, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if trace != 0 {
+		hreq.Header.Set(obs.TraceParentHeader, obs.FormatTraceParent(trace))
+	}
 	start := time.Now()
 	resp, err := rt.client.Do(hreq)
 	if err != nil {

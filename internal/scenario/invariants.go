@@ -4,7 +4,45 @@
 // invariant violation exactly like a failing test.
 package scenario
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"faasbatch/internal/slo"
+)
+
+// newSLOTracker builds a burn-rate tracker over the scenario's slo
+// objectives, with the alerting windows scaled so the slow-long window
+// spans the whole scenario. Nil when no slo invariants are declared.
+func newSLOTracker(sc *Scenario) (*slo.Tracker, error) {
+	objs := sc.SLOObjectives()
+	if len(objs) == 0 {
+		return nil, nil
+	}
+	return slo.NewTracker(slo.ScaledWindows(sc.TotalDuration()), objs)
+}
+
+// sloVerdicts evaluates the tracker at quiescence into the keyed map
+// evalInvariants consumes. Statuses come back in objective declaration
+// order, which is the declared slo-invariant order.
+func sloVerdicts(sc *Scenario, tr *slo.Tracker, now time.Duration) map[string]slo.Status {
+	if tr == nil {
+		return nil
+	}
+	statuses := tr.Evaluate(now)
+	out := make(map[string]slo.Status, len(statuses))
+	i := 0
+	for _, inv := range sc.Invariants {
+		if inv.Name != "slo" || inv.SLO == nil {
+			continue
+		}
+		if i < len(statuses) {
+			out[inv.SLO.key()] = statuses[i]
+		}
+		i++
+	}
+	return out
+}
 
 // invariantCatalog names the known assertions; parameterised entries take
 // a "name: value" form in the scenario file.
@@ -26,6 +64,12 @@ var invariantCatalog = map[string]struct{ parameterised bool }{
 	// all-recovered: no worker is still marked down at the end of the
 	// run (every outage's recovery fired).
 	"all-recovered": {},
+	// slo: a per-function burn-rate objective (internal/slo) stayed
+	// within budget for the whole run — the breach verdict latches at
+	// bucket boundaries, so a mid-run storm fails the scenario even if
+	// the tail of the run recovers. Takes a mapping parameter:
+	//   - slo: {function: f1, p99_ms: 250, max_burn: 2.0}
+	"slo": {parameterised: true},
 }
 
 // InvariantResult is one evaluated assertion in the report.
@@ -50,6 +94,9 @@ type invariantInputs struct {
 	conservationRHS  int64
 	conservationExpr string
 	downAtEnd        int
+	// slo holds the tracker's end-of-run verdicts, keyed by
+	// SLOSpec.key(), when the scenario declared slo invariants.
+	slo map[string]slo.Status
 }
 
 // evalInvariants evaluates the always-on assertions plus the scenario's
@@ -58,8 +105,14 @@ func evalInvariants(declared []Invariant, in invariantInputs) []InvariantResult 
 	checks := []Invariant{{Name: "no-lost-invocations"}, {Name: "conservation"}}
 	seen := map[string]bool{"no-lost-invocations": true, "conservation": true}
 	for _, inv := range declared {
-		if !seen[inv.Name] {
-			seen[inv.Name] = true
+		key := inv.Name
+		if inv.SLO != nil {
+			// slo invariants dedupe per objective, not per name: one
+			// scenario may bound several functions.
+			key += "|" + inv.SLO.key()
+		}
+		if !seen[key] {
+			seen[key] = true
 			checks = append(checks, inv)
 		}
 	}
@@ -92,6 +145,19 @@ func evalInvariant(inv Invariant, in invariantInputs) InvariantResult {
 	case "all-recovered":
 		r.OK = in.downAtEnd == 0
 		r.Detail = fmt.Sprintf("%d workers still down", in.downAtEnd)
+	case "slo":
+		if inv.SLO == nil {
+			r.Detail = "slo invariant without an objective"
+			break
+		}
+		st, ok := in.slo[inv.SLO.key()]
+		if !ok {
+			r.Detail = fmt.Sprintf("no burn-rate verdict for fn %q", inv.SLO.Function)
+			break
+		}
+		r.OK = !st.Breached
+		r.Detail = fmt.Sprintf("fn %s q%g target %v: peak fast burn %.3f, peak slow burn %.3f, bound %g (%d/%d bad)",
+			st.Function, st.Quantile, st.Target, st.MaxFastBurn, st.MaxSlowBurn, st.MaxBurn, st.Bad, st.Total)
 	default:
 		r.OK = false
 		r.Detail = "unknown invariant"

@@ -12,12 +12,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"sync"
 	"time"
 
 	"faasbatch/internal/chaos"
+	"faasbatch/internal/obs"
 	"faasbatch/internal/platform"
+	"faasbatch/internal/slo"
 )
 
 // maxLiveInvocations bounds a live scenario's expected arrivals: live
@@ -25,7 +28,7 @@ import (
 // sim mode.
 const maxLiveInvocations = 100_000
 
-func runLive(sc *Scenario) (*Body, error) {
+func runLive(sc *Scenario, traceSink io.Writer) (*Body, error) {
 	if sc.Fleet.Workers != 1 {
 		return nil, fmt.Errorf("scenario: live mode supports exactly 1 worker, got %d (use mode: sim for fleets)", sc.Fleet.Workers)
 	}
@@ -66,6 +69,13 @@ func runLive(sc *Scenario) (*Body, error) {
 	// deadline comfortably above the injected hang.
 	pcfg.InvokeTimeout = 2*injHang(sc) + time.Second
 	pcfg.Chaos = inj
+	if traceSink != nil {
+		tr, err := obs.NewWallTracer(1<<16, 1)
+		if err != nil {
+			return nil, err
+		}
+		pcfg.Tracer = tr
+	}
 	p, err := platform.New(pcfg)
 	if err != nil {
 		return nil, err
@@ -90,6 +100,17 @@ func runLive(sc *Scenario) (*Body, error) {
 					}
 				}
 			}
+		}
+	}
+
+	// Live-mode SLO tracking observes wall time, so the window ladder
+	// scales to the wall span of the run (phase durations / time scale).
+	var slos *slo.Tracker
+	if objs := sc.SLOObjectives(); len(objs) > 0 {
+		slos, err = slo.NewTracker(slo.ScaledWindows(scaled(sc.TotalDuration(), scale)), objs)
+		if err != nil {
+			_ = p.Close()
+			return nil, err
 		}
 	}
 
@@ -149,7 +170,7 @@ func runLive(sc *Scenario) (*Body, error) {
 		if len(ph.Chaos) > 0 {
 			event("chaos", fmt.Sprintf("fault rates set for phase %q", ph.Name))
 		}
-		runLivePhase(p, sc, pi, ph, scale, &wg, agg, &mu)
+		runLivePhase(p, sc, pi, ph, scale, &wg, agg, &mu, slos, start)
 	}
 	// All arrivals issued; wait for every in-flight invocation so the
 	// phase aggregates are complete before they are summarised.
@@ -173,6 +194,11 @@ func runLive(sc *Scenario) (*Body, error) {
 	<-samplerDone
 	if err := p.Close(); err != nil {
 		return nil, fmt.Errorf("scenario: platform close: %w", err)
+	}
+	if traceSink != nil {
+		if err := p.Tracer().WriteChromeTrace(traceSink); err != nil {
+			return nil, fmt.Errorf("scenario: trace export: %w", err)
+		}
 	}
 	st := p.Stats()
 
@@ -218,6 +244,7 @@ func runLive(sc *Scenario) (*Body, error) {
 		conservationLHS:  st.Submitted,
 		conservationRHS:  st.Invocations + st.Canceled,
 		conservationExpr: "platform Submitted == Invocations + Canceled",
+		slo:              sloVerdicts(sc, slos, time.Since(start)),
 	})
 	body.MakespanMillis = time.Since(start).Milliseconds()
 	return &body, nil
@@ -225,7 +252,7 @@ func runLive(sc *Scenario) (*Body, error) {
 
 // runLivePhase paces one phase's arrivals on the wall clock and blocks
 // until the phase window has elapsed (in-flight calls may drain later).
-func runLivePhase(p *platform.Platform, sc *Scenario, pi int, ph Phase, scale float64, wg *sync.WaitGroup, agg *phaseAgg, mu *sync.Mutex) {
+func runLivePhase(p *platform.Platform, sc *Scenario, pi int, ph Phase, scale float64, wg *sync.WaitGroup, agg *phaseAgg, mu *sync.Mutex, slos *slo.Tracker, start time.Time) {
 	rng := rand.New(rand.NewSource(subSeed(sc.Seed, fmt.Sprintf("arrivals-%d", pi))))
 	names := liveMixNames(ph)
 	deadline := time.Now().Add(scaled(ph.Duration, scale))
@@ -239,6 +266,7 @@ func runLivePhase(p *platform.Platform, sc *Scenario, pi int, ph Phase, scale fl
 		go func() {
 			defer wg.Done()
 			res, err := p.Invoke(context.Background(), fn, payload)
+			slos.Observe(fn, res.Total(), err != nil, time.Since(start))
 			mu.Lock()
 			defer mu.Unlock()
 			agg.completed++

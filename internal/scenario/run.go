@@ -18,6 +18,7 @@ package scenario
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
@@ -28,6 +29,7 @@ import (
 	"faasbatch/internal/hashmix"
 	"faasbatch/internal/node"
 	"faasbatch/internal/sim"
+	"faasbatch/internal/slo"
 	"faasbatch/internal/workload"
 )
 
@@ -36,12 +38,21 @@ import (
 // the determinism regression — pay the event-heap allocation once.
 type Runner struct {
 	eng *sim.Engine
+	// traceSink, when set, receives a Chrome trace export of a live run
+	// (SetTraceSink).
+	traceSink io.Writer
 }
 
 // NewRunner builds a reusable runner.
 func NewRunner() *Runner {
 	return &Runner{eng: sim.New(0)}
 }
+
+// SetTraceSink directs a Chrome trace-event export of the platform's
+// spans to w when a live scenario finishes. Sim runs do not trace (the
+// simulator's virtual clock has no per-invocation span instrumentation),
+// so RunBody fails fast if a sink is set and the scenario is sim-mode.
+func (r *Runner) SetTraceSink(w io.Writer) { r.traceSink = w }
 
 // Run executes a scenario and returns its report.
 func (r *Runner) Run(sc *Scenario) (*Report, error) {
@@ -63,9 +74,12 @@ func (r *Runner) RunBody(sc *Scenario) (*Body, error) {
 	}
 	switch sc.Mode {
 	case ModeSim:
+		if r.traceSink != nil {
+			return nil, fmt.Errorf("scenario: trace export requires mode: live (sim runs carry no span instrumentation)")
+		}
 		return r.runSim(sc)
 	case ModeLive:
-		return runLive(sc)
+		return runLive(sc, r.traceSink)
 	default:
 		return nil, fmt.Errorf("scenario: unknown mode %v", sc.Mode)
 	}
@@ -169,10 +183,11 @@ type phaseAgg struct {
 
 // simRun is the mutable state of one simulated execution.
 type simRun struct {
-	sc  *Scenario
-	eng *sim.Engine
-	cl  *cluster.Cluster
-	inj *chaos.Injector
+	sc   *Scenario
+	eng  *sim.Engine
+	cl   *cluster.Cluster
+	inj  *chaos.Injector
+	slos *slo.Tracker
 
 	submitted    int64
 	completed    int64
@@ -201,7 +216,11 @@ func (r *Runner) runSim(sc *Scenario) (*Body, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &simRun{sc: sc, eng: eng, cl: cl, inj: inj}
+	slos, err := newSLOTracker(sc)
+	if err != nil {
+		return nil, err
+	}
+	s := &simRun{sc: sc, eng: eng, cl: cl, inj: inj, slos: slos}
 	for range sc.Phases {
 		s.phases = append(s.phases, &phaseAgg{})
 	}
@@ -464,6 +483,7 @@ func (s *simRun) submitOne(pi int, spec workload.Spec) {
 		s.completed++
 		agg.completed++
 		rec := done.Rec
+		s.slos.Observe(done.Spec.Name, rec.Total(), rec.Failed, s.eng.Now().Duration())
 		if rec.Failed {
 			agg.failed++
 		}
@@ -582,6 +602,7 @@ func (s *simRun) report() *Body {
 		conservationRHS:  s.submitted,
 		conservationExpr: "sum(scheduler submitted) == harness submitted",
 		downAtEnd:        down,
+		slo:              sloVerdicts(s.sc, s.slos, s.eng.Now().Duration()),
 	})
 	b.MakespanMillis = s.eng.Now().Duration().Milliseconds()
 	return b

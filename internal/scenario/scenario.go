@@ -20,6 +20,7 @@ import (
 
 	"faasbatch/internal/chaos"
 	"faasbatch/internal/cluster"
+	"faasbatch/internal/slo"
 )
 
 // Mode selects the execution substrate.
@@ -176,6 +177,51 @@ type Invariant struct {
 	Name string
 	// Value parameterises rate-style invariants (e.g. max-failure-rate).
 	Value float64
+	// SLO parameterises the "slo" invariant.
+	SLO *SLOSpec
+}
+
+// SLOSpec declares one per-function burn-rate objective for the "slo"
+// invariant: the run fails when the function's multi-window error-budget
+// burn (internal/slo, windows scaled to the scenario span) crosses
+// MaxBurn at any point of the run.
+//
+//   - slo: {function: f1, p99_ms: 250, max_burn: 2.0}
+//   - slo: {function: f2, availability: 0.999, max_burn: 4}
+type SLOSpec struct {
+	// Function is the objective's target function name.
+	Function string
+	// Quantile is the objective quantile (0.99 for p99_ms, etc.); its
+	// complement is the error budget.
+	Quantile float64
+	// Target is the latency bound; zero means a pure availability
+	// objective (only failures burn budget).
+	Target time.Duration
+	// MaxBurn is the breach threshold on the paired burn rates
+	// (default 2).
+	MaxBurn float64
+}
+
+// Objective converts the spec to its internal/slo form.
+func (s *SLOSpec) Objective() slo.Objective {
+	return slo.Objective{Function: s.Function, Quantile: s.Quantile, Target: s.Target, MaxBurn: s.MaxBurn}
+}
+
+// key identifies the objective for dedupe and status lookup.
+func (s *SLOSpec) key() string {
+	return fmt.Sprintf("%s|%g|%s|%g", s.Function, s.Quantile, s.Target, s.MaxBurn)
+}
+
+// SLOObjectives collects the scenario's slo invariants in declaration
+// order, for seeding a tracker.
+func (s *Scenario) SLOObjectives() []slo.Objective {
+	var out []slo.Objective
+	for _, inv := range s.Invariants {
+		if inv.Name == "slo" && inv.SLO != nil {
+			out = append(out, inv.SLO.Objective())
+		}
+	}
+	return out
 }
 
 // Scenario is a fully decoded scenario file.
@@ -208,6 +254,16 @@ type Scenario struct {
 	// LiveTimeScale compresses live-mode wall time: phase durations and
 	// arrival gaps are divided by it (default 1; sim ignores it).
 	LiveTimeScale float64
+}
+
+// DisableChaos strips every phase's fault-injection rates, leaving
+// arrivals, outages and invariants intact. cmd/faasstress -no-chaos uses
+// it to prove an SLO invariant holds on the fault-free baseline of the
+// same scenario.
+func (s *Scenario) DisableChaos() {
+	for i := range s.Phases {
+		s.Phases[i].Chaos = nil
+	}
 }
 
 // TotalDuration sums the phase durations.
@@ -328,6 +384,14 @@ func (s *Scenario) validate() error {
 	for i, inv := range s.Invariants {
 		if _, ok := invariantCatalog[inv.Name]; !ok {
 			return fmt.Errorf("scenario: invariant %d: unknown name %q", i, inv.Name)
+		}
+		if inv.Name == "slo" {
+			if inv.SLO == nil {
+				return fmt.Errorf("scenario: invariant %d: slo needs its objective mapping", i)
+			}
+			if err := inv.SLO.Objective().Validate(); err != nil {
+				return fmt.Errorf("scenario: invariant %d: %w", i, err)
+			}
 		}
 	}
 	if s.LiveTimeScale <= 0 {
@@ -559,6 +623,15 @@ func (d *decoder) scenario(m map[string]any) *Scenario {
 				continue
 			}
 			for name, val := range iv {
+				if name == "slo" {
+					sm, ok := val.(map[string]any)
+					if !ok {
+						d.fail(path, "slo expects a mapping like {function: f1, p99_ms: 250, max_burn: 2}")
+						continue
+					}
+					sc.Invariants = append(sc.Invariants, Invariant{Name: name, SLO: d.sloSpec(sm, path)})
+					continue
+				}
 				f, ok := toFloat(val)
 				if !ok {
 					d.fail(path, "expected a numeric value for %q", name)
@@ -571,6 +644,46 @@ func (d *decoder) scenario(m map[string]any) *Scenario {
 		}
 	}
 	return sc
+}
+
+// sloQuantileKeys maps the latency-objective keys to their quantiles.
+var sloQuantileKeys = []struct {
+	key      string
+	quantile float64
+}{
+	{"p50_ms", 0.5}, {"p90_ms", 0.9}, {"p95_ms", 0.95}, {"p99_ms", 0.99},
+}
+
+// sloSpec decodes one slo invariant mapping: a function, exactly one
+// objective key (pXX_ms latency bound or availability quantile) and an
+// optional max_burn threshold.
+func (d *decoder) sloSpec(m map[string]any, path string) *SLOSpec {
+	d.known(m, path, "function", "p50_ms", "p90_ms", "p95_ms", "p99_ms", "availability", "max_burn")
+	spec := &SLOSpec{
+		Function: d.str(m, path, "function", ""),
+		MaxBurn:  d.float(m, path, "max_burn", 2),
+	}
+	objectives := 0
+	for _, qk := range sloQuantileKeys {
+		if _, ok := m[qk.key]; !ok {
+			continue
+		}
+		objectives++
+		spec.Quantile = qk.quantile
+		ms := d.float(m, path, qk.key, 0)
+		if ms <= 0 {
+			d.fail(path, "%s must be a positive millisecond bound, got %g", qk.key, ms)
+		}
+		spec.Target = time.Duration(ms * float64(time.Millisecond))
+	}
+	if _, ok := m["availability"]; ok {
+		objectives++
+		spec.Quantile = d.float(m, path, "availability", 0)
+	}
+	if objectives != 1 {
+		d.fail(path, "slo needs exactly one objective key (p50_ms/p90_ms/p95_ms/p99_ms or availability), got %d", objectives)
+	}
+	return spec
 }
 
 func toFloat(v any) (float64, bool) {

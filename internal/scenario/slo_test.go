@@ -1,0 +1,219 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloScenario wraps one slo invariant line in a minimal valid scenario.
+func sloScenario(inv string) string {
+	return `
+scenario: slo-decode
+seed: 1
+phases:
+  - name: only
+    duration: 1s
+    rate: 1
+    mix:
+      - fn: fib
+invariants:
+  - ` + inv + "\n"
+}
+
+func TestSLOInvariantDecode(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want SLOSpec
+	}{
+		{
+			name: "flow latency objective",
+			src:  sloScenario(`slo: {function: f1, p99_ms: 250, max_burn: 2.5}`),
+			want: SLOSpec{Function: "f1", Quantile: 0.99, Target: 250 * time.Millisecond, MaxBurn: 2.5},
+		},
+		{
+			name: "availability objective with default burn",
+			src:  sloScenario(`slo: {function: f2, availability: 0.999}`),
+			want: SLOSpec{Function: "f2", Quantile: 0.999, MaxBurn: 2},
+		},
+		{
+			name: "block form",
+			src: sloScenario(`slo:
+      function: f3
+      p50_ms: 10`),
+			want: SLOSpec{Function: "f3", Quantile: 0.5, Target: 10 * time.Millisecond, MaxBurn: 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, err := Parse([]byte(tc.src))
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if len(sc.Invariants) != 1 || sc.Invariants[0].SLO == nil {
+				t.Fatalf("invariants = %+v, want one slo invariant", sc.Invariants)
+			}
+			if got := *sc.Invariants[0].SLO; got != tc.want {
+				t.Fatalf("SLOSpec = %+v, want %+v", got, tc.want)
+			}
+			objs := sc.SLOObjectives()
+			if len(objs) != 1 || objs[0].Function != tc.want.Function {
+				t.Fatalf("SLOObjectives = %+v", objs)
+			}
+		})
+	}
+}
+
+func TestSLOInvariantDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		frag string
+	}{
+		{"missing function", sloScenario(`slo: {p99_ms: 250}`), "function"},
+		{"no objective key", sloScenario(`slo: {function: f1}`), "exactly one objective"},
+		{"two objective keys", sloScenario(`slo: {function: f1, p50_ms: 10, p99_ms: 250}`), "exactly one objective"},
+		{"non-positive bound", sloScenario(`slo: {function: f1, p99_ms: -5}`), "positive"},
+		{"unknown key", sloScenario(`slo: {function: f1, p99_ms: 250, burn: 2}`), "unknown"},
+		{"scalar parameter", sloScenario(`slo: 0.99`), "mapping"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.src))
+			if err == nil {
+				t.Fatal("Parse succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+// TestSLOBurnScenario is the acceptance check on the shipped scenario
+// file: with chaos the slow-cold-start storm must trip the slo invariant
+// (faasstress exits 2), with chaos stripped the same scenario must pass,
+// and the chaotic run must be byte-deterministic.
+func TestSLOBurnScenario(t *testing.T) {
+	src, err := os.ReadFile("../../scenarios/slo-burn.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := NewRunner()
+
+	parse := func() *Scenario {
+		sc, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		return sc
+	}
+	run := func(sc *Scenario) *Body {
+		body, err := runner.RunBody(sc)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return body
+	}
+
+	chaotic := run(parse())
+	sloViolated := false
+	for _, v := range chaotic.Violations() {
+		if v.Name == "slo" {
+			sloViolated = true
+		} else {
+			t.Errorf("unexpected violation %s: %s", v.Name, v.Detail)
+		}
+	}
+	if !sloViolated {
+		t.Fatalf("slo invariant held under chaos; invariants: %+v", chaotic.Invariants)
+	}
+
+	raw1, err := chaotic.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := run(parse()).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatal("chaotic slo-burn run is not deterministic")
+	}
+
+	baseline := parse()
+	baseline.DisableChaos()
+	for _, v := range run(baseline).Violations() {
+		t.Errorf("baseline violation %s: %s", v.Name, v.Detail)
+	}
+}
+
+// TestLiveSLOObservation proves the live runner feeds completions into
+// the burn-rate tracker: a generous objective holds while an
+// availability objective under a heavy handler-error storm breaches.
+// The storm phase runs first so its stragglers drain into the clean
+// phase's zeroed rate table, never the other way around — the quiet
+// function must see no injected faults.
+func TestLiveSLOObservation(t *testing.T) {
+	src := `
+scenario: live-slo
+mode: live
+seed: 5
+live-time-scale: 10
+dispatch:
+  interval: 10ms
+sampling: 100ms
+phases:
+  - name: storm
+    duration: 2s
+    arrival: poisson
+    rate: 100
+    mix:
+      - fn: ping
+        instances: 2
+    chaos:
+      handler-error: 0.95
+  - name: clean
+    duration: 2s
+    arrival: poisson
+    rate: 100
+    mix:
+      - fn: quiet
+        instances: 2
+invariants:
+  - slo: {function: quiet-0, p99_ms: 60000, max_burn: 2}
+  - slo: {function: ping-0, availability: 0.99, max_burn: 2}
+`
+	sc, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	body, err := NewRunner().RunBody(sc)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Distinguish the two objectives by their targets: the latency
+	// objective carries a 1m target, the availability objective a zero
+	// target.
+	var latencyOK, availabilityBreached bool
+	for _, inv := range body.Invariants {
+		if inv.Name != "slo" {
+			continue
+		}
+		switch {
+		case strings.Contains(inv.Detail, "target 1m"):
+			latencyOK = inv.OK
+		case strings.Contains(inv.Detail, "target 0s"):
+			availabilityBreached = !inv.OK
+		}
+	}
+	if !latencyOK {
+		t.Errorf("generous latency objective did not hold: %+v", body.Invariants)
+	}
+	if !availabilityBreached {
+		t.Errorf("availability objective survived a 95%% handler-error storm: %+v", body.Invariants)
+	}
+}

@@ -4,10 +4,12 @@
 // YAML module the scenario engine parses the subset it actually needs:
 // block mappings and sequences nested by indentation, inline scalars
 // (strings, quoted strings, integers, floats, booleans, null), "- key:
-// value" sequence items, comments, and the empty flow collections []/{}.
-// Anchors, aliases, multi-document streams, multi-line scalars and general
-// flow syntax are intentionally out of scope — a scenario that needs them
-// should be restructured, not the parser grown.
+// value" sequence items, comments, the empty flow collections []/{}, and
+// single-line flow mappings with scalar values ({function: f1, p99_ms:
+// 250}) as used by parameterised invariants. Anchors, aliases,
+// multi-document streams, multi-line scalars, flow sequences and
+// multi-line flow syntax are intentionally out of scope — a scenario that
+// needs them should be restructured, not the parser grown.
 //
 // The parser is a fuzz target (FuzzParseYAML): it must never panic, loop,
 // or allocate unboundedly on hostile input, which the explicit depth cap
@@ -249,6 +251,10 @@ func splitKey(s string) (key, rest string, ok bool) {
 
 // parseScalar interprets one inline value.
 func parseScalar(s string, line int) (any, error) {
+	return parseScalarDepth(s, line, 0)
+}
+
+func parseScalarDepth(s string, line, depth int) (any, error) {
 	switch {
 	case s == "[]":
 		return []any{}, nil
@@ -261,6 +267,9 @@ func parseScalar(s string, line int) (any, error) {
 	case s == "false":
 		return false, nil
 	}
+	if len(s) >= 1 && s[0] == '{' {
+		return parseFlowMapping(s, line, depth)
+	}
 	if len(s) >= 1 && (s[0] == '"' || s[0] == '\'') {
 		return unquoteScalar(s, line)
 	}
@@ -271,6 +280,71 @@ func parseScalar(s string, line int) (any, error) {
 		return v, nil
 	}
 	return s, nil
+}
+
+// parseFlowMapping parses a single-line "{key: value, ...}" flow mapping.
+// Values are scalars or nested flow mappings; flow sequences remain out of
+// scope. The depth cap shared with the block parser keeps crafted
+// "{a: {a: {..." inputs from recursing unboundedly.
+func parseFlowMapping(s string, line, depth int) (any, error) {
+	if depth > maxYAMLDepth {
+		return nil, fmt.Errorf("yaml: line %d: nesting deeper than %d levels", line, maxYAMLDepth)
+	}
+	if len(s) < 2 || s[len(s)-1] != '}' {
+		return nil, fmt.Errorf("yaml: line %d: unterminated flow mapping", line)
+	}
+	m := map[string]any{}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return m, nil
+	}
+	for _, part := range splitFlowItems(inner) {
+		part = strings.TrimSpace(part)
+		key, rest, ok := splitKey(part)
+		if !ok {
+			return nil, fmt.Errorf("yaml: line %d: expected \"key: value\" in flow mapping, got %q", line, part)
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("yaml: line %d: duplicate key %q", line, key)
+		}
+		if rest == "" {
+			m[key] = nil
+			continue
+		}
+		v, err := parseScalarDepth(rest, line, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = v
+	}
+	return m, nil
+}
+
+// splitFlowItems splits flow-mapping content on commas that sit outside
+// quotes and nested braces.
+func splitFlowItems(s string) []string {
+	var parts []string
+	braces := 0
+	inSingle, inDouble := false, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\\' && inDouble:
+			i++
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			inDouble = !inDouble
+		case c == '{' && !inSingle && !inDouble:
+			braces++
+		case c == '}' && !inSingle && !inDouble:
+			braces--
+		case c == ',' && braces == 0 && !inSingle && !inDouble:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, s[start:])
 }
 
 // unquoteScalar handles single- and double-quoted strings. Double quotes

@@ -1,0 +1,251 @@
+package slo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustTracker(t *testing.T, win Windows, objs ...Objective) *Tracker {
+	t.Helper()
+	tr, err := NewTracker(win, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func testWindows() Windows {
+	return Windows{
+		FastShort: 60 * time.Millisecond,
+		FastLong:  240 * time.Millisecond,
+		SlowShort: 480 * time.Millisecond,
+		SlowLong:  960 * time.Millisecond,
+	}
+}
+
+func TestObjectiveValidate(t *testing.T) {
+	good := Objective{Function: "f1", Quantile: 0.99, Target: 250 * time.Millisecond, MaxBurn: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Objective{
+		{Quantile: 0.99, MaxBurn: 2},                             // no function
+		{Function: "f1", Quantile: 0, MaxBurn: 2},                // quantile low
+		{Function: "f1", Quantile: 1, MaxBurn: 2},                // quantile high
+		{Function: "f1", Quantile: 0.99, MaxBurn: 0},             // no burn threshold
+		{Function: "f1", Quantile: 0.99, MaxBurn: 2, Target: -1}, // negative target
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", o)
+		}
+	}
+	if _, err := NewTracker(testWindows(), []Objective{bad[0]}); err == nil {
+		t.Fatal("NewTracker must reject invalid objectives")
+	}
+	if _, err := NewTracker(Windows{FastShort: time.Hour, FastLong: time.Minute, SlowShort: time.Hour, SlowLong: time.Hour}, nil); err == nil {
+		t.Fatal("NewTracker must reject an unordered window ladder")
+	}
+}
+
+func TestScaledWindows(t *testing.T) {
+	win := ScaledWindows(10 * time.Second)
+	if win.SlowLong != 10*time.Second {
+		t.Fatalf("SlowLong = %v, want the full span 10s", win.SlowLong)
+	}
+	// Geometry preserved: 5m/72h of 10s ≈ 11.57ms, 1h/72h ≈ 138.9ms,
+	// 6h/72h ≈ 833ms.
+	if win.FastShort < 11*time.Millisecond || win.FastShort > 12*time.Millisecond {
+		t.Fatalf("FastShort = %v, want ≈11.6ms", win.FastShort)
+	}
+	if err := win.validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Tiny spans floor at 1ms and stay ordered.
+	tiny := ScaledWindows(10 * time.Millisecond)
+	if err := tiny.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if def := ScaledWindows(0); def != DefaultWindows() {
+		t.Fatalf("ScaledWindows(0) = %+v, want the default ladder", def)
+	}
+}
+
+func TestHealthyTrafficDoesNotBreach(t *testing.T) {
+	tr := mustTracker(t, testWindows(),
+		Objective{Function: "f1", Quantile: 0.99, Target: 250 * time.Millisecond, MaxBurn: 2})
+	for i := 0; i < 2000; i++ {
+		now := time.Duration(i) * 500 * time.Microsecond // spans the whole ladder
+		tr.Observe("f1", 5*time.Millisecond, false, now)
+	}
+	st := tr.Evaluate(time.Second)
+	if len(st) != 1 {
+		t.Fatalf("got %d statuses, want 1", len(st))
+	}
+	if st[0].Breached || st[0].FastBurn != 0 || st[0].SlowBurn != 0 {
+		t.Fatalf("healthy traffic breached: %+v", st[0])
+	}
+	if st[0].Total != 2000 || st[0].Bad != 0 {
+		t.Fatalf("counts = %d/%d, want 2000/0", st[0].Total, st[0].Bad)
+	}
+}
+
+func TestSlowTrafficBreaches(t *testing.T) {
+	tr := mustTracker(t, testWindows(),
+		Objective{Function: "f1", Quantile: 0.99, Target: 10 * time.Millisecond, MaxBurn: 2})
+	// Every invocation misses the 10ms target: bad fraction 1.0 against
+	// a 1% budget is a burn of 100 on every window.
+	for i := 0; i < 2000; i++ {
+		now := time.Duration(i) * 500 * time.Microsecond
+		tr.Observe("f1", 50*time.Millisecond, false, now)
+	}
+	st := tr.Evaluate(time.Second)
+	if !st[0].Breached {
+		t.Fatalf("tail-latency storm did not breach: %+v", st[0])
+	}
+	if st[0].MaxFastBurn < 2 && st[0].MaxSlowBurn < 2 {
+		t.Fatalf("latched maxima below threshold: %+v", st[0])
+	}
+	if st[0].Bad != 2000 {
+		t.Fatalf("bad = %d, want 2000", st[0].Bad)
+	}
+}
+
+func TestFailuresBurnWithoutTarget(t *testing.T) {
+	tr := mustTracker(t, testWindows(),
+		Objective{Function: "f1", Quantile: 0.9, MaxBurn: 1.5})
+	for i := 0; i < 1000; i++ {
+		now := time.Duration(i) * time.Millisecond
+		// 50% failures against a 10% budget: burn 5 ≥ 1.5.
+		tr.Observe("f1", time.Millisecond, i%2 == 0, now)
+	}
+	st := tr.Evaluate(time.Second)
+	if !st[0].Breached {
+		t.Fatalf("failure storm did not breach availability SLO: %+v", st[0])
+	}
+}
+
+func TestBriefSpikeDoesNotBreachLongWindow(t *testing.T) {
+	// One bad bucket inside an otherwise healthy long run: the short
+	// window spikes, but the pair burn is min(short, long), so the long
+	// window vetoes the alert.
+	tr := mustTracker(t, testWindows(),
+		Objective{Function: "f1", Quantile: 0.9, Target: 10 * time.Millisecond, MaxBurn: 9})
+	for i := 0; i < 960; i++ {
+		now := time.Duration(i) * time.Millisecond
+		bad := i >= 500 && i < 505 // 5ms blip
+		lat := time.Millisecond
+		if bad {
+			lat = 50 * time.Millisecond
+		}
+		tr.Observe("f1", lat, false, now)
+	}
+	st := tr.Evaluate(960 * time.Millisecond)
+	if st[0].Breached {
+		t.Fatalf("5ms blip breached a long-window SLO: %+v", st[0])
+	}
+	if st[0].Bad != 5 {
+		t.Fatalf("bad = %d, want 5", st[0].Bad)
+	}
+}
+
+func TestBreachLatches(t *testing.T) {
+	tr := mustTracker(t, testWindows(),
+		Objective{Function: "f1", Quantile: 0.99, Target: time.Millisecond, MaxBurn: 2})
+	// Saturate the budget early ...
+	for i := 0; i < 600; i++ {
+		tr.Observe("f1", 10*time.Millisecond, false, time.Duration(i)*time.Millisecond)
+	}
+	mid := tr.Evaluate(600 * time.Millisecond)
+	if !mid[0].Breached {
+		t.Fatalf("burn storm did not breach: %+v", mid[0])
+	}
+	// ... then recover completely. The breach must stay latched even
+	// after current burns fall back to zero.
+	for i := 0; i < 5000; i++ {
+		tr.Observe("f1", 100*time.Microsecond, false, 600*time.Millisecond+time.Duration(i)*time.Millisecond)
+	}
+	end := tr.Evaluate(6 * time.Second)
+	if !end[0].Breached {
+		t.Fatal("breach did not latch across recovery")
+	}
+	if end[0].FastBurn != 0 {
+		t.Fatalf("recovered fast burn = %v, want 0", end[0].FastBurn)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []Status {
+		tr := mustTracker(t, ScaledWindows(2*time.Second),
+			Objective{Function: "f1", Quantile: 0.95, Target: 20 * time.Millisecond, MaxBurn: 2},
+			Objective{Function: "f2", Quantile: 0.99, MaxBurn: 4})
+		for i := 0; i < 4000; i++ {
+			now := time.Duration(i) * 500 * time.Microsecond
+			tr.Observe("f1", time.Duration(i%40)*time.Millisecond, false, now)
+			tr.Observe("f2", time.Millisecond, i%97 == 0, now)
+		}
+		return tr.Evaluate(2 * time.Second)
+	}
+	a, b := run(), run()
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("status counts %d/%d, want 2/2", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUnknownFunctionIgnored(t *testing.T) {
+	tr := mustTracker(t, testWindows(),
+		Objective{Function: "f1", Quantile: 0.99, MaxBurn: 2})
+	tr.Observe("other", time.Second, true, 0)
+	st := tr.Evaluate(time.Second)
+	if st[0].Total != 0 {
+		t.Fatalf("unknown function leaked into the objective: %+v", st[0])
+	}
+}
+
+func TestNilTracker(t *testing.T) {
+	var tr *Tracker
+	tr.Observe("f1", time.Second, true, 0)
+	if st := tr.Evaluate(time.Second); st != nil {
+		t.Fatalf("nil Evaluate = %v, want nil", st)
+	}
+	var buf bytes.Buffer
+	tr.WriteMetrics(&buf, "faasbatch", time.Second)
+	if buf.Len() != 0 {
+		t.Fatalf("nil WriteMetrics wrote %q", buf.String())
+	}
+}
+
+func TestWriteMetrics(t *testing.T) {
+	tr := mustTracker(t, testWindows(),
+		Objective{Function: "f1", Quantile: 0.99, Target: time.Millisecond, MaxBurn: 2},
+		Objective{Function: "f0", Quantile: 0.9, MaxBurn: 3})
+	for i := 0; i < 600; i++ {
+		tr.Observe("f1", 10*time.Millisecond, false, time.Duration(i)*time.Millisecond)
+		tr.Observe("f0", time.Microsecond, false, time.Duration(i)*time.Millisecond)
+	}
+	var buf bytes.Buffer
+	tr.WriteMetrics(&buf, "faasbatch", 600*time.Millisecond)
+	doc := buf.String()
+	for _, want := range []string{
+		"# TYPE faasbatch_slo_fast_burn gauge",
+		"# TYPE faasbatch_slo_slow_burn gauge",
+		"# TYPE faasbatch_slo_breached gauge",
+		`faasbatch_slo_breached{fn="f1",quantile="0.99"} 1`,
+		`faasbatch_slo_breached{fn="f0",quantile="0.9"} 0`,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("metrics missing %q\n---\n%s", want, doc)
+		}
+	}
+	// Sorted output: f0 series precede f1 series.
+	if strings.Index(doc, `fn="f0"`) > strings.Index(doc, `fn="f1"`) {
+		t.Error("metrics are not sorted by function")
+	}
+}
