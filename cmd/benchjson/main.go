@@ -21,6 +21,14 @@
 //
 //	go run ./cmd/benchjson -dispatch > BENCH_dispatch.json
 //
+// With -autoscale it replays one bursty schedule through a static fleet
+// and an elastic one (internal/autoscale over the cluster simulator) and
+// reports the provisioned worker-seconds each paid plus the cold-start
+// latency penalty elasticity incurred. The JSON lands in
+// BENCH_autoscale.json in CI.
+//
+//	go run ./cmd/benchjson -autoscale > BENCH_autoscale.json
+//
 // When the input carries -benchmem columns they are parsed into
 // bytes_per_op / allocs_per_op, so CI can gate allocation-free hot paths:
 //
@@ -66,10 +74,18 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+
 
 func main() {
 	dispatchMode := flag.Bool("dispatch", false, "benchmark fixed vs adaptive dispatch windows instead of parsing stdin")
+	autoscaleMode := flag.Bool("autoscale", false, "benchmark an elastic fleet vs a static one instead of parsing stdin")
 	flag.Parse()
 	if *dispatchMode {
 		if err := runDispatch(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson: dispatch:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *autoscaleMode {
+		if err := runAutoscale(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: autoscale:", err)
 			os.Exit(1)
 		}
 		return

@@ -32,6 +32,7 @@ import (
 
 	"flag"
 
+	"faasbatch/internal/autoscale"
 	"faasbatch/internal/chaos"
 	"faasbatch/internal/hashmix"
 	"faasbatch/internal/obs"
@@ -62,6 +63,16 @@ func run(args []string) error {
 	queueWait := fs.Duration("queue-wait", time.Second, "admission: max queue wait before shedding with 429")
 	forwardTimeout := fs.Duration("forward-timeout", 30*time.Second, "per-forward-attempt deadline")
 	scrapeTimeout := fs.Duration("scrape-timeout", 2*time.Second, "per-worker deadline when federating /cluster/metrics and /cluster/stats")
+	autoscaleOn := fs.Bool("autoscale", false, "enable the predictive autoscaling control loop over the registered fleet")
+	asMin := fs.Int("min-workers", 0, "autoscale: ready-worker floor (0 enables scale-to-zero)")
+	asMax := fs.Int("max-workers", 0, "autoscale: fleet ceiling (0 = all registered workers)")
+	asTarget := fs.Float64("target-rate", 10, "autoscale: demand (invocations/second) one ready worker absorbs")
+	asHeadroom := fs.Float64("headroom", 0, "autoscale: fractional spare capacity above the forecast (0 = default 0.2)")
+	asEval := fs.Duration("eval-interval", 0, "autoscale: control-loop tick period (0 = default 500ms)")
+	asWarmup := fs.Duration("warmup", 0, "autoscale: provision-to-ready pre-warm delay")
+	asDrainBudget := fs.Duration("drain-budget", 0, "autoscale: modelled drain duration (0 = 2x eval-interval)")
+	asScaleDownAfter := fs.Int("scale-down-after", 0, "autoscale: over-provisioned ticks before draining (0 = default 3)")
+	asScaleToZero := fs.Duration("scale-to-zero-after", 0, "autoscale: idle time before the fleet retires entirely (0 = 10x eval-interval)")
 	chaosRate := fs.Float64("chaos-rate", 0, "inject worker-failure faults at this rate in [0,1) (0 = off)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the fault schedule")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file here on exit (enables router tracing)")
@@ -95,6 +106,19 @@ func run(args []string) error {
 		ForwardTimeout: *forwardTimeout,
 		ScrapeTimeout:  *scrapeTimeout,
 		Logger:         logger,
+	}
+	if *autoscaleOn {
+		cfg.Autoscale = &autoscale.Config{
+			MinWorkers:       *asMin,
+			MaxWorkers:       *asMax,
+			TargetPerWorker:  *asTarget,
+			Headroom:         *asHeadroom,
+			EvalInterval:     *asEval,
+			Warmup:           *asWarmup,
+			DrainBudget:      *asDrainBudget,
+			ScaleDownAfter:   *asScaleDownAfter,
+			ScaleToZeroAfter: *asScaleToZero,
+		}
 	}
 	if *chaosRate < 0 || *chaosRate >= 1 {
 		return fmt.Errorf("-chaos-rate must be in [0, 1), got %v", *chaosRate)
@@ -137,6 +161,10 @@ func run(args []string) error {
 	rt.Start()
 	fmt.Printf("faasrouter: %d workers, vnodes %d, load bound %.2f, listening on %s\n",
 		len(specs), *vnodes, *loadBound, *addr)
+	if cfg.Autoscale != nil {
+		fmt.Printf("faasrouter: autoscale on, min %d, target %.1f inv/s per worker\n",
+			cfg.Autoscale.MinWorkers, *asTarget)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           router.NewHTTPHandler(rt),

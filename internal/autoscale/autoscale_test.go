@@ -1,0 +1,301 @@
+package autoscale
+
+import (
+	"testing"
+	"time"
+)
+
+func mustNew(t *testing.T, cfg Config, initial int) *Controller {
+	t.Helper()
+	c, err := New(cfg, initial)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func actions(ds []Decision) []Action {
+	out := make([]Action, len(ds))
+	for i, d := range ds {
+		out[i] = d.Action
+	}
+	return out
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []Config{
+		{},                                  // no max
+		{MaxWorkers: 0, TargetPerWorker: 1}, // max < 1
+		{MaxWorkers: 2, TargetPerWorker: 0}, // no target rate
+		{MaxWorkers: 2, MinWorkers: 3, TargetPerWorker: 1},  // min > max
+		{MaxWorkers: 2, MinWorkers: -1, TargetPerWorker: 1}, // negative min
+	}
+	for i, c := range cases {
+		if _, err := New(c, 0); err == nil {
+			t.Errorf("case %d: want error for %+v", i, c)
+		}
+	}
+	if _, err := New(Config{MaxWorkers: 4, TargetPerWorker: 10}, 1); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{MaxWorkers: 4, TargetPerWorker: 10}.WithDefaults()
+	if cfg.EvalInterval != 500*time.Millisecond {
+		t.Errorf("EvalInterval default = %v", cfg.EvalInterval)
+	}
+	if cfg.DrainBudget != 2*cfg.EvalInterval {
+		t.Errorf("DrainBudget default = %v", cfg.DrainBudget)
+	}
+	if cfg.ScaleDownAfter != 3 || cfg.Alpha != 0.3 || cfg.Headroom != 0.2 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}
+
+// A demand burst beyond one worker's target rate must provision extra
+// workers in a single tick (burst scale-up, no cooldown on the way up).
+func TestBurstScaleUp(t *testing.T) {
+	cfg := Config{MinWorkers: 1, MaxWorkers: 8, TargetPerWorker: 10, EvalInterval: time.Second, Warmup: time.Second}
+	c := mustNew(t, cfg, 1)
+	// 50 arrivals in the first second: rate 50/s → ceil(50*1.2/10) = 6.
+	for i := 0; i < 50; i++ {
+		c.Observe("fib", time.Duration(i)*20*time.Millisecond)
+	}
+	ds := c.Tick(time.Second)
+	prov := 0
+	for _, d := range ds {
+		if d.Action == ActionProvision {
+			prov++
+		}
+	}
+	if prov != 5 {
+		t.Fatalf("want 5 provisions (1 ready + 5 = 6), got %d: %v", prov, ds)
+	}
+	st := c.Snapshot()
+	if st.Warming != 5 || st.Ready != 1 || st.Target != 6 {
+		t.Fatalf("snapshot after burst: %+v", st)
+	}
+	// Warmup elapses: the next tick promotes all five.
+	ds = c.Tick(2 * time.Second)
+	ready := 0
+	for _, d := range ds {
+		if d.Action == ActionReady {
+			ready++
+		}
+	}
+	if ready != 5 {
+		t.Fatalf("want 5 ready transitions, got %v", ds)
+	}
+}
+
+// Scale-down waits for ScaleDownAfter consecutive low ticks, then
+// drains highest slots first; drained slots retire after DrainBudget.
+func TestScaleDownCooldownAndDrain(t *testing.T) {
+	cfg := Config{
+		MinWorkers: 1, MaxWorkers: 4, TargetPerWorker: 10,
+		EvalInterval: time.Second, ScaleDownAfter: 3, DrainBudget: 2 * time.Second,
+		ScaleToZeroAfter: time.Hour,
+	}
+	c := mustNew(t, cfg, 4)
+	now := time.Duration(0)
+	tick := func() []Decision { now += time.Second; return c.Tick(now) }
+	// Modest demand: 5/s → desired 1. Ticks 1 and 2 are cooldown.
+	for i := 0; i < 5; i++ {
+		c.Observe("echo", time.Duration(i)*100*time.Millisecond)
+	}
+	if ds := tick(); len(ds) != 0 {
+		t.Fatalf("tick1 (cooldown) emitted %v", ds)
+	}
+	if ds := tick(); len(ds) != 0 {
+		t.Fatalf("tick2 (cooldown) emitted %v", ds)
+	}
+	ds := tick() // third low tick: drain 3 workers (slots 3, 2, 1)
+	if len(ds) != 3 || ds[0].Action != ActionDrain || ds[0].Worker != 3 || ds[2].Worker != 1 {
+		t.Fatalf("tick3 decisions: %v", ds)
+	}
+	if st := c.Snapshot(); st.Draining != 3 || st.Ready != 1 {
+		t.Fatalf("snapshot after drain: %+v", st)
+	}
+	// DrainBudget (2s) later the drained slots retire.
+	tick() // t=4s: not yet (retireAt = 5s)
+	ds = tick()
+	retired := 0
+	for _, d := range ds {
+		if d.Action == ActionRetire {
+			retired++
+		}
+	}
+	if retired != 3 {
+		t.Fatalf("want 3 retires at t=5s, got %v", ds)
+	}
+}
+
+// Demand returning mid-drain reclaims the still-warm draining worker
+// instead of provisioning a cold one.
+func TestReclaimDrainingWorker(t *testing.T) {
+	cfg := Config{
+		MinWorkers: 1, MaxWorkers: 2, TargetPerWorker: 10,
+		EvalInterval: time.Second, ScaleDownAfter: 1, DrainBudget: time.Hour,
+		ScaleToZeroAfter: time.Hour, Warmup: time.Hour,
+	}
+	c := mustNew(t, cfg, 2)
+	// One low tick drains slot 1 (ScaleDownAfter=1).
+	c.Observe("echo", 0)
+	ds := c.Tick(time.Second)
+	if len(ds) != 1 || ds[0].Action != ActionDrain || ds[0].Worker != 1 {
+		t.Fatalf("drain decision: %v", ds)
+	}
+	// Burst: 40/s → desired 2 → reclaim slot 1 (not a cold provision,
+	// which would be stuck warming for an hour).
+	for i := 0; i < 40; i++ {
+		c.Observe("echo", time.Second+time.Duration(i)*25*time.Millisecond)
+	}
+	ds = c.Tick(2 * time.Second)
+	if len(ds) != 1 || ds[0].Action != ActionReclaim || ds[0].Worker != 1 {
+		t.Fatalf("want reclaim of w1, got %v", ds)
+	}
+	if st := c.Snapshot(); st.Ready != 2 || st.Draining != 0 {
+		t.Fatalf("snapshot after reclaim: %+v", st)
+	}
+}
+
+// With MinWorkers 0 the fleet drains to zero after the idle gate, and
+// Wake provisions a worker immediately when traffic returns.
+func TestScaleToZeroAndWake(t *testing.T) {
+	cfg := Config{
+		MinWorkers: 0, MaxWorkers: 2, TargetPerWorker: 10,
+		EvalInterval: time.Second, ScaleDownAfter: 2, DrainBudget: time.Second,
+		ScaleToZeroAfter: 3 * time.Second,
+	}
+	c := mustNew(t, cfg, 1)
+	c.Observe("echo", 0)
+	now := time.Duration(0)
+	sawDrain, sawRetire := false, false
+	for i := 0; i < 8; i++ {
+		now += time.Second
+		for _, d := range c.Tick(now) {
+			switch d.Action {
+			case ActionDrain:
+				sawDrain = true
+				if d.Target != 0 {
+					t.Fatalf("drain target = %d, want 0", d.Target)
+				}
+			case ActionRetire:
+				sawRetire = true
+			}
+		}
+	}
+	if !sawDrain || !sawRetire {
+		t.Fatalf("no full drain cycle: drain=%v retire=%v", sawDrain, sawRetire)
+	}
+	if st := c.Snapshot(); st.Ready != 0 || st.Retired != 2 {
+		t.Fatalf("not scaled to zero: %+v", st)
+	}
+	// Traffic returns: Wake provisions slot 0 in the same instant.
+	c.Observe("echo", now+time.Millisecond)
+	ds := c.Wake(now + time.Millisecond)
+	got := actions(ds)
+	if len(got) != 2 || got[0] != ActionProvision || got[1] != ActionReady {
+		t.Fatalf("wake decisions: %v", ds)
+	}
+	if c.Wake(now+2*time.Millisecond) != nil {
+		t.Fatal("second Wake must be a no-op with capacity present")
+	}
+	if st := c.Snapshot(); st.Wakes != 1 || st.Ready != 1 {
+		t.Fatalf("snapshot after wake: %+v", st)
+	}
+}
+
+// The pre-warm floor holds burst-level capacity between recurring
+// bursts so the next burst pays no cold starts.
+func TestPrewarmFloorHoldsBetweenBursts(t *testing.T) {
+	cfg := Config{
+		MinWorkers: 1, MaxWorkers: 8, TargetPerWorker: 10,
+		EvalInterval: time.Second, ScaleDownAfter: 2, ScaleToZeroAfter: time.Hour,
+	}
+	c := mustNew(t, cfg, 1)
+	now := time.Duration(0)
+	// Burst tick: 40/s.
+	for i := 0; i < 40; i++ {
+		c.Observe("fib", now+time.Duration(i)*25*time.Millisecond)
+	}
+	now += time.Second
+	c.Tick(now)
+	peak := c.Snapshot().Ready + c.Snapshot().Warming
+	if peak < 4 {
+		t.Fatalf("burst did not scale up: %+v", c.Snapshot())
+	}
+	// Several quiet-ish ticks (one trickle arrival each, so the idle
+	// gate stays closed): the floor must keep capacity near the burst
+	// level rather than collapsing to 1.
+	for i := 0; i < 4; i++ {
+		c.Observe("fib", now+time.Millisecond)
+		now += time.Second
+		c.Tick(now)
+	}
+	st := c.Snapshot()
+	if st.Floor < 4 {
+		t.Fatalf("pre-warm floor lost the burst memory: %+v", st)
+	}
+	if st.Ready+st.Warming < st.Floor {
+		t.Fatalf("capacity below floor: %+v", st)
+	}
+}
+
+// BusyIntegral accumulates provisioned worker-time.
+func TestBusyIntegral(t *testing.T) {
+	cfg := Config{MinWorkers: 2, MaxWorkers: 2, TargetPerWorker: 10, EvalInterval: time.Second}
+	c := mustNew(t, cfg, 2)
+	c.Observe("echo", 0)
+	c.Tick(1 * time.Second)
+	c.Tick(2 * time.Second)
+	if got := c.BusyIntegral(); got != 4*time.Second {
+		t.Fatalf("BusyIntegral = %v, want 4s (2 workers × 2s)", got)
+	}
+}
+
+// NoteDrained only feeds metrics, never decisions.
+func TestNoteDrainedMetricsOnly(t *testing.T) {
+	cfg := Config{MinWorkers: 0, MaxWorkers: 1, TargetPerWorker: 10, EvalInterval: time.Second,
+		ScaleDownAfter: 1, DrainBudget: 10 * time.Second, ScaleToZeroAfter: time.Second}
+	c := mustNew(t, cfg, 1)
+	c.Observe("echo", 0)
+	var ds []Decision
+	now := time.Duration(0)
+	for i := 0; i < 3 && len(ds) == 0; i++ {
+		now += time.Second
+		ds = c.Tick(now)
+	}
+	if len(ds) == 0 || ds[0].Action != ActionDrain {
+		t.Fatalf("no drain: %v", ds)
+	}
+	w := ds[0].Worker
+	c.NoteDrained(w, c.DrainStart(w), now+500*time.Millisecond)
+	if st := c.Snapshot(); st.Drained != 1 || st.DrainTime != 500*time.Millisecond {
+		t.Fatalf("drain metrics: %+v", st)
+	}
+	// The slot still waits for DrainBudget before retiring.
+	if got := c.State(w); got != StateDraining {
+		t.Fatalf("state after NoteDrained = %v, want draining", got)
+	}
+}
+
+func TestStateAndActionStrings(t *testing.T) {
+	if StateRetired.String() != "retired" || StateWarming.String() != "warming" ||
+		StateReady.String() != "ready" || StateDraining.String() != "draining" {
+		t.Fatal("state strings")
+	}
+	for a, want := range map[Action]string{
+		ActionProvision: "provision", ActionReady: "ready", ActionDrain: "drain",
+		ActionReclaim: "reclaim", ActionRetire: "retire", Action(0): "unknown",
+	} {
+		if a.String() != want {
+			t.Fatalf("action %d string = %q, want %q", a, a.String(), want)
+		}
+	}
+	d := Decision{At: 1500 * time.Millisecond, Action: ActionProvision, Worker: 2, Target: 3}
+	if d.String() != "1500ms provision w2 target=3" {
+		t.Fatalf("decision string = %q", d.String())
+	}
+}

@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"faasbatch/internal/autoscale"
+	"faasbatch/internal/fnruntime"
+	"faasbatch/internal/router"
+	"faasbatch/internal/sim"
+	"faasbatch/internal/workload"
+)
+
+// conformanceConfig is the shared controller configuration both drivers
+// resolve identically: 4-node fleet, scale-to-zero enabled, fast ticks.
+func conformanceConfig() autoscale.Config {
+	return autoscale.Config{
+		MinWorkers:       0,
+		MaxWorkers:       4,
+		TargetPerWorker:  10,
+		EvalInterval:     100 * time.Millisecond,
+		Warmup:           150 * time.Millisecond,
+		DrainBudget:      200 * time.Millisecond,
+		ScaleDownAfter:   2,
+		ScaleToZeroAfter: 400 * time.Millisecond,
+	}
+}
+
+// conformanceArrival is one scheduled invocation of the shared traffic
+// schedule. Offsets deliberately avoid tick multiples so arrival/tick
+// ordering is unambiguous in both drivers.
+type conformanceArrival struct {
+	off time.Duration
+	fn  string
+}
+
+// conformanceSchedule is a burst → quiet → single-wake traffic shape:
+// enough demand to scale up past one worker, silence long enough to
+// drain to zero, then one arrival that must wake the fleet.
+func conformanceSchedule() []conformanceArrival {
+	var out []conformanceArrival
+	fns := []string{"alpha", "beta", "gamma"}
+	// Burst: 90 arrivals over ~450ms (~200/s across three functions).
+	// Offsets are ≡ 2 (mod 5) so none lands on a 100ms tick multiple.
+	for i := 0; i < 90; i++ {
+		out = append(out, conformanceArrival{
+			off: time.Duration(7+i*5) * time.Millisecond,
+			fn:  fns[i%len(fns)],
+		})
+	}
+	// One straggler keeps a trickle alive through the cooldown.
+	out = append(out, conformanceArrival{off: 730 * time.Millisecond, fn: "alpha"})
+	// Silence until past ScaleToZeroAfter, then the wake arrival.
+	out = append(out, conformanceArrival{off: 1910 * time.Millisecond, fn: "beta"})
+	return out
+}
+
+// decisionStrings renders a decision sequence for comparison.
+func decisionStrings(ds []autoscale.Decision) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.String()
+	}
+	return out
+}
+
+// runSimConformance replays the schedule through the simulated cluster
+// driver on a virtual clock.
+func runSimConformance(t *testing.T, acfg autoscale.Config, sched []conformanceArrival, horizon time.Duration) []autoscale.Decision {
+	t.Helper()
+	eng := sim.New(1)
+	cfg := testClusterConfig(4, ConsistentHash)
+	cfg.Autoscale = &acfg
+	cl, err := New(eng, cfg)
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	spec := workload.IOSpec("conformance")
+	done := 0
+	for i, a := range sched {
+		i, a := i, a
+		eng.Schedule(a.off, func() {
+			s := spec
+			s.Name = a.fn
+			inv := fnruntime.NewInvocation(int64(i), s, eng.Now())
+			cl.Submit(inv, func(*fnruntime.Invocation) { done++ })
+		})
+	}
+	eng.RunUntil(sim.Time(horizon))
+	if done != len(sched) {
+		t.Fatalf("sim driver completed %d/%d invocations", done, len(sched))
+	}
+	ds := cl.AutoscaleDecisions()
+	if err := cl.Close(); err != nil {
+		t.Fatalf("cluster.Close: %v", err)
+	}
+	return ds
+}
+
+// runLiveConformance replays the identical schedule through the live
+// router driver by feeding explicit offsets to the deterministic
+// entry points (AutoscaleObserve / AutoscaleTick) — the same calls the
+// wall-clock loop makes, minus the wall clock. No forwards happen; the
+// controller never sees forwarding outcomes, which is the property
+// this test pins down.
+func runLiveConformance(t *testing.T, acfg autoscale.Config, sched []conformanceArrival, horizon time.Duration) []autoscale.Decision {
+	t.Helper()
+	specs := make([]router.WorkerSpec, 4)
+	for i := range specs {
+		specs[i] = router.WorkerSpec{ID: NodeMember(i), URL: fmt.Sprintf("http://conformance.invalid/%d", i)}
+	}
+	rt, err := router.New(router.Config{Workers: specs, Autoscale: &acfg})
+	if err != nil {
+		t.Fatalf("router.New: %v", err)
+	}
+	defer func() { _ = rt.Close() }()
+
+	// Merge arrivals and tick instants into one ordered replay. Ticks
+	// land on exact EvalInterval multiples; arrivals never do, so the
+	// sort is unambiguous (matching the sim engine's event order).
+	type event struct {
+		off  time.Duration
+		tick bool
+		fn   string
+	}
+	var evs []event
+	for _, a := range sched {
+		evs = append(evs, event{off: a.off, fn: a.fn})
+	}
+	for off := acfg.EvalInterval; off <= horizon; off += acfg.EvalInterval {
+		evs = append(evs, event{off: off, tick: true})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].off < evs[j].off })
+	for _, ev := range evs {
+		if ev.tick {
+			rt.AutoscaleTick(ev.off)
+		} else {
+			rt.AutoscaleObserve(ev.fn, ev.off)
+		}
+	}
+	return rt.AutoscaleDecisions()
+}
+
+// TestSimLiveConformance is the tentpole guarantee: one traffic
+// schedule replayed through the simulated fleet driver (virtual clock)
+// and the live router driver (explicit offsets) produces the identical
+// scaling decision sequence. Decisions may depend only on the config,
+// the arrival schedule and the tick schedule — never on observed
+// latencies, forwarding outcomes or driver-reported drain timing.
+func TestSimLiveConformance(t *testing.T) {
+	acfg := conformanceConfig()
+	sched := conformanceSchedule()
+	horizon := 2500 * time.Millisecond
+
+	simDs := runSimConformance(t, acfg, sched, horizon)
+	liveDs := runLiveConformance(t, acfg, sched, horizon)
+
+	simStr, liveStr := decisionStrings(simDs), decisionStrings(liveDs)
+	if len(simStr) != len(liveStr) {
+		t.Fatalf("decision counts diverge: sim %d, live %d\nsim:  %v\nlive: %v",
+			len(simStr), len(liveStr), simStr, liveStr)
+	}
+	for i := range simStr {
+		if simStr[i] != liveStr[i] {
+			t.Fatalf("decision %d diverges:\nsim:  %s\nlive: %s\nfull sim:  %v\nfull live: %v",
+				i, simStr[i], liveStr[i], simStr, liveStr)
+		}
+	}
+
+	// The schedule must actually exercise the full lifecycle, or the
+	// equality above is vacuous.
+	var ups, drains int
+	for _, d := range simDs {
+		switch d.Action {
+		case autoscale.ActionProvision:
+			ups++
+		case autoscale.ActionDrain:
+			drains++
+		}
+	}
+	wakes := runStatusWakes(t, acfg, sched, horizon)
+	if ups < 2 {
+		t.Fatalf("schedule never scaled up past the initial worker: %d provisions\n%v", ups, simStr)
+	}
+	if drains < 2 {
+		t.Fatalf("schedule never drained back down: %d drains\n%v", drains, simStr)
+	}
+	if wakes < 1 {
+		t.Fatalf("schedule never woke a scaled-to-zero fleet\n%v", simStr)
+	}
+}
+
+// runStatusWakes re-runs the sim replay and reports the wake counter
+// (the decision log alone cannot distinguish a wake provision from a
+// tick provision).
+func runStatusWakes(t *testing.T, acfg autoscale.Config, sched []conformanceArrival, horizon time.Duration) int {
+	t.Helper()
+	eng := sim.New(1)
+	cfg := testClusterConfig(4, ConsistentHash)
+	cfg.Autoscale = &acfg
+	cl, err := New(eng, cfg)
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	spec := workload.IOSpec("conformance")
+	for i, a := range sched {
+		i, a := i, a
+		eng.Schedule(a.off, func() {
+			s := spec
+			s.Name = a.fn
+			cl.Submit(fnruntime.NewInvocation(int64(i), s, eng.Now()), func(*fnruntime.Invocation) {})
+		})
+	}
+	eng.RunUntil(sim.Time(horizon))
+	wakes := int(cl.AutoscaleStatus().Wakes)
+	_ = cl.Close()
+	return wakes
+}
+
+// TestAutoscaleZeroLostOnMembershipChurn replays a bursty schedule with
+// autoscaling enabled and asserts every invocation completes even as
+// the controller adds, drains and retires nodes mid-flight — the sim
+// half of the zero-lost-invocations guarantee.
+func TestAutoscaleZeroLostOnMembershipChurn(t *testing.T) {
+	acfg := conformanceConfig()
+	acfg.MinWorkers = 0
+	sched := conformanceSchedule()
+	// Completing every invocation is asserted inside runSimConformance.
+	ds := runSimConformance(t, acfg, sched, 2500*time.Millisecond)
+	if len(ds) == 0 {
+		t.Fatal("no scaling decisions recorded")
+	}
+}

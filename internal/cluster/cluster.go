@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"faasbatch/internal/autoscale"
 	"faasbatch/internal/chaos"
 	"faasbatch/internal/core"
 	"faasbatch/internal/fnruntime"
@@ -89,6 +90,12 @@ type Config struct {
 	// All nodes share the injector, so one seed fixes the fleet's fault
 	// schedule. Nil injects nothing.
 	Chaos *chaos.Injector
+	// Autoscale optionally runs the predictive autoscaling control
+	// plane over the fleet: Nodes then bounds the maximum fleet size and
+	// the controller grows/shrinks ring membership between
+	// Autoscale.MinWorkers and min(Autoscale.MaxWorkers, Nodes). Nil
+	// keeps the fleet static.
+	Autoscale *autoscale.Config
 }
 
 // Cluster is a fleet of FaaSBatch worker nodes behind a dispatcher.
@@ -99,6 +106,7 @@ type Cluster struct {
 	runners []*fnruntime.Runner
 	scheds  []*core.FaaSBatch
 	picker  *picker
+	scaler  *simScaler
 }
 
 // picker is the dispatcher's routing state, separated from the cluster so
@@ -299,6 +307,11 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		c.runners = append(c.runners, runner)
 		c.scheds = append(c.scheds, sched)
 	}
+	if cfg.Autoscale != nil {
+		if err := c.initAutoscale(*cfg.Autoscale); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -331,12 +344,23 @@ func (c *Cluster) Nodes() []*node.Node { return c.nodes }
 // Schedulers exposes the per-node FaaSBatch schedulers.
 func (c *Cluster) Schedulers() []*core.FaaSBatch { return c.scheds }
 
-// Submit routes one invocation to a node's FaaSBatch scheduler.
+// Submit routes one invocation to a node's FaaSBatch scheduler. With
+// autoscaling enabled the arrival feeds the demand tracker first, so a
+// scaled-to-zero fleet wakes before the dispatcher picks a node and the
+// waking arrival routes to the woken node — zero invocations are lost
+// across a scale-to-zero cycle.
 func (c *Cluster) Submit(inv *fnruntime.Invocation, complete func(*fnruntime.Invocation)) {
+	start := c.eng.Now()
+	if c.scaler != nil {
+		c.scaler.observe(inv.Spec.Name, start.Duration())
+	}
 	idx := c.picker.pick(inv.Spec.Name)
 	c.picker.inflight[idx]++
 	c.scheds[idx].Submit(inv, func(done *fnruntime.Invocation) {
 		c.picker.inflight[idx]--
+		if c.scaler != nil {
+			c.scaler.completed(idx, c.eng.Now().Sub(start))
+		}
 		complete(done)
 	})
 }
@@ -372,8 +396,12 @@ func AssignmentSequence(b Balancing, n int, fns []string) ([]int, error) {
 	return out, nil
 }
 
-// Close shuts every node's scheduler down.
+// Close shuts every node's scheduler down and stops the autoscale
+// control loop.
 func (c *Cluster) Close() error {
+	if c.scaler != nil {
+		c.scaler.ticker.Stop()
+	}
 	for i, s := range c.scheds {
 		if err := s.Close(); err != nil {
 			return fmt.Errorf("cluster: close scheduler %d: %w", i, err)

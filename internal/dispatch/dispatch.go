@@ -41,6 +41,17 @@ import (
 // light enough that one stray gap does not whipsaw the window.
 const DefaultAlpha = 0.3
 
+// idleResetFactor scales MaxInterval into the idle-reset threshold: a
+// gap longer than idleResetFactor windows is a restarted arrival stream
+// (the function went quiet — possibly scaled to zero), not a sample of
+// the old process. The gap is discarded and the EWMA re-primed from the
+// new stream, so a burst arriving after the quiet spell sees its own
+// tight gaps immediately and re-batches within two arrivals — the
+// cold-start amortisation the autoscaler's scale-from-zero wake relies
+// on — instead of fast-pathing each head-of-burst arrival individually
+// while the stale idle gap averages down.
+const idleResetFactor = 8
+
 // Config parameterises a Controller.
 type Config struct {
 	// MinInterval is the floor of the adaptive window: the shortest a
@@ -218,7 +229,13 @@ func (c *Controller) sparse(st *fnState) bool {
 func (c *Controller) Arrive(fn string, now time.Duration, idle bool) Decision {
 	st := c.state(fn)
 	if st.seen {
-		st.gap.Observe((now - st.last).Seconds())
+		if gap := now - st.last; gap > time.Duration(idleResetFactor)*c.cfg.MaxInterval {
+			// Idle fast-path reset: the stream restarted after a long
+			// quiet spell (see idleResetFactor).
+			st.gap.Reset()
+		} else {
+			st.gap.Observe(gap.Seconds())
+		}
 	}
 	st.last = now
 	st.seen = true

@@ -91,6 +91,43 @@ func TestSparseArrivalsShrinkTheWindow(t *testing.T) {
 	}
 }
 
+func TestIdleGapResetsRateEstimate(t *testing.T) {
+	c := newController(t, Config{MinInterval: time.Millisecond, MaxInterval: 200 * time.Millisecond})
+	now := time.Duration(0)
+	// Steady traffic primes the estimate.
+	for i := 0; i < 10; i++ {
+		c.Arrive("f", now, false)
+		now += 50 * time.Millisecond
+	}
+	c.WindowClosed("f")
+	// A long quiet spell (say the autoscaler retired the fleet), then a
+	// burst. The first post-idle arrival is genuinely alone and must
+	// still fast-path.
+	now += 30 * time.Second
+	if d := c.Arrive("f", now, true); d.Action != ActionFastPath {
+		t.Fatalf("first post-idle arrival: action = %v, want fast-path", d.Action)
+	}
+	// The burst's second arrival must batch immediately: the idle gap
+	// was discarded rather than folded in, so the 2ms burst gap IS the
+	// estimate — not a 30s outlier that would keep every head-of-burst
+	// arrival fast-pathing individually while it averaged down.
+	now += 2 * time.Millisecond
+	if d := c.Arrive("f", now, true); d.Action != ActionWait {
+		t.Fatalf("second burst arrival: action = %v, want wait (batched)", d.Action)
+	}
+	if w := c.Window("f"); w < 150*time.Millisecond {
+		t.Fatalf("post-burst window = %v, want near the 200ms cap", w)
+	}
+	// A gap below the reset threshold still feeds the estimate: the
+	// window shrinks from the cap instead of snapping back to the floor.
+	c.WindowClosed("f")
+	now += time.Second
+	c.Arrive("f", now, false)
+	if w := c.Window("f"); w >= 150*time.Millisecond || w <= time.Millisecond {
+		t.Fatalf("sub-threshold gap window = %v, want between floor and cap", w)
+	}
+}
+
 func TestEarlyCloseAtMaxGroupSize(t *testing.T) {
 	c := newController(t, Config{MinInterval: time.Millisecond, MaxInterval: 200 * time.Millisecond, MaxGroupSize: 4})
 	now := time.Duration(0)

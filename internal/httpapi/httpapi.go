@@ -209,7 +209,7 @@ type WorkerStatus struct {
 	ID string `json:"id"`
 	// URL is the worker's base URL.
 	URL string `json:"url"`
-	// State is "up" or "down".
+	// State is "up", "down", "draining", or "standby".
 	State string `json:"state"`
 	// Inflight counts forwards currently outstanding against the worker.
 	Inflight int64 `json:"inflight"`
@@ -259,6 +259,35 @@ type RouterStatsResponse struct {
 	ScrapeFailures int64 `json:"scrapeFailures"`
 	// Workers is the per-worker breakdown.
 	Workers []WorkerStatus `json:"workers"`
+	// Autoscale is the autoscaling control loop's snapshot (omitted
+	// when autoscaling is disabled).
+	Autoscale *AutoscaleStatus `json:"autoscale,omitempty"`
+}
+
+// AutoscaleStatus is the autoscaling control plane's snapshot inside
+// the router's /stats reply.
+type AutoscaleStatus struct {
+	// Target is the control loop's current desired ready-worker count.
+	Target int `json:"target"`
+	// Ready / Warming / Draining / Standby count workers per lifecycle
+	// state as the controller sees them.
+	Ready    int `json:"ready"`
+	Warming  int `json:"warming"`
+	Draining int `json:"draining"`
+	Standby  int `json:"standby"`
+	// Forecast is the short-horizon aggregate demand estimate
+	// (invocations/second).
+	Forecast float64 `json:"forecast"`
+	// Floor is the pre-warm floor in workers.
+	Floor int `json:"floor"`
+	// ScaleUps / ScaleDowns / Wakes count scaling decisions.
+	ScaleUps   int64 `json:"scaleUps"`
+	ScaleDowns int64 `json:"scaleDowns"`
+	Wakes      int64 `json:"wakes"`
+	// Drained counts completed graceful drains; DrainSeconds sums their
+	// durations.
+	Drained      int64   `json:"drained"`
+	DrainSeconds float64 `json:"drainSeconds"`
 }
 
 // MemberStats is one worker's stats snapshot inside the router's

@@ -69,6 +69,10 @@ const (
 	SpanForwardRetry = "forward-retry"
 	// SpanShed marks an invocation rejected by admission control.
 	SpanShed = "shed"
+	// SpanScale marks one autoscaling decision applied to the fleet
+	// (Detail carries the action, worker, and target, e.g.
+	// "provision w2 target=3").
+	SpanScale = "scale-event"
 )
 
 // ComponentEndToEnd labels the whole-invocation latency in the metrics

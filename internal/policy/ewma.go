@@ -34,3 +34,12 @@ func (e *EWMA) Value() float64 { return e.value }
 
 // Primed reports whether at least one observation was folded in.
 func (e *EWMA) Primed() bool { return e.primed }
+
+// Reset discards the history: the next Observe primes the average afresh.
+// Callers use it when the observed process provably restarted (e.g. an
+// arrival stream resuming after a long idle gap), where folding the gap
+// in would let one stale outlier dominate the estimate for many samples.
+func (e *EWMA) Reset() {
+	e.value = 0
+	e.primed = false
+}

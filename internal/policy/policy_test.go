@@ -251,6 +251,14 @@ func TestEWMA(t *testing.T) {
 	if e.Value() != 15 {
 		t.Fatalf("Value = %v, want 15", e.Value())
 	}
+	e.Reset()
+	if e.Primed() || e.Value() != 0 {
+		t.Fatal("reset EWMA should be unprimed/zero")
+	}
+	e.Observe(7)
+	if !e.Primed() || e.Value() != 7 {
+		t.Fatalf("post-reset observation should re-prime directly, got %v", e.Value())
+	}
 }
 
 func TestKrakenConfigValidation(t *testing.T) {

@@ -1,0 +1,250 @@
+package router
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"faasbatch/internal/autoscale"
+)
+
+// TestRegistryLifecycleTransitions exercises the administrative state
+// machine the autoscaler drives: activate/drain/retire, the Counts
+// breakdown, and the drain-complete hook.
+func TestRegistryLifecycleTransitions(t *testing.T) {
+	workers := []*fakeWorker{newFakeWorker(t, "w1"), newFakeWorker(t, "w2")}
+	rt := newTestRouter(t, workers, nil)
+	reg := rt.reg
+
+	if ready, draining, down, standby := reg.Counts(); ready != 2 || draining+down+standby != 0 {
+		t.Fatalf("initial counts = %d/%d/%d/%d, want 2/0/0/0", ready, draining, down, standby)
+	}
+
+	var drainedMu sync.Mutex
+	var drained []string
+	reg.OnDrained(func(id string) {
+		drainedMu.Lock()
+		drained = append(drained, id)
+		drainedMu.Unlock()
+	})
+
+	// Drain with zero in-flight completes immediately.
+	if !reg.Drain("w1") {
+		t.Fatal("Drain(w1) reported no transition")
+	}
+	drainedMu.Lock()
+	if len(drained) != 1 || drained[0] != "w1" {
+		t.Fatalf("drain hook fired %v, want [w1]", drained)
+	}
+	drainedMu.Unlock()
+	if ready, draining, _, _ := reg.Counts(); ready != 1 || draining != 1 {
+		t.Fatalf("after drain: ready=%d draining=%d, want 1/1", ready, draining)
+	}
+	if reg.UpCount() != 1 {
+		t.Fatalf("draining worker still owns ring segments: UpCount=%d", reg.UpCount())
+	}
+
+	// Drain with in-flight work defers the hook to the last completion.
+	reg.AddInflight("w2", 1)
+	if !reg.Drain("w2") {
+		t.Fatal("Drain(w2) reported no transition")
+	}
+	drainedMu.Lock()
+	if len(drained) != 1 {
+		t.Fatalf("drain hook fired early for a busy worker: %v", drained)
+	}
+	drainedMu.Unlock()
+	reg.AddInflight("w2", -1)
+	drainedMu.Lock()
+	if len(drained) != 2 || drained[1] != "w2" {
+		t.Fatalf("drain hook after last completion = %v, want [w1 w2]", drained)
+	}
+	drainedMu.Unlock()
+
+	// Retire moves draining -> standby; Activate brings it back.
+	if !reg.Retire("w1") {
+		t.Fatal("Retire(w1) reported no transition")
+	}
+	if _, _, _, standby := reg.Counts(); standby != 1 {
+		t.Fatalf("standby count after retire != 1")
+	}
+	if !reg.Activate("w1") {
+		t.Fatal("Activate(w1) reported no transition")
+	}
+	reg.Activate("w2")
+	if ready, _, _, _ := reg.Counts(); ready != 2 {
+		t.Fatalf("ready count after reactivation = %d, want 2", ready)
+	}
+	if reg.UpCount() != 2 {
+		t.Fatalf("reactivated fleet owns %d ring members, want 2", reg.UpCount())
+	}
+
+	// Dynamic membership: add and remove a standby worker.
+	if err := reg.AddWorker(WorkerSpec{ID: "w3", URL: "http://x.invalid"}, false); err != nil {
+		t.Fatalf("AddWorker: %v", err)
+	}
+	if err := reg.RemoveWorker("w3"); err != nil {
+		t.Fatalf("RemoveWorker: %v", err)
+	}
+	if err := reg.RemoveWorker("w1"); err == nil {
+		t.Fatal("RemoveWorker accepted an active worker")
+	}
+}
+
+// TestRingChurnZeroLost is the membership-churn regression: workers are
+// drained, retired and re-activated continuously while invocations
+// stream through the router, and every invocation must still complete —
+// ring remove/re-add never strands an in-flight forward.
+func TestRingChurnZeroLost(t *testing.T) {
+	workers := []*fakeWorker{
+		newFakeWorker(t, "w1"), newFakeWorker(t, "w2"), newFakeWorker(t, "w3"),
+	}
+	for _, fw := range workers {
+		fw.set(func(f *fakeWorker) { f.invokeDelay = 2 * time.Millisecond })
+	}
+	rt := newTestRouter(t, workers, nil)
+
+	stop := make(chan struct{})
+	var churns int
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		// w1 stays up throughout so the ring is never empty; w2 and w3
+		// cycle through drain -> standby -> active.
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := "w2"
+			if i%2 == 1 {
+				id = "w3"
+			}
+			rt.reg.Drain(id)
+			time.Sleep(3 * time.Millisecond)
+			rt.reg.Retire(id)
+			time.Sleep(3 * time.Millisecond)
+			rt.reg.Activate(id)
+			churns++
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	const calls = 200
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn := string(rune('a' + i%7))
+			if _, err := rt.Invoke(context.Background(), routedReq(fn)); err != nil {
+				failures.Add(1)
+				t.Errorf("invoke %d (%s): %v", i, fn, err)
+			}
+		}(i)
+		time.Sleep(500 * time.Microsecond)
+	}
+	wg.Wait()
+	close(stop)
+	churnWG.Wait()
+
+	if failures.Load() != 0 {
+		t.Fatalf("%d/%d invocations lost during membership churn (%d churn cycles)",
+			failures.Load(), calls, churns)
+	}
+	if churns == 0 {
+		t.Fatal("churn loop never completed a cycle; the test exercised nothing")
+	}
+	st := rt.Stats()
+	if st.Completed != calls {
+		t.Fatalf("completed %d/%d", st.Completed, calls)
+	}
+}
+
+// TestLiveScaleCycleZeroLost is the live-elasticity acceptance test: a
+// 3-worker fleet with scale-to-zero enabled rides a full burst →
+// scale-up → drain → scale-to-zero → wake cycle on the real wall-clock
+// control loop, and no invocation is lost at any point — including the
+// one that lands on a fully retired fleet and must wait out the wake.
+func TestLiveScaleCycleZeroLost(t *testing.T) {
+	workers := []*fakeWorker{
+		newFakeWorker(t, "w1"), newFakeWorker(t, "w2"), newFakeWorker(t, "w3"),
+	}
+	for _, fw := range workers {
+		fw.set(func(f *fakeWorker) { f.invokeDelay = 2 * time.Millisecond })
+	}
+	rt := newTestRouter(t, workers, func(cfg *Config) {
+		cfg.Autoscale = &autoscale.Config{
+			MinWorkers:       0,
+			MaxWorkers:       3,
+			TargetPerWorker:  2,
+			EvalInterval:     20 * time.Millisecond,
+			Warmup:           0,
+			DrainBudget:      40 * time.Millisecond,
+			ScaleDownAfter:   2,
+			ScaleToZeroAfter: 100 * time.Millisecond,
+		}
+	})
+	rt.Start()
+
+	var failures atomic.Int64
+	invoke := func(fn string) {
+		if _, err := rt.Invoke(context.Background(), routedReq(fn)); err != nil {
+			failures.Add(1)
+			t.Errorf("invoke %s: %v", fn, err)
+		}
+	}
+
+	// Phase 1 — burst: ~500/s for 200ms must scale the fleet up.
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			invoke(string(rune('a' + i%5)))
+		}(i)
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+	st := rt.AutoscaleStatus()
+	if st.ScaleUps < 1 {
+		t.Fatalf("burst produced no scale-ups: %+v", st)
+	}
+
+	// Phase 2 — silence: the fleet must drain all the way to zero.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st = rt.AutoscaleStatus()
+		if st.Ready == 0 && st.Warming == 0 && st.Draining == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never reached zero: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.ScaleDowns < 1 || st.Drained < 1 {
+		t.Fatalf("scale-down cycle incomplete: %+v", st)
+	}
+
+	// Phase 3 — wake: one arrival on the empty fleet must be served,
+	// not bounced, and must count as a wake.
+	invoke("wake-fn")
+	st = rt.AutoscaleStatus()
+	if st.Wakes < 1 {
+		t.Fatalf("wake arrival did not wake the fleet: %+v", st)
+	}
+
+	if failures.Load() != 0 {
+		t.Fatalf("%d invocations lost across the scale cycle", failures.Load())
+	}
+	rst := rt.Stats()
+	if rst.NoWorkers != 0 {
+		t.Fatalf("router bounced %d invocations with an empty ring", rst.NoWorkers)
+	}
+}

@@ -143,6 +143,7 @@ func (rt *Router) writeClusterMetrics(ctx context.Context, w io.Writer) {
 	fmt.Fprintf(w, "# HELP faascluster_members_scraped Workers that answered this scrape round.\n# TYPE faascluster_members_scraped gauge\nfaascluster_members_scraped %d\n", fresh)
 	fmt.Fprintf(w, "# HELP faascluster_members_stale Workers served from their last good snapshot.\n# TYPE faascluster_members_stale gauge\nfaascluster_members_stale %d\n", len(views)-fresh)
 	fmt.Fprintf(w, "# HELP faascluster_scrape_failures_total Member scrapes that failed.\n# TYPE faascluster_scrape_failures_total counter\nfaascluster_scrape_failures_total %d\n", st.ScrapeFailures)
+	rt.writeFleetGauges(w)
 	obs.FederateMetrics(w, members)
 }
 

@@ -1,0 +1,121 @@
+package router
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"faasbatch/internal/autoscale"
+)
+
+// scrapeText fetches one exposition document from the router handler.
+func scrapeText(t *testing.T, srv *httptest.Server, path string) string {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return string(raw)
+}
+
+// gaugeValue extracts the sample value of an unlabeled series from an
+// exposition document (-1 when absent).
+func gaugeValue(doc, name string) float64 {
+	for _, line := range strings.Split(doc, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return -1
+		}
+		return v
+	}
+	return -1
+}
+
+// TestFleetGaugeConformance walks the registryGauges table against a
+// live /metrics scrape: every enumerated lifecycle gauge must appear
+// with a HELP/TYPE header and a value matching the registry's Counts —
+// with autoscaling disabled, on both /metrics and /cluster/metrics.
+// Adding a gauge to the table makes this test cover it automatically.
+func TestFleetGaugeConformance(t *testing.T) {
+	workers := []*fakeWorker{newFakeWorker(t, "w1"), newFakeWorker(t, "w2"), newFakeWorker(t, "w3")}
+	rt := newTestRouter(t, workers, nil)
+	// Put the fleet in a mixed state: one draining, one standby.
+	rt.reg.Drain("w2")
+	rt.reg.Retire("w3")
+	srv := httptest.NewServer(NewHTTPHandler(rt))
+	defer srv.Close()
+
+	for _, path := range []string{"/metrics", "/cluster/metrics"} {
+		doc := scrapeText(t, srv, path)
+		ready, draining, down, standby := rt.reg.Counts()
+		for _, g := range registryGauges {
+			if !strings.Contains(doc, fmt.Sprintf("# TYPE %s gauge\n", g.Name)) {
+				t.Errorf("%s missing TYPE header for %s", path, g.Name)
+			}
+			want := float64(g.Value(ready, draining, down, standby))
+			if got := gaugeValue(doc, g.Name); got != want {
+				t.Errorf("%s: %s = %v, want %v", path, g.Name, got, want)
+			}
+		}
+		if strings.Contains(doc, "faasbatch_autoscale_") {
+			t.Errorf("%s exposes autoscale series with autoscaling disabled", path)
+		}
+	}
+	if v := gaugeValue(scrapeText(t, srv, "/metrics"), "faascluster_workers_draining"); v != 1 {
+		t.Fatalf("draining gauge = %v, want 1", v)
+	}
+}
+
+// TestAutoscaleGaugeConformance walks the autoscaleExports table
+// against a scrape of an autoscaling router: every series must appear
+// with its declared TYPE and a value matching the controller snapshot,
+// on both /metrics and /cluster/metrics.
+func TestAutoscaleGaugeConformance(t *testing.T) {
+	workers := []*fakeWorker{newFakeWorker(t, "w1"), newFakeWorker(t, "w2"), newFakeWorker(t, "w3")}
+	rt := newTestRouter(t, workers, func(cfg *Config) {
+		cfg.Autoscale = &autoscale.Config{
+			MinWorkers:      1,
+			MaxWorkers:      3,
+			TargetPerWorker: 5,
+			EvalInterval:    50 * time.Millisecond,
+		}
+	})
+	// Drive some demand and a tick through the deterministic entry
+	// points so counters move off zero.
+	for i := 0; i < 40; i++ {
+		rt.AutoscaleObserve("fn", time.Duration(i)*time.Millisecond)
+	}
+	rt.AutoscaleTick(50 * time.Millisecond)
+	srv := httptest.NewServer(NewHTTPHandler(rt))
+	defer srv.Close()
+
+	for _, path := range []string{"/metrics", "/cluster/metrics"} {
+		doc := scrapeText(t, srv, path)
+		ast := rt.scaler.status()
+		for _, ex := range autoscaleExports {
+			if !strings.Contains(doc, fmt.Sprintf("# TYPE %s %s\n", ex.Name, ex.Kind)) {
+				t.Errorf("%s missing TYPE header for %s", path, ex.Name)
+			}
+			if got, want := gaugeValue(doc, ex.Name), ex.Value(ast); got != want {
+				t.Errorf("%s: %s = %v, want %v", path, ex.Name, got, want)
+			}
+		}
+	}
+	if v := gaugeValue(scrapeText(t, srv, "/metrics"), "faasbatch_autoscale_target_workers"); v < 2 {
+		t.Fatalf("target gauge = %v after a 40-arrival burst, want >= 2", v)
+	}
+}

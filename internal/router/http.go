@@ -147,6 +147,76 @@ func writeInvokeError(w http.ResponseWriter, err error) {
 	http.Error(w, err.Error(), http.StatusBadGateway)
 }
 
+// registryGauges enumerates the fleet lifecycle gauges as data, so the
+// reflection conformance test can assert every entry appears on
+// /metrics (and /cluster/metrics) even with autoscaling disabled.
+var registryGauges = []struct {
+	Name, Help string
+	Value      func(ready, draining, down, standby int) int
+}{
+	{"faascluster_workers_ready", "Workers up and owning ring segments.",
+		func(r, d, dn, s int) int { return r }},
+	{"faascluster_workers_draining", "Workers finishing in-flight forwards before retiring.",
+		func(r, d, dn, s int) int { return d }},
+	{"faascluster_workers_down", "Workers marked down by health probes.",
+		func(r, d, dn, s int) int { return dn }},
+	{"faascluster_workers_standby", "Workers administratively retired from the ring.",
+		func(r, d, dn, s int) int { return s }},
+}
+
+// autoscaleExport is one faasbatch_autoscale_* series: the mapping is
+// data so the conformance test walks it, PR 2 style.
+type autoscaleExport struct {
+	Name, Help, Kind string
+	Value            func(httpapi.AutoscaleStatus) float64
+}
+
+// autoscaleExports enumerates the control loop's exposition: target vs
+// actual workers, forecast demand, scale events, and drain durations.
+var autoscaleExports = []autoscaleExport{
+	{"faasbatch_autoscale_target_workers", "Control loop's desired ready-worker count.", "gauge",
+		func(a httpapi.AutoscaleStatus) float64 { return float64(a.Target) }},
+	{"faasbatch_autoscale_ready_workers", "Workers ready per the controller's lifecycle view.", "gauge",
+		func(a httpapi.AutoscaleStatus) float64 { return float64(a.Ready) }},
+	{"faasbatch_autoscale_warming_workers", "Workers pre-warming ahead of predicted load.", "gauge",
+		func(a httpapi.AutoscaleStatus) float64 { return float64(a.Warming) }},
+	{"faasbatch_autoscale_draining_workers", "Workers draining toward retirement.", "gauge",
+		func(a httpapi.AutoscaleStatus) float64 { return float64(a.Draining) }},
+	{"faasbatch_autoscale_forecast_demand", "Short-horizon demand forecast (invocations/second).", "gauge",
+		func(a httpapi.AutoscaleStatus) float64 { return a.Forecast }},
+	{"faasbatch_autoscale_prewarm_floor_workers", "Pre-warm floor from the burst-rate histogram.", "gauge",
+		func(a httpapi.AutoscaleStatus) float64 { return float64(a.Floor) }},
+	{"faasbatch_autoscale_scale_ups_total", "Provision and reclaim decisions.", "counter",
+		func(a httpapi.AutoscaleStatus) float64 { return float64(a.ScaleUps) }},
+	{"faasbatch_autoscale_scale_downs_total", "Drain decisions.", "counter",
+		func(a httpapi.AutoscaleStatus) float64 { return float64(a.ScaleDowns) }},
+	{"faasbatch_autoscale_wakes_total", "Scale-from-zero wake-ups.", "counter",
+		func(a httpapi.AutoscaleStatus) float64 { return float64(a.Wakes) }},
+	{"faasbatch_autoscale_drains_completed_total", "Graceful drains completed.", "counter",
+		func(a httpapi.AutoscaleStatus) float64 { return float64(a.Drained) }},
+	{"faasbatch_autoscale_drain_seconds_total", "Summed graceful drain durations.", "counter",
+		func(a httpapi.AutoscaleStatus) float64 { return a.DrainSeconds }},
+}
+
+// writeFleetGauges renders the registry lifecycle gauges and — when the
+// control loop runs — the autoscale series. Shared by /metrics and
+// /cluster/metrics so scaling state is visible on both surfaces.
+func (rt *Router) writeFleetGauges(w io.Writer) {
+	ready, draining, down, standby := rt.reg.Counts()
+	for _, g := range registryGauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+			g.Name, g.Help, g.Name, g.Name, g.Value(ready, draining, down, standby))
+	}
+	if rt.scaler == nil {
+		return
+	}
+	ast := rt.scaler.status()
+	for _, ex := range autoscaleExports {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n",
+			ex.Name, ex.Help, ex.Name, ex.Kind, ex.Name, ex.Value(ast))
+	}
+}
+
 // statsResponse assembles the /stats reply.
 func (rt *Router) statsResponse() httpapi.RouterStatsResponse {
 	st := rt.Stats()
@@ -169,7 +239,18 @@ func (rt *Router) statsResponse() httpapi.RouterStatsResponse {
 		WorkersUp:        rt.reg.UpCount(),
 		ForwardImbalance: rt.ForwardImbalance(),
 		Workers:          rt.reg.Snapshot(),
+		Autoscale:        rt.autoscaleStatusField(),
 	}
+}
+
+// autoscaleStatusField returns the /stats autoscale block (nil when
+// the control loop is disabled, so the JSON field is omitted).
+func (rt *Router) autoscaleStatusField() *httpapi.AutoscaleStatus {
+	if rt.scaler == nil {
+		return nil
+	}
+	ast := rt.scaler.status()
+	return &ast
 }
 
 // writeJSON writes v as a JSON response.
@@ -220,6 +301,7 @@ func (rt *Router) writeMetrics(w io.Writer) {
 	for _, wk := range workers {
 		fmt.Fprintf(w, "faasrouter_worker_inflight{worker=%q} %d\n", wk.ID, wk.Inflight)
 	}
+	rt.writeFleetGauges(w)
 	obs.WriteRuntimeGauges(w, "faasrouter")
 	rt.metrics.WritePrometheus(w)
 }

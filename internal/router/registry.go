@@ -18,6 +18,14 @@ const (
 	// WorkerDown means the worker is marked down: removed from the ring,
 	// skipped by the forwarder, still probed for recovery.
 	WorkerDown
+	// WorkerDraining means the worker was administratively removed from
+	// the ring (autoscale scale-down) and is finishing its in-flight
+	// forwards before retiring. Health probes never mark it back up.
+	WorkerDraining
+	// WorkerStandby means the worker is administratively retired: it
+	// holds no ring segments and takes no traffic until the autoscaler
+	// activates it again.
+	WorkerStandby
 )
 
 // String implements fmt.Stringer.
@@ -27,6 +35,10 @@ func (s WorkerState) String() string {
 		return "up"
 	case WorkerDown:
 		return "down"
+	case WorkerDraining:
+		return "draining"
+	case WorkerStandby:
+		return "standby"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -54,7 +66,9 @@ type worker struct {
 
 // Registry tracks the fleet: worker states, in-flight load, and the
 // consistent-hash ring spanning the workers currently marked up. All
-// methods are safe for concurrent use.
+// methods are safe for concurrent use. Membership is dynamic: the
+// autoscaler activates standby workers, drains active ones, and may
+// add or remove workers outright while forwards are in flight.
 type Registry struct {
 	mu            sync.Mutex
 	workers       map[string]*worker
@@ -64,6 +78,7 @@ type Registry struct {
 	markUpAfter   int
 	markDowns     int64
 	markUps       int64
+	onDrained     func(id string) // drain-complete hook, called unlocked
 }
 
 // NewRegistry builds a registry over specs. Workers start optimistically
@@ -194,7 +209,142 @@ func (r *Registry) NoteResult(id string, ok bool) (changed bool, now WorkerState
 		r.markDowns++
 		return true, WorkerDown
 	}
+	// Draining and standby workers are administrative states: probe
+	// results keep feeding the counters but never flip them up or down.
 	return false, w.state
+}
+
+// OnDrained registers the drain-complete hook: it fires (without the
+// registry lock held) when a draining worker's in-flight count reaches
+// zero. At most one hook; the autoscale driver installs it.
+func (r *Registry) OnDrained(fn func(id string)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onDrained = fn
+}
+
+// AddWorker registers a new fleet member at runtime. Active workers
+// join the ring immediately (optimistically up, like NewRegistry);
+// inactive ones start on standby for the autoscaler to activate later.
+func (r *Registry) AddWorker(spec WorkerSpec, active bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if spec.ID == "" || spec.URL == "" {
+		return fmt.Errorf("router: worker spec needs an id and a url, got %+v", spec)
+	}
+	if _, dup := r.workers[spec.ID]; dup {
+		return fmt.Errorf("router: duplicate worker id %q", spec.ID)
+	}
+	w := &worker{spec: spec, state: WorkerStandby}
+	if active {
+		w.state = WorkerUp
+	}
+	r.workers[spec.ID] = w
+	r.order = append(r.order, spec.ID)
+	if active {
+		r.ring.Add(spec.ID)
+	}
+	return nil
+}
+
+// RemoveWorker deletes a member outright. Workers still owning ring
+// segments or in-flight forwards are refused — drain first.
+func (r *Registry) RemoveWorker(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[id]
+	if !ok {
+		return fmt.Errorf("router: unknown worker %q", id)
+	}
+	if w.state == WorkerUp || w.state == WorkerDraining {
+		return fmt.Errorf("router: worker %q is %s; drain before removing", id, w.state)
+	}
+	if w.inflight > 0 {
+		return fmt.Errorf("router: worker %q has %d in-flight forwards", id, w.inflight)
+	}
+	r.ring.Remove(id)
+	delete(r.workers, id)
+	for i, oid := range r.order {
+		if oid == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Activate puts a standby, draining, or down worker back in service:
+// state up, ring segments restored, health counters reset (the probe
+// loop re-marks it down if it is actually dead). It reports whether the
+// state changed.
+func (r *Registry) Activate(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[id]
+	if !ok || w.state == WorkerUp {
+		return false
+	}
+	w.state = WorkerUp
+	w.consecFail, w.consecOK = 0, 0
+	r.ring.Add(id)
+	return true
+}
+
+// Drain begins a graceful removal: the worker leaves the ring (no new
+// forwards) but keeps serving its in-flight ones. When the in-flight
+// count reaches zero the OnDrained hook fires — immediately, if it
+// already is zero. It reports whether the state changed.
+func (r *Registry) Drain(id string) bool {
+	r.mu.Lock()
+	w, ok := r.workers[id]
+	if !ok || w.state == WorkerDraining || w.state == WorkerStandby {
+		r.mu.Unlock()
+		return false
+	}
+	w.state = WorkerDraining
+	r.ring.Remove(id)
+	drained := w.inflight == 0
+	hook := r.onDrained
+	r.mu.Unlock()
+	if drained && hook != nil {
+		hook(id)
+	}
+	return true
+}
+
+// Retire moves a drained (or down/up) worker to standby, releasing its
+// ring segments. It reports whether the state changed.
+func (r *Registry) Retire(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[id]
+	if !ok || w.state == WorkerStandby {
+		return false
+	}
+	w.state = WorkerStandby
+	w.consecFail, w.consecOK = 0, 0
+	r.ring.Remove(id)
+	return true
+}
+
+// Counts reports the fleet's state populations: ready (up), draining,
+// down, and standby — the faascluster_workers_* gauges.
+func (r *Registry) Counts() (ready, draining, down, standby int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, w := range r.workers {
+		switch w.state {
+		case WorkerUp:
+			ready++
+		case WorkerDraining:
+			draining++
+		case WorkerDown:
+			down++
+		case WorkerStandby:
+			standby++
+		}
+	}
+	return ready, draining, down, standby
 }
 
 // SetCapacity records a worker's advertised capacity from its health
@@ -207,15 +357,25 @@ func (r *Registry) SetCapacity(id string, capacity int) {
 	}
 }
 
-// AddInflight adjusts a worker's outstanding-forward count.
+// AddInflight adjusts a worker's outstanding-forward count. When a
+// draining worker's count reaches zero its graceful drain is complete
+// and the OnDrained hook fires (without the lock held).
 func (r *Registry) AddInflight(id string, delta int) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	var hook func(string)
 	if w, ok := r.workers[id]; ok {
+		before := w.inflight
 		w.inflight += delta
 		if w.inflight < 0 {
 			w.inflight = 0
 		}
+		if w.state == WorkerDraining && before > 0 && w.inflight == 0 {
+			hook = r.onDrained
+		}
+	}
+	r.mu.Unlock()
+	if hook != nil {
+		hook(id)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"faasbatch/internal/autoscale"
 	"faasbatch/internal/chaos"
 	"faasbatch/internal/httpapi"
 	"faasbatch/internal/metrics"
@@ -80,6 +81,12 @@ type Config struct {
 	// /stats round trips) when serving /cluster/metrics and
 	// /cluster/stats (default 2s).
 	ScrapeTimeout time.Duration
+	// Autoscale enables the predictive autoscaling control loop over
+	// the registered worker pool: slot i of the controller maps to
+	// Workers[i], standby workers are activated and drained as demand
+	// moves, and MaxWorkers clamps to len(Workers). Nil disables
+	// autoscaling (the whole pool serves, PR 3 behaviour).
+	Autoscale *autoscale.Config
 	// Chaos optionally fails forward attempts deterministically
 	// (chaos.WorkerFailure), so failover is testable without killing
 	// real processes. Nil injects nothing.
@@ -128,6 +135,7 @@ type Router struct {
 	cfg     Config
 	reg     *Registry
 	adm     *admission
+	scaler  *liveScaler
 	client  *http.Client
 	tracer  *obs.Tracer
 	metrics *obs.Metrics
@@ -191,12 +199,20 @@ func New(cfg Config) (*Router, error) {
 		lastScrape: make(map[string]memberSnapshot),
 		stop:       make(chan struct{}),
 	}
+	if cfg.Autoscale != nil {
+		scaler, err := newLiveScaler(rt, *cfg.Autoscale)
+		if err != nil {
+			return nil, err
+		}
+		rt.scaler = scaler
+	}
 	rt.logger.Info("router started",
 		"workers", len(cfg.Workers),
 		"vnodes", ringVNodes(cfg.VNodes),
 		"loadBound", cfg.LoadBound,
 		"maxAttempts", cfg.MaxAttempts,
-		"fnConcurrency", cfg.FnConcurrency)
+		"fnConcurrency", cfg.FnConcurrency,
+		"autoscale", cfg.Autoscale != nil)
 	return rt, nil
 }
 
@@ -226,7 +242,8 @@ func (rt *Router) ForwardImbalance() float64 {
 	return metrics.Imbalance(rt.reg.ForwardedPerWorker())
 }
 
-// Start launches the periodic health prober.
+// Start launches the periodic health prober and, when autoscaling is
+// configured, the scale-evaluation loop.
 func (rt *Router) Start() {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -236,6 +253,13 @@ func (rt *Router) Start() {
 	rt.started = true
 	rt.wg.Add(1)
 	go rt.probeLoop()
+	if rt.scaler != nil {
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			rt.scaler.loop(rt.stop)
+		}()
+	}
 }
 
 // Close stops the prober. It does not wait for in-flight forwards; the
@@ -362,6 +386,11 @@ func (rt *Router) InvokeTraced(ctx context.Context, req httpapi.RoutedInvokeRequ
 	rt.mu.Lock()
 	rt.stats.Routed++
 	rt.mu.Unlock()
+	if rt.scaler != nil {
+		// Feed the demand forecaster; on a scaled-to-zero fleet this
+		// wakes the first worker before forward looks for candidates.
+		rt.scaler.observe(req.Fn, rt.scaler.now())
+	}
 	return rt.forward(ctx, trace, req)
 }
 
@@ -369,6 +398,12 @@ func (rt *Router) InvokeTraced(ctx context.Context, req httpapi.RoutedInvokeRequ
 func (rt *Router) forward(ctx context.Context, trace uint64, req httpapi.RoutedInvokeRequest) (httpapi.RoutedInvokeResponse, error) {
 	routeStart := rt.tracer.Now()
 	cands := rt.reg.Candidates(req.Fn, rt.cfg.LoadBound)
+	if len(cands) == 0 && rt.scaler != nil {
+		// Scale-from-zero: the wake decision is already in flight
+		// (observe ran before forward); hold the invocation until a
+		// worker finishes warming instead of bouncing it with 503.
+		cands = rt.awaitCapacity(ctx, req.Fn)
+	}
 	rt.tracer.Record(obs.Span{
 		Trace: trace, Name: obs.SpanRoute, Fn: req.Fn,
 		Detail: fmt.Sprintf("candidates=%d", len(cands)),
@@ -513,6 +548,9 @@ func (rt *Router) tryWorker(ctx context.Context, trace uint64, attempt int, id, 
 	}
 	defer func() { _ = resp.Body.Close() }()
 	rt.metrics.ObserveForward(id, time.Since(start))
+	if rt.scaler != nil {
+		rt.scaler.observeLatency(time.Since(start))
+	}
 	rt.mu.Lock()
 	rt.stats.Forwarded++
 	rt.mu.Unlock()

@@ -70,6 +70,14 @@ var invariantCatalog = map[string]struct{ parameterised bool }{
 	// the tail of the run recovers. Takes a mapping parameter:
 	//   - slo: {function: f1, p99_ms: 250, max_burn: 2.0}
 	"slo": {parameterised: true},
+	// min-peak-ready: the autoscaler grew the fleet to at least this
+	// many simultaneously ready workers at some sample — the elasticity
+	// assertion that a burst actually scaled up.
+	"min-peak-ready": {parameterised: true},
+	// scaled-to-zero: the fleet was fully retired at quiescence (needs
+	// an autoscale block with min-workers 0 and a quiet tail phase
+	// longer than scale-to-zero-after).
+	"scaled-to-zero": {},
 }
 
 // InvariantResult is one evaluated assertion in the report.
@@ -94,6 +102,11 @@ type invariantInputs struct {
 	conservationRHS  int64
 	conservationExpr string
 	downAtEnd        int
+	// autoscaleOn, peakReady and readyAtEnd feed the elasticity
+	// assertions (peakReady is the max workers_ready across samples).
+	autoscaleOn bool
+	peakReady   int
+	readyAtEnd  int
 	// slo holds the tracker's end-of-run verdicts, keyed by
 	// SLOSpec.key(), when the scenario declared slo invariants.
 	slo map[string]slo.Status
@@ -145,6 +158,20 @@ func evalInvariant(inv Invariant, in invariantInputs) InvariantResult {
 	case "all-recovered":
 		r.OK = in.downAtEnd == 0
 		r.Detail = fmt.Sprintf("%d workers still down", in.downAtEnd)
+	case "min-peak-ready":
+		r.OK = in.autoscaleOn && in.peakReady >= int(inv.Value)
+		if !in.autoscaleOn {
+			r.Detail = "scenario has no autoscale block"
+			break
+		}
+		r.Detail = fmt.Sprintf("peak ready workers %d, bound %g", in.peakReady, inv.Value)
+	case "scaled-to-zero":
+		r.OK = in.autoscaleOn && in.readyAtEnd == 0
+		if !in.autoscaleOn {
+			r.Detail = "scenario has no autoscale block"
+			break
+		}
+		r.Detail = fmt.Sprintf("%d workers still ready at quiescence", in.readyAtEnd)
 	case "slo":
 		if inv.SLO == nil {
 			r.Detail = "slo invariant without an objective"

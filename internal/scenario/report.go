@@ -23,8 +23,9 @@ import (
 )
 
 // ReportVersion is bumped whenever Body's shape changes, so archived
-// reports stay interpretable.
-const ReportVersion = 1
+// reports stay interpretable. Version 2 added the per-sample
+// workers_ready gauge and the autoscale block.
+const ReportVersion = 2
 
 // LatencySummary is a latency distribution in integer microseconds.
 type LatencySummary struct {
@@ -118,7 +119,7 @@ type ChaosCount struct {
 // Event is one control-plane occurrence on the run timeline.
 type Event struct {
 	TimeMillis int64 `json:"time_millis"`
-	// Kind is "phase", "chaos", "outage-down", "outage-up".
+	// Kind is "phase", "chaos", "outage-down", "outage-up", "scale".
 	Kind   string `json:"kind"`
 	Detail string `json:"detail"`
 }
@@ -131,6 +132,32 @@ type Sample struct {
 	Inflight       int64 `json:"inflight"`
 	LiveContainers int64 `json:"live_containers"`
 	WorkersDown    int   `json:"workers_down"`
+	// WorkersReady counts workers receiving newly routed work — the
+	// fleet minus outage-downed and autoscale-retired workers. The
+	// sample-over-sample trajectory is the scaling curve.
+	WorkersReady int `json:"workers_ready"`
+}
+
+// AutoscaleReport summarises the control plane's run (present only when
+// the scenario declares an autoscale block). All fields are integers so
+// the body stays byte-deterministic.
+type AutoscaleReport struct {
+	MinWorkers int `json:"min_workers"`
+	MaxWorkers int `json:"max_workers"`
+	// PeakReady is the highest workers_ready seen in any sample;
+	// FinalReady is the count at quiescence (0 after scale-to-zero).
+	PeakReady  int   `json:"peak_ready"`
+	FinalReady int   `json:"final_ready"`
+	ScaleUps   int64 `json:"scale_ups"`
+	ScaleDowns int64 `json:"scale_downs"`
+	Wakes      int64 `json:"wakes"`
+	Drained    int64 `json:"drained"`
+	// DrainMillis sums completed graceful-drain durations.
+	DrainMillis int64 `json:"drain_millis"`
+	// BusyWorkerMillis integrates provisioned worker-time — the elastic
+	// fleet's capacity cost, comparable against workers x makespan for a
+	// static fleet.
+	BusyWorkerMillis int64 `json:"busy_worker_millis"`
 }
 
 // Body is the deterministic payload of a report.
@@ -146,6 +173,7 @@ type Body struct {
 	Totals         Totals            `json:"totals"`
 	Scheduler      SchedStats        `json:"scheduler"`
 	Fleet          FleetStats        `json:"fleet"`
+	Autoscale      *AutoscaleReport  `json:"autoscale,omitempty"`
 	Chaos          []ChaosCount      `json:"chaos"`
 	Events         []Event           `json:"events"`
 	Samples        []Sample          `json:"samples"`
@@ -241,6 +269,16 @@ Generated {{.GeneratedAt}}; body sha256 <code>{{.BodySHA256}}</code>.</p>
 <tr><td>cold / warm starts</td><td>{{.Body.Fleet.ColdStarts}} / {{.Body.Fleet.WarmStarts}}</td></tr>
 <tr><td>crashes / boot failures</td><td>{{.Body.Fleet.Crashes}} / {{.Body.Fleet.BootFailures}}</td></tr>
 </table>
+
+{{with .Body.Autoscale}}<h2>Autoscale</h2>
+<table><tr><th></th><th>value</th></tr>
+<tr><td>workers (min / max)</td><td>{{.MinWorkers}} / {{.MaxWorkers}}</td></tr>
+<tr><td>ready (peak / final)</td><td>{{.PeakReady}} / {{.FinalReady}}</td></tr>
+<tr><td>scale ups / downs</td><td>{{.ScaleUps}} / {{.ScaleDowns}}</td></tr>
+<tr><td>wakes</td><td>{{.Wakes}}</td></tr>
+<tr><td>drains completed</td><td>{{.Drained}} ({{.DrainMillis}} ms total)</td></tr>
+<tr><td>busy worker-time</td><td>{{.BusyWorkerMillis}} ms</td></tr>
+</table>{{end}}
 
 {{if .Body.Chaos}}<h2>Chaos</h2>
 <table><tr><th>fault kind</th><th>injections</th></tr>

@@ -212,6 +212,7 @@ func (r *Runner) runSim(sc *Scenario) (*Body, error) {
 		Core:        coreConfig(sc.Dispatch),
 		Balancing:   sc.Dispatch.Balancing,
 		Chaos:       inj,
+		Autoscale:   sc.Autoscale,
 	})
 	if err != nil {
 		return nil, err
@@ -516,10 +517,70 @@ func (s *simRun) startSampler() {
 			Inflight:       s.submitted - s.completed,
 			LiveContainers: int64(live),
 			WorkersDown:    down,
+			WorkersReady:   s.cl.ReadyNodes(),
 		})
 		s.eng.Schedule(interval, tick)
 	}
 	s.eng.Schedule(interval, tick)
+}
+
+// mergeScaleEvents interleaves the autoscaler's decision log into the
+// control-event timeline by timestamp (stable: control events first at
+// equal instants), keeping the report's event order chronological.
+func mergeScaleEvents(events []Event, cl *cluster.Cluster) []Event {
+	ds := cl.AutoscaleDecisions()
+	if len(ds) == 0 {
+		return events
+	}
+	scale := make([]Event, len(ds))
+	for i, d := range ds {
+		scale[i] = Event{TimeMillis: d.At.Milliseconds(), Kind: "scale", Detail: d.String()}
+	}
+	out := make([]Event, 0, len(events)+len(scale))
+	i, j := 0, 0
+	for i < len(events) && j < len(scale) {
+		if events[i].TimeMillis <= scale[j].TimeMillis {
+			out = append(out, events[i])
+			i++
+		} else {
+			out = append(out, scale[j])
+			j++
+		}
+	}
+	out = append(out, events[i:]...)
+	return append(out, scale[j:]...)
+}
+
+// autoscaleReport assembles the control plane's report block (nil when
+// the scenario ran a static fleet).
+func (s *simRun) autoscaleReport() *AutoscaleReport {
+	if !s.cl.AutoscaleEnabled() {
+		return nil
+	}
+	st := s.cl.AutoscaleStatus()
+	cfg := *s.sc.Autoscale
+	maxW := cfg.MaxWorkers
+	if maxW <= 0 || maxW > s.sc.Fleet.Workers {
+		maxW = s.sc.Fleet.Workers
+	}
+	peak := 0
+	for _, smp := range s.samples {
+		if smp.WorkersReady > peak {
+			peak = smp.WorkersReady
+		}
+	}
+	return &AutoscaleReport{
+		MinWorkers:       cfg.MinWorkers,
+		MaxWorkers:       maxW,
+		PeakReady:        peak,
+		FinalReady:       s.cl.ReadyNodes(),
+		ScaleUps:         int64(st.ScaleUps),
+		ScaleDowns:       int64(st.ScaleDowns),
+		Wakes:            int64(st.Wakes),
+		Drained:          int64(st.Drained),
+		DrainMillis:      st.DrainTime.Milliseconds(),
+		BusyWorkerMillis: s.cl.AutoscaleBusyIntegral().Milliseconds(),
+	}
 }
 
 // report assembles the deterministic body from the run's aggregates.
@@ -532,8 +593,9 @@ func (s *simRun) report() *Body {
 		Workers:   s.sc.Fleet.Workers,
 		Zones:     s.sc.Fleet.Zones,
 		Balancing: s.sc.Dispatch.Balancing.String(),
-		Events:    s.events,
+		Events:    mergeScaleEvents(s.events, s.cl),
 		Samples:   s.samples,
+		Autoscale: s.autoscaleReport(),
 	}
 	var allTotal []int64
 	var failed, retries int64
@@ -594,6 +656,12 @@ func (s *simRun) report() *Body {
 			down++
 		}
 	}
+	peakReady := 0
+	for _, smp := range s.samples {
+		if smp.WorkersReady > peakReady {
+			peakReady = smp.WorkersReady
+		}
+	}
 	b.Invariants = evalInvariants(s.sc.Invariants, invariantInputs{
 		submitted:        s.submitted,
 		completed:        s.completed,
@@ -602,6 +670,9 @@ func (s *simRun) report() *Body {
 		conservationRHS:  s.submitted,
 		conservationExpr: "sum(scheduler submitted) == harness submitted",
 		downAtEnd:        down,
+		autoscaleOn:      s.cl.AutoscaleEnabled(),
+		peakReady:        peakReady,
+		readyAtEnd:       s.cl.ReadyNodes(),
 		slo:              sloVerdicts(s.sc, s.slos, s.eng.Now().Duration()),
 	})
 	b.MakespanMillis = s.eng.Now().Duration().Milliseconds()

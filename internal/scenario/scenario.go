@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"faasbatch/internal/autoscale"
 	"faasbatch/internal/chaos"
 	"faasbatch/internal/cluster"
 	"faasbatch/internal/slo"
@@ -238,6 +239,12 @@ type Scenario struct {
 	Fleet Fleet
 	// Dispatch configures scheduling and routing.
 	Dispatch Dispatch
+	// Autoscale optionally runs the predictive autoscaling control plane
+	// over the fleet (sim mode only): fleet.workers bounds the maximum
+	// size and the controller grows/shrinks ring membership with demand.
+	// Note that with autoscaling on, standby workers count as "down" in
+	// samples and the all-recovered invariant.
+	Autoscale *autoscale.Config
 	// Chaos carries injector-wide tuning.
 	Chaos ChaosTuning
 	// Sampling is the metrics sampling interval (default 1s).
@@ -396,6 +403,18 @@ func (s *Scenario) validate() error {
 	}
 	if s.LiveTimeScale <= 0 {
 		return fmt.Errorf("scenario: live-time-scale must be positive, got %g", s.LiveTimeScale)
+	}
+	if s.Autoscale != nil {
+		if s.Mode != ModeSim {
+			return fmt.Errorf("scenario: autoscale requires mode: sim (the live smoke path has no fleet driver)")
+		}
+		resolved := *s.Autoscale
+		if resolved.MaxWorkers <= 0 || resolved.MaxWorkers > s.Fleet.Workers {
+			resolved.MaxWorkers = s.Fleet.Workers
+		}
+		if err := resolved.WithDefaults().Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
 	}
 	return nil
 }
@@ -584,7 +603,7 @@ func (d *decoder) known(m map[string]any, path string, keys ...string) {
 
 func (d *decoder) scenario(m map[string]any) *Scenario {
 	d.known(m, "top level", "scenario", "seed", "mode", "fleet", "dispatch",
-		"chaos", "sampling", "max-drain", "phases", "invariants", "live-time-scale")
+		"autoscale", "chaos", "sampling", "max-drain", "phases", "invariants", "live-time-scale")
 	sc := &Scenario{
 		Name:          d.str(m, "", "scenario", ""),
 		Seed:          d.integer(m, "", "seed", 1),
@@ -602,6 +621,7 @@ func (d *decoder) scenario(m map[string]any) *Scenario {
 	}
 	sc.Fleet = d.fleet(d.section(m, "", "fleet"))
 	sc.Dispatch = d.dispatch(d.section(m, "", "dispatch"))
+	sc.Autoscale = d.autoscale(d.section(m, "", "autoscale"))
 	sc.Chaos = d.chaosTuning(d.section(m, "", "chaos"))
 	for i, v := range d.list(m, "", "phases") {
 		path := fmt.Sprintf("phases[%d]", i)
@@ -750,6 +770,31 @@ func (d *decoder) dispatch(m map[string]any) Dispatch {
 		d.fail("dispatch.balancing", "unknown strategy %q", b)
 	}
 	return dc
+}
+
+// autoscale decodes the optional autoscaling block. Absent keys keep
+// autoscale.Config defaults; max-workers 0 clamps to the fleet size at
+// run time. target-per-worker is the one required knob.
+func (d *decoder) autoscale(m map[string]any) *autoscale.Config {
+	if m == nil {
+		return nil
+	}
+	d.known(m, "autoscale", "min-workers", "max-workers", "target-per-worker",
+		"headroom", "eval-interval", "warmup", "drain-budget", "scale-down-after",
+		"scale-to-zero-after", "prewarm-quantile", "alpha")
+	return &autoscale.Config{
+		MinWorkers:       int(d.integer(m, "autoscale", "min-workers", 0)),
+		MaxWorkers:       int(d.integer(m, "autoscale", "max-workers", 0)),
+		TargetPerWorker:  d.float(m, "autoscale", "target-per-worker", 0),
+		Headroom:         d.float(m, "autoscale", "headroom", 0),
+		EvalInterval:     d.duration(m, "autoscale", "eval-interval", 0),
+		Warmup:           d.duration(m, "autoscale", "warmup", 0),
+		DrainBudget:      d.duration(m, "autoscale", "drain-budget", 0),
+		ScaleDownAfter:   int(d.integer(m, "autoscale", "scale-down-after", 0)),
+		ScaleToZeroAfter: d.duration(m, "autoscale", "scale-to-zero-after", 0),
+		PrewarmQuantile:  d.float(m, "autoscale", "prewarm-quantile", 0),
+		Alpha:            d.float(m, "autoscale", "alpha", 0),
+	}
 }
 
 func (d *decoder) chaosTuning(m map[string]any) ChaosTuning {

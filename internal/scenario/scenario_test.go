@@ -90,6 +90,63 @@ phases:
 	}
 }
 
+func TestParseAutoscale(t *testing.T) {
+	sc, err := Parse([]byte(`
+scenario: elastic
+fleet:
+  workers: 6
+autoscale:
+  min-workers: 0
+  max-workers: 4
+  target-per-worker: 25
+  headroom: 0.5
+  eval-interval: 250ms
+  warmup: 100ms
+  drain-budget: 2s
+  scale-down-after: 3
+  scale-to-zero-after: 10s
+  prewarm-quantile: 0.9
+phases:
+  - duration: 1s
+    rate: 10
+    mix:
+      - fn: f
+invariants:
+  - min-peak-ready: 2
+  - scaled-to-zero
+`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	a := sc.Autoscale
+	if a == nil {
+		t.Fatal("autoscale block not decoded")
+	}
+	if a.MinWorkers != 0 || a.MaxWorkers != 4 || a.TargetPerWorker != 25 || a.Headroom != 0.5 {
+		t.Errorf("sizing mismatch: %+v", a)
+	}
+	if a.EvalInterval != 250*time.Millisecond || a.Warmup != 100*time.Millisecond ||
+		a.DrainBudget != 2*time.Second || a.ScaleToZeroAfter != 10*time.Second {
+		t.Errorf("timing mismatch: %+v", a)
+	}
+	if a.ScaleDownAfter != 3 || a.PrewarmQuantile != 0.9 {
+		t.Errorf("hysteresis mismatch: %+v", a)
+	}
+	// Absent keys stay zero so the controller's WithDefaults applies.
+	if a.Alpha != 0 {
+		t.Errorf("alpha should default to 0 (controller default), got %g", a.Alpha)
+	}
+	// A scenario without the block must leave Autoscale nil — that is the
+	// "autoscaling disabled" signal the cluster runner keys on.
+	plain, err := Parse([]byte("scenario: p\nphases:\n  - duration: 1s\n"))
+	if err != nil {
+		t.Fatalf("Parse plain: %v", err)
+	}
+	if plain.Autoscale != nil {
+		t.Errorf("Autoscale should be nil without a block, got %+v", plain.Autoscale)
+	}
+}
+
 func TestParseRejections(t *testing.T) {
 	cases := []struct{ name, src string }{
 		{"missing name", "seed: 1\nphases:\n  - duration: 1s\n"},
@@ -107,6 +164,10 @@ func TestParseRejections(t *testing.T) {
 		{"bad duration", "scenario: x\nphases:\n  - duration: fortnight\n"},
 		{"bad mode", "scenario: x\nmode: dream\nphases:\n  - duration: 1s\n"},
 		{"zones above workers", "scenario: x\nfleet:\n  workers: 2\n  zones: 5\nphases:\n  - duration: 1s\n"},
+		{"unknown autoscale key", "scenario: x\nautoscale:\n  bogus: 1\nphases:\n  - duration: 1s\n"},
+		{"autoscale in live mode", "scenario: x\nmode: live\nautoscale:\n  min-workers: 1\nphases:\n  - duration: 1s\n"},
+		{"negative target-per-worker", "scenario: x\nautoscale:\n  target-per-worker: -3\nphases:\n  - duration: 1s\n"},
+		{"autoscale min above fleet", "scenario: x\nfleet:\n  workers: 2\nautoscale:\n  min-workers: 5\nphases:\n  - duration: 1s\n"},
 	}
 	for _, tc := range cases {
 		if _, err := Parse([]byte(tc.src)); err == nil {
