@@ -29,6 +29,14 @@
 //
 //	go run ./cmd/benchjson -autoscale > BENCH_autoscale.json
 //
+// With -routing it replays one 90/10-skewed schedule with a mid-run
+// worker failure through the consistent-hash push policy and the
+// worker-pull late-binding policy, and reports each policy's tail
+// latency and load-spread CV plus the derived pull-beats-hash verdicts
+// CI gates on. The JSON lands in BENCH_routing.json in CI.
+//
+//	go run ./cmd/benchjson -routing > BENCH_routing.json
+//
 // When the input carries -benchmem columns they are parsed into
 // bytes_per_op / allocs_per_op, so CI can gate allocation-free hot paths:
 //
@@ -75,6 +83,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+
 func main() {
 	dispatchMode := flag.Bool("dispatch", false, "benchmark fixed vs adaptive dispatch windows instead of parsing stdin")
 	autoscaleMode := flag.Bool("autoscale", false, "benchmark an elastic fleet vs a static one instead of parsing stdin")
+	routingMode := flag.Bool("routing", false, "benchmark the pull policy vs consistent hashing on skewed traffic instead of parsing stdin")
 	flag.Parse()
 	if *dispatchMode {
 		if err := runDispatch(os.Stdout); err != nil {
@@ -86,6 +95,13 @@ func main() {
 	if *autoscaleMode {
 		if err := runAutoscale(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson: autoscale:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *routingMode {
+		if err := runRouting(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: routing:", err)
 			os.Exit(1)
 		}
 		return

@@ -18,6 +18,11 @@
 // router. A worker that exceeds its load bound spills to the
 // least-loaded replica; a worker that stops answering probes is marked
 // down and its ring segments reassign to the survivors.
+//
+// With -policy=pull the router instead queues invocations per function
+// and late-binds each to the least-loaded worker with free capacity,
+// trading hash affinity for load spread under skewed traffic; tune the
+// queues with the -pull-* flags.
 package main
 
 import (
@@ -36,6 +41,7 @@ import (
 	"faasbatch/internal/chaos"
 	"faasbatch/internal/hashmix"
 	"faasbatch/internal/obs"
+	"faasbatch/internal/pullsched"
 	"faasbatch/internal/router"
 )
 
@@ -62,6 +68,12 @@ func run(args []string) error {
 	queueDepth := fs.Int("queue-depth", 64, "admission: queued invocations per function beyond the concurrency cap")
 	queueWait := fs.Duration("queue-wait", time.Second, "admission: max queue wait before shedding with 429")
 	forwardTimeout := fs.Duration("forward-timeout", 30*time.Second, "per-forward-attempt deadline")
+	policy := fs.String("policy", router.PolicyHash, "scheduling policy: hash (consistent-hash push) or pull (worker-pull late binding)")
+	pullQueueDepth := fs.Int("pull-queue-depth", 0, "pull: bounded per-function queue depth before shedding (0 = unbounded)")
+	pullBatch := fs.Int("pull-batch", 0, "pull: max grants handed to one worker per pull (0 = default)")
+	pullCapacity := fs.Int("pull-capacity", 0, "pull: concurrent leases one worker absorbs (0 = default)")
+	pullShards := fs.Int("pull-shards", 0, "pull: function-queue shard count (0 = default)")
+	pullLeaseBudget := fs.Duration("pull-lease-budget", 0, "pull: lease age reclaimed by the probe-tick sweep (0 = off; forward timeouts already bound live leases)")
 	scrapeTimeout := fs.Duration("scrape-timeout", 2*time.Second, "per-worker deadline when federating /cluster/metrics and /cluster/stats")
 	autoscaleOn := fs.Bool("autoscale", false, "enable the predictive autoscaling control loop over the registered fleet")
 	asMin := fs.Int("min-workers", 0, "autoscale: ready-worker floor (0 enables scale-to-zero)")
@@ -105,7 +117,22 @@ func run(args []string) error {
 		QueueWait:      *queueWait,
 		ForwardTimeout: *forwardTimeout,
 		ScrapeTimeout:  *scrapeTimeout,
+		Policy:         *policy,
 		Logger:         logger,
+	}
+	pullTuned := *pullQueueDepth != 0 || *pullBatch != 0 || *pullCapacity != 0 ||
+		*pullShards != 0 || *pullLeaseBudget != 0
+	if pullTuned && *policy != router.PolicyPull {
+		return fmt.Errorf("-pull-* flags require -policy=%s (got -policy=%s)", router.PolicyPull, *policy)
+	}
+	if *policy == router.PolicyPull {
+		cfg.Pull = &pullsched.Config{
+			Shards:      *pullShards,
+			BatchSize:   *pullBatch,
+			Capacity:    *pullCapacity,
+			QueueDepth:  *pullQueueDepth,
+			LeaseBudget: *pullLeaseBudget,
+		}
 	}
 	if *autoscaleOn {
 		cfg.Autoscale = &autoscale.Config{
@@ -159,8 +186,8 @@ func run(args []string) error {
 		}
 	}()
 	rt.Start()
-	fmt.Printf("faasrouter: %d workers, vnodes %d, load bound %.2f, listening on %s\n",
-		len(specs), *vnodes, *loadBound, *addr)
+	fmt.Printf("faasrouter: %d workers, policy %s, vnodes %d, load bound %.2f, listening on %s\n",
+		len(specs), rt.Policy().Name(), *vnodes, *loadBound, *addr)
 	if cfg.Autoscale != nil {
 		fmt.Printf("faasrouter: autoscale on, min %d, target %.1f inv/s per worker\n",
 			cfg.Autoscale.MinWorkers, *asTarget)

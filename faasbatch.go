@@ -34,6 +34,8 @@ import (
 	"faasbatch/internal/multiplex"
 	"faasbatch/internal/obs"
 	"faasbatch/internal/platform"
+	"faasbatch/internal/pullsched"
+	"faasbatch/internal/router"
 	"faasbatch/internal/trace"
 	"faasbatch/internal/workload"
 )
@@ -316,10 +318,64 @@ const (
 	LeastLoaded = cluster.LeastLoaded
 	// RoundRobin cycles nodes per invocation.
 	RoundRobin = cluster.RoundRobin
+	// ConsistentHash routes by ring ownership (the sim analogue of the
+	// live router's hash policy).
+	ConsistentHash = cluster.ConsistentHash
+	// PullBalancing queues invocations per function and lets nodes with
+	// free capacity pull them in batches (the sim analogue of the live
+	// router's pull policy).
+	PullBalancing = cluster.Pull
 )
 
 // ReplayCluster runs a trace through a multi-node FaaSBatch fleet.
 func ReplayCluster(cfg ClusterReplayConfig) (*ClusterResult, error) { return cluster.Replay(cfg) }
+
+// Routing tier API (cmd/faasrouter's programmatic surface).
+type (
+	// Router fronts a fleet of worker gateways.
+	Router = router.Router
+	// RouterConfig parameterises the router: fleet, probing, retries,
+	// admission, autoscale, and the scheduling policy.
+	RouterConfig = router.Config
+	// RouterOption customises NewRouter beyond the config struct; a
+	// knob set both ways fails with router.ErrConflictingOptions.
+	RouterOption = router.Option
+	// RouterPolicy is the router's scheduling strategy interface,
+	// implemented by the hash and pull policies.
+	RouterPolicy = router.Policy
+	// RouterWorkerSpec names one worker gateway behind the router.
+	RouterWorkerSpec = router.WorkerSpec
+	// PullConfig tunes the pull policy's decision core (shards, batch
+	// size, per-worker capacity, queue depth, lease budget).
+	PullConfig = pullsched.Config
+)
+
+// Router scheduling policies (RouterConfig.Policy / WithRouterPolicy).
+const (
+	// RouterPolicyHash is consistent-hash push scheduling (default).
+	RouterPolicyHash = router.PolicyHash
+	// RouterPolicyPull is late-binding worker-pull scheduling.
+	RouterPolicyPull = router.PolicyPull
+)
+
+// NewRouter builds a routing tier over a worker fleet. Close it when
+// done; Start launches its health prober.
+func NewRouter(cfg RouterConfig, opts ...RouterOption) (*Router, error) {
+	return router.New(cfg, opts...)
+}
+
+// NewRouterHandler exposes a router over HTTP (/invoke, /stats,
+// /metrics, /cluster/*, /healthz — see docs/CLUSTER.md).
+func NewRouterHandler(rt *Router) http.Handler { return router.NewHTTPHandler(rt) }
+
+// WithRouterPolicy selects the router's scheduling policy by name
+// (equivalent to RouterConfig.Policy; setting both conflicts).
+func WithRouterPolicy(name string) RouterOption { return router.WithPolicy(name) }
+
+// WithRouterPullConfig selects the pull policy with explicit queue
+// tuning (equivalent to RouterConfig.Policy=RouterPolicyPull plus
+// RouterConfig.Pull; setting both conflicts).
+func WithRouterPullConfig(cfg PullConfig) RouterOption { return router.WithPullConfig(cfg) }
 
 // Function-chain workloads (sequential workflows).
 type (

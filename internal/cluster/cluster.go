@@ -23,6 +23,7 @@ import (
 	"faasbatch/internal/metrics"
 	"faasbatch/internal/node"
 	"faasbatch/internal/policy"
+	"faasbatch/internal/pullsched"
 	"faasbatch/internal/router"
 	"faasbatch/internal/sim"
 	"faasbatch/internal/trace"
@@ -46,6 +47,12 @@ const (
 	// consistent-hash ring (the same ring the live routing tier runs, so
 	// simulated and live assignments agree function by function).
 	ConsistentHash
+	// Pull inverts the binding: invocations park in sharded per-function
+	// queues (internal/pullsched) and nodes with free lease capacity
+	// pull batches, so hot functions late-bind to the least-loaded node
+	// instead of queueing behind a hash slot. Runs the same decision
+	// core as the live router's -policy=pull.
+	Pull
 )
 
 // String implements fmt.Stringer.
@@ -59,6 +66,8 @@ func (b Balancing) String() string {
 		return "round-robin"
 	case ConsistentHash:
 		return "consistent-hash"
+	case Pull:
+		return "pull"
 	default:
 		return fmt.Sprintf("balancing(%d)", int(b))
 	}
@@ -96,6 +105,10 @@ type Config struct {
 	// Autoscale.MinWorkers and min(Autoscale.MaxWorkers, Nodes). Nil
 	// keeps the fleet static.
 	Autoscale *autoscale.Config
+	// Pull tunes the pull scheduler when Balancing is Pull (nil uses
+	// pullsched defaults with an unbounded queue). Pull.Workers is
+	// overridden with Nodes.
+	Pull *pullsched.Config
 }
 
 // Cluster is a fleet of FaaSBatch worker nodes behind a dispatcher.
@@ -107,6 +120,7 @@ type Cluster struct {
 	scheds  []*core.FaaSBatch
 	picker  *picker
 	scaler  *simScaler
+	pull    *pullDriver
 }
 
 // picker is the dispatcher's routing state, separated from the cluster so
@@ -116,12 +130,16 @@ type picker struct {
 	balancing Balancing
 	inflight  []int
 	assigned  []int // functions pinned per node (FnAffinity)
+	routed    []int // invocations dispatched per node (all policies)
 	affinity  map[string]int
 	down      []bool // marked-down nodes are skipped for new routing
 	downCount int
 	rrCounter int
 	ring      *router.Ring   // ConsistentHash only
 	memberIdx map[string]int // ring member name -> node index
+	// onDown observes every effective mark-down/mark-up transition; the
+	// pull driver uses it to mirror membership into its decision core.
+	onDown func(i int, down bool)
 }
 
 // newPicker builds routing state for n nodes.
@@ -130,6 +148,7 @@ func newPicker(b Balancing, n int) *picker {
 		balancing: b,
 		inflight:  make([]int, n),
 		assigned:  make([]int, n),
+		routed:    make([]int, n),
 		affinity:  make(map[string]int, 16),
 		down:      make([]bool, n),
 	}
@@ -166,6 +185,9 @@ func (p *picker) setDown(i int, down bool) {
 		} else {
 			p.ring.Add(m)
 		}
+	}
+	if p.onDown != nil {
+		p.onDown(i, down)
 	}
 }
 
@@ -276,7 +298,7 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 	if cfg.Balancing == 0 {
 		cfg.Balancing = FnAffinity
 	}
-	if cfg.Balancing < FnAffinity || cfg.Balancing > ConsistentHash {
+	if cfg.Balancing < FnAffinity || cfg.Balancing > Pull {
 		return nil, fmt.Errorf("cluster: unknown balancing %d", int(cfg.Balancing))
 	}
 	c := &Cluster{
@@ -306,6 +328,11 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		c.nodes = append(c.nodes, nd)
 		c.runners = append(c.runners, runner)
 		c.scheds = append(c.scheds, sched)
+	}
+	if cfg.Balancing == Pull {
+		if err := c.initPull(cfg.Pull); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Autoscale != nil {
 		if err := c.initAutoscale(*cfg.Autoscale); err != nil {
@@ -354,8 +381,13 @@ func (c *Cluster) Submit(inv *fnruntime.Invocation, complete func(*fnruntime.Inv
 	if c.scaler != nil {
 		c.scaler.observe(inv.Spec.Name, start.Duration())
 	}
+	if c.pull != nil {
+		c.pull.submit(inv, complete, start)
+		return
+	}
 	idx := c.picker.pick(inv.Spec.Name)
 	c.picker.inflight[idx]++
+	c.picker.routed[idx]++
 	c.scheds[idx].Submit(inv, func(done *fnruntime.Invocation) {
 		c.picker.inflight[idx]--
 		if c.scaler != nil {
@@ -363,6 +395,13 @@ func (c *Cluster) Submit(inv *fnruntime.Invocation, complete func(*fnruntime.Inv
 		}
 		complete(done)
 	})
+}
+
+// RoutedPerNode reports how many invocations each node has been
+// dispatched so far — the load-spread sample the skewed-traffic
+// experiment computes its coefficient of variation over.
+func (c *Cluster) RoutedPerNode() []int {
+	return append([]int(nil), c.picker.routed...)
 }
 
 // Assignments reports the function-to-node pinning the dispatcher has
@@ -384,6 +423,13 @@ func (c *Cluster) Assignments() map[string]int {
 func AssignmentSequence(b Balancing, n int, fns []string) ([]int, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: node count must be positive, got %d", n)
+	}
+	if b == Pull {
+		// Pull assignments depend on completions (capacity frees drive
+		// grants), so they cannot be computed standalone on an idle
+		// fleet; the pull conformance test replays a recorded event log
+		// instead (PullEvents/PullGrants).
+		return nil, fmt.Errorf("cluster: pull balancing has no standalone assignment sequence")
 	}
 	if b < FnAffinity || b > ConsistentHash {
 		return nil, fmt.Errorf("cluster: unknown balancing %d", int(b))

@@ -262,6 +262,29 @@ type RouterStatsResponse struct {
 	// Autoscale is the autoscaling control loop's snapshot (omitted
 	// when autoscaling is disabled).
 	Autoscale *AutoscaleStatus `json:"autoscale,omitempty"`
+	// Policy is the scheduling policy's snapshot (omitted by routers
+	// predating the policy API).
+	Policy *PolicyStats `json:"policy,omitempty"`
+}
+
+// PolicyStats is the router scheduling policy's snapshot inside the
+// /stats reply. The queue/lease fields are only live under the pull
+// policy; hash reports the name with zero counters.
+type PolicyStats struct {
+	// Policy names the active policy ("hash" or "pull").
+	Policy string `json:"policy"`
+	// Queued counts invocations waiting in per-function pull queues.
+	Queued int `json:"queued"`
+	// Leases counts invocations currently leased to workers.
+	Leases int `json:"leases"`
+	// Granted counts leases handed out (including re-grants).
+	Granted uint64 `json:"granted"`
+	// Requeues counts failed or expired leases returned to their queue.
+	Requeues uint64 `json:"requeues"`
+	// Expired counts leases reclaimed by the lease-budget sweep.
+	Expired uint64 `json:"expired"`
+	// Shed counts arrivals refused at the queue-depth bound.
+	Shed uint64 `json:"shed"`
 }
 
 // AutoscaleStatus is the autoscaling control plane's snapshot inside

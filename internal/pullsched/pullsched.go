@@ -1,0 +1,507 @@
+// Package pullsched is the clock-agnostic decision core for the
+// pull-based late-binding router policy (-policy=pull).
+//
+// The push consistent-hash policy binds a function to a worker at
+// arrival time, so a hot function queues behind its hash slot even when
+// the rest of the fleet sits idle. Pull scheduling inverts the binding:
+// arrivals park in sharded per-function queues, and a worker with free
+// lease capacity pulls a batch from the deepest queue — hot functions
+// late-bind to the least-loaded worker at the moment capacity frees,
+// exactly the Hiku/Archipelago shape.
+//
+// The core is shared verbatim by the cluster simulator
+// (internal/cluster, Balancing=Pull) and the live router
+// (internal/router, Config.Policy="pull"). It never reads a clock: every
+// event carries an offset from the driver's epoch (virtual time in the
+// sim, time.Since(start) live), so the sim-vs-live conformance test can
+// replay one schedule through both drivers and assert the grant
+// sequences are identical. All tie-breaks are total orders (queue depth
+// then head admission sequence; worker load then index), so a given
+// event sequence yields exactly one grant sequence.
+//
+// Lease protocol: a grant leases one invocation to one worker. The
+// driver acks with Complete, requeues with Fail (worker died mid-lease —
+// the item returns to the front of its queue and prefers a different
+// worker on re-grant), or drops with Abort (the caller gave up). Expire
+// requeues leases older than LeaseBudget, the backstop for drivers whose
+// lease holders can vanish without an ack. Each requeue produces exactly
+// one replacement grant, so the zero-lost-invocations guarantee survives
+// worker death mid-lease.
+package pullsched
+
+import (
+	"fmt"
+	"time"
+
+	"faasbatch/internal/hashmix"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultShards    = 8
+	DefaultBatchSize = 4
+	DefaultCapacity  = 8
+)
+
+// maxGrantLog bounds the retained grant log (conformance tests and
+// scenario reports read it; Stats keeps the lifetime totals).
+const maxGrantLog = 4096
+
+// Config parameterises a Core. The zero value of every field but
+// Workers is usable.
+type Config struct {
+	// Workers is the fleet slot count; slot i is worker i in the
+	// driver's ordering (node i in the sim, Config.Workers[i] live).
+	Workers int
+	// Shards is the queue shard count; functions hash to a shard
+	// (default DefaultShards). Sharding bounds the scan cost of queue
+	// bookkeeping; decisions are serialised by the driver regardless, as
+	// determinism requires a total decision order.
+	Shards int
+	// QueueDepth bounds each function's queue; an arrival past the
+	// bound is shed (the pull policy's admission control — depth-based,
+	// not per-slot). 0 means unbounded.
+	QueueDepth int
+	// BatchSize caps the invocations one pull grants from a single
+	// queue to a single worker (default DefaultBatchSize) — the batching
+	// locality knob: a pulled batch lands in one worker's dispatch
+	// window.
+	BatchSize int
+	// Capacity is the concurrent-lease cap per worker (default
+	// DefaultCapacity).
+	Capacity int
+	// LeaseBudget expires leases not acked within this span; expired
+	// leases requeue at the front of their function's queue. 0 disables
+	// expiry (live drivers whose lease holders always ack — every router
+	// forward is bounded by its ForwardTimeout — don't need it).
+	LeaseBudget time.Duration
+}
+
+// withDefaults resolves zero values.
+func (cfg Config) withDefaults() Config {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	return cfg
+}
+
+// Grant is one scheduling decision: invocation ID leased to Worker.
+type Grant struct {
+	// Seq is the grant's position in the core's decision sequence,
+	// starting at 1. The sim-vs-live conformance test compares these.
+	Seq uint64
+	// ID is the invocation being leased.
+	ID int64
+	// Fn is the invocation's function.
+	Fn string
+	// Worker is the leased worker slot.
+	Worker int
+	// At is the driver offset the grant was issued at.
+	At time.Duration
+	// Requeue marks a re-dispatch of a failed or expired lease.
+	Requeue bool
+}
+
+// Stats aggregates the core's lifetime counters plus current depths.
+type Stats struct {
+	// Enqueued counts accepted arrivals.
+	Enqueued uint64
+	// Granted counts leases issued (including re-dispatches).
+	Granted uint64
+	// Requeues counts failed/expired leases returned to their queue.
+	Requeues uint64
+	// Expired counts leases the LeaseBudget sweep reclaimed.
+	Expired uint64
+	// Shed counts arrivals refused at the QueueDepth bound.
+	Shed uint64
+	// Completed counts acked leases.
+	Completed uint64
+	// Failed counts leases the driver reported failed.
+	Failed uint64
+	// Aborted counts invocations the caller dropped.
+	Aborted uint64
+	// Queued is the current total queue depth across functions.
+	Queued int
+	// Leases is the current outstanding lease count.
+	Leases int
+}
+
+// item is one queued invocation.
+type item struct {
+	id int64
+	fn string
+	// seq is the admission sequence, the head tie-break. Requeued items
+	// keep their original seq, so a re-dispatched invocation never loses
+	// its place to later arrivals.
+	seq      uint64
+	requeues int
+	// lastWorker is the slot the item's last failed lease ran on (-1 if
+	// never leased); re-grants prefer a different worker.
+	lastWorker int
+}
+
+// fnQueue is one function's FIFO.
+type fnQueue struct {
+	items []*item
+}
+
+// lease is one outstanding grant.
+type lease struct {
+	it      *item
+	worker  int
+	granted time.Duration
+	seq     uint64
+}
+
+// workerState tracks one slot.
+type workerState struct {
+	eligible bool
+	inflight int
+}
+
+// Core holds the pull scheduler's queues, leases and worker states. It
+// is not internally locked: the sim driver runs on the single-threaded
+// engine and the live driver serialises calls under its own mutex, the
+// same discipline as internal/autoscale.Controller.
+type Core struct {
+	cfg     Config
+	shards  []map[string]*fnQueue
+	workers []workerState
+	leases  map[int64]*lease
+	queued  int
+	admSeq  uint64
+	gntSeq  uint64
+	log     []Grant
+	stats   Stats
+}
+
+// New builds a core for cfg.Workers slots, all initially eligible.
+func New(cfg Config) (*Core, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("pullsched: worker count must be positive, got %d", cfg.Workers)
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("pullsched: queue depth must be >= 0, got %d", cfg.QueueDepth)
+	}
+	if cfg.LeaseBudget < 0 {
+		return nil, fmt.Errorf("pullsched: lease budget must be >= 0, got %v", cfg.LeaseBudget)
+	}
+	cfg = cfg.withDefaults()
+	c := &Core{
+		cfg:     cfg,
+		shards:  make([]map[string]*fnQueue, cfg.Shards),
+		workers: make([]workerState, cfg.Workers),
+		leases:  make(map[int64]*lease),
+	}
+	for i := range c.shards {
+		c.shards[i] = make(map[string]*fnQueue)
+	}
+	for i := range c.workers {
+		c.workers[i].eligible = true
+	}
+	return c, nil
+}
+
+// Config returns the resolved configuration (defaults applied).
+func (c *Core) Config() Config { return c.cfg }
+
+// shard returns fn's queue shard.
+func (c *Core) shard(fn string) map[string]*fnQueue {
+	return c.shards[int(hashmix.String(fn)%uint64(len(c.shards)))]
+}
+
+// Enqueue admits invocation id of function fn at offset off. It returns
+// the grants the arrival unlocked (the arrival itself when a worker has
+// capacity) and shed=true when fn's queue is at its depth bound — the
+// item was refused and must be answered with an overload error.
+func (c *Core) Enqueue(id int64, fn string, off time.Duration) ([]Grant, bool) {
+	sh := c.shard(fn)
+	q := sh[fn]
+	if c.cfg.QueueDepth > 0 && q != nil && len(q.items) >= c.cfg.QueueDepth {
+		c.stats.Shed++
+		return nil, true
+	}
+	if q == nil {
+		q = &fnQueue{}
+		sh[fn] = q
+	}
+	c.admSeq++
+	q.items = append(q.items, &item{id: id, fn: fn, seq: c.admSeq, lastWorker: -1})
+	c.queued++
+	c.stats.Enqueued++
+	return c.pull(off), false
+}
+
+// Complete acks invocation id's lease: the worker finished it. When the
+// id is queued rather than leased (an expiry requeued it while the
+// original forward was still completing), the queued copy is withdrawn
+// instead, so one invocation is never served twice. Freed capacity
+// pulls more work.
+func (c *Core) Complete(id int64, off time.Duration) []Grant {
+	if l, ok := c.leases[id]; ok {
+		c.dropLease(l)
+		c.stats.Completed++
+		return c.pull(off)
+	}
+	if c.dequeue(id) {
+		c.stats.Completed++
+	}
+	return nil
+}
+
+// Fail requeues invocation id after its worker failed mid-lease: the
+// item returns to the front of its function's queue keeping its
+// admission sequence, and its re-grant prefers a different worker. The
+// freed capacity (and the requeued item itself) may grant immediately.
+// Unknown ids are ignored — the lease may already have expired and
+// requeued.
+func (c *Core) Fail(id int64, off time.Duration) []Grant {
+	l, ok := c.leases[id]
+	if !ok {
+		return nil
+	}
+	c.dropLease(l)
+	c.stats.Failed++
+	c.requeue(l.it)
+	return c.pull(off)
+}
+
+// Abort withdraws invocation id entirely — the caller gave up (context
+// cancelled, attempts exhausted). Freed capacity pulls more work.
+func (c *Core) Abort(id int64, off time.Duration) []Grant {
+	if l, ok := c.leases[id]; ok {
+		c.dropLease(l)
+		c.stats.Aborted++
+		return c.pull(off)
+	}
+	if c.dequeue(id) {
+		c.stats.Aborted++
+	}
+	return nil
+}
+
+// Expire requeues every lease older than LeaseBudget at offset off and
+// returns the re-grants. A no-op when LeaseBudget is 0.
+func (c *Core) Expire(off time.Duration) []Grant {
+	if c.cfg.LeaseBudget <= 0 || len(c.leases) == 0 {
+		return nil
+	}
+	var expired []*lease
+	for _, l := range c.leases {
+		if off-l.granted >= c.cfg.LeaseBudget {
+			expired = append(expired, l)
+		}
+	}
+	if len(expired) == 0 {
+		return nil
+	}
+	// Requeue in descending grant order so prepends leave each queue
+	// front ascending by admission sequence (map iteration order must
+	// not leak into the decision sequence).
+	for i := 1; i < len(expired); i++ {
+		for j := i; j > 0 && expired[j-1].seq < expired[j].seq; j-- {
+			expired[j-1], expired[j] = expired[j], expired[j-1]
+		}
+	}
+	for _, l := range expired {
+		c.dropLease(l)
+		c.stats.Expired++
+		c.requeue(l.it)
+	}
+	return c.pull(off)
+}
+
+// SetWorker flips slot w's routing eligibility: draining or down
+// workers stop pulling (their outstanding leases keep running until the
+// driver acks or fails them); a newly eligible worker immediately
+// drains queued work — the scale-from-zero wake path.
+func (c *Core) SetWorker(w int, eligible bool, off time.Duration) []Grant {
+	if w < 0 || w >= len(c.workers) || c.workers[w].eligible == eligible {
+		return nil
+	}
+	c.workers[w].eligible = eligible
+	if !eligible {
+		return nil
+	}
+	return c.pull(off)
+}
+
+// Stats snapshots the counters.
+func (c *Core) Stats() Stats {
+	st := c.stats
+	st.Queued = c.queued
+	st.Leases = len(c.leases)
+	return st
+}
+
+// Grants returns the retained decision log in order.
+func (c *Core) Grants() []Grant { return append([]Grant(nil), c.log...) }
+
+// Queued reports fn's current queue depth.
+func (c *Core) Queued(fn string) int {
+	if q := c.shard(fn)[fn]; q != nil {
+		return len(q.items)
+	}
+	return 0
+}
+
+// Inflight reports slot w's outstanding lease count.
+func (c *Core) Inflight(w int) int {
+	if w < 0 || w >= len(c.workers) {
+		return 0
+	}
+	return c.workers[w].inflight
+}
+
+// Eligible reports whether slot w may pull.
+func (c *Core) Eligible(w int) bool {
+	return w >= 0 && w < len(c.workers) && c.workers[w].eligible
+}
+
+// dropLease removes l and releases its worker capacity.
+func (c *Core) dropLease(l *lease) {
+	delete(c.leases, l.it.id)
+	c.workers[l.worker].inflight--
+}
+
+// requeue returns it to the front of its function's queue.
+func (c *Core) requeue(it *item) {
+	it.requeues++
+	c.stats.Requeues++
+	sh := c.shard(it.fn)
+	q := sh[it.fn]
+	if q == nil {
+		q = &fnQueue{}
+		sh[it.fn] = q
+	}
+	q.items = append([]*item{it}, q.items...)
+	c.queued++
+}
+
+// dequeue withdraws a queued copy of id, reporting whether it existed.
+func (c *Core) dequeue(id int64) bool {
+	for _, sh := range c.shards {
+		for fn, q := range sh {
+			for i, it := range q.items {
+				if it.id != id {
+					continue
+				}
+				q.items = append(q.items[:i], q.items[i+1:]...)
+				c.queued--
+				if len(q.items) == 0 {
+					delete(sh, fn)
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pull is the late-binding step: while any queue holds work and any
+// eligible worker has lease capacity, grant up to BatchSize items from
+// the deepest queue (tie: earliest head admission sequence) to the
+// least-loaded eligible worker (tie: lowest index). The whole batch
+// goes to one worker so it lands in one dispatch window, preserving the
+// batching locality the hash policy gets from function pinning.
+func (c *Core) pull(off time.Duration) []Grant {
+	var out []Grant
+	for {
+		q, sh, fn := c.deepest()
+		if q == nil {
+			return out
+		}
+		head := q.items[0]
+		w := c.target(head.lastWorker)
+		if w < 0 {
+			return out
+		}
+		n := c.cfg.BatchSize
+		if room := c.cfg.Capacity - c.workers[w].inflight; room < n {
+			n = room
+		}
+		if len(q.items) < n {
+			n = len(q.items)
+		}
+		for i := 0; i < n; i++ {
+			it := q.items[0]
+			q.items = q.items[1:]
+			c.queued--
+			c.gntSeq++
+			g := Grant{
+				Seq:     c.gntSeq,
+				ID:      it.id,
+				Fn:      it.fn,
+				Worker:  w,
+				At:      off,
+				Requeue: it.requeues > 0,
+			}
+			it.lastWorker = w
+			c.leases[it.id] = &lease{it: it, worker: w, granted: off, seq: c.gntSeq}
+			c.workers[w].inflight++
+			c.stats.Granted++
+			c.log = append(c.log, g)
+			out = append(out, g)
+		}
+		if over := len(c.log) - maxGrantLog; over > 0 {
+			c.log = append(c.log[:0], c.log[over:]...)
+		}
+		if len(q.items) == 0 {
+			delete(sh, fn)
+		}
+	}
+}
+
+// deepest returns the queue to pull from: maximum depth, ties broken by
+// the earliest head admission sequence (a total order — admission
+// sequences are unique — so map iteration order never shows through).
+func (c *Core) deepest() (*fnQueue, map[string]*fnQueue, string) {
+	var (
+		bestQ  *fnQueue
+		bestSh map[string]*fnQueue
+		bestFn string
+	)
+	for _, sh := range c.shards {
+		for fn, q := range sh {
+			if len(q.items) == 0 {
+				continue
+			}
+			if bestQ == nil ||
+				len(q.items) > len(bestQ.items) ||
+				(len(q.items) == len(bestQ.items) && q.items[0].seq < bestQ.items[0].seq) {
+				bestQ, bestSh, bestFn = q, sh, fn
+			}
+		}
+	}
+	return bestQ, bestSh, bestFn
+}
+
+// target picks the grant worker: eligible with spare capacity, minimum
+// inflight, lowest index on ties. A re-granted item's previous worker
+// (exclude) is avoided when any alternative exists — that is what makes
+// a requeue a failover rather than a retry against the same dead
+// worker.
+func (c *Core) target(exclude int) int {
+	best := -1
+	for i := range c.workers {
+		w := &c.workers[i]
+		if !w.eligible || w.inflight >= c.cfg.Capacity || i == exclude {
+			continue
+		}
+		if best < 0 || w.inflight < c.workers[best].inflight {
+			best = i
+		}
+	}
+	if best < 0 && exclude >= 0 && exclude < len(c.workers) {
+		if w := &c.workers[exclude]; w.eligible && w.inflight < c.cfg.Capacity {
+			best = exclude
+		}
+	}
+	return best
+}

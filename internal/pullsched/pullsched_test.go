@@ -1,0 +1,285 @@
+package pullsched
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func mustNew(t *testing.T, cfg Config) *Core {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted zero workers")
+	}
+	if _, err := New(Config{Workers: 2, QueueDepth: -1}); err == nil {
+		t.Fatal("New accepted negative queue depth")
+	}
+	if _, err := New(Config{Workers: 2, LeaseBudget: -time.Second}); err == nil {
+		t.Fatal("New accepted negative lease budget")
+	}
+	c := mustNew(t, Config{Workers: 2})
+	cfg := c.Config()
+	if cfg.Shards != DefaultShards || cfg.BatchSize != DefaultBatchSize || cfg.Capacity != DefaultCapacity {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+// An arrival with idle capacity grants immediately, least-loaded
+// lowest-index first.
+func TestImmediateGrant(t *testing.T) {
+	c := mustNew(t, Config{Workers: 2})
+	gs, shed := c.Enqueue(1, "hot", 0)
+	if shed || len(gs) != 1 || gs[0].Worker != 0 || gs[0].ID != 1 || gs[0].Requeue {
+		t.Fatalf("first enqueue: gs=%+v shed=%v", gs, shed)
+	}
+	gs, _ = c.Enqueue(2, "hot", time.Millisecond)
+	if len(gs) != 1 || gs[0].Worker != 1 {
+		t.Fatalf("second enqueue should late-bind to the idle worker: %+v", gs)
+	}
+	if c.Inflight(0) != 1 || c.Inflight(1) != 1 {
+		t.Fatalf("inflight = %d,%d want 1,1", c.Inflight(0), c.Inflight(1))
+	}
+}
+
+// A drained backlog grants in BatchSize batches, each batch to one
+// worker (batching locality), overflowing to the next-least-loaded.
+func TestBatchLocality(t *testing.T) {
+	c := mustNew(t, Config{Workers: 2, BatchSize: 4, Capacity: 4})
+	for w := 0; w < 2; w++ {
+		c.SetWorker(w, false, 0)
+	}
+	for i := int64(1); i <= 6; i++ {
+		if gs, shed := c.Enqueue(i, "hot", 0); len(gs) != 0 || shed {
+			t.Fatalf("enqueue %d with no eligible workers: gs=%+v shed=%v", i, gs, shed)
+		}
+	}
+	gs := c.SetWorker(0, true, time.Millisecond)
+	if len(gs) != 4 {
+		t.Fatalf("wake granted %d, want one BatchSize batch of 4: %+v", len(gs), gs)
+	}
+	for _, g := range gs {
+		if g.Worker != 0 {
+			t.Fatalf("batch split across workers: %+v", gs)
+		}
+	}
+	gs = c.SetWorker(1, true, 2*time.Millisecond)
+	if len(gs) != 2 || gs[0].Worker != 1 || gs[1].Worker != 1 {
+		t.Fatalf("remainder should land on the newly idle worker: %+v", gs)
+	}
+	if c.Queued("hot") != 0 {
+		t.Fatalf("queue depth %d after drain", c.Queued("hot"))
+	}
+}
+
+// The depth bound sheds arrivals — the pull policy's admission control.
+func TestQueueDepthShed(t *testing.T) {
+	c := mustNew(t, Config{Workers: 1, QueueDepth: 2, Capacity: 1})
+	c.Enqueue(1, "hot", 0) // leased
+	c.Enqueue(2, "hot", 0) // queued
+	c.Enqueue(3, "hot", 0) // queued
+	gs, shed := c.Enqueue(4, "hot", 0)
+	if !shed || len(gs) != 0 {
+		t.Fatalf("fourth arrival should shed at depth 2: gs=%+v shed=%v", gs, shed)
+	}
+	st := c.Stats()
+	if st.Shed != 1 || st.Enqueued != 3 || st.Queued != 2 {
+		t.Fatalf("stats after shed: %+v", st)
+	}
+}
+
+// A failed lease requeues exactly once and its re-grant prefers a
+// different worker — failover, not a retry against the dead worker.
+func TestFailRequeuesToDifferentWorker(t *testing.T) {
+	c := mustNew(t, Config{Workers: 2})
+	gs, _ := c.Enqueue(1, "hot", 0)
+	if gs[0].Worker != 0 {
+		t.Fatalf("setup: %+v", gs)
+	}
+	gs = c.Fail(1, time.Millisecond)
+	if len(gs) != 1 || !gs[0].Requeue || gs[0].Worker != 1 || gs[0].ID != 1 {
+		t.Fatalf("re-grant = %+v, want requeue of id 1 on worker 1", gs)
+	}
+	if again := c.Fail(99, time.Millisecond); len(again) != 0 {
+		t.Fatalf("unknown id produced grants: %+v", again)
+	}
+	st := c.Stats()
+	if st.Failed != 1 || st.Requeues != 1 || st.Granted != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// When only the failed worker has capacity the re-grant falls back to
+// it rather than starving.
+func TestFailFallsBackToOnlyWorker(t *testing.T) {
+	c := mustNew(t, Config{Workers: 1})
+	c.Enqueue(1, "hot", 0)
+	gs := c.Fail(1, time.Millisecond)
+	if len(gs) != 1 || gs[0].Worker != 0 || !gs[0].Requeue {
+		t.Fatalf("re-grant = %+v", gs)
+	}
+}
+
+// A requeued item keeps its admission sequence: it re-dispatches before
+// later arrivals of the same function.
+func TestRequeueKeepsQueuePosition(t *testing.T) {
+	c := mustNew(t, Config{Workers: 1, Capacity: 1, BatchSize: 1})
+	c.Enqueue(1, "hot", 0) // leased
+	c.Enqueue(2, "hot", 0) // queued behind it
+	gs := c.Fail(1, time.Millisecond)
+	if len(gs) != 1 || gs[0].ID != 1 {
+		t.Fatalf("failed head should re-grant before the later arrival: %+v", gs)
+	}
+	gs = c.Complete(1, 2*time.Millisecond)
+	if len(gs) != 1 || gs[0].ID != 2 {
+		t.Fatalf("completion should pull the waiting arrival: %+v", gs)
+	}
+}
+
+// Expire reclaims leases past the budget, requeues them exactly once,
+// and a late Complete withdraws the queued copy so one invocation is
+// never served twice.
+func TestExpireAndLateCompletion(t *testing.T) {
+	c := mustNew(t, Config{Workers: 1, LeaseBudget: 100 * time.Millisecond})
+	c.Enqueue(1, "hot", 0)
+	if gs := c.Expire(50 * time.Millisecond); len(gs) != 0 {
+		t.Fatalf("early expiry: %+v", gs)
+	}
+	// Take the worker out so the expired item stays queued.
+	c.SetWorker(0, false, 60*time.Millisecond)
+	if gs := c.Expire(100 * time.Millisecond); len(gs) != 0 {
+		t.Fatalf("no eligible worker, yet expiry granted: %+v", gs)
+	}
+	st := c.Stats()
+	if st.Expired != 1 || st.Requeues != 1 || st.Queued != 1 || st.Leases != 0 {
+		t.Fatalf("stats after expiry: %+v", st)
+	}
+	// The original forward turns out to have succeeded after all.
+	c.Complete(1, 110*time.Millisecond)
+	if gs := c.SetWorker(0, true, 120*time.Millisecond); len(gs) != 0 {
+		t.Fatalf("withdrawn item re-granted: %+v", gs)
+	}
+	st = c.Stats()
+	if st.Completed != 1 || st.Queued != 0 || st.Leases != 0 {
+		t.Fatalf("stats after late completion: %+v", st)
+	}
+}
+
+// Expiry with capacity available re-grants immediately, exactly once.
+func TestExpireRegrants(t *testing.T) {
+	c := mustNew(t, Config{Workers: 2, LeaseBudget: 100 * time.Millisecond})
+	c.Enqueue(1, "hot", 0)
+	gs := c.Expire(150 * time.Millisecond)
+	if len(gs) != 1 || !gs[0].Requeue || gs[0].ID != 1 || gs[0].Worker != 1 {
+		t.Fatalf("expiry re-grant = %+v, want id 1 on worker 1", gs)
+	}
+	if gs = c.Expire(160 * time.Millisecond); len(gs) != 0 {
+		t.Fatalf("fresh lease expired immediately: %+v", gs)
+	}
+}
+
+// Queued work wakes a worker that turns eligible — scale-from-zero.
+func TestWakeDrainsQueue(t *testing.T) {
+	c := mustNew(t, Config{Workers: 2})
+	c.SetWorker(0, false, 0)
+	c.SetWorker(1, false, 0)
+	for i := int64(1); i <= 3; i++ {
+		c.Enqueue(i, "hot", 0)
+	}
+	gs := c.SetWorker(1, true, time.Millisecond)
+	if len(gs) != 3 {
+		t.Fatalf("wake drained %d/3: %+v", len(gs), gs)
+	}
+	for _, g := range gs {
+		if g.Worker != 1 {
+			t.Fatalf("grant to ineligible worker: %+v", g)
+		}
+	}
+}
+
+// The deepest queue is served first; ties break on the earliest head
+// admission sequence, so the decision order is total.
+func TestDeepestQueueFirst(t *testing.T) {
+	c := mustNew(t, Config{Workers: 1, BatchSize: 8, Capacity: 8})
+	c.SetWorker(0, false, 0)
+	c.Enqueue(1, "cold", 0)
+	c.Enqueue(2, "hot", 0)
+	c.Enqueue(3, "hot", 0)
+	gs := c.SetWorker(0, true, time.Millisecond)
+	want := []int64{2, 3, 1}
+	var got []int64
+	for _, g := range gs {
+		got = append(got, g.ID)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("grant order %v, want hot queue (deeper) first: %v", got, want)
+	}
+}
+
+// Replaying one event script through two cores yields byte-identical
+// grant logs — the property the sim-vs-live conformance test builds on.
+func TestDeterministicReplay(t *testing.T) {
+	script := func(c *Core) {
+		fns := []string{"alpha", "beta", "gamma", "hot", "hot", "hot"}
+		id := int64(0)
+		for round := 0; round < 8; round++ {
+			off := time.Duration(round) * 10 * time.Millisecond
+			for _, fn := range fns {
+				id++
+				c.Enqueue(id, fn, off)
+			}
+			if round == 2 {
+				c.SetWorker(1, false, off)
+			}
+			if round == 5 {
+				c.SetWorker(1, true, off)
+			}
+			c.Fail(id, off+time.Millisecond)
+			for done := id - int64(len(fns)) + 1; done <= id; done++ {
+				c.Complete(done, off+5*time.Millisecond)
+			}
+		}
+	}
+	cfg := Config{Workers: 4, Capacity: 2, BatchSize: 2, QueueDepth: 16}
+	a, b := mustNew(t, cfg), mustNew(t, cfg)
+	script(a)
+	script(b)
+	if !reflect.DeepEqual(a.Grants(), b.Grants()) {
+		t.Fatal("two replays of one script diverged")
+	}
+	if len(a.Grants()) == 0 {
+		t.Fatal("script produced no grants")
+	}
+	st := a.Stats()
+	if st.Queued != 0 || st.Leases != 0 {
+		t.Fatalf("script should quiesce: %+v", st)
+	}
+	// Conservation: everything admitted was acked, aborted, or still held.
+	if st.Enqueued != st.Completed+st.Aborted {
+		t.Fatalf("conservation: enqueued %d != completed %d + aborted %d", st.Enqueued, st.Completed, st.Aborted)
+	}
+}
+
+// Abort releases a lease or withdraws a queued item.
+func TestAbort(t *testing.T) {
+	c := mustNew(t, Config{Workers: 1, Capacity: 1})
+	c.Enqueue(1, "hot", 0)
+	c.Enqueue(2, "hot", 0)
+	if gs := c.Abort(2, time.Millisecond); len(gs) != 0 {
+		t.Fatalf("aborting a queued item granted: %+v", gs)
+	}
+	if gs := c.Abort(1, 2*time.Millisecond); len(gs) != 0 {
+		t.Fatalf("nothing left to grant: %+v", gs)
+	}
+	st := c.Stats()
+	if st.Aborted != 2 || st.Queued != 0 || st.Leases != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

@@ -198,14 +198,47 @@ var autoscaleExports = []autoscaleExport{
 		func(a httpapi.AutoscaleStatus) float64 { return a.DrainSeconds }},
 }
 
+// policyExport is one faasrouter_pull_* series: the mapping is data so
+// the conformance test walks it, registryGauges style.
+type policyExport struct {
+	Name, Help, Kind string
+	Value            func(httpapi.PolicyStats) float64
+}
+
+// policyExports enumerates the pull policy's exposition: queue and
+// lease occupancy plus the lease-protocol counters. Emitted only when
+// the pull policy is active (hash has no queues to report).
+var policyExports = []policyExport{
+	{"faasrouter_pull_queued", "Invocations waiting in per-function pull queues.", "gauge",
+		func(p httpapi.PolicyStats) float64 { return float64(p.Queued) }},
+	{"faasrouter_pull_leases", "Invocations currently leased to workers.", "gauge",
+		func(p httpapi.PolicyStats) float64 { return float64(p.Leases) }},
+	{"faasrouter_pull_granted_total", "Leases handed out, re-grants included.", "counter",
+		func(p httpapi.PolicyStats) float64 { return float64(p.Granted) }},
+	{"faasrouter_pull_requeues_total", "Failed or expired leases returned to their queue.", "counter",
+		func(p httpapi.PolicyStats) float64 { return float64(p.Requeues) }},
+	{"faasrouter_pull_expired_total", "Leases reclaimed by the lease-budget sweep.", "counter",
+		func(p httpapi.PolicyStats) float64 { return float64(p.Expired) }},
+	{"faasrouter_pull_shed_total", "Arrivals refused at the pull queue-depth bound.", "counter",
+		func(p httpapi.PolicyStats) float64 { return float64(p.Shed) }},
+}
+
 // writeFleetGauges renders the registry lifecycle gauges and — when the
-// control loop runs — the autoscale series. Shared by /metrics and
-// /cluster/metrics so scaling state is visible on both surfaces.
+// control loop runs — the autoscale series, plus the pull policy's
+// series under the pull policy. Shared by /metrics and /cluster/metrics
+// so scaling state is visible on both surfaces.
 func (rt *Router) writeFleetGauges(w io.Writer) {
 	ready, draining, down, standby := rt.reg.Counts()
 	for _, g := range registryGauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
 			g.Name, g.Help, g.Name, g.Name, g.Value(ready, draining, down, standby))
+	}
+	if rt.policy.Name() == PolicyPull {
+		pst := rt.policy.Stats()
+		for _, ex := range policyExports {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n",
+				ex.Name, ex.Help, ex.Name, ex.Kind, ex.Name, ex.Value(pst))
+		}
 	}
 	if rt.scaler == nil {
 		return
@@ -240,7 +273,14 @@ func (rt *Router) statsResponse() httpapi.RouterStatsResponse {
 		ForwardImbalance: rt.ForwardImbalance(),
 		Workers:          rt.reg.Snapshot(),
 		Autoscale:        rt.autoscaleStatusField(),
+		Policy:           rt.policyStatsField(),
 	}
+}
+
+// policyStatsField returns the /stats policy block.
+func (rt *Router) policyStatsField() *httpapi.PolicyStats {
+	st := rt.policy.Stats()
+	return &st
 }
 
 // autoscaleStatusField returns the /stats autoscale block (nil when

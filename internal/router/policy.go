@@ -1,0 +1,294 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+
+	"faasbatch/internal/autoscale"
+	"faasbatch/internal/chaos"
+	"faasbatch/internal/httpapi"
+	"faasbatch/internal/obs"
+	"faasbatch/internal/pullsched"
+)
+
+// Policy names accepted by Config.Policy and the -policy flag.
+const (
+	// PolicyHash is push scheduling: consistent-hash function affinity
+	// with bounded load, the router's original behaviour and the default.
+	PolicyHash = "hash"
+	// PolicyPull is pull scheduling: invocations queue per function at
+	// the router and workers with free capacity lease them in batches,
+	// late-binding hot functions to the least-loaded worker.
+	PolicyPull = "pull"
+)
+
+// Policy is the router's scheduling strategy: it turns an admitted
+// invocation into a Binding that names the worker for each forward
+// attempt. Implementations are the consistent-hash push policy
+// (PolicyHash) and the late-binding pull policy (PolicyPull). The
+// interface is sealed — the unexported sweep method keeps outside
+// packages from implementing it, so its surface can still move.
+type Policy interface {
+	// Name reports the policy's registered name.
+	Name() string
+	// Assign admits one invocation to the policy and returns the
+	// binding that will name a worker per attempt. It blocks only in
+	// scale-from-zero holds; queue waits happen in Binding.Next. The
+	// error is ErrNoWorkers (empty ring) or an *OverloadError (the pull
+	// policy's queue-depth bound).
+	Assign(ctx context.Context, fn string) (Binding, error)
+	// OnMembershipChange observes a worker joining or leaving the
+	// serving set (probe mark-down/up, autoscale activate/drain/retire).
+	// The pull policy stops granting to ineligible workers and treats a
+	// newly eligible one as a wake — it immediately drains queued work.
+	OnMembershipChange(workerID string, eligible bool)
+	// Stats snapshots the policy's counters for /stats and /metrics.
+	Stats() httpapi.PolicyStats
+	// sweep runs periodic maintenance off the probe loop (the pull
+	// policy's lease-expiry scan). Sealed: implementations live here.
+	sweep()
+}
+
+// Binding is one invocation's assignment under a Policy.
+type Binding interface {
+	// Next names the worker for the given 1-based attempt. Hash returns
+	// ring candidates round-robin and never blocks; pull blocks until a
+	// lease is granted (attempt > 1 first requeues the failed lease so
+	// the re-grant prefers a different worker).
+	Next(ctx context.Context, attempt int) (string, error)
+	// Done settles the binding: ok acks the lease, !ok aborts it (the
+	// invocation errored out or its context expired). Idempotent; the
+	// forwarder calls it exactly once via defer.
+	Done(ok bool)
+	// detail labels the route span (sealed for the same reason as sweep).
+	detail() string
+}
+
+// hashPolicy is the push policy: Candidates picks bounded-load ring
+// replicas once per invocation, and attempts walk them round-robin —
+// byte-for-byte the router's pre-policy-API behaviour.
+type hashPolicy struct {
+	rt *Router
+}
+
+// Name implements Policy.
+func (p *hashPolicy) Name() string { return PolicyHash }
+
+// Assign implements Policy.
+func (p *hashPolicy) Assign(ctx context.Context, fn string) (Binding, error) {
+	cands := p.rt.reg.Candidates(fn, p.rt.cfg.LoadBound)
+	if len(cands) == 0 && p.rt.scaler != nil {
+		// Scale-from-zero: the wake decision is already in flight
+		// (observe ran before forward); hold the invocation until a
+		// worker finishes warming instead of bouncing it with 503.
+		cands = p.rt.awaitCapacity(ctx, fn)
+	}
+	if len(cands) == 0 {
+		return nil, ErrNoWorkers
+	}
+	return &hashBinding{cands: cands}, nil
+}
+
+// OnMembershipChange implements Policy: the ring inside the registry
+// already reflects membership, so hash has nothing to track.
+func (p *hashPolicy) OnMembershipChange(string, bool) {}
+
+// Stats implements Policy.
+func (p *hashPolicy) Stats() httpapi.PolicyStats {
+	return httpapi.PolicyStats{Policy: PolicyHash}
+}
+
+// sweep implements Policy (no periodic work).
+func (p *hashPolicy) sweep() {}
+
+// hashBinding walks the candidate list round-robin across attempts.
+type hashBinding struct {
+	cands []string
+}
+
+// Next implements Binding.
+func (b *hashBinding) Next(_ context.Context, attempt int) (string, error) {
+	return b.cands[(attempt-1)%len(b.cands)], nil
+}
+
+// Done implements Binding (push holds no lease to settle).
+func (b *hashBinding) Done(bool) {}
+
+// detail implements Binding.
+func (b *hashBinding) detail() string {
+	return fmt.Sprintf("candidates=%d", len(b.cands))
+}
+
+// ErrConflictingOptions marks a New call that sets the same knob both
+// in the Config struct and through a functional option (or passes the
+// same option twice). Match with errors.Is.
+var ErrConflictingOptions = errors.New("router: conflicting options")
+
+// Option customises New beyond the Config struct, mirroring the
+// facade's PlatformOption pattern. Options and config-struct
+// construction compose, but each knob may be set through only one of
+// the two — setting it through both fails with ErrConflictingOptions.
+type Option func(*routerOptions)
+
+// routerOptions accumulates functional-option state before it is
+// merged into the config.
+type routerOptions struct {
+	policy       string
+	policySet    bool
+	pull         *pullsched.Config
+	pullSet      bool
+	scale        *autoscale.Config
+	scaleSet     bool
+	chaos        *chaos.Injector
+	chaosSet     bool
+	tracer       *obs.Tracer
+	tracerSet    bool
+	logger       *slog.Logger
+	loggerSet    bool
+	transport    http.RoundTripper
+	transportSet bool
+	duplicates   []string
+}
+
+func (o *routerOptions) noteDup(name string, set bool) {
+	if set {
+		o.duplicates = append(o.duplicates, name)
+	}
+}
+
+// WithPolicy selects the scheduling policy by name (equivalent to
+// Config.Policy; setting both conflicts).
+func WithPolicy(name string) Option {
+	return func(o *routerOptions) {
+		o.noteDup("policy", o.policySet)
+		o.policy, o.policySet = name, true
+	}
+}
+
+// WithPullConfig selects the pull policy with explicit queue tuning
+// (equivalent to Config.Policy=PolicyPull plus Config.Pull; a non-nil
+// config-struct Pull or explicit Policy conflicts).
+func WithPullConfig(cfg pullsched.Config) Option {
+	return func(o *routerOptions) {
+		o.noteDup("pull", o.pullSet)
+		c := cfg
+		o.pull, o.pullSet = &c, true
+	}
+}
+
+// WithAutoscale enables the predictive autoscaling control loop
+// (equivalent to Config.Autoscale; setting both conflicts).
+func WithAutoscale(cfg autoscale.Config) Option {
+	return func(o *routerOptions) {
+		o.noteDup("autoscale", o.scaleSet)
+		c := cfg
+		o.scale, o.scaleSet = &c, true
+	}
+}
+
+// WithChaos installs a deterministic fault injector (equivalent to
+// Config.Chaos; setting both conflicts).
+func WithChaos(inj *chaos.Injector) Option {
+	return func(o *routerOptions) {
+		o.noteDup("chaos", o.chaosSet)
+		o.chaos, o.chaosSet = inj, true
+	}
+}
+
+// WithTracer installs the router's span recorder (equivalent to
+// Config.Tracer; setting both conflicts).
+func WithTracer(t *obs.Tracer) Option {
+	return func(o *routerOptions) {
+		o.noteDup("tracer", o.tracerSet)
+		o.tracer, o.tracerSet = t, true
+	}
+}
+
+// WithLogger installs the router's structured logger (equivalent to
+// Config.Logger; setting both conflicts).
+func WithLogger(l *slog.Logger) Option {
+	return func(o *routerOptions) {
+		o.noteDup("logger", o.loggerSet)
+		o.logger, o.loggerSet = l, true
+	}
+}
+
+// WithTransport overrides the forwarding HTTP transport (equivalent to
+// Config.Transport; setting both conflicts). Tests use it to route
+// forwards through in-process workers.
+func WithTransport(t http.RoundTripper) Option {
+	return func(o *routerOptions) {
+		o.noteDup("transport", o.transportSet)
+		o.transport, o.transportSet = t, true
+	}
+}
+
+// mergeOptions folds functional options into cfg, failing on knobs set
+// both ways (facade ErrConflictingOptions semantics).
+func mergeOptions(cfg Config, opts []Option) (Config, error) {
+	var o routerOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	conflicts := o.duplicates
+	if o.policySet && cfg.Policy != "" {
+		conflicts = append(conflicts, "policy")
+	}
+	if o.pullSet && cfg.Pull != nil {
+		conflicts = append(conflicts, "pull")
+	}
+	if o.pullSet && o.policySet && o.policy != PolicyPull {
+		// WithPullConfig implies the pull policy; naming another one is
+		// a contradiction, not a tie to break silently.
+		conflicts = append(conflicts, "policy")
+	}
+	if o.pullSet && !o.policySet && cfg.Policy != "" && cfg.Policy != PolicyPull {
+		conflicts = append(conflicts, "policy")
+	}
+	if o.scaleSet && cfg.Autoscale != nil {
+		conflicts = append(conflicts, "autoscale")
+	}
+	if o.chaosSet && cfg.Chaos != nil {
+		conflicts = append(conflicts, "chaos")
+	}
+	if o.tracerSet && cfg.Tracer != nil {
+		conflicts = append(conflicts, "tracer")
+	}
+	if o.loggerSet && cfg.Logger != nil {
+		conflicts = append(conflicts, "logger")
+	}
+	if o.transportSet && cfg.Transport != nil {
+		conflicts = append(conflicts, "transport")
+	}
+	if len(conflicts) > 0 {
+		return cfg, fmt.Errorf("%w: %s set more than once", ErrConflictingOptions,
+			strings.Join(conflicts, ", "))
+	}
+	if o.policySet {
+		cfg.Policy = o.policy
+	}
+	if o.pullSet {
+		cfg.Policy = PolicyPull
+		cfg.Pull = o.pull
+	}
+	if o.scaleSet {
+		cfg.Autoscale = o.scale
+	}
+	if o.chaosSet {
+		cfg.Chaos = o.chaos
+	}
+	if o.tracerSet {
+		cfg.Tracer = o.tracer
+	}
+	if o.loggerSet {
+		cfg.Logger = o.logger
+	}
+	if o.transportSet {
+		cfg.Transport = o.transport
+	}
+	return cfg, nil
+}

@@ -1,0 +1,311 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"faasbatch/internal/httpapi"
+	"faasbatch/internal/pullsched"
+)
+
+// errRouterClosed aborts pull waits when the router shuts down with
+// leases still pending.
+var errRouterClosed = errors.New("router: closed")
+
+// pullPolicy drives the shared pullsched.Core against the live fleet.
+// Each admitted invocation's forwarding goroutine doubles as its lease
+// holder ("virtual pull"): Assign enqueues and registers a grant
+// channel, Binding.Next blocks on it until the core leases the
+// invocation to a worker, a failed attempt requeues so the re-grant
+// late-binds elsewhere, and Done acks or aborts the lease. The core is
+// clock-agnostic and unlocked; this driver serialises every core call
+// under mu and stamps offsets from its own epoch — the same discipline
+// the sim driver gets for free from the single-threaded engine, which
+// is what makes the two drivers' grant logs comparable.
+type pullPolicy struct {
+	rt    *Router
+	start time.Time // epoch for the core's virtual offsets
+	ids   []string  // slot index -> worker ID (Config.Workers order)
+
+	mu      sync.Mutex
+	core    *pullsched.Core
+	waiters map[int64]chan pullsched.Grant
+	slots   map[string]int // worker ID -> slot index
+	nextID  int64
+}
+
+// newPullPolicy builds the pull driver over rt's worker set. Called
+// after the autoscale scaler (if any) has settled initial lifecycle
+// states, so standby workers start ineligible.
+func newPullPolicy(rt *Router, pcfg *pullsched.Config) (*pullPolicy, error) {
+	cfg := pullsched.Config{}
+	if pcfg != nil {
+		cfg = *pcfg
+	}
+	cfg.Workers = len(rt.cfg.Workers)
+	core, err := pullsched.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &pullPolicy{
+		rt:      rt,
+		start:   time.Now(),
+		core:    core,
+		waiters: make(map[int64]chan pullsched.Grant),
+		slots:   make(map[string]int, len(rt.cfg.Workers)),
+	}
+	for i, spec := range rt.cfg.Workers {
+		p.slots[spec.ID] = i
+		p.ids = append(p.ids, spec.ID)
+		if rt.reg.State(spec.ID) != WorkerUp {
+			p.core.SetWorker(i, false, 0)
+		}
+	}
+	return p, nil
+}
+
+// now is the core-facing virtual offset of the current instant.
+func (p *pullPolicy) now() time.Duration { return time.Since(p.start) }
+
+// Name implements Policy.
+func (p *pullPolicy) Name() string { return PolicyPull }
+
+// Assign implements Policy: enqueue the invocation and hand back a
+// binding whose Next blocks on the lease grant. The queue-depth bound
+// sheds here with an *OverloadError — the pull policy's admission
+// control, replacing the per-function semaphore.
+func (p *pullPolicy) Assign(_ context.Context, fn string) (Binding, error) {
+	p.mu.Lock()
+	p.nextID++
+	id := p.nextID
+	// Buffered for two so a sweep re-grant racing a fail re-grant never
+	// blocks the policy lock; Next consumes at most one per attempt.
+	ch := make(chan pullsched.Grant, 2)
+	p.waiters[id] = ch
+	gs, shed := p.core.Enqueue(id, fn, p.now())
+	if shed {
+		delete(p.waiters, id)
+		depth := p.core.Config().QueueDepth
+		p.mu.Unlock()
+		return nil, &OverloadError{
+			Fn:         fn,
+			Reason:     "pull queue full",
+			RetryAfter: pullRetryAfter(depth),
+		}
+	}
+	p.deliverLocked(gs)
+	p.mu.Unlock()
+	return &pullBinding{p: p, id: id, ch: ch}, nil
+}
+
+// deliverLocked routes grants to their lease holders' channels. Sends
+// never block (the channels are buffered and drained once per attempt),
+// so grant delivery cannot deadlock against the policy lock.
+func (p *pullPolicy) deliverLocked(gs []pullsched.Grant) {
+	for _, g := range gs {
+		ch, ok := p.waiters[g.ID]
+		if !ok {
+			continue
+		}
+		select {
+		case ch <- g:
+		default:
+		}
+	}
+}
+
+// fail requeues a lease after a failed forward attempt; the freed
+// capacity may grant other queued invocations.
+func (p *pullPolicy) fail(id int64) {
+	p.mu.Lock()
+	p.deliverLocked(p.core.Fail(id, p.now()))
+	p.mu.Unlock()
+}
+
+// complete acks a lease; the freed capacity pulls more queued work.
+func (p *pullPolicy) complete(id int64) {
+	p.mu.Lock()
+	gs := p.core.Complete(id, p.now())
+	delete(p.waiters, id)
+	p.deliverLocked(gs)
+	p.mu.Unlock()
+}
+
+// abort releases a lease (or withdraws the queued item) for an
+// invocation that errored out or whose caller gave up.
+func (p *pullPolicy) abort(id int64) {
+	p.mu.Lock()
+	gs := p.core.Abort(id, p.now())
+	delete(p.waiters, id)
+	p.deliverLocked(gs)
+	p.mu.Unlock()
+}
+
+// OnMembershipChange implements Policy: probe mark-downs and autoscale
+// drains/retires stop the worker pulling; mark-ups and activations are
+// wakes that immediately drain queued work onto the new capacity.
+func (p *pullPolicy) OnMembershipChange(workerID string, eligible bool) {
+	p.mu.Lock()
+	if i, ok := p.slots[workerID]; ok {
+		p.deliverLocked(p.core.SetWorker(i, eligible, p.now()))
+	}
+	p.mu.Unlock()
+}
+
+// Stats implements Policy.
+func (p *pullPolicy) Stats() httpapi.PolicyStats {
+	p.mu.Lock()
+	st := p.core.Stats()
+	p.mu.Unlock()
+	return httpapi.PolicyStats{
+		Policy:   PolicyPull,
+		Queued:   st.Queued,
+		Leases:   st.Leases,
+		Granted:  st.Granted,
+		Requeues: st.Requeues,
+		Expired:  st.Expired,
+		Shed:     st.Shed,
+	}
+}
+
+// sweep implements Policy: reclaim leases past the budget, riding the
+// probe loop's tick. Live leases are already bounded by ForwardTimeout
+// plus the binding's deferred Done, so the sweep is a backstop for
+// leases whose holder died without settling; it only runs when a
+// LeaseBudget is configured (the live default leaves it off).
+func (p *pullPolicy) sweep() {
+	if p.core.Config().LeaseBudget <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.deliverLocked(p.core.Expire(p.now()))
+	p.mu.Unlock()
+}
+
+// pullRetryAfter sizes the 429 Retry-After hint from the queue depth.
+func pullRetryAfter(depth int) time.Duration {
+	if depth > 4 {
+		return 2 * time.Second
+	}
+	return time.Second
+}
+
+// pullBinding is one invocation's lease-holder handle.
+type pullBinding struct {
+	p       *pullPolicy
+	id      int64
+	ch      chan pullsched.Grant
+	settled bool
+}
+
+// Next implements Binding: block until the core leases this invocation
+// to a worker. Attempts after the first requeue the failed lease first,
+// so the re-grant late-binds to a different worker when one has
+// capacity. The wait is bounded by the invocation's context and the
+// router's shutdown.
+func (b *pullBinding) Next(ctx context.Context, attempt int) (string, error) {
+	if attempt > 1 {
+		b.p.fail(b.id)
+	}
+	select {
+	case g := <-b.ch:
+		return b.p.ids[g.Worker], nil
+	case <-ctx.Done():
+		return "", ctx.Err()
+	case <-b.p.rt.stop:
+		return "", errRouterClosed
+	}
+}
+
+// Done implements Binding: ack on success, abort otherwise (both
+// withdraw any queued copy, so an invocation is never served twice).
+func (b *pullBinding) Done(ok bool) {
+	if b.settled {
+		return
+	}
+	b.settled = true
+	if ok {
+		b.p.complete(b.id)
+	} else {
+		b.p.abort(b.id)
+	}
+}
+
+// detail implements Binding.
+func (b *pullBinding) detail() string { return "pull" }
+
+// The Pull* methods below are the sim-vs-live conformance surface:
+// they feed the live policy's core directly with explicit invocation
+// ids and virtual offsets, bypassing the waiter machinery and the
+// registry (whose wall-clock stamps would differ run to run), so a
+// schedule recorded from the sim driver replays here and the two grant
+// logs can be compared byte for byte.
+
+// pullCore returns the live pull core, or nil under another policy.
+func (rt *Router) pullCore() *pullPolicy {
+	p, _ := rt.policy.(*pullPolicy)
+	return p
+}
+
+// PullEnqueue replays one admission at an explicit virtual offset.
+func (rt *Router) PullEnqueue(id int64, fn string, off time.Duration) ([]pullsched.Grant, bool) {
+	p := rt.pullCore()
+	if p == nil {
+		return nil, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.core.Enqueue(id, fn, off)
+}
+
+// PullComplete replays one lease ack at an explicit virtual offset.
+func (rt *Router) PullComplete(id int64, off time.Duration) []pullsched.Grant {
+	p := rt.pullCore()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.core.Complete(id, off)
+}
+
+// PullSetWorker replays one membership flip at an explicit virtual
+// offset, addressing the worker by fleet ID.
+func (rt *Router) PullSetWorker(workerID string, eligible bool, off time.Duration) []pullsched.Grant {
+	p := rt.pullCore()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	i, ok := p.slots[workerID]
+	if !ok {
+		return nil
+	}
+	return p.core.SetWorker(i, eligible, off)
+}
+
+// PullGrants returns the live core's retained grant log in order.
+func (rt *Router) PullGrants() []pullsched.Grant {
+	p := rt.pullCore()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.core.Grants()
+}
+
+// PullStats snapshots the live core's counters (zero value under the
+// hash policy).
+func (rt *Router) PullStats() pullsched.Stats {
+	p := rt.pullCore()
+	if p == nil {
+		return pullsched.Stats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.core.Stats()
+}

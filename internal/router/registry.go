@@ -78,31 +78,62 @@ type Registry struct {
 	markUpAfter   int
 	markDowns     int64
 	markUps       int64
-	onDrained     func(id string) // drain-complete hook, called unlocked
+	onDrained     func(id string)              // drain-complete hook, called unlocked
+	onMembership  func(id string, inRing bool) // ring-membership hook, called unlocked
 }
 
-// NewRegistry builds a registry over specs. Workers start optimistically
-// up (the first failed probe round marks the dead ones down), so a fresh
-// router serves traffic before its first probe completes. A worker is
-// marked down after markDownAfter consecutive failures and back up after
-// markUpAfter consecutive successes (both default to 2 when <= 0).
+// RegistryConfig parameterises NewRegistryWithConfig — the registry's
+// knobs as one struct, matching the router.Config style, instead of
+// NewRegistry's positional arguments.
+type RegistryConfig struct {
+	// Workers is the fleet (at least one).
+	Workers []WorkerSpec
+	// VNodes is the ring's virtual-node count per worker (<= 0 uses
+	// DefaultVNodes).
+	VNodes int
+	// MarkDownAfter is how many consecutive failures mark a worker down
+	// (default 2).
+	MarkDownAfter int
+	// MarkUpAfter is how many consecutive probe successes mark a down
+	// worker back up (default 2).
+	MarkUpAfter int
+}
+
+// NewRegistry builds a registry over specs.
+//
+// Deprecated: use NewRegistryWithConfig, which names the knobs. This
+// wrapper remains for callers predating the policy API redesign.
 func NewRegistry(specs []WorkerSpec, vnodes, markDownAfter, markUpAfter int) (*Registry, error) {
-	if len(specs) == 0 {
+	return NewRegistryWithConfig(RegistryConfig{
+		Workers:       specs,
+		VNodes:        vnodes,
+		MarkDownAfter: markDownAfter,
+		MarkUpAfter:   markUpAfter,
+	})
+}
+
+// NewRegistryWithConfig builds a registry over cfg.Workers. Workers
+// start optimistically up (the first failed probe round marks the dead
+// ones down), so a fresh router serves traffic before its first probe
+// completes. A worker is marked down after MarkDownAfter consecutive
+// failures and back up after MarkUpAfter consecutive successes.
+func NewRegistryWithConfig(cfg RegistryConfig) (*Registry, error) {
+	if len(cfg.Workers) == 0 {
 		return nil, fmt.Errorf("router: registry needs at least one worker")
 	}
-	if markDownAfter <= 0 {
-		markDownAfter = 2
+	if cfg.MarkDownAfter <= 0 {
+		cfg.MarkDownAfter = 2
 	}
-	if markUpAfter <= 0 {
-		markUpAfter = 2
+	if cfg.MarkUpAfter <= 0 {
+		cfg.MarkUpAfter = 2
 	}
 	r := &Registry{
-		workers:       make(map[string]*worker, len(specs)),
-		ring:          NewRing(vnodes),
-		markDownAfter: markDownAfter,
-		markUpAfter:   markUpAfter,
+		workers:       make(map[string]*worker, len(cfg.Workers)),
+		ring:          NewRing(cfg.VNodes),
+		markDownAfter: cfg.MarkDownAfter,
+		markUpAfter:   cfg.MarkUpAfter,
 	}
-	for _, spec := range specs {
+	for _, spec := range cfg.Workers {
 		if spec.ID == "" || spec.URL == "" {
 			return nil, fmt.Errorf("router: worker spec needs an id and a url, got %+v", spec)
 		}
@@ -184,11 +215,13 @@ func (r *Registry) Owner(fn string) (string, bool) {
 // consecutive successes mark it back up and regrow the ring.
 func (r *Registry) NoteResult(id string, ok bool) (changed bool, now WorkerState) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	w, exists := r.workers[id]
 	if !exists {
+		r.mu.Unlock()
 		return false, 0
 	}
+	var hook func(string, bool)
+	inRing := false
 	if ok {
 		w.consecFail = 0
 		w.consecOK++
@@ -196,22 +229,43 @@ func (r *Registry) NoteResult(id string, ok bool) (changed bool, now WorkerState
 			w.state = WorkerUp
 			r.ring.Add(id)
 			r.markUps++
-			return true, WorkerUp
+			changed, now = true, WorkerUp
+			hook, inRing = r.onMembership, true
+		} else {
+			changed, now = false, w.state
 		}
-		return false, w.state
+	} else {
+		w.consecOK = 0
+		w.consecFail++
+		w.failures++
+		if w.state == WorkerUp && w.consecFail >= r.markDownAfter {
+			w.state = WorkerDown
+			r.ring.Remove(id)
+			r.markDowns++
+			changed, now = true, WorkerDown
+			hook, inRing = r.onMembership, false
+		} else {
+			// Draining and standby workers are administrative states:
+			// probe results keep feeding the counters but never flip them
+			// up or down.
+			changed, now = false, w.state
+		}
 	}
-	w.consecOK = 0
-	w.consecFail++
-	w.failures++
-	if w.state == WorkerUp && w.consecFail >= r.markDownAfter {
-		w.state = WorkerDown
-		r.ring.Remove(id)
-		r.markDowns++
-		return true, WorkerDown
+	r.mu.Unlock()
+	if hook != nil {
+		hook(id, inRing)
 	}
-	// Draining and standby workers are administrative states: probe
-	// results keep feeding the counters but never flip them up or down.
-	return false, w.state
+	return changed, now
+}
+
+// OnMembership registers the ring-membership hook: it fires (without
+// the registry lock held) whenever a worker joins or leaves the serving
+// set — probe mark-down/up, autoscale activate, drain, or retire. At
+// most one hook; the router installs it to feed the scheduling policy.
+func (r *Registry) OnMembership(fn func(id string, inRing bool)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onMembership = fn
 }
 
 // OnDrained registers the drain-complete hook: it fires (without the
@@ -228,11 +282,12 @@ func (r *Registry) OnDrained(fn func(id string)) {
 // inactive ones start on standby for the autoscaler to activate later.
 func (r *Registry) AddWorker(spec WorkerSpec, active bool) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if spec.ID == "" || spec.URL == "" {
+		r.mu.Unlock()
 		return fmt.Errorf("router: worker spec needs an id and a url, got %+v", spec)
 	}
 	if _, dup := r.workers[spec.ID]; dup {
+		r.mu.Unlock()
 		return fmt.Errorf("router: duplicate worker id %q", spec.ID)
 	}
 	w := &worker{spec: spec, state: WorkerStandby}
@@ -241,8 +296,14 @@ func (r *Registry) AddWorker(spec WorkerSpec, active bool) error {
 	}
 	r.workers[spec.ID] = w
 	r.order = append(r.order, spec.ID)
+	var hook func(string, bool)
 	if active {
 		r.ring.Add(spec.ID)
+		hook = r.onMembership
+	}
+	r.mu.Unlock()
+	if hook != nil {
+		hook(spec.ID, true)
 	}
 	return nil
 }
@@ -279,14 +340,19 @@ func (r *Registry) RemoveWorker(id string) error {
 // state changed.
 func (r *Registry) Activate(id string) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	w, ok := r.workers[id]
 	if !ok || w.state == WorkerUp {
+		r.mu.Unlock()
 		return false
 	}
 	w.state = WorkerUp
 	w.consecFail, w.consecOK = 0, 0
 	r.ring.Add(id)
+	hook := r.onMembership
+	r.mu.Unlock()
+	if hook != nil {
+		hook(id, true)
+	}
 	return true
 }
 
@@ -301,11 +367,16 @@ func (r *Registry) Drain(id string) bool {
 		r.mu.Unlock()
 		return false
 	}
+	wasServing := w.state == WorkerUp
 	w.state = WorkerDraining
 	r.ring.Remove(id)
 	drained := w.inflight == 0
 	hook := r.onDrained
+	membership := r.onMembership
 	r.mu.Unlock()
+	if wasServing && membership != nil {
+		membership(id, false)
+	}
 	if drained && hook != nil {
 		hook(id)
 	}
@@ -316,14 +387,20 @@ func (r *Registry) Drain(id string) bool {
 // ring segments. It reports whether the state changed.
 func (r *Registry) Retire(id string) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	w, ok := r.workers[id]
 	if !ok || w.state == WorkerStandby {
+		r.mu.Unlock()
 		return false
 	}
+	wasServing := w.state == WorkerUp
 	w.state = WorkerStandby
 	w.consecFail, w.consecOK = 0, 0
 	r.ring.Remove(id)
+	hook := r.onMembership
+	r.mu.Unlock()
+	if wasServing && hook != nil {
+		hook(id, false)
+	}
 	return true
 }
 

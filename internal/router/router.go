@@ -17,6 +17,7 @@ import (
 	"faasbatch/internal/httpapi"
 	"faasbatch/internal/metrics"
 	"faasbatch/internal/obs"
+	"faasbatch/internal/pullsched"
 )
 
 // ErrNoWorkers reports that no worker is currently marked up.
@@ -77,6 +78,14 @@ type Config struct {
 	QueueWait time.Duration
 	// ForwardTimeout bounds one forward attempt (default 30s).
 	ForwardTimeout time.Duration
+	// Policy selects the scheduling policy: PolicyHash (consistent-hash
+	// push, the default) or PolicyPull (per-function queues with
+	// worker-pull late binding). See docs/CLUSTER.md "Choosing a policy".
+	Policy string
+	// Pull tunes the pull policy's decision core (shards, batch size,
+	// per-worker capacity, queue depth, lease budget). Nil uses the
+	// pullsched defaults; ignored under PolicyHash.
+	Pull *pullsched.Config
 	// ScrapeTimeout bounds one member scrape (both its /metrics and
 	// /stats round trips) when serving /cluster/metrics and
 	// /cluster/stats (default 2s).
@@ -135,6 +144,7 @@ type Router struct {
 	cfg     Config
 	reg     *Registry
 	adm     *admission
+	policy  Policy
 	scaler  *liveScaler
 	client  *http.Client
 	tracer  *obs.Tracer
@@ -153,9 +163,16 @@ type Router struct {
 	closed  bool
 }
 
-// New builds a router over cfg.Workers. Start launches the prober; a
-// router without Start still routes (tests drive ProbeAll directly).
-func New(cfg Config) (*Router, error) {
+// New builds a router over cfg.Workers. Functional options layer
+// policy, autoscale, and observability knobs over the config struct; a
+// knob set both ways (or an option passed twice) fails with
+// ErrConflictingOptions. Start launches the prober; a router without
+// Start still routes (tests drive ProbeAll directly).
+func New(cfg Config, opts ...Option) (*Router, error) {
+	cfg, err := mergeOptions(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = time.Second
 	}
@@ -206,8 +223,27 @@ func New(cfg Config) (*Router, error) {
 		}
 		rt.scaler = scaler
 	}
+	// The policy builds after the scaler so the pull driver's initial
+	// worker eligibility reflects autoscale's standby retirements.
+	switch cfg.Policy {
+	case "", PolicyHash:
+		rt.policy = &hashPolicy{rt: rt}
+	case PolicyPull:
+		pp, err := newPullPolicy(rt, cfg.Pull)
+		if err != nil {
+			return nil, err
+		}
+		rt.policy = pp
+	default:
+		return nil, fmt.Errorf("router: unknown policy %q (want %q or %q)",
+			cfg.Policy, PolicyHash, PolicyPull)
+	}
+	reg.OnMembership(func(id string, inRing bool) {
+		rt.policy.OnMembershipChange(id, inRing)
+	})
 	rt.logger.Info("router started",
 		"workers", len(cfg.Workers),
+		"policy", rt.policy.Name(),
 		"vnodes", ringVNodes(cfg.VNodes),
 		"loadBound", cfg.LoadBound,
 		"maxAttempts", cfg.MaxAttempts,
@@ -215,6 +251,9 @@ func New(cfg Config) (*Router, error) {
 		"autoscale", cfg.Autoscale != nil)
 	return rt, nil
 }
+
+// Policy exposes the active scheduling policy.
+func (rt *Router) Policy() Policy { return rt.policy }
 
 // ringVNodes resolves the configured virtual-node count.
 func ringVNodes(v int) int {
@@ -286,6 +325,9 @@ func (rt *Router) probeLoop() {
 		select {
 		case <-ticker.C:
 			rt.ProbeAll(context.Background())
+			// The lease-expiry sweep (pull policy, when a LeaseBudget is
+			// configured) rides the probe tick rather than its own timer.
+			rt.policy.sweep()
 		case <-rt.stop:
 			return
 		}
@@ -370,19 +412,17 @@ func (rt *Router) InvokeTraced(ctx context.Context, req httpapi.RoutedInvokeRequ
 	}
 	trace := rt.tracer.BeginWith(parent)
 	admitStart := rt.tracer.Now()
-	release, err := rt.adm.Acquire(ctx, req.Fn)
-	if err != nil {
-		rt.tracer.Record(obs.Span{
-			Trace: trace, Name: obs.SpanShed, Fn: req.Fn,
-			Start: admitStart, End: rt.tracer.Now(),
-		})
-		rt.mu.Lock()
-		rt.stats.Shed++
-		rt.mu.Unlock()
-		rt.logger.Warn("invocation shed", "fn", req.Fn, "err", err)
-		return httpapi.RoutedInvokeResponse{}, err
+	if rt.policy.Name() != PolicyPull {
+		// The pull policy sheds on its bounded queue depth inside
+		// Assign instead of the per-function semaphore, so admission
+		// control only gates the push path.
+		release, err := rt.adm.Acquire(ctx, req.Fn)
+		if err != nil {
+			rt.noteShed(trace, admitStart, req.Fn, err)
+			return httpapi.RoutedInvokeResponse{}, err
+		}
+		defer release()
 	}
-	defer release()
 	rt.mu.Lock()
 	rt.stats.Routed++
 	rt.mu.Unlock()
@@ -391,49 +431,87 @@ func (rt *Router) InvokeTraced(ctx context.Context, req httpapi.RoutedInvokeRequ
 		// wakes the first worker before forward looks for candidates.
 		rt.scaler.observe(req.Fn, rt.scaler.now())
 	}
-	return rt.forward(ctx, trace, req)
+	resp, err := rt.forward(ctx, trace, req)
+	var overload *OverloadError
+	if err != nil && errors.As(err, &overload) {
+		// A pull-policy shed surfaces from forward, after Routed was
+		// counted; undo it so Routed keeps meaning "admitted" under
+		// both policies.
+		rt.mu.Lock()
+		rt.stats.Routed--
+		rt.mu.Unlock()
+		rt.noteShed(trace, admitStart, req.Fn, err)
+	}
+	return resp, err
 }
 
-// forward walks the candidate workers with bounded retries/backoff.
+// noteShed records one shed invocation: span, counter, log line.
+func (rt *Router) noteShed(trace uint64, start time.Duration, fn string, err error) {
+	rt.tracer.Record(obs.Span{
+		Trace: trace, Name: obs.SpanShed, Fn: fn,
+		Start: start, End: rt.tracer.Now(),
+	})
+	rt.mu.Lock()
+	rt.stats.Shed++
+	rt.mu.Unlock()
+	rt.logger.Warn("invocation shed", "fn", fn, "err", err)
+}
+
+// forward asks the policy for a binding, then walks its per-attempt
+// worker picks with bounded retries/backoff.
 func (rt *Router) forward(ctx context.Context, trace uint64, req httpapi.RoutedInvokeRequest) (httpapi.RoutedInvokeResponse, error) {
 	routeStart := rt.tracer.Now()
-	cands := rt.reg.Candidates(req.Fn, rt.cfg.LoadBound)
-	if len(cands) == 0 && rt.scaler != nil {
-		// Scale-from-zero: the wake decision is already in flight
-		// (observe ran before forward); hold the invocation until a
-		// worker finishes warming instead of bouncing it with 503.
-		cands = rt.awaitCapacity(ctx, req.Fn)
+	bnd, assignErr := rt.policy.Assign(ctx, req.Fn)
+	detail := "candidates=0"
+	if assignErr == nil {
+		detail = bnd.detail()
 	}
 	rt.tracer.Record(obs.Span{
 		Trace: trace, Name: obs.SpanRoute, Fn: req.Fn,
-		Detail: fmt.Sprintf("candidates=%d", len(cands)),
+		Detail: detail,
 		Start:  routeStart, End: rt.tracer.Now(),
 	})
-	if len(cands) == 0 {
-		rt.mu.Lock()
-		rt.stats.NoWorkers++
-		rt.mu.Unlock()
-		return httpapi.RoutedInvokeResponse{}, ErrNoWorkers
+	if assignErr != nil {
+		if errors.Is(assignErr, ErrNoWorkers) {
+			rt.mu.Lock()
+			rt.stats.NoWorkers++
+			rt.mu.Unlock()
+		}
+		return httpapi.RoutedInvokeResponse{}, assignErr
 	}
+	// Settle the binding exactly once on every exit path: success and
+	// pass-through ack the lease, everything else aborts it, so the
+	// pull core's conservation (enqueued = completed + aborted) holds.
+	served := false
+	defer func() { bnd.Done(served) }()
 	body, err := json.Marshal(httpapi.InvokeRequest{Fn: req.Fn, Payload: req.Payload})
 	if err != nil {
 		return httpapi.RoutedInvokeResponse{}, fmt.Errorf("router: encode forward body: %w", err)
 	}
 	var lastErr error
+	var prev string
 	for attempt := 1; attempt <= rt.cfg.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return httpapi.RoutedInvokeResponse{}, fmt.Errorf("router: invoke %s: %w", req.Fn, err)
 		}
-		id := cands[(attempt-1)%len(cands)]
 		if attempt > 1 {
 			rt.mu.Lock()
 			rt.stats.Retries++
-			if id != cands[(attempt-2)%len(cands)] {
-				rt.stats.Failovers++
-			}
 			rt.mu.Unlock()
 			rt.backoff(ctx, trace, req.Fn, attempt)
 		}
+		id, err := bnd.Next(ctx, attempt)
+		if err != nil {
+			// Context expired (or the router closed) while waiting for a
+			// pull lease; the deferred Done aborts the queued item.
+			return httpapi.RoutedInvokeResponse{}, fmt.Errorf("router: invoke %s: %w", req.Fn, err)
+		}
+		if attempt > 1 && id != prev {
+			rt.mu.Lock()
+			rt.stats.Failovers++
+			rt.mu.Unlock()
+		}
+		prev = id
 		resp, err := rt.tryWorker(ctx, trace, attempt, id, req.Fn, body)
 		if err == nil {
 			resp.ForwardAttempts = attempt
@@ -446,6 +524,7 @@ func (rt *Router) forward(ctx context.Context, trace uint64, req httpapi.RoutedI
 			rt.mu.Lock()
 			rt.stats.Completed++
 			rt.mu.Unlock()
+			served = true
 			return resp, nil
 		}
 		var pass *PassThroughError
@@ -455,6 +534,7 @@ func (rt *Router) forward(ctx context.Context, trace uint64, req httpapi.RoutedI
 			rt.mu.Lock()
 			rt.stats.Completed++
 			rt.mu.Unlock()
+			served = true
 			return httpapi.RoutedInvokeResponse{}, err
 		}
 		// Transient: connection error, injected worker failure, or a 503

@@ -6,6 +6,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"faasbatch/internal/slo"
@@ -78,6 +79,11 @@ var invariantCatalog = map[string]struct{ parameterised bool }{
 	// an autoscale block with min-workers 0 and a quiet tail phase
 	// longer than scale-to-zero-after).
 	"scaled-to-zero": {},
+	// max-load-cv: the coefficient of variation (stddev/mean) of
+	// per-worker routed-invocation counts must not exceed the value —
+	// the load-spread assertion that late binding actually flattens a
+	// skewed function mix across the fleet. Sim mode only.
+	"max-load-cv": {parameterised: true},
 }
 
 // InvariantResult is one evaluated assertion in the report.
@@ -107,9 +113,35 @@ type invariantInputs struct {
 	autoscaleOn bool
 	peakReady   int
 	readyAtEnd  int
+	// routedPerNode is each worker's routed-invocation count (sim mode;
+	// nil in live mode, where there is no fleet routing tier).
+	routedPerNode []int
 	// slo holds the tracker's end-of-run verdicts, keyed by
 	// SLOSpec.key(), when the scenario declared slo invariants.
 	slo map[string]slo.Status
+}
+
+// loadCV is the coefficient of variation (stddev/mean) of the
+// per-worker routed counts: 0 for a perfectly even spread, higher the
+// more load concentrates on few workers.
+func loadCV(routed []int) float64 {
+	if len(routed) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range routed {
+		sum += float64(r)
+	}
+	mean := sum / float64(len(routed))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, r := range routed {
+		d := float64(r) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(routed))) / mean
 }
 
 // evalInvariants evaluates the always-on assertions plus the scenario's
@@ -172,6 +204,14 @@ func evalInvariant(inv Invariant, in invariantInputs) InvariantResult {
 			break
 		}
 		r.Detail = fmt.Sprintf("%d workers still ready at quiescence", in.readyAtEnd)
+	case "max-load-cv":
+		if in.routedPerNode == nil {
+			r.Detail = "no per-worker routing counts (live mode)"
+			break
+		}
+		cv := loadCV(in.routedPerNode)
+		r.OK = cv <= inv.Value
+		r.Detail = fmt.Sprintf("load spread CV %.4f over %d workers, bound %g", cv, len(in.routedPerNode), inv.Value)
 	case "slo":
 		if inv.SLO == nil {
 			r.Detail = "slo invariant without an objective"

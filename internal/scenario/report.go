@@ -24,8 +24,9 @@ import (
 
 // ReportVersion is bumped whenever Body's shape changes, so archived
 // reports stay interpretable. Version 2 added the per-sample
-// workers_ready gauge and the autoscale block.
-const ReportVersion = 2
+// workers_ready gauge and the autoscale block; version 3 added the
+// routing block (pull-policy counters and the load-spread CV).
+const ReportVersion = 3
 
 // LatencySummary is a latency distribution in integer microseconds.
 type LatencySummary struct {
@@ -160,6 +161,24 @@ type AutoscaleReport struct {
 	BusyWorkerMillis int64 `json:"busy_worker_millis"`
 }
 
+// RoutingReport summarises the routing-policy run (present only when
+// the scenario declares a routing block). All fields are integers so
+// the body stays byte-deterministic; LoadCVMilli is the coefficient of
+// variation of per-worker routed counts in thousandths.
+type RoutingReport struct {
+	Policy     string `json:"policy"`
+	QueueDepth int    `json:"queue_depth"`
+	// Granted, Requeues, Expired and Shed snapshot the pull core's
+	// counters (all zero under the hash policy).
+	Granted  int64 `json:"granted"`
+	Requeues int64 `json:"requeues"`
+	Expired  int64 `json:"expired"`
+	Shed     int64 `json:"shed"`
+	// LoadCVMilli is round(1000 x stddev/mean) over per-worker routed
+	// invocation counts — the load-spread figure of merit.
+	LoadCVMilli int64 `json:"load_cv_milli"`
+}
+
 // Body is the deterministic payload of a report.
 type Body struct {
 	Version        int               `json:"version"`
@@ -174,6 +193,7 @@ type Body struct {
 	Scheduler      SchedStats        `json:"scheduler"`
 	Fleet          FleetStats        `json:"fleet"`
 	Autoscale      *AutoscaleReport  `json:"autoscale,omitempty"`
+	Routing        *RoutingReport    `json:"routing,omitempty"`
 	Chaos          []ChaosCount      `json:"chaos"`
 	Events         []Event           `json:"events"`
 	Samples        []Sample          `json:"samples"`
@@ -278,6 +298,15 @@ Generated {{.GeneratedAt}}; body sha256 <code>{{.BodySHA256}}</code>.</p>
 <tr><td>wakes</td><td>{{.Wakes}}</td></tr>
 <tr><td>drains completed</td><td>{{.Drained}} ({{.DrainMillis}} ms total)</td></tr>
 <tr><td>busy worker-time</td><td>{{.BusyWorkerMillis}} ms</td></tr>
+</table>{{end}}
+
+{{with .Body.Routing}}<h2>Routing</h2>
+<table><tr><th></th><th>value</th></tr>
+<tr><td>policy</td><td>{{.Policy}}</td></tr>
+<tr><td>queue depth</td><td>{{.QueueDepth}}</td></tr>
+<tr><td>granted / requeues</td><td>{{.Granted}} / {{.Requeues}}</td></tr>
+<tr><td>expired / shed</td><td>{{.Expired}} / {{.Shed}}</td></tr>
+<tr><td>load spread CV</td><td>{{.LoadCVMilli}} / 1000</td></tr>
 </table>{{end}}
 
 {{if .Body.Chaos}}<h2>Chaos</h2>

@@ -19,6 +19,7 @@ package scenario
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"time"
 
@@ -28,6 +29,7 @@ import (
 	"faasbatch/internal/fnruntime"
 	"faasbatch/internal/hashmix"
 	"faasbatch/internal/node"
+	"faasbatch/internal/pullsched"
 	"faasbatch/internal/sim"
 	"faasbatch/internal/slo"
 	"faasbatch/internal/workload"
@@ -188,6 +190,8 @@ type simRun struct {
 	cl   *cluster.Cluster
 	inj  *chaos.Injector
 	slos *slo.Tracker
+	// bal is the effective balancing after the routing block's override.
+	bal cluster.Balancing
 
 	submitted    int64
 	completed    int64
@@ -206,11 +210,27 @@ func (r *Runner) runSim(sc *Scenario) (*Body, error) {
 		ColdStartFactor: sc.Chaos.ColdStartFactor,
 		HangDuration:    sc.Chaos.Hang,
 	})
+	bal := sc.Dispatch.Balancing
+	var pullCfg *pullsched.Config
+	if sc.Routing != nil {
+		switch sc.Routing.Policy {
+		case "pull":
+			bal = cluster.Pull
+			pullCfg = &pullsched.Config{
+				QueueDepth: sc.Routing.QueueDepth,
+				BatchSize:  sc.Routing.Batch,
+				Capacity:   sc.Routing.Capacity,
+			}
+		case "hash":
+			bal = cluster.ConsistentHash
+		}
+	}
 	cl, err := cluster.New(eng, cluster.Config{
 		Nodes:       sc.Fleet.Workers,
 		NodeConfigs: buildFleet(sc),
 		Core:        coreConfig(sc.Dispatch),
-		Balancing:   sc.Dispatch.Balancing,
+		Balancing:   bal,
+		Pull:        pullCfg,
 		Chaos:       inj,
 		Autoscale:   sc.Autoscale,
 	})
@@ -221,7 +241,7 @@ func (r *Runner) runSim(sc *Scenario) (*Body, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &simRun{sc: sc, eng: eng, cl: cl, inj: inj, slos: slos}
+	s := &simRun{sc: sc, eng: eng, cl: cl, inj: inj, slos: slos, bal: bal}
 	for range sc.Phases {
 		s.phases = append(s.phases, &phaseAgg{})
 	}
@@ -583,6 +603,27 @@ func (s *simRun) autoscaleReport() *AutoscaleReport {
 	}
 }
 
+// routingReport assembles the routing-policy report block (nil when the
+// scenario declared no routing section).
+func (s *simRun) routingReport() *RoutingReport {
+	if s.sc.Routing == nil {
+		return nil
+	}
+	rep := &RoutingReport{
+		Policy:      s.sc.Routing.Policy,
+		QueueDepth:  s.sc.Routing.QueueDepth,
+		LoadCVMilli: int64(math.Round(loadCV(s.cl.RoutedPerNode()) * 1000)),
+	}
+	if s.cl.PullEnabled() {
+		st := s.cl.PullStats()
+		rep.Granted = int64(st.Granted)
+		rep.Requeues = int64(st.Requeues)
+		rep.Expired = int64(st.Expired)
+		rep.Shed = int64(st.Shed)
+	}
+	return rep
+}
+
 // report assembles the deterministic body from the run's aggregates.
 func (s *simRun) report() *Body {
 	b := &Body{
@@ -592,10 +633,11 @@ func (s *simRun) report() *Body {
 		Seed:      s.sc.Seed,
 		Workers:   s.sc.Fleet.Workers,
 		Zones:     s.sc.Fleet.Zones,
-		Balancing: s.sc.Dispatch.Balancing.String(),
+		Balancing: s.bal.String(),
 		Events:    mergeScaleEvents(s.events, s.cl),
 		Samples:   s.samples,
 		Autoscale: s.autoscaleReport(),
+		Routing:   s.routingReport(),
 	}
 	var allTotal []int64
 	var failed, retries int64
@@ -662,14 +704,24 @@ func (s *simRun) report() *Body {
 			peakReady = smp.WorkersReady
 		}
 	}
+	// Under the pull policy, depth-bound sheds complete at the router
+	// without ever reaching a node scheduler, so they join the LHS of
+	// the accounting identity.
+	consLHS := schedSubmitted
+	consExpr := "sum(scheduler submitted) == harness submitted"
+	if s.cl.PullEnabled() {
+		consLHS += int64(s.cl.PullShed())
+		consExpr = "sum(scheduler submitted) + pull shed == harness submitted"
+	}
 	b.Invariants = evalInvariants(s.sc.Invariants, invariantInputs{
 		submitted:        s.submitted,
 		completed:        s.completed,
 		failed:           failed,
-		conservationLHS:  schedSubmitted,
+		conservationLHS:  consLHS,
 		conservationRHS:  s.submitted,
-		conservationExpr: "sum(scheduler submitted) == harness submitted",
+		conservationExpr: consExpr,
 		downAtEnd:        down,
+		routedPerNode:    s.cl.RoutedPerNode(),
 		autoscaleOn:      s.cl.AutoscaleEnabled(),
 		peakReady:        peakReady,
 		readyAtEnd:       s.cl.ReadyNodes(),

@@ -116,6 +116,51 @@ func TestFailoverScenario(t *testing.T) {
 	}
 }
 
+// TestPullRoutingScenario drives the pull-policy corpus entry and pins
+// the routing report block, then re-runs the same workload under the
+// hash policy and checks late binding actually spreads the skewed load
+// better than consistent hashing.
+func TestPullRoutingScenario(t *testing.T) {
+	sc := loadScenario(t, "pull-skew.yaml")
+	body, err := NewRunner().RunBody(sc)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	r := body.Routing
+	if r == nil {
+		t.Fatal("routing block missing from the report")
+	}
+	if r.Policy != "pull" || r.QueueDepth != 1024 {
+		t.Errorf("routing echo mismatch: %+v", r)
+	}
+	if body.Balancing != "pull" {
+		t.Errorf("balancing = %q, want pull (routing block overrides dispatch)", body.Balancing)
+	}
+	if r.Granted < body.Totals.Submitted {
+		t.Errorf("granted %d < submitted %d: every admitted invocation needs a lease", r.Granted, body.Totals.Submitted)
+	}
+	if r.Shed != 0 {
+		t.Errorf("queue depth 1024 should not shed, got %d", r.Shed)
+	}
+	for _, inv := range body.Violations() {
+		t.Errorf("invariant %s violated: %s", inv.Name, inv.Detail)
+	}
+
+	hash := *sc
+	hash.Routing = &Routing{Policy: "hash"}
+	hashBody, err := NewRunner().RunBody(&hash)
+	if err != nil {
+		t.Fatalf("hash run: %v", err)
+	}
+	if hashBody.Routing == nil {
+		t.Fatal("hash routing block missing")
+	}
+	if hashBody.Routing.LoadCVMilli <= r.LoadCVMilli {
+		t.Errorf("pull should spread the skew better than hash: pull CV %d, hash CV %d (milli)",
+			r.LoadCVMilli, hashBody.Routing.LoadCVMilli)
+	}
+}
+
 // TestNoisyChaosScenario checks the chaos schedule had teeth: injections
 // happened, retries happened, and the declared failure-rate bound still
 // held.

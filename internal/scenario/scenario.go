@@ -98,6 +98,26 @@ type Dispatch struct {
 	MaxRetries int
 }
 
+// Routing selects the cluster's scheduling policy at the scenario top
+// level, overriding dispatch.balancing: "pull" parks invocations in the
+// sharded per-function queues of internal/pullsched and late-binds each
+// to the least-loaded worker with free capacity; "hash" is the
+// consistent-hash push baseline the pull experiments compare against.
+// Sim mode only — the live smoke path has no fleet routing tier.
+type Routing struct {
+	// Policy is "pull" or "hash".
+	Policy string
+	// QueueDepth bounds each function queue before arrivals shed
+	// (pull only; 0 = unbounded).
+	QueueDepth int
+	// Batch caps grants handed to one worker per pull (pull only;
+	// 0 = pullsched default).
+	Batch int
+	// Capacity is the concurrent leases one worker absorbs (pull only;
+	// 0 = pullsched default).
+	Capacity int
+}
+
 // ChaosTuning carries the injector-wide knobs; per-phase rates live on
 // the phases.
 type ChaosTuning struct {
@@ -239,6 +259,10 @@ type Scenario struct {
 	Fleet Fleet
 	// Dispatch configures scheduling and routing.
 	Dispatch Dispatch
+	// Routing optionally overrides the routing policy (sim mode only):
+	// "pull" runs the worker-pull late-binding scheduler, "hash" the
+	// consistent-hash push baseline.
+	Routing *Routing
 	// Autoscale optionally runs the predictive autoscaling control plane
 	// over the fleet (sim mode only): fleet.workers bounds the maximum
 	// size and the controller grows/shrinks ring membership with demand.
@@ -403,6 +427,23 @@ func (s *Scenario) validate() error {
 	}
 	if s.LiveTimeScale <= 0 {
 		return fmt.Errorf("scenario: live-time-scale must be positive, got %g", s.LiveTimeScale)
+	}
+	if s.Routing != nil {
+		if s.Mode != ModeSim {
+			return fmt.Errorf("scenario: routing requires mode: sim (the live smoke path has no fleet routing tier)")
+		}
+		switch s.Routing.Policy {
+		case "pull":
+		case "hash":
+			if s.Routing.QueueDepth != 0 || s.Routing.Batch != 0 || s.Routing.Capacity != 0 {
+				return fmt.Errorf("scenario: routing queue-depth/batch/capacity tune the pull policy, not %q", s.Routing.Policy)
+			}
+		default:
+			return fmt.Errorf("scenario: routing.policy must be \"pull\" or \"hash\", got %q", s.Routing.Policy)
+		}
+		if s.Routing.QueueDepth < 0 || s.Routing.Batch < 0 || s.Routing.Capacity < 0 {
+			return fmt.Errorf("scenario: routing queue-depth/batch/capacity must be non-negative")
+		}
 	}
 	if s.Autoscale != nil {
 		if s.Mode != ModeSim {
@@ -602,7 +643,7 @@ func (d *decoder) known(m map[string]any, path string, keys ...string) {
 }
 
 func (d *decoder) scenario(m map[string]any) *Scenario {
-	d.known(m, "top level", "scenario", "seed", "mode", "fleet", "dispatch",
+	d.known(m, "top level", "scenario", "seed", "mode", "fleet", "dispatch", "routing",
 		"autoscale", "chaos", "sampling", "max-drain", "phases", "invariants", "live-time-scale")
 	sc := &Scenario{
 		Name:          d.str(m, "", "scenario", ""),
@@ -621,6 +662,7 @@ func (d *decoder) scenario(m map[string]any) *Scenario {
 	}
 	sc.Fleet = d.fleet(d.section(m, "", "fleet"))
 	sc.Dispatch = d.dispatch(d.section(m, "", "dispatch"))
+	sc.Routing = d.routing(d.section(m, "", "routing"))
 	sc.Autoscale = d.autoscale(d.section(m, "", "autoscale"))
 	sc.Chaos = d.chaosTuning(d.section(m, "", "chaos"))
 	for i, v := range d.list(m, "", "phases") {
@@ -770,6 +812,20 @@ func (d *decoder) dispatch(m map[string]any) Dispatch {
 		d.fail("dispatch.balancing", "unknown strategy %q", b)
 	}
 	return dc
+}
+
+// routing decodes the optional routing-policy block.
+func (d *decoder) routing(m map[string]any) *Routing {
+	if m == nil {
+		return nil
+	}
+	d.known(m, "routing", "policy", "queue-depth", "batch", "capacity")
+	return &Routing{
+		Policy:     d.str(m, "routing", "policy", ""),
+		QueueDepth: int(d.integer(m, "routing", "queue-depth", 0)),
+		Batch:      int(d.integer(m, "routing", "batch", 0)),
+		Capacity:   int(d.integer(m, "routing", "capacity", 0)),
+	}
 }
 
 // autoscale decodes the optional autoscaling block. Absent keys keep

@@ -147,6 +147,45 @@ invariants:
 	}
 }
 
+func TestParseRouting(t *testing.T) {
+	sc, err := Parse([]byte(`
+scenario: skew
+fleet:
+  workers: 4
+routing:
+  policy: pull
+  queue-depth: 64
+  batch: 2
+  capacity: 8
+phases:
+  - duration: 1s
+    rate: 10
+    mix:
+      - fn: hot
+invariants:
+  - max-load-cv: 0.5
+`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	r := sc.Routing
+	if r == nil {
+		t.Fatal("routing block not decoded")
+	}
+	if r.Policy != "pull" || r.QueueDepth != 64 || r.Batch != 2 || r.Capacity != 8 {
+		t.Errorf("routing mismatch: %+v", r)
+	}
+	// A scenario without the block must leave Routing nil — dispatch
+	// balancing stays in charge.
+	plain, err := Parse([]byte("scenario: p\nphases:\n  - duration: 1s\n"))
+	if err != nil {
+		t.Fatalf("Parse plain: %v", err)
+	}
+	if plain.Routing != nil {
+		t.Errorf("Routing should be nil without a block, got %+v", plain.Routing)
+	}
+}
+
 func TestParseRejections(t *testing.T) {
 	cases := []struct{ name, src string }{
 		{"missing name", "seed: 1\nphases:\n  - duration: 1s\n"},
@@ -168,6 +207,11 @@ func TestParseRejections(t *testing.T) {
 		{"autoscale in live mode", "scenario: x\nmode: live\nautoscale:\n  min-workers: 1\nphases:\n  - duration: 1s\n"},
 		{"negative target-per-worker", "scenario: x\nautoscale:\n  target-per-worker: -3\nphases:\n  - duration: 1s\n"},
 		{"autoscale min above fleet", "scenario: x\nfleet:\n  workers: 2\nautoscale:\n  min-workers: 5\nphases:\n  - duration: 1s\n"},
+		{"unknown routing policy", "scenario: x\nrouting:\n  policy: psychic\nphases:\n  - duration: 1s\n"},
+		{"routing in live mode", "scenario: x\nmode: live\nrouting:\n  policy: pull\nphases:\n  - duration: 1s\n"},
+		{"pull tuning on hash policy", "scenario: x\nrouting:\n  policy: hash\n  queue-depth: 8\nphases:\n  - duration: 1s\n"},
+		{"unknown routing key", "scenario: x\nrouting:\n  policy: pull\n  bogus: 1\nphases:\n  - duration: 1s\n"},
+		{"negative queue depth", "scenario: x\nrouting:\n  policy: pull\n  queue-depth: -1\nphases:\n  - duration: 1s\n"},
 	}
 	for _, tc := range cases {
 		if _, err := Parse([]byte(tc.src)); err == nil {
