@@ -37,6 +37,15 @@
 //
 //	go run ./cmd/benchjson -routing > BENCH_routing.json
 //
+// With -hotpath it measures the invoke hot path end to end — warm sim
+// submit through the sharded queue, the byte-oriented /invoke wire
+// encode/decode, the live worker gateway over loopback HTTP and the
+// routed path — reporting throughput, p50/p99 and per-op heap deltas.
+// CI gates the sim submit and gateway encode series at 0 allocs/op. The
+// JSON lands in BENCH_hotpath.json.
+//
+//	go run ./cmd/benchjson -hotpath > BENCH_hotpath.json
+//
 // When the input carries -benchmem columns they are parsed into
 // bytes_per_op / allocs_per_op, so CI can gate allocation-free hot paths:
 //
@@ -84,7 +93,15 @@ func main() {
 	dispatchMode := flag.Bool("dispatch", false, "benchmark fixed vs adaptive dispatch windows instead of parsing stdin")
 	autoscaleMode := flag.Bool("autoscale", false, "benchmark an elastic fleet vs a static one instead of parsing stdin")
 	routingMode := flag.Bool("routing", false, "benchmark the pull policy vs consistent hashing on skewed traffic instead of parsing stdin")
+	hotpathMode := flag.Bool("hotpath", false, "benchmark the invoke hot path (sim submit, wire encode/decode, live gateway, routed) instead of parsing stdin")
 	flag.Parse()
+	if *hotpathMode {
+		if err := runHotpath(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: hotpath:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *dispatchMode {
 		if err := runDispatch(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson: dispatch:", err)

@@ -320,3 +320,42 @@ func (c *Controller) Pending(fn string) int {
 	}
 	return 0
 }
+
+// expectedGroupCap bounds ExpectedGroup so one anomalous gap estimate
+// cannot demand an absurd pre-allocation.
+const expectedGroupCap = 64
+
+// ExpectedGroup estimates how many invocations fn's next window will
+// fold, from the same EWMA that sizes the window: a window of length w
+// over arrivals gapped g seconds apart holds about w/g + 1 calls (the
+// opener plus the arrivals the window folds). Callers use it to pre-size
+// group slices so the steady state appends without growing. The estimate
+// is clamped to [1, 64] and to MaxGroupSize; an unprimed function
+// returns 1.
+func (c *Controller) ExpectedGroup(fn string) int {
+	st, ok := c.fns[fn]
+	if !ok || !st.gap.Primed() {
+		return 1
+	}
+	w := st.window
+	if w <= 0 {
+		w = c.window(st)
+	}
+	n := 1
+	if gap := st.gap.Value(); gap > 0 {
+		n = int(w.Seconds()/gap) + 1
+	} else {
+		// Same-instant arrivals: maximal density, take the cap.
+		n = expectedGroupCap
+	}
+	if c.cfg.MaxGroupSize > 0 && n > c.cfg.MaxGroupSize {
+		n = c.cfg.MaxGroupSize
+	}
+	if n > expectedGroupCap {
+		n = expectedGroupCap
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

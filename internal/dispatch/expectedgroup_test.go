@@ -1,0 +1,84 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExpectedGroupUnprimed(t *testing.T) {
+	c, err := New(Config{MinInterval: 10 * time.Millisecond, MaxInterval: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ExpectedGroup("never-seen"); got != 1 {
+		t.Fatalf("unknown fn: got %d, want 1", got)
+	}
+	c.Arrive("once", 0, true)
+	if got := c.ExpectedGroup("once"); got != 1 {
+		t.Fatalf("single arrival (unprimed EWMA): got %d, want 1", got)
+	}
+}
+
+func TestExpectedGroupDenseTraffic(t *testing.T) {
+	c, err := New(Config{MinInterval: 10 * time.Millisecond, MaxInterval: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 ms gaps: a ~200 ms window should expect a large group.
+	now := time.Duration(0)
+	for i := 0; i < 50; i++ {
+		c.Arrive("dense", now, false)
+		now += time.Millisecond
+	}
+	got := c.ExpectedGroup("dense")
+	if got < 10 {
+		t.Fatalf("dense traffic: got %d, want >= 10", got)
+	}
+	if got > expectedGroupCap {
+		t.Fatalf("dense traffic: got %d, exceeds cap %d", got, expectedGroupCap)
+	}
+}
+
+func TestExpectedGroupSparseTraffic(t *testing.T) {
+	c, err := New(Config{MinInterval: 10 * time.Millisecond, MaxInterval: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 s gaps: no window folds a second arrival.
+	now := time.Duration(0)
+	for i := 0; i < 10; i++ {
+		c.Arrive("sparse", now, true)
+		now += time.Second
+	}
+	if got := c.ExpectedGroup("sparse"); got != 1 {
+		t.Fatalf("sparse traffic: got %d, want 1", got)
+	}
+}
+
+func TestExpectedGroupRespectsMaxGroupSize(t *testing.T) {
+	c, err := New(Config{MinInterval: 10 * time.Millisecond, MaxInterval: 200 * time.Millisecond, MaxGroupSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Duration(0)
+	for i := 0; i < 50; i++ {
+		c.Arrive("capped", now, false)
+		now += 100 * time.Microsecond
+	}
+	if got := c.ExpectedGroup("capped"); got != 4 {
+		t.Fatalf("MaxGroupSize=4: got %d, want 4", got)
+	}
+}
+
+func TestExpectedGroupSameInstantArrivals(t *testing.T) {
+	c, err := New(Config{MinInterval: 10 * time.Millisecond, MaxInterval: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Arrive("burst", 0, false)
+	}
+	if got := c.ExpectedGroup("burst"); got != expectedGroupCap {
+		t.Fatalf("zero-gap arrivals: got %d, want cap %d", got, expectedGroupCap)
+	}
+}

@@ -17,8 +17,21 @@ type InvokeRequest struct {
 }
 
 // DecodeInvokeRequest parses and validates an /invoke request body.
-// Malformed input yields an error, never a panic.
+// Malformed input yields an error, never a panic. Canonical bodies take
+// a byte-oriented fast path (wire.go) whose Payload aliases body —
+// callers must not recycle body while the request is live; unusual
+// shapes fall back to encoding/json with identical semantics.
 func DecodeInvokeRequest(body []byte) (InvokeRequest, error) {
+	if w, ok := parseInvokeWire(body); ok {
+		if len(w.fn) == 0 {
+			return InvokeRequest{}, fmt.Errorf("httpapi: invoke request missing fn")
+		}
+		req := InvokeRequest{Fn: string(w.fn)}
+		if len(w.payload) > 0 {
+			req.Payload = json.RawMessage(w.payload)
+		}
+		return req, nil
+	}
 	var req InvokeRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return InvokeRequest{}, fmt.Errorf("httpapi: decode invoke request: %w", err)
@@ -148,8 +161,23 @@ type RoutedInvokeRequest struct {
 }
 
 // DecodeRoutedInvokeRequest parses and validates a router /invoke request
-// body. Malformed input yields an error, never a panic.
+// body. Malformed input yields an error, never a panic. Canonical bodies
+// take the same byte-oriented fast path as DecodeInvokeRequest (the
+// Payload aliases body); unusual shapes fall back to encoding/json.
 func DecodeRoutedInvokeRequest(body []byte) (RoutedInvokeRequest, error) {
+	if w, ok := parseInvokeWire(body); ok {
+		if len(w.fn) == 0 {
+			return RoutedInvokeRequest{}, fmt.Errorf("httpapi: routed invoke request missing fn")
+		}
+		if w.timeout < 0 {
+			return RoutedInvokeRequest{}, fmt.Errorf("httpapi: routed invoke timeout must be non-negative, got %d", w.timeout)
+		}
+		req := RoutedInvokeRequest{Fn: string(w.fn), TimeoutMillis: w.timeout}
+		if len(w.payload) > 0 {
+			req.Payload = json.RawMessage(w.payload)
+		}
+		return req, nil
+	}
 	var req RoutedInvokeRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return RoutedInvokeRequest{}, fmt.Errorf("httpapi: decode routed invoke request: %w", err)

@@ -1,0 +1,422 @@
+// wire.go is the byte-oriented half of the /invoke wire protocol: append
+// encoders and an allocation-conscious request scanner that the gateway
+// (internal/platform) and the routing tier (internal/router) use on their
+// hot paths instead of reflection-driven encoding/json round-trips.
+//
+// The encoders reproduce encoding/json's output byte-for-byte for the
+// struct fields they cover (same field order, same string escaping
+// including HTML-unsafe characters and U+2028/U+2029, same float
+// formatting) — wire_test.go proves the equality against json.Marshal —
+// with one deliberate exception: raw JSON values (Result, Payload) are
+// emitted verbatim rather than re-compacted and re-escaped, which is the
+// whole point of the pass-through fast path.
+//
+// The scanner handles the canonical body shape — one object with keys
+// drawn from {"fn","payload","timeoutMillis"} — and bails out to
+// encoding/json for anything unusual (escapes, duplicate or unknown keys,
+// non-ASCII function names), so the observable decode semantics never
+// diverge from the reflection path.
+package httpapi
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+// MaxInvokeBodyBytes caps an /invoke request body on both the gateway and
+// the router (shared so the two surfaces cannot drift). Oversize bodies
+// are answered with 413 Request Entity Too Large, not 400: the request
+// was well-formed, just too big, and the distinction tells clients
+// whether shrinking the payload can help.
+const MaxInvokeBodyBytes = 1 << 20
+
+const hexDigits = "0123456789abcdef"
+
+// AppendInvokeRequest appends the InvokeRequest wire form for (fn,
+// payload) to dst and returns the extended slice. An empty payload is
+// omitted, matching the struct's omitempty tag; a non-empty payload must
+// be valid JSON and is written verbatim.
+func AppendInvokeRequest(dst []byte, fn string, payload []byte) []byte {
+	dst = append(dst, `{"fn":`...)
+	dst = appendJSONString(dst, fn)
+	if len(payload) > 0 {
+		dst = append(dst, `,"payload":`...)
+		dst = append(dst, payload...)
+	}
+	return append(dst, '}')
+}
+
+// AppendInvokeResponse appends r's wire form to dst and returns the
+// extended slice. A non-zero traceID overrides r.TraceID, rendered as 16
+// lowercase hex digits without allocating — the gateway hands the raw
+// trace identity straight from the platform Result. An empty r.Result is
+// written as null (a handler that returned nothing), any other Result is
+// emitted verbatim.
+func AppendInvokeResponse(dst []byte, r *InvokeResponse, traceID uint64) []byte {
+	dst = append(dst, `{"fn":`...)
+	dst = appendJSONString(dst, r.Fn)
+	dst = append(dst, `,"result":`...)
+	dst = appendRawOrNull(dst, r.Result)
+	dst = append(dst, `,"containerId":`...)
+	dst = appendJSONString(dst, r.ContainerID)
+	if r.Worker != "" {
+		dst = append(dst, `,"worker":`...)
+		dst = appendJSONString(dst, r.Worker)
+	}
+	dst = append(dst, `,"cold":`...)
+	dst = strconv.AppendBool(dst, r.Cold)
+	dst = append(dst, `,"attempts":`...)
+	dst = strconv.AppendInt(dst, int64(r.Attempts), 10)
+	switch {
+	case traceID != 0:
+		dst = append(dst, `,"traceId":"`...)
+		dst = appendHex16(dst, traceID)
+		dst = append(dst, '"')
+	case r.TraceID != "":
+		dst = append(dst, `,"traceId":`...)
+		dst = appendJSONString(dst, r.TraceID)
+	}
+	dst = append(dst, `,"latency":`...)
+	dst = appendLatency(dst, r.Latency)
+	return append(dst, '}')
+}
+
+// AppendRoutedInvokeResponse appends r's wire form to dst and returns the
+// extended slice. Field order matches encoding/json's flattening of the
+// embedded InvokeResponse: the embedded fields first (its Worker shadowed
+// by the router's), then the routing provenance.
+func AppendRoutedInvokeResponse(dst []byte, r *RoutedInvokeResponse) []byte {
+	dst = append(dst, `{"fn":`...)
+	dst = appendJSONString(dst, r.Fn)
+	dst = append(dst, `,"result":`...)
+	dst = appendRawOrNull(dst, r.Result)
+	dst = append(dst, `,"containerId":`...)
+	dst = appendJSONString(dst, r.ContainerID)
+	dst = append(dst, `,"cold":`...)
+	dst = strconv.AppendBool(dst, r.Cold)
+	dst = append(dst, `,"attempts":`...)
+	dst = strconv.AppendInt(dst, int64(r.Attempts), 10)
+	if r.TraceID != "" {
+		dst = append(dst, `,"traceId":`...)
+		dst = appendJSONString(dst, r.TraceID)
+	}
+	dst = append(dst, `,"latency":`...)
+	dst = appendLatency(dst, r.Latency)
+	dst = append(dst, `,"worker":`...)
+	dst = appendJSONString(dst, r.Worker)
+	dst = append(dst, `,"forwardAttempts":`...)
+	dst = strconv.AppendInt(dst, int64(r.ForwardAttempts), 10)
+	return append(dst, '}')
+}
+
+// appendRawOrNull writes a raw JSON value verbatim, or null when empty —
+// json.Marshal's rendering of a nil RawMessage.
+func appendRawOrNull(dst []byte, raw json.RawMessage) []byte {
+	if len(raw) == 0 {
+		return append(dst, "null"...)
+	}
+	return append(dst, raw...)
+}
+
+// appendLatency writes the Latency object in struct field order.
+func appendLatency(dst []byte, l Latency) []byte {
+	dst = append(dst, `{"schedMillis":`...)
+	dst = appendJSONFloat(dst, l.SchedMillis)
+	dst = append(dst, `,"coldMillis":`...)
+	dst = appendJSONFloat(dst, l.ColdMillis)
+	dst = append(dst, `,"queueMillis":`...)
+	dst = appendJSONFloat(dst, l.QueueMillis)
+	dst = append(dst, `,"execMillis":`...)
+	dst = appendJSONFloat(dst, l.ExecMillis)
+	dst = append(dst, `,"totalMillis":`...)
+	dst = appendJSONFloat(dst, l.TotalMillis)
+	return append(dst, '}')
+}
+
+// appendHex16 writes v as 16 lowercase hex digits — the TraceID wire
+// form, matching fmt.Sprintf("%016x", v) without the allocation.
+func appendHex16(dst []byte, v uint64) []byte {
+	for shift := 60; shift >= 0; shift -= 4 {
+		dst = append(dst, hexDigits[(v>>uint(shift))&0xF])
+	}
+	return dst
+}
+
+// appendJSONFloat formats f the way encoding/json does: %f in the normal
+// range, scientific notation below 1e-6 or at 1e21 and above, with the
+// exponent's leading zero trimmed. Non-finite values (which encoding/json
+// refuses and latency decompositions never produce) degrade to 0 so the
+// encoder stays total.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(dst, '0')
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// encoding/json trims "e-09" to "e-9".
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+// appendJSONString writes s as a JSON string with encoding/json's exact
+// escaping: control characters, quote and backslash escaped; '<', '>'
+// and '&' HTML-escaped; invalid UTF-8 replaced with �; U+2028 and
+// U+2029 escaped for JavaScript embedding.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// invokeWire is the scanner's view of an /invoke body. fn and payload
+// alias the input buffer — callers own the lifetime relationship.
+type invokeWire struct {
+	fn         []byte
+	payload    []byte
+	timeout    int64
+	hasTimeout bool
+}
+
+// parseInvokeWire scans body without reflection or copying when it has
+// the canonical shape: one object, keys from {"fn","payload",
+// "timeoutMillis"} each at most once, no escapes or non-ASCII bytes in
+// fn, integral timeoutMillis. ok=false is NOT a rejection — it means the
+// body needs the encoding/json fallback, which is the arbiter of
+// validity. A true return guarantees the body would decode identically
+// through encoding/json (the payload extent is verified with json.Valid).
+func parseInvokeWire(body []byte) (w invokeWire, ok bool) {
+	i := skipSpace(body, 0)
+	if i >= len(body) || body[i] != '{' {
+		return invokeWire{}, false
+	}
+	i = skipSpace(body, i+1)
+	if i < len(body) && body[i] == '}' {
+		return w, skipSpace(body, i+1) == len(body)
+	}
+	var seenFn, seenPayload, seenTimeout bool
+	for {
+		key, next, kok := scanPlainString(body, i)
+		if !kok {
+			return invokeWire{}, false
+		}
+		i = skipSpace(body, next)
+		if i >= len(body) || body[i] != ':' {
+			return invokeWire{}, false
+		}
+		i = skipSpace(body, i+1)
+		switch string(key) {
+		case "fn":
+			if seenFn {
+				return invokeWire{}, false
+			}
+			seenFn = true
+			val, next, vok := scanPlainString(body, i)
+			if !vok {
+				return invokeWire{}, false
+			}
+			w.fn = val
+			i = next
+		case "payload":
+			if seenPayload {
+				return invokeWire{}, false
+			}
+			seenPayload = true
+			end, vok := scanValue(body, i)
+			if !vok || !json.Valid(body[i:end]) {
+				return invokeWire{}, false
+			}
+			w.payload = body[i:end]
+			i = end
+		case "timeoutMillis":
+			if seenTimeout {
+				return invokeWire{}, false
+			}
+			seenTimeout = true
+			end, vok := scanValue(body, i)
+			if !vok {
+				return invokeWire{}, false
+			}
+			ms, err := strconv.ParseInt(string(body[i:end]), 10, 64)
+			if err != nil {
+				// Fractional, exponential or overflowing: let the
+				// reflection path produce its exact error (or ignore the
+				// field, for decoders without a timeout).
+				return invokeWire{}, false
+			}
+			w.timeout, w.hasTimeout = ms, true
+			i = end
+		default:
+			return invokeWire{}, false
+		}
+		i = skipSpace(body, i)
+		if i >= len(body) {
+			return invokeWire{}, false
+		}
+		switch body[i] {
+		case ',':
+			i = skipSpace(body, i+1)
+		case '}':
+			return w, skipSpace(body, i+1) == len(body)
+		default:
+			return invokeWire{}, false
+		}
+	}
+}
+
+// skipSpace advances past JSON whitespace.
+func skipSpace(body []byte, i int) int {
+	for i < len(body) {
+		switch body[i] {
+		case ' ', '\t', '\n', '\r':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+// scanPlainString scans a JSON string containing no escapes, no control
+// characters and no non-ASCII bytes, returning the unquoted content
+// (aliasing body) and the index past the closing quote. Anything fancier
+// — escapes that need decoding, invalid UTF-8 that encoding/json would
+// coerce to U+FFFD — reports !ok so the caller falls back.
+func scanPlainString(body []byte, i int) (s []byte, next int, ok bool) {
+	if i >= len(body) || body[i] != '"' {
+		return nil, 0, false
+	}
+	i++
+	start := i
+	for ; i < len(body); i++ {
+		switch b := body[i]; {
+		case b == '"':
+			return body[start:i], i + 1, true
+		case b == '\\' || b < 0x20 || b >= utf8.RuneSelf:
+			return nil, 0, false
+		}
+	}
+	return nil, 0, false
+}
+
+// scanValue finds the extent of one JSON value starting at i, returning
+// the index just past it. It tracks only enough structure (brackets and
+// strings) to find the boundary; the caller validates the extent with
+// json.Valid before trusting it.
+func scanValue(body []byte, i int) (end int, ok bool) {
+	if i >= len(body) {
+		return 0, false
+	}
+	switch body[i] {
+	case '{', '[':
+		depth := 0
+		inStr, esc := false, false
+		for ; i < len(body); i++ {
+			c := body[i]
+			if inStr {
+				switch {
+				case esc:
+					esc = false
+				case c == '\\':
+					esc = true
+				case c == '"':
+					inStr = false
+				}
+				continue
+			}
+			switch c {
+			case '"':
+				inStr = true
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+				if depth == 0 {
+					return i + 1, true
+				}
+				if depth < 0 {
+					return 0, false
+				}
+			}
+		}
+		return 0, false
+	case '"':
+		esc := false
+		for i++; i < len(body); i++ {
+			switch c := body[i]; {
+			case esc:
+				esc = false
+			case c == '\\':
+				esc = true
+			case c == '"':
+				return i + 1, true
+			}
+		}
+		return 0, false
+	default:
+		// Number or literal: runs to the next structural delimiter.
+		start := i
+		for ; i < len(body); i++ {
+			switch body[i] {
+			case ',', '}', ']', ' ', '\t', '\n', '\r':
+				return i, i > start
+			}
+		}
+		return i, i > start
+	}
+}

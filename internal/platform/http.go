@@ -2,16 +2,25 @@ package platform
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"reflect"
 	"strings"
+	"sync"
 
 	"faasbatch/internal/httpapi"
 	"faasbatch/internal/obs"
 )
+
+// respBufPool recycles /invoke response encode buffers. The buffer is
+// fully written to the ResponseWriter before being recycled, so nothing
+// aliases it after Put.
+var respBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
 
 // statExport maps one numeric field of Stats — addressed by its
 // dot-separated reflection path — onto a Prometheus metric. Keeping the
@@ -115,8 +124,15 @@ func NewHTTPHandler(p *Platform) http.Handler {
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)
 			return
 		}
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, httpapi.MaxInvokeBodyBytes))
 		if err != nil {
+			// An oversize body is the client exceeding the advertised cap,
+			// not a malformed request: answer 413, per RFC 9110 §15.5.14.
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				http.Error(w, fmt.Sprintf("request body exceeds %d bytes", int64(httpapi.MaxInvokeBodyBytes)), http.StatusRequestEntityTooLarge)
+				return
+			}
 			http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
 			return
 		}
@@ -135,10 +151,27 @@ func NewHTTPHandler(p *Platform) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadGateway)
 			return
 		}
-		value, err := json.Marshal(res.Value)
-		if err != nil {
-			http.Error(w, fmt.Sprintf("encode result: %v", err), http.StatusInternalServerError)
-			return
+		// Handlers that already return json.RawMessage pass through
+		// verbatim: re-marshalling raw JSON would compact and HTML-escape
+		// it (and double-encode a handler's pre-encoded reply) for no
+		// benefit. Everything else takes the reflective encoder.
+		var result json.RawMessage
+		switch v := res.Value.(type) {
+		case nil:
+			// Rendered as result:null by the byte encoder.
+		case json.RawMessage:
+			if len(v) > 0 && !json.Valid(v) {
+				http.Error(w, "encode result: handler returned invalid raw JSON", http.StatusInternalServerError)
+				return
+			}
+			result = v
+		default:
+			value, err := json.Marshal(res.Value)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("encode result: %v", err), http.StatusInternalServerError)
+				return
+			}
+			result = value
 		}
 		if res.TraceID != 0 {
 			// Echo the trace identity so callers can correlate the
@@ -147,7 +180,7 @@ func NewHTTPHandler(p *Platform) http.Handler {
 		}
 		out := httpapi.InvokeResponse{
 			Fn:          req.Fn,
-			Result:      value,
+			Result:      result,
 			ContainerID: res.ContainerID,
 			Worker:      p.WorkerID(),
 			Cold:        res.Cold,
@@ -160,10 +193,19 @@ func NewHTTPHandler(p *Platform) http.Handler {
 				TotalMillis: float64(res.Total().Microseconds()) / 1000,
 			},
 		}
-		if res.TraceID != 0 {
-			out.TraceID = fmt.Sprintf("%016x", res.TraceID)
+		// Byte-oriented encode through a pooled buffer: no Encoder, no
+		// reflection, no per-response allocation. The non-zero trace ID is
+		// stamped by the encoder itself (hex16), replacing the former
+		// fmt.Sprintf. The trailing newline matches json.Encoder.Encode.
+		bufp := respBufPool.Get().(*[]byte)
+		b := httpapi.AppendInvokeResponse((*bufp)[:0], &out, res.TraceID)
+		b = append(b, '\n')
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write(b); err != nil {
+			p.logger.Warn("response write failed", "path", r.URL.Path, "err", err)
 		}
-		writeJSON(p.logger, w, r.URL.Path, out)
+		*bufp = b
+		respBufPool.Put(bufp)
 	})
 	handle("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {

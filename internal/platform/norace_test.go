@@ -1,0 +1,5 @@
+//go:build !race
+
+package platform
+
+const raceEnabled = false

@@ -26,6 +26,7 @@ import (
 	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"faasbatch/internal/chaos"
@@ -457,16 +458,27 @@ type container struct {
 	lastIdle  time.Time
 }
 
-// function is one registered function's state.
+// function is one registered function's state. Its mutex is the
+// platform's sharding unit: it guards this function's batching and
+// container state, so concurrent Invokes on different functions never
+// contend on a lock (DESIGN.md §14).
 type function struct {
 	name    string
 	handler Handler
+
+	// mu guards everything below.
+	mu      sync.Mutex
 	warm    []*container
 	pending []*pendingCall
 	all     []*container
 	// deadline is the wall-clock close of the function's open adaptive
-	// window (zero when no window is open). Guarded by Platform.mu.
+	// window (zero when no window is open).
 	deadline time.Time
+	// ctrl is this function's adaptive window controller (nil when
+	// AdaptiveDispatch is off). dispatch.Controller is not safe for
+	// concurrent use; mu serialises it — giving each function its own
+	// controller is what lets the shards run lock-independent.
+	ctrl *dispatch.Controller
 }
 
 // pendingCall is an invocation waiting for its window.
@@ -489,6 +501,29 @@ type outcome struct {
 	err error
 }
 
+// counters is the platform's internal statistics block: one atomic per
+// Stats field, so the invoke hot path records without taking any lock.
+// Stats() assembles the public snapshot from loads.
+type counters struct {
+	submitted            atomic.Int64
+	canceled             atomic.Int64
+	invocations          atomic.Int64
+	failures             atomic.Int64
+	retries              atomic.Int64
+	timeouts             atomic.Int64
+	panics               atomic.Int64
+	crashes              atomic.Int64
+	bootFailures         atomic.Int64
+	groups               atomic.Int64
+	fastPathDispatches   atomic.Int64
+	earlyCloses          atomic.Int64
+	windowDispatches     atomic.Int64
+	dispatchWindowMicros atomic.Int64
+	containersCreated    atomic.Int64
+	warmStarts           atomic.Int64
+	liveContainers       atomic.Int64
+}
+
 // Platform is the live FaaSBatch runtime.
 type Platform struct {
 	cfg Config
@@ -501,24 +536,41 @@ type Platform struct {
 	slos    *slo.Tracker
 	logger  *slog.Logger
 
-	mu     sync.Mutex
-	fns    map[string]*function
-	seq    int64
-	stats  Stats
-	ready  bool
-	closed bool
+	// fns is the function registry: a copy-on-write map swapped under mu
+	// by Register and loaded lock-free by the invoke hot path. Each
+	// *function carries its own mutex (the shard); the map itself is
+	// immutable once published.
+	fns atomic.Pointer[map[string]*function]
 
-	// Adaptive dispatch (nil/zero when AdaptiveDispatch is off). The
-	// controller is clock-agnostic: the platform feeds it wall-clock
-	// offsets from epoch. ctrl is guarded by mu; kick (buffered 1) wakes
-	// adaptiveLoop when an arrival opens an earlier window.
-	ctrl  *dispatch.Controller
-	epoch time.Time
-	kick  chan struct{}
+	// mu guards lifecycle state only — readiness, registration swaps,
+	// the retired-multiplexer fold and the Close transition. The invoke
+	// hot path never takes it.
+	mu      sync.Mutex
+	ready   bool
+	retired multiplex.Stats
+
+	closed atomic.Bool
+	seq    atomic.Int64
+	ctr    counters
+
+	// Adaptive dispatch (false/zero when AdaptiveDispatch is off). Each
+	// function gets its own controller (built from dcfg at Register);
+	// the platform feeds wall-clock offsets from epoch. kick (buffered
+	// 1) wakes adaptiveLoop when an arrival opens an earlier window.
+	adaptive bool
+	dcfg     dispatch.Config
+	epoch    time.Time
+	kick     chan struct{}
 
 	stopTicker chan struct{}
 	wg         sync.WaitGroup
 }
+
+// fnsAll returns the current registry snapshot (immutable).
+func (p *Platform) fnsAll() map[string]*function { return *p.fns.Load() }
+
+// lookup resolves a function name without locking.
+func (p *Platform) lookup(fn string) *function { return (*p.fns.Load())[fn] }
 
 // New starts a platform. Close must be called to release its dispatcher.
 // The platform starts not ready: call SetReady(true) once registration
@@ -533,7 +585,10 @@ func New(cfg Config) (*Platform, error) {
 	if cfg.MaxGroupSize < 0 {
 		return nil, fmt.Errorf("platform: max group size must be non-negative, got %d", cfg.MaxGroupSize)
 	}
-	var ctrl *dispatch.Controller
+	var (
+		adaptive bool
+		dcfg     dispatch.Config
+	)
 	if cfg.Mode == ModeBatch && cfg.AdaptiveDispatch {
 		if cfg.MaxInterval == 0 {
 			cfg.MaxInterval = cfg.DispatchInterval
@@ -544,15 +599,17 @@ func New(cfg Config) (*Platform, error) {
 				cfg.MinInterval = cfg.MaxInterval
 			}
 		}
-		var err error
-		ctrl, err = dispatch.New(dispatch.Config{
+		dcfg = dispatch.Config{
 			MinInterval:  cfg.MinInterval,
 			MaxInterval:  cfg.MaxInterval,
 			MaxGroupSize: cfg.MaxGroupSize,
-		})
-		if err != nil {
+		}
+		// Each function gets its own controller at Register; validate the
+		// shared configuration once here.
+		if err := dcfg.Validate(); err != nil {
 			return nil, fmt.Errorf("platform: %w", err)
 		}
+		adaptive = true
 	}
 	if cfg.ColdStart < 0 {
 		return nil, fmt.Errorf("platform: cold start must be non-negative, got %v", cfg.ColdStart)
@@ -600,21 +657,23 @@ func New(cfg Config) (*Platform, error) {
 		metrics:    obs.NewMetrics(),
 		slos:       slos,
 		logger:     logger,
-		fns:        make(map[string]*function),
-		ctrl:       ctrl,
+		adaptive:   adaptive,
+		dcfg:       dcfg,
 		epoch:      time.Now(),
 		kick:       make(chan struct{}, 1),
 		stopTicker: make(chan struct{}),
 	}
+	empty := make(map[string]*function)
+	p.fns.Store(&empty)
 	p.logger.Info("platform started",
 		"mode", cfg.Mode.String(),
 		"interval", cfg.DispatchInterval,
-		"adaptive", ctrl != nil,
+		"adaptive", adaptive,
 		"multiplex", cfg.Multiplex,
 		"tracing", cfg.Tracer != nil)
 	if cfg.Mode == ModeBatch {
 		p.wg.Add(1)
-		if ctrl != nil {
+		if adaptive {
 			go p.adaptiveLoop()
 		} else {
 			go p.dispatchLoop()
@@ -662,15 +721,30 @@ func (p *Platform) Register(name string, h Handler) error {
 	if name == "" || h == nil {
 		return fmt.Errorf("platform: register requires a name and a handler")
 	}
+	f := &function{name: name, handler: h}
+	if p.adaptive {
+		ctrl, err := dispatch.New(p.dcfg)
+		if err != nil {
+			// Unreachable: New validated dcfg.
+			return fmt.Errorf("platform: %w", err)
+		}
+		f.ctrl = ctrl
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
 		return fmt.Errorf("platform: closed")
 	}
-	if _, ok := p.fns[name]; ok {
+	old := *p.fns.Load()
+	if _, ok := old[name]; ok {
 		return fmt.Errorf("platform: function %q already registered", name)
 	}
-	p.fns[name] = &function{name: name, handler: h}
+	next := make(map[string]*function, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = f
+	p.fns.Store(&next)
 	return nil
 }
 
@@ -690,14 +764,12 @@ func (p *Platform) SetReady(ready bool) {
 func (p *Platform) Ready() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.ready && !p.closed
+	return p.ready && !p.closed.Load()
 }
 
 // Draining reports whether Close has begun.
 func (p *Platform) Draining() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.closed
+	return p.closed.Load()
 }
 
 // WorkerID reports the platform's fleet identity ("" when standalone).
@@ -709,9 +781,7 @@ func (p *Platform) Capacity() int { return p.cfg.Capacity }
 // Inflight counts invocations accepted but not yet completed (canceled
 // calls dropped before execution no longer count).
 func (p *Platform) Inflight() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats.Submitted - p.stats.Invocations - p.stats.Canceled
+	return p.ctr.submitted.Load() - p.ctr.invocations.Load() - p.ctr.canceled.Load()
 }
 
 // Invoke runs one invocation and blocks until it completes. In ModeBatch
@@ -727,46 +797,83 @@ func (p *Platform) Invoke(ctx context.Context, fn string, payload json.RawMessag
 // worker's scheduling/cold-start/queuing/execution spans join the
 // caller's distributed trace. Zero parent mints locally (sampled).
 func (p *Platform) InvokeWithTrace(ctx context.Context, fn string, payload json.RawMessage, parent uint64) (Result, error) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return Result{}, fmt.Errorf("platform: closed")
-	}
-	f, ok := p.fns[fn]
-	if !ok {
-		p.mu.Unlock()
+	f := p.lookup(fn)
+	if f == nil {
+		if p.closed.Load() {
+			return Result{}, fmt.Errorf("platform: closed")
+		}
 		return Result{}, fmt.Errorf("platform: unknown function %q", fn)
 	}
-	call := &pendingCall{ctx: ctx, payload: payload, arrive: time.Now(), done: make(chan outcome, 1), trace: p.tracer.BeginWith(parent)}
-	p.stats.Submitted++
+	call := getPendingCall()
+	call.ctx = ctx
+	call.payload = payload
+	call.arrive = time.Now()
+	call.trace = p.tracer.BeginWith(parent)
+
+	// Submission holds only this function's shard lock: Invokes on
+	// different functions never contend. The closed check under f.mu
+	// pairs with CloseContext's handshake over every shard — a call that
+	// saw closed==false here has its wg.Add ordered before Close's Wait.
+	var run *callGroup
+	f.mu.Lock()
+	if p.closed.Load() {
+		f.mu.Unlock()
+		putPendingCall(call)
+		return Result{}, fmt.Errorf("platform: closed")
+	}
+	p.ctr.submitted.Add(1)
 	switch {
 	case p.cfg.Mode == ModeVanilla:
-		p.mu.Unlock()
-		p.runGroup(f, []*pendingCall{call})
-	case p.ctrl != nil:
-		if group := p.adaptiveSubmitLocked(f, call); group != nil {
+		p.wg.Add(1)
+		run = getGroup(1)
+		run.calls = append(run.calls, call)
+	case p.adaptive:
+		if g := p.adaptiveSubmitLocked(f, call); g != nil {
 			// Fast path or early close: dispatch without waiting for the
-			// window loop. Add under mu while open (Close sets closed under
-			// mu before Wait), then run outside the lock.
+			// window loop.
 			p.wg.Add(1)
-			p.mu.Unlock()
-			go func() {
-				defer p.wg.Done()
-				p.runGroup(f, group)
-			}()
-		} else {
-			p.mu.Unlock()
+			run = g
 		}
 	default:
-		f.pending = append(f.pending, call)
-		p.mu.Unlock()
+		p.enqueueLocked(f, call)
+	}
+	f.mu.Unlock()
+	if run != nil {
+		// Run the group inline in this goroutine: the caller blocks on
+		// call.done anyway, so a hand-off goroutine would add a spawn and
+		// teardown to every fast-path dispatch for nothing.
+		p.runGroup(f, run.calls)
+		putGroup(run)
+		p.wg.Done()
 	}
 	select {
 	case out := <-call.done:
-		return out.res, out.err
+		res, err := out.res, out.err
+		// Happy path: the single outcome was received, so the call (and
+		// its buffered channel) is provably quiescent — recycle it. The
+		// ctx.Done path below must NOT recycle: finish may still deliver
+		// to this call's channel.
+		putPendingCall(call)
+		return res, err
 	case <-ctx.Done():
 		return Result{}, fmt.Errorf("platform: invoke %s: %w", fn, ctx.Err())
 	}
+}
+
+// enqueueLocked appends a call to f's pending queue, sizing the backing
+// array from the dispatch estimator on first use so the steady state
+// appends without growing. Caller holds f.mu.
+func (p *Platform) enqueueLocked(f *function, call *pendingCall) {
+	if f.pending == nil {
+		n := 8
+		if f.ctrl != nil {
+			if e := f.ctrl.ExpectedGroup(f.name); e > n {
+				n = e
+			}
+		}
+		f.pending = make([]*pendingCall, 0, n)
+	}
+	f.pending = append(f.pending, call)
 }
 
 // dispatchLoop is the fixed-interval Invoke Mapper: every interval it
@@ -786,20 +893,20 @@ func (p *Platform) dispatchLoop() {
 	}
 }
 
-// adaptiveSubmitLocked routes one arrival through the dispatch
-// controller. It returns a group to dispatch immediately (idle fast-path
-// or early close), or nil when the call must wait for its window.
-// Caller holds p.mu.
-func (p *Platform) adaptiveSubmitLocked(f *function, call *pendingCall) []*pendingCall {
+// adaptiveSubmitLocked routes one arrival through the function's
+// dispatch controller. It returns a group to dispatch immediately (idle
+// fast-path or early close), or nil when the call must wait for its
+// window. Caller holds f.mu.
+func (p *Platform) adaptiveSubmitLocked(f *function, call *pendingCall) *callGroup {
 	idle := len(f.pending) == 0 && !p.busyLocked(f)
-	f.pending = append(f.pending, call)
-	d := p.ctrl.Arrive(f.name, time.Since(p.epoch), idle)
-	p.stats.DispatchWindowMicros = d.Window.Microseconds()
+	p.enqueueLocked(f, call)
+	d := f.ctrl.Arrive(f.name, time.Since(p.epoch), idle)
+	p.ctr.dispatchWindowMicros.Store(d.Window.Microseconds())
 	switch d.Action {
 	case dispatch.ActionFastPath:
-		p.stats.FastPathDispatches++
+		p.ctr.fastPathDispatches.Add(1)
 	case dispatch.ActionEarlyClose:
-		p.stats.EarlyCloses++
+		p.ctr.earlyCloses.Add(1)
 	default:
 		// The controller may extend an open window's deadline as the
 		// arrival estimate densifies; a stale-armed loop timer just
@@ -807,21 +914,22 @@ func (p *Platform) adaptiveSubmitLocked(f *function, call *pendingCall) []*pendi
 		wasIdle := f.deadline.IsZero()
 		f.deadline = p.epoch.Add(d.Deadline)
 		if wasIdle {
-			p.kickLocked()
+			p.kickLoop()
 		}
 		return nil
 	}
 	f.deadline = time.Time{}
 	group := p.claimPendingLocked(f)
-	if len(group) == 0 {
+	if group == nil {
 		return nil
 	}
-	p.recordWindowSpans(f, group, d.Window, d.Action.String())
+	p.recordWindowSpans(f, group.calls, d.Window, d.Action.String())
 	return group
 }
 
 // busyLocked reports whether any container of f is currently executing —
-// a batching opportunity an arrival could wait to share.
+// a batching opportunity an arrival could wait to share. Caller holds
+// f.mu.
 func (p *Platform) busyLocked(f *function) bool {
 	for _, c := range f.all {
 		if c.active > 0 {
@@ -831,9 +939,9 @@ func (p *Platform) busyLocked(f *function) bool {
 	return false
 }
 
-// kickLocked wakes adaptiveLoop to re-arm its timer (an arrival opened a
+// kickLoop wakes adaptiveLoop to re-arm its timer (an arrival opened a
 // window that may close before the one the loop is sleeping on).
-func (p *Platform) kickLocked() {
+func (p *Platform) kickLoop() {
 	select {
 	case p.kick <- struct{}{}:
 	default:
@@ -847,14 +955,15 @@ func (p *Platform) kickLocked() {
 func (p *Platform) adaptiveLoop() {
 	defer p.wg.Done()
 	for {
-		p.mu.Lock()
 		var next time.Time
-		for _, f := range p.fns {
-			if !f.deadline.IsZero() && (next.IsZero() || f.deadline.Before(next)) {
-				next = f.deadline
+		for _, f := range p.fnsAll() {
+			f.mu.Lock()
+			d := f.deadline
+			f.mu.Unlock()
+			if !d.IsZero() && (next.IsZero() || d.Before(next)) {
+				next = d
 			}
 		}
-		p.mu.Unlock()
 		var (
 			timer  *time.Timer
 			timerC <-chan time.Time
@@ -889,36 +998,39 @@ func (p *Platform) adaptiveLoop() {
 func (p *Platform) dispatchDue() {
 	now := time.Now()
 	type job struct {
-		f     *function
-		group []*pendingCall
+		f  *function
+		cg *callGroup
 	}
 	var jobs []job
-	p.mu.Lock()
-	for _, f := range p.fns {
+	for _, f := range p.fnsAll() {
+		f.mu.Lock()
 		if f.deadline.IsZero() || f.deadline.After(now) {
+			f.mu.Unlock()
 			continue
 		}
 		f.deadline = time.Time{}
-		window := p.ctrl.Window(f.name)
-		p.ctrl.WindowClosed(f.name)
-		group := p.claimPendingLocked(f)
-		if len(group) == 0 {
+		window := f.ctrl.Window(f.name)
+		f.ctrl.WindowClosed(f.name)
+		cg := p.claimPendingLocked(f)
+		if cg == nil {
+			f.mu.Unlock()
 			continue
 		}
-		p.stats.WindowDispatches++
-		p.recordWindowSpans(f, group, window, "window")
-		jobs = append(jobs, job{f: f, group: group})
+		p.ctr.windowDispatches.Add(1)
+		p.recordWindowSpans(f, cg.calls, window, "window")
+		f.mu.Unlock()
+		jobs = append(jobs, job{f: f, cg: cg})
 	}
-	p.mu.Unlock()
 	for _, j := range jobs {
 		j := j
 		if p.logOn(slog.LevelDebug) {
-			p.logger.Debug("dispatch window", "fn", j.f.name, "group", len(j.group))
+			p.logger.Debug("dispatch window", "fn", j.f.name, "group", len(j.cg.calls))
 		}
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			p.runGroup(j.f, j.group)
+			p.runGroup(j.f, j.cg.calls)
+			putGroup(j.cg)
 		}()
 	}
 }
@@ -926,59 +1038,70 @@ func (p *Platform) dispatchDue() {
 // dispatchWindow drains every function's window group: the fixed-interval
 // tick, and the final flush of both batch loops at Close.
 func (p *Platform) dispatchWindow() {
-	p.mu.Lock()
 	type job struct {
-		f     *function
-		group []*pendingCall
+		f  *function
+		cg *callGroup
 	}
 	var jobs []job
-	for _, f := range p.fns {
-		if p.ctrl != nil {
+	for _, f := range p.fnsAll() {
+		f.mu.Lock()
+		if f.ctrl != nil {
 			f.deadline = time.Time{}
-			p.ctrl.WindowClosed(f.name)
+			f.ctrl.WindowClosed(f.name)
 		}
-		group := p.claimPendingLocked(f)
-		if len(group) == 0 {
+		cg := p.claimPendingLocked(f)
+		f.mu.Unlock()
+		if cg == nil {
 			continue
 		}
-		jobs = append(jobs, job{f: f, group: group})
+		jobs = append(jobs, job{f: f, cg: cg})
 	}
-	p.mu.Unlock()
 	for _, j := range jobs {
 		j := j
 		if p.logOn(slog.LevelDebug) {
-			p.logger.Debug("dispatch window", "fn", j.f.name, "group", len(j.group))
+			p.logger.Debug("dispatch window", "fn", j.f.name, "group", len(j.cg.calls))
 		}
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			p.runGroup(j.f, j.group)
+			p.runGroup(j.f, j.cg.calls)
+			putGroup(j.cg)
 		}()
 	}
 }
 
-// claimPendingLocked takes f's pending group, dropping calls whose
-// context ended while they waited: a canceled call's caller has already
-// returned, so executing it would burn a batch slot for nobody. Caller
-// holds p.mu.
-func (p *Platform) claimPendingLocked(f *function) []*pendingCall {
-	group := f.pending
-	f.pending = nil
-	kept := group[:0]
-	for _, call := range group {
+// claimPendingLocked takes f's pending group into a pooled callGroup,
+// dropping calls whose context ended while they waited: a canceled
+// call's caller has already returned, so executing it would burn a
+// batch slot for nobody. The pending slice itself is retained (reset to
+// length zero) so the next window appends into warm memory. Returns nil
+// when nothing survives. Caller holds f.mu.
+func (p *Platform) claimPendingLocked(f *function) *callGroup {
+	if len(f.pending) == 0 {
+		return nil
+	}
+	group := getGroup(len(f.pending))
+	for _, call := range f.pending {
 		if call.ctx.Err() != nil {
-			p.stats.Canceled++
+			// Dropped, not recycled: the caller's select may still race
+			// on call.done (see pool.go).
+			p.ctr.canceled.Add(1)
 			if p.logOn(slog.LevelDebug) {
 				p.logger.Debug("canceled call dropped", "fn", f.name, "trace", call.trace)
 			}
 			continue
 		}
-		kept = append(kept, call)
+		group.calls = append(group.calls, call)
 	}
-	for i := len(kept); i < len(group); i++ {
-		group[i] = nil
+	for i := range f.pending {
+		f.pending[i] = nil
 	}
-	return kept
+	f.pending = f.pending[:0]
+	if len(group.calls) == 0 {
+		putGroup(group)
+		return nil
+	}
+	return group
 }
 
 // recordWindowSpans stamps one dispatch-window span per traced group
@@ -1020,19 +1143,19 @@ func (p *Platform) evictLoop() {
 	for {
 		select {
 		case <-ticker.C:
-			p.mu.Lock()
-			p.evictIdleLocked()
-			p.mu.Unlock()
+			p.evictIdle()
 		case <-p.stopTicker:
 			return
 		}
 	}
 }
 
-// evictIdleLocked drops warm containers idle past the keep-alive.
-func (p *Platform) evictIdleLocked() {
+// evictIdle drops warm containers idle past the keep-alive, one shard at
+// a time.
+func (p *Platform) evictIdle() {
 	cutoff := time.Now().Add(-p.cfg.KeepAlive)
-	for _, f := range p.fns {
+	for _, f := range p.fnsAll() {
+		f.mu.Lock()
 		kept := f.warm[:0]
 		for _, c := range f.warm {
 			if c.lastIdle.Before(cutoff) {
@@ -1048,10 +1171,14 @@ func (p *Platform) evictIdleLocked() {
 			f.warm[i] = nil
 		}
 		f.warm = kept
+		f.mu.Unlock()
 	}
 }
 
-// retireLocked removes a container from the function's records.
+// retireLocked removes a container from the function's records. Caller
+// holds f.mu; the retired-stats fold nests p.mu inside it (the only
+// nesting order in the platform — nothing acquires a shard while holding
+// p.mu).
 func (p *Platform) retireLocked(f *function, c *container) {
 	for i, other := range f.all {
 		if other == c {
@@ -1066,10 +1193,12 @@ func (p *Platform) retireLocked(f *function, c *container) {
 		// released by Close (which fires the Closer hook per instance).
 		st.LiveInstances, st.BytesLive = 0, 0
 		st.Shards, st.MaxShardOccupancy = 0, 0
-		p.stats.Multiplexer.Add(st)
+		p.mu.Lock()
+		p.retired.Add(st)
+		p.mu.Unlock()
 		c.resources.cache.Close()
 	}
-	p.stats.LiveContainers--
+	p.ctr.liveContainers.Add(-1)
 }
 
 // containerCacheConfig derives one container's multiplexer config from
@@ -1096,19 +1225,21 @@ func (p *Platform) containerCacheConfig() multiplex.Config {
 	return mcfg
 }
 
-// acquire obtains a container for f: warm if available, else cold.
+// acquire obtains a container for f: warm if available, else cold. The
+// warm path is allocation-free: a pop from the shard's warm stack plus
+// one atomic counter.
 func (p *Platform) acquire(f *function) (*container, bool) {
-	p.mu.Lock()
+	f.mu.Lock()
 	if n := len(f.warm); n > 0 {
 		c := f.warm[n-1]
+		f.warm[n-1] = nil
 		f.warm = f.warm[:n-1]
 		c.active++
-		p.stats.WarmStarts++
-		p.mu.Unlock()
+		f.mu.Unlock()
+		p.ctr.warmStarts.Add(1)
 		return c, false
 	}
-	p.seq++
-	c := &container{id: fmt.Sprintf("live-%04d-%s", p.seq, f.name), fn: f.name}
+	c := &container{id: fmt.Sprintf("live-%04d-%s", p.seq.Add(1), f.name), fn: f.name}
 	res := &Resources{inj: p.cfg.Chaos}
 	if p.cfg.Multiplex {
 		res.cache = multiplex.NewWithConfig(p.containerCacheConfig())
@@ -1116,17 +1247,15 @@ func (p *Platform) acquire(f *function) (*container, bool) {
 	c.resources = res
 	c.active++
 	f.all = append(f.all, c)
-	p.stats.ContainersCreated++
-	p.stats.LiveContainers++
-	p.mu.Unlock()
+	f.mu.Unlock()
+	p.ctr.containersCreated.Add(1)
+	p.ctr.liveContainers.Add(1)
 	// Simulated boot outside the lock. Injected boot failures cost one
 	// boot latency each and restart the boot; an injected slow cold start
 	// inflates the final boot.
 	boot := p.cfg.ColdStart
 	for p.cfg.Chaos.Should(chaos.BootFailure) {
-		p.mu.Lock()
-		p.stats.BootFailures++
-		p.mu.Unlock()
+		p.ctr.bootFailures.Add(1)
 		p.logger.Warn("container boot failed, retrying", "container", c.id, "fn", f.name)
 		if boot > 0 {
 			time.Sleep(boot)
@@ -1147,8 +1276,8 @@ func (p *Platform) acquire(f *function) (*container, bool) {
 
 // release parks the container back into the warm pool once it drains.
 func (p *Platform) release(f *function, c *container, n int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	c.active -= n
 	if c.active <= 0 {
 		c.active = 0
@@ -1214,10 +1343,12 @@ func (p *Platform) runGroupOne(f *function, group []*pendingCall) {
 			})
 		}
 	}
-	p.mu.Lock()
-	p.stats.Groups++
-	c.active += len(group) - 1 // acquire already counted one
-	p.mu.Unlock()
+	p.ctr.groups.Add(1)
+	if len(group) > 1 {
+		f.mu.Lock()
+		c.active += len(group) - 1 // acquire already counted one
+		f.mu.Unlock()
+	}
 
 	// Injected mid-batch container crash: the whole group fails at once —
 	// the blast radius of the paper's one-container-per-group mapping.
@@ -1225,11 +1356,11 @@ func (p *Platform) runGroupOne(f *function, group []*pendingCall) {
 	// boots a replacement; each member retries or surfaces the crash.
 	if p.cfg.Chaos.Should(chaos.ContainerCrash) {
 		crashErr := fmt.Errorf("platform: container %s crashed", c.id)
-		p.mu.Lock()
-		p.stats.Crashes++
+		p.ctr.crashes.Add(1)
+		f.mu.Lock()
 		c.active = 0
 		p.retireLocked(f, c)
-		p.mu.Unlock()
+		f.mu.Unlock()
 		p.logger.Warn("container crashed mid-batch", "container", c.id, "fn", f.name, "group", len(group))
 		for _, call := range group {
 			res := Result{ContainerID: c.id, Cold: cold, Sched: dispatch.Sub(call.arrive), ColdStart: coldDur, TraceID: call.trace}
@@ -1238,61 +1369,91 @@ func (p *Platform) runGroupOne(f *function, group []*pendingCall) {
 		return
 	}
 
+	if len(group) == 1 {
+		// The hot path: a single-call group runs in the current goroutine
+		// — no per-call spawn, no WaitGroup.
+		p.runCall(f, c, group[0], cold, dispatch, ready, coldDur, readyStamp)
+	} else {
+		p.runCallsParallel(f, c, group, cold, dispatch, ready, coldDur, readyStamp)
+	}
+	p.release(f, c, len(group))
+}
+
+// runCallsParallel expands a multi-call group, one goroutine per member.
+// It lives apart from runGroupOne so the goroutine closure's captures are
+// heap-moved only when a real multi-call group runs — captured in the
+// caller, they would cost the single-call hot path an allocation per
+// invoke whether or not this branch was taken.
+func (p *Platform) runCallsParallel(f *function, c *container, group []*pendingCall, cold bool, dispatch, ready time.Time, coldDur time.Duration, readyStamp time.Duration) {
 	var wg sync.WaitGroup
 	for _, call := range group {
 		call := call
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			start := time.Now()
-			// Every invocation gets its own multiplexer view: it scopes the
-			// resource borrows released below, and on traced calls carries
-			// the trace so client builds span on the invocation that paid
-			// for them.
-			res := &Resources{
-				cache: c.resources.cache, inj: c.resources.inj,
-				borrows: &borrowSet{},
-			}
-			if call.trace != 0 {
-				res.tracer, res.trace = p.tracer, call.trace
-				res.fn, res.container = f.name, c.id
-			}
-			inv := &Invocation{Payload: call.payload, Resources: res, ContainerID: c.id}
-			value, err := p.runHandler(f, call.ctx, inv)
-			// The handler is done with everything it borrowed; deferred
-			// eviction closes fire now, before the result is published.
-			res.borrows.releaseAll()
-			end := time.Now()
-			if call.trace != 0 {
-				attempt := call.attempts + 1
-				startStamp := p.tracer.Stamp(start)
-				p.tracer.Record(obs.Span{
-					Trace: call.trace, Name: obs.SpanQueuing, Fn: f.name, Container: c.id,
-					Attempt: attempt, Start: readyStamp, End: startStamp,
-				})
-				p.tracer.Record(obs.Span{
-					Trace: call.trace, Name: obs.SpanExecution, Fn: f.name, Container: c.id,
-					Attempt: attempt, Start: startStamp, End: p.tracer.Stamp(end),
-				})
-			}
-			out := Result{
-				Value:       value,
-				ContainerID: c.id,
-				Cold:        cold,
-				Sched:       dispatch.Sub(call.arrive),
-				ColdStart:   coldDur,
-				Queue:       start.Sub(ready),
-				Exec:        end.Sub(start),
-				TraceID:     call.trace,
-			}
-			if err != nil {
-				err = fmt.Errorf("platform: invoke %s: %w", f.name, err)
-			}
-			p.finish(f, call, out, err)
+			p.runCall(f, c, call, cold, dispatch, ready, coldDur, readyStamp)
 		}()
 	}
 	wg.Wait()
-	p.release(f, c, len(group))
+}
+
+// runCall executes one group member inside its container: pooled
+// per-invocation state, the handler attempt, borrow release, spans, and
+// settlement through finish.
+func (p *Platform) runCall(f *function, c *container, call *pendingCall, cold bool, dispatch, ready time.Time, coldDur time.Duration, readyStamp time.Duration) {
+	start := time.Now()
+	// Every invocation gets its own multiplexer view: it scopes the
+	// resource borrows released below, and on traced calls carries the
+	// trace so client builds span on the invocation that paid for them.
+	// The view, its borrow set and the Invocation come from a pool;
+	// see pool.go for the recycling contract.
+	st := getInvState()
+	st.res.cache = c.resources.cache
+	st.res.inj = c.resources.inj
+	st.res.borrows = &st.borrows
+	if call.trace != 0 {
+		st.res.tracer, st.res.trace = p.tracer, call.trace
+		st.res.fn, st.res.container = f.name, c.id
+	}
+	st.inv.Payload = call.payload
+	st.inv.Resources = &st.res
+	st.inv.ContainerID = c.id
+	value, err, returned := p.runHandler(f, call.ctx, &st.inv)
+	// The handler is done with everything it borrowed; deferred
+	// eviction closes fire now, before the result is published.
+	st.res.borrows.releaseAll()
+	end := time.Now()
+	if call.trace != 0 {
+		attempt := call.attempts + 1
+		startStamp := p.tracer.Stamp(start)
+		p.tracer.Record(obs.Span{
+			Trace: call.trace, Name: obs.SpanQueuing, Fn: f.name, Container: c.id,
+			Attempt: attempt, Start: readyStamp, End: startStamp,
+		})
+		p.tracer.Record(obs.Span{
+			Trace: call.trace, Name: obs.SpanExecution, Fn: f.name, Container: c.id,
+			Attempt: attempt, Start: startStamp, End: p.tracer.Stamp(end),
+		})
+	}
+	out := Result{
+		Value:       value,
+		ContainerID: c.id,
+		Cold:        cold,
+		Sched:       dispatch.Sub(call.arrive),
+		ColdStart:   coldDur,
+		Queue:       start.Sub(ready),
+		Exec:        end.Sub(start),
+		TraceID:     call.trace,
+	}
+	if err != nil {
+		err = fmt.Errorf("platform: invoke %s: %w", f.name, err)
+	}
+	p.finish(f, call, out, err)
+	if returned {
+		// The handler actually returned (it was not abandoned to an
+		// InvokeTimeout), so nothing can touch this state again.
+		putInvState(st)
+	}
 }
 
 // runHandler executes one handler attempt, layering on (in order) any
@@ -1301,7 +1462,13 @@ func (p *Platform) runGroupOne(f *function, group []*pendingCall) {
 // timeout — the rest of the batch completes and Close still drains —
 // instead of wedging the whole group, though its goroutine is abandoned
 // until the handler actually returns.
-func (p *Platform) runHandler(f *function, ctx context.Context, inv *Invocation) (any, error) {
+//
+// The third result reports whether the handler has really returned by
+// the time runHandler does: false on the timeout/cancellation branches,
+// where the abandoned handler goroutine may still be running and
+// touching the Invocation — the caller must not recycle per-attempt
+// state then.
+func (p *Platform) runHandler(f *function, ctx context.Context, inv *Invocation) (any, error, bool) {
 	h := f.handler
 	if inj := p.cfg.Chaos; inj != nil {
 		switch {
@@ -1331,7 +1498,7 @@ func (p *Platform) runHandler(f *function, ctx context.Context, inv *Invocation)
 	if p.cfg.InvokeTimeout <= 0 {
 		value, err := safeInvoke(h, ctx, inv)
 		p.notePanic(err)
-		return value, err
+		return value, err, true
 	}
 	tctx, cancel := context.WithTimeout(ctx, p.cfg.InvokeTimeout)
 	defer cancel()
@@ -1347,27 +1514,28 @@ func (p *Platform) runHandler(f *function, ctx context.Context, inv *Invocation)
 	select {
 	case a := <-ch:
 		p.notePanic(a.err)
-		return a.value, a.err
+		return a.value, a.err, true
 	case <-tctx.Done():
 		if ctx.Err() != nil {
 			// The caller's own context ended; not an invoke timeout.
-			return nil, ctx.Err()
+			return nil, ctx.Err(), false
 		}
-		p.mu.Lock()
-		p.stats.Timeouts++
-		p.mu.Unlock()
+		p.ctr.timeouts.Add(1)
 		return nil, fmt.Errorf("handler exceeded invoke timeout %v: %w",
-			p.cfg.InvokeTimeout, context.DeadlineExceeded)
+			p.cfg.InvokeTimeout, context.DeadlineExceeded), false
 	}
 }
 
-// notePanic counts a recovered handler panic.
+// notePanic counts a recovered handler panic. The nil check comes before
+// the target declaration: errors.As forces its target to the heap, and
+// returning first keeps the happy path allocation-free.
 func (p *Platform) notePanic(err error) {
+	if err == nil {
+		return
+	}
 	var pe panicError
 	if errors.As(err, &pe) {
-		p.mu.Lock()
-		p.stats.Panics++
-		p.mu.Unlock()
+		p.ctr.panics.Add(1)
 	}
 }
 
@@ -1377,13 +1545,18 @@ func (p *Platform) notePanic(err error) {
 func (p *Platform) finish(f *function, call *pendingCall, res Result, err error) {
 	call.attempts++
 	if err != nil && call.attempts <= p.cfg.MaxRetries && call.ctx.Err() == nil {
-		p.mu.Lock()
-		if !p.closed {
-			p.stats.Retries++
-			// Add under mu while open: Close sets closed under mu before
-			// Wait, so this Add is ordered before that Wait.
+		retry := false
+		f.mu.Lock()
+		if !p.closed.Load() {
+			// Add under the shard lock while open: CloseContext sets
+			// closed and then handshakes every shard before Wait, so this
+			// Add is ordered before that Wait.
 			p.wg.Add(1)
-			p.mu.Unlock()
+			retry = true
+		}
+		f.mu.Unlock()
+		if retry {
+			p.ctr.retries.Add(1)
 			if p.logOn(slog.LevelInfo) {
 				p.logger.Info("retrying invocation",
 					"fn", f.name, "attempt", call.attempts, "trace", call.trace, "err", err)
@@ -1391,15 +1564,12 @@ func (p *Platform) finish(f *function, call *pendingCall, res Result, err error)
 			go p.retryLater(f, call)
 			return
 		}
-		p.mu.Unlock()
 	}
 	res.Attempts = call.attempts
-	p.mu.Lock()
-	p.stats.Invocations++
+	p.ctr.invocations.Add(1)
 	if err != nil {
-		p.stats.Failures++
+		p.ctr.failures.Add(1)
 	}
-	p.mu.Unlock()
 	if err != nil {
 		p.logger.Warn("invocation failed",
 			"fn", f.name, "attempts", call.attempts, "trace", call.trace, "err", err)
@@ -1435,45 +1605,53 @@ func (p *Platform) retryLater(f *function, call *pendingCall) {
 			})
 		}
 	}
-	p.mu.Lock()
 	if call.ctx.Err() != nil {
 		// The caller's context ended during the backoff: drop the retry
-		// instead of re-batching a call nobody is waiting for.
-		p.stats.Canceled++
-		p.mu.Unlock()
+		// instead of re-batching a call nobody is waiting for. The call
+		// is abandoned, not recycled (see pool.go).
+		p.ctr.canceled.Add(1)
 		if p.logOn(slog.LevelDebug) {
 			p.logger.Debug("canceled retry dropped", "fn", f.name, "trace", call.trace)
 		}
 		return
 	}
-	if p.cfg.Mode == ModeBatch && !p.closed {
-		f.pending = append(f.pending, call)
-		if p.ctrl != nil {
-			// Ride the adaptive window machinery without skewing the
-			// arrival-rate estimate (EnsureOpen, not Arrive).
-			d := p.ctrl.EnsureOpen(f.name, time.Since(p.epoch))
-			if d.Action == dispatch.ActionEarlyClose {
-				p.stats.EarlyCloses++
-				f.deadline = time.Time{}
-				group := p.claimPendingLocked(f)
-				p.recordWindowSpans(f, group, d.Window, d.Action.String())
-				p.mu.Unlock()
-				if len(group) > 0 {
-					p.runGroup(f, group)
+	if p.cfg.Mode == ModeBatch {
+		f.mu.Lock()
+		if !p.closed.Load() {
+			p.enqueueLocked(f, call)
+			if f.ctrl != nil {
+				// Ride the adaptive window machinery without skewing the
+				// arrival-rate estimate (EnsureOpen, not Arrive).
+				d := f.ctrl.EnsureOpen(f.name, time.Since(p.epoch))
+				if d.Action == dispatch.ActionEarlyClose {
+					p.ctr.earlyCloses.Add(1)
+					f.deadline = time.Time{}
+					cg := p.claimPendingLocked(f)
+					if cg != nil {
+						p.recordWindowSpans(f, cg.calls, d.Window, d.Action.String())
+					}
+					f.mu.Unlock()
+					if cg != nil {
+						p.runGroup(f, cg.calls)
+						putGroup(cg)
+					}
+					return
 				}
-				return
+				if f.deadline.IsZero() {
+					f.deadline = p.epoch.Add(d.Deadline)
+					p.kickLoop()
+				}
 			}
-			if f.deadline.IsZero() {
-				f.deadline = p.epoch.Add(d.Deadline)
-				p.kickLocked()
-			}
+			f.mu.Unlock()
+			return
 		}
-		p.mu.Unlock()
-		return
+		f.mu.Unlock()
 	}
 	// Vanilla mode, or the platform is draining: run the attempt now.
-	p.mu.Unlock()
-	p.runGroup(f, []*pendingCall{call})
+	cg := getGroup(1)
+	cg.calls = append(cg.calls, call)
+	p.runGroup(f, cg.calls)
+	putGroup(cg)
 }
 
 // panicError is a recovered handler panic; its message keeps the
@@ -1499,28 +1677,48 @@ func safeInvoke(h Handler, ctx context.Context, inv *Invocation) (value any, err
 
 // Functions lists the registered function names, sorted.
 func (p *Platform) Functions() []string {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]string, 0, len(p.fns))
-	for name := range p.fns {
+	m := p.fnsAll()
+	out := make([]string, 0, len(m))
+	for name := range m {
 		out = append(out, name)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Stats returns a snapshot of the platform counters, folding in live
-// containers' multiplexer statistics.
+// Stats returns a snapshot of the platform counters, folding in retired
+// and live containers' multiplexer statistics.
 func (p *Platform) Stats() Stats {
+	st := Stats{
+		Submitted:            p.ctr.submitted.Load(),
+		Canceled:             p.ctr.canceled.Load(),
+		Invocations:          p.ctr.invocations.Load(),
+		Failures:             p.ctr.failures.Load(),
+		Retries:              p.ctr.retries.Load(),
+		Timeouts:             p.ctr.timeouts.Load(),
+		Panics:               p.ctr.panics.Load(),
+		Crashes:              p.ctr.crashes.Load(),
+		BootFailures:         p.ctr.bootFailures.Load(),
+		Groups:               p.ctr.groups.Load(),
+		FastPathDispatches:   p.ctr.fastPathDispatches.Load(),
+		EarlyCloses:          p.ctr.earlyCloses.Load(),
+		WindowDispatches:     p.ctr.windowDispatches.Load(),
+		DispatchWindowMicros: p.ctr.dispatchWindowMicros.Load(),
+		ContainersCreated:    p.ctr.containersCreated.Load(),
+		WarmStarts:           p.ctr.warmStarts.Load(),
+		LiveContainers:       int(p.ctr.liveContainers.Load()),
+	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	st := p.stats
-	for _, f := range p.fns {
+	st.Multiplexer = p.retired
+	p.mu.Unlock()
+	for _, f := range p.fnsAll() {
+		f.mu.Lock()
 		for _, c := range f.all {
 			if c.resources != nil && c.resources.cache != nil {
 				st.Multiplexer.Add(c.resources.cache.Stats())
 			}
 		}
+		f.mu.Unlock()
 	}
 	return st
 }
@@ -1546,12 +1744,25 @@ func (p *Platform) Close() error {
 // reports an error; in-flight work may still be draining behind it.
 func (p *Platform) CloseContext(ctx context.Context) error {
 	p.mu.Lock()
-	if p.closed {
+	if p.closed.Load() {
 		p.mu.Unlock()
 		return nil
 	}
-	p.closed = true
+	p.closed.Store(true)
 	p.mu.Unlock()
+	// Shard handshake: acquire and release every function's mutex once.
+	// Any Invoke or retry settlement that observed closed==false did its
+	// wg.Add inside a shard critical section that strictly precedes this
+	// handshake, so the Add is ordered before the Wait below; anything
+	// acquiring a shard after its handshake sees closed==true and
+	// rejects. Registration after the closed store is rejected under
+	// p.mu, so this snapshot covers every shard.
+	for _, f := range p.fnsAll() {
+		f.mu.Lock()
+		//lint:ignore SA2001 the empty critical section is the point: it
+		// fences in-flight submissions on this shard.
+		f.mu.Unlock()
+	}
 	// Wakes the dispatcher for its final flush and any backoff sleepers,
 	// in every mode.
 	close(p.stopTicker)

@@ -1,0 +1,103 @@
+package platform
+
+import (
+	"sync"
+	"time"
+)
+
+// This file is the hot path's allocation recycling (DESIGN.md §14). The
+// warm steady state reuses three object classes through sync.Pools:
+//
+//   - pendingCall: one per Invoke. Recycled ONLY on the happy path,
+//     after the caller received the outcome from call.done — a call
+//     whose caller bailed out via ctx.Done (or that was dropped as
+//     canceled) is abandoned to the GC, because its caller's select may
+//     still be racing on the done channel: recycling it could deliver a
+//     later invocation's outcome to a stale receiver.
+//   - callGroup: the slice one dispatched window travels in. Released by
+//     whoever ran the group, after runGroup returns — at that point every
+//     member has either completed (outcome sent) or been handed to
+//     retryLater, so nothing aliases the slice.
+//   - invState: one handler attempt's Resources view + borrow set +
+//     Invocation. Recycled only when runHandler reports the handler
+//     actually returned; a timeout-abandoned handler keeps its state
+//     (GC'd later) so it can never scribble on a recycled object.
+
+// pendingCallPool recycles pendingCall objects, each keeping its
+// buffered done channel across reuses (the channel is provably empty on
+// the recycling path: finish sends exactly once and the caller received
+// that one value).
+var pendingCallPool = sync.Pool{
+	New: func() any { return &pendingCall{done: make(chan outcome, 1)} },
+}
+
+func getPendingCall() *pendingCall {
+	return pendingCallPool.Get().(*pendingCall)
+}
+
+func putPendingCall(c *pendingCall) {
+	c.ctx = nil
+	c.payload = nil
+	c.arrive = time.Time{}
+	c.attempts = 0
+	c.trace = 0
+	pendingCallPool.Put(c)
+}
+
+// callGroup boxes a window group's slice so the slice header survives
+// pool round-trips without re-allocating.
+type callGroup struct {
+	calls []*pendingCall
+}
+
+var groupPool = sync.Pool{
+	New: func() any { return &callGroup{calls: make([]*pendingCall, 0, 8)} },
+}
+
+// getGroup returns an empty group with capacity for at least n calls.
+func getGroup(n int) *callGroup {
+	g := groupPool.Get().(*callGroup)
+	if cap(g.calls) < n {
+		g.calls = make([]*pendingCall, 0, n)
+	}
+	return g
+}
+
+// putGroup clears the group's call pointers (so pooled slices never pin
+// finished invocations) and recycles it.
+func putGroup(g *callGroup) {
+	for i := range g.calls {
+		g.calls[i] = nil
+	}
+	g.calls = g.calls[:0]
+	groupPool.Put(g)
+}
+
+// invState is one handler attempt's per-invocation state: the Resources
+// view handed to the handler, the borrow set it releases through, and
+// the Invocation itself. Pooling it removes the three hottest per-attempt
+// allocations.
+type invState struct {
+	res     Resources
+	borrows borrowSet
+	inv     Invocation
+}
+
+var invStatePool = sync.Pool{
+	New: func() any { return new(invState) },
+}
+
+func getInvState() *invState {
+	return invStatePool.Get().(*invState)
+}
+
+// putInvState resets and recycles an attempt's state. borrowSet embeds a
+// mutex, so the struct is never copied whole: fields reset individually
+// (releaseAll already nil'd the releases slice — and deliberately does
+// not reuse its backing array, because a timeout-abandoned handler from
+// a previous life could still append to one; see borrowSet.releaseAll).
+func putInvState(st *invState) {
+	st.res = Resources{}
+	st.inv = Invocation{}
+	invStatePool.Put(st)
+}

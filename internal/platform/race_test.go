@@ -1,0 +1,9 @@
+//go:build race
+
+package platform
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Allocation-count assertions skip under it: the instrumented
+// runtime allocates on its own behalf, and sync.Pool deliberately
+// randomizes cache bypass under race to widen interleaving coverage.
+const raceEnabled = true

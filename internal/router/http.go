@@ -7,10 +7,18 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
+	"time"
 
 	"faasbatch/internal/httpapi"
 	"faasbatch/internal/obs"
 )
+
+// respBufPool recycles /invoke response encode buffers; each buffer is
+// fully written before being recycled, so nothing aliases it after Put.
+var respBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
 
 // NewHTTPHandler exposes a router over HTTP:
 //
@@ -48,8 +56,15 @@ func NewHTTPHandler(rt *Router) http.Handler {
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)
 			return
 		}
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, httpapi.MaxInvokeBodyBytes))
 		if err != nil {
+			// Same cap and status as the worker gateway: an oversize body
+			// answers 413, not 400 (RFC 9110 §15.5.14).
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				http.Error(w, fmt.Sprintf("request body exceeds %d bytes", int64(httpapi.MaxInvokeBodyBytes)), http.StatusRequestEntityTooLarge)
+				return
+			}
 			http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
 			return
 		}
@@ -70,7 +85,17 @@ func NewHTTPHandler(rt *Router) http.Handler {
 		if id, err := strconv.ParseUint(res.TraceID, 16, 64); err == nil && id != 0 {
 			w.Header().Set(obs.TraceParentHeader, obs.FormatTraceParent(id))
 		}
-		writeJSON(rt, w, res)
+		// Byte-oriented encode through a pooled buffer (the trailing
+		// newline matches json.Encoder.Encode).
+		bufp := respBufPool.Get().(*[]byte)
+		b := httpapi.AppendRoutedInvokeResponse((*bufp)[:0], &res)
+		b = append(b, '\n')
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write(b); err != nil {
+			rt.logger.Warn("response write failed", "err", err)
+		}
+		*bufp = b
+		respBufPool.Put(bufp)
 	})
 	handle("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -119,6 +144,19 @@ func NewHTTPHandler(rt *Router) http.Handler {
 	return mux
 }
 
+// retryAfterSeconds renders a backoff delay as a Retry-After value:
+// rounded UP to whole seconds and never below 1. The header has
+// one-second resolution, so truncation (int(d.Seconds())) turned any
+// sub-second backoff into "Retry-After: 0" — an instruction to retry
+// immediately, the opposite of shedding load.
+func retryAfterSeconds(d time.Duration) int64 {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // healthWord maps the up-worker count to a health status word.
 func healthWord(up int) string {
 	if up == 0 {
@@ -131,7 +169,7 @@ func healthWord(up int) string {
 func writeInvokeError(w http.ResponseWriter, err error) {
 	var overload *OverloadError
 	if errors.As(err, &overload) {
-		w.Header().Set("Retry-After", strconv.Itoa(int(overload.RetryAfter.Seconds())))
+		w.Header().Set("Retry-After", strconv.FormatInt(retryAfterSeconds(overload.RetryAfter), 10))
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 		return
 	}

@@ -484,10 +484,12 @@ func (rt *Router) forward(ctx context.Context, trace uint64, req httpapi.RoutedI
 	// pull core's conservation (enqueued = completed + aborted) holds.
 	served := false
 	defer func() { bnd.Done(served) }()
-	body, err := json.Marshal(httpapi.InvokeRequest{Fn: req.Fn, Payload: req.Payload})
-	if err != nil {
-		return httpapi.RoutedInvokeResponse{}, fmt.Errorf("router: encode forward body: %w", err)
-	}
+	// Byte-oriented encode of the forward body. The buffer is fresh, not
+	// pooled: http.Transport may keep reading the bytes.Reader after a
+	// per-attempt context cancellation, so recycling it here could hand a
+	// half-written buffer to an in-flight request.
+	body := httpapi.AppendInvokeRequest(
+		make([]byte, 0, len(req.Fn)+len(req.Payload)+32), req.Fn, req.Payload)
 	var lastErr error
 	var prev string
 	for attempt := 1; attempt <= rt.cfg.MaxAttempts; attempt++ {
@@ -634,7 +636,14 @@ func (rt *Router) tryWorker(ctx context.Context, trace uint64, attempt int, id, 
 	rt.mu.Lock()
 	rt.stats.Forwarded++
 	rt.mu.Unlock()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	// Worker responses are read into a pooled buffer: every escape below
+	// copies (json.Unmarshal clones RawMessage fields, error formatting
+	// and PassThroughError stringify), so nothing aliases raw after this
+	// attempt returns.
+	bufp := workerRespBufPool.Get().(*[]byte)
+	raw, err := appendReadAll((*bufp)[:0], io.LimitReader(resp.Body, 4<<20))
+	*bufp = raw
+	defer workerRespBufPool.Put(bufp)
 	if err != nil {
 		return httpapi.RoutedInvokeResponse{}, fmt.Errorf("read response from %s: %w", id, err)
 	}
@@ -657,4 +666,29 @@ func (rt *Router) tryWorker(ctx context.Context, trace uint64, attempt int, id, 
 		out.Worker = inner.Worker
 	}
 	return out, nil
+}
+
+// workerRespBufPool recycles the per-attempt buffer a worker response is
+// read into (see tryWorker for the no-aliasing argument).
+var workerRespBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+// appendReadAll reads r to EOF appending into dst, growing the buffer as
+// needed; the grown buffer is returned even on error so callers can keep
+// its capacity.
+func appendReadAll(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
 }
